@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: UVM fault-batch size. The paper's related work (Kim et
+ * al.) motivates batched fault handling; this bench sweeps the
+ * driver's maximum batch size and shows how demand-paged (plain uvm)
+ * kernel time responds on a streaming workload.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::uint32_t> kBatchSizes = {1, 4, 16, 64, 256};
+
+ExperimentResult
+runWithBatch(std::uint32_t batchSize)
+{
+    SystemConfig cfg = SystemConfig::a100Epyc();
+    cfg.uvm.fault.maxBatchSize = batchSize;
+    // Fault-rate stress: migrate at the driver's 64 KiB basic-block
+    // granularity so fault servicing, not the link, is on the
+    // critical path (the regime batching was designed for).
+    cfg.uvm.chunkBytes = kib(64);
+    Experiment experiment(cfg);
+    ExperimentOptions opts;
+    opts.size = SizeClass::Super;
+    opts.runs = 3;
+    return experiment.run("vector_seq", TransferMode::Uvm, opts);
+}
+
+void
+report()
+{
+    TextTable table({"max batch size", "gpu_kernel", "memcpy",
+                     "overall", "faults"});
+    for (std::uint32_t batch : kBatchSizes) {
+        ExperimentResult res = runWithBatch(batch);
+        TimeBreakdown mean = res.meanBreakdown();
+        table.addRow({std::to_string(batch), fmtTime(mean.kernelPs),
+                      fmtTime(mean.transferPs),
+                      fmtTime(mean.overallPs()),
+                      fmtCount(static_cast<double>(
+                          res.counters.faults))});
+    }
+    printTable(std::cout,
+               "Ablation: fault-batch size vs uvm performance "
+               "(vector_seq, Super)",
+               table);
+    std::cout << "Expected shape: kernel time shrinks as batching "
+                 "amortizes the per-batch driver latency, then "
+                 "saturates once the PCIe drain dominates.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    for (std::uint32_t batch : kBatchSizes) {
+        std::string name =
+            "ablation/fault_batch/" + std::to_string(batch);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [batch](benchmark::State &state) {
+                ExperimentResult res = runWithBatch(batch);
+                for (auto _ : state)
+                    state.SetIterationTime(
+                        res.meanBreakdown().overallPs() / 1e12);
+            })
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return benchMain(argc, argv, report);
+}

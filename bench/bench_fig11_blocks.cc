@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 11: sensitivity of vector_seq to the number of CUDA blocks
+ * (4096 -> 16 at 256 threads/block). Expected shape: performance is
+ * essentially flat across block counts (Takeaway 4), with async /
+ * uvm_prefetch / uvm_prefetch_async keeping their average gains.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/paper_targets.hh"
+#include "core/sweep.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::uint64_t> kBlockCounts = {
+    4096, 2048, 1024, 512, 256, 128, 64, 32, 16};
+
+std::vector<SweepPoint> &
+sweepPoints()
+{
+    static std::vector<SweepPoint> points = [] {
+        Sweep sweep(ResultCache::instance().experiment());
+        ExperimentOptions opts;
+        opts.size = SizeClass::Super;
+        opts.runs = 5;
+        return sweep.blockSweep("vector_seq", kBlockCounts, opts);
+    }();
+    return points;
+}
+
+void
+report()
+{
+    TextTable table({"# blocks", "standard", "async", "uvm",
+                     "uvm_prefetch", "uvm_prefetch_async"});
+    double ref = 0.0;
+    std::vector<double> gains[3];
+    for (const SweepPoint &point : sweepPoints()) {
+        double base = findMode(point.modes, TransferMode::Standard)
+                          .meanBreakdown()
+                          .overallPs();
+        if (ref == 0.0)
+            ref = base;
+        std::vector<std::string> row = {std::to_string(point.value)};
+        for (TransferMode m : allTransferModes) {
+            double v =
+                findMode(point.modes, m).meanBreakdown().overallPs();
+            row.push_back(fmtDouble(v / ref, 3));
+        }
+        table.addRow(row);
+        gains[0].push_back(
+            base / findMode(point.modes, TransferMode::Async)
+                       .meanBreakdown()
+                       .overallPs());
+        gains[1].push_back(
+            base / findMode(point.modes, TransferMode::UvmPrefetch)
+                       .meanBreakdown()
+                       .overallPs());
+        gains[2].push_back(
+            base /
+            findMode(point.modes, TransferMode::UvmPrefetchAsync)
+                .meanBreakdown()
+                .overallPs());
+    }
+    printTable(std::cout,
+               "Figure 11: vector_seq vs # of blocks "
+               "(normalized to standard @4096)",
+               table);
+
+    std::vector<ComparisonRow> rows = {
+        {"async average gain across block counts",
+         paper::blockSweepAsyncGain, geomean(gains[0]) - 1.0},
+        {"uvm_prefetch average gain across block counts",
+         paper::blockSweepUvmPrefetchGain, geomean(gains[1]) - 1.0},
+        {"uvm_prefetch_async average gain across block counts",
+         paper::blockSweepUvmPrefetchAsyncGain,
+         geomean(gains[2]) - 1.0},
+    };
+    printTable(std::cout, "Figure 11 headline (paper vs measured)",
+               comparisonTable(rows));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "fig11/block_sweep", [](benchmark::State &state) {
+            double total = 0.0;
+            for (const SweepPoint &p : sweepPoints()) {
+                total += findMode(p.modes, TransferMode::Standard)
+                             .meanBreakdown()
+                             .overallPs();
+            }
+            for (auto _ : state)
+                state.SetIterationTime(total / 1e12);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    return benchMain(argc, argv, report);
+}

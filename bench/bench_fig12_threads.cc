@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 12: sensitivity of vector_seq to threads per block
+ * (1024 -> 32 on a fixed 64-block grid). Expected shape: strong
+ * sensitivity (under-occupied SMs cannot hide memory latency; 32
+ * threads run the kernel ~4x slower than 128), with async's edge
+ * growing as threads shrink (deeper per-thread buffers).
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/paper_targets.hh"
+#include "core/sweep.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::uint32_t> kThreadCounts = {1024, 512, 256,
+                                                  128, 64, 32};
+
+std::vector<SweepPoint> &
+sweepPoints()
+{
+    static std::vector<SweepPoint> points = [] {
+        Sweep sweep(ResultCache::instance().experiment());
+        ExperimentOptions opts;
+        opts.size = SizeClass::Super;
+        opts.runs = 5;
+        return sweep.threadSweep("vector_seq", kThreadCounts, 64,
+                                 opts);
+    }();
+    return points;
+}
+
+double
+kernelAt(std::uint64_t threads, TransferMode mode)
+{
+    for (const SweepPoint &p : sweepPoints()) {
+        if (p.value == threads)
+            return findMode(p.modes, mode).clean.kernelPs;
+    }
+    return 0.0;
+}
+
+double
+asyncGainAt(std::uint64_t threads)
+{
+    for (const SweepPoint &p : sweepPoints()) {
+        if (p.value == threads) {
+            double base = findMode(p.modes, TransferMode::Standard)
+                              .clean.kernelPs;
+            double async =
+                findMode(p.modes, TransferMode::Async).clean.kernelPs;
+            return 1.0 - async / base;
+        }
+    }
+    return 0.0;
+}
+
+void
+report()
+{
+    TextTable table({"# threads", "standard", "async", "uvm",
+                     "uvm_prefetch", "uvm_prefetch_async",
+                     "kernel(std)"});
+    double ref = 0.0;
+    for (const SweepPoint &point : sweepPoints()) {
+        double base = findMode(point.modes, TransferMode::Standard)
+                          .meanBreakdown()
+                          .overallPs();
+        if (ref == 0.0)
+            ref = base;
+        std::vector<std::string> row = {std::to_string(point.value)};
+        for (TransferMode m : allTransferModes) {
+            double v =
+                findMode(point.modes, m).meanBreakdown().overallPs();
+            row.push_back(fmtDouble(v / ref, 3));
+        }
+        row.push_back(fmtTime(
+            findMode(point.modes, TransferMode::Standard)
+                .clean.kernelPs));
+        table.addRow(row);
+    }
+    printTable(std::cout,
+               "Figure 12: vector_seq vs threads per block "
+               "(64 blocks, normalized to standard @1024)",
+               table);
+
+    double ratio = kernelAt(32, TransferMode::Standard) /
+                   kernelAt(128, TransferMode::Standard);
+    std::vector<ComparisonRow> rows = {
+        {"kernel time at 32 threads vs 128 threads (x, -1)",
+         paper::threads32Vs128KernelRatio - 1.0, ratio - 1.0},
+        {"async kernel gain at 1024 threads",
+         paper::asyncGain1024Threads, asyncGainAt(1024)},
+        {"async kernel gain at 32 threads",
+         paper::asyncGain32Threads, asyncGainAt(32)},
+    };
+    printTable(std::cout, "Figure 12 headline (paper vs measured)",
+               comparisonTable(rows));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "fig12/thread_sweep", [](benchmark::State &state) {
+            double total = 0.0;
+            for (const SweepPoint &p : sweepPoints()) {
+                total += findMode(p.modes, TransferMode::Standard)
+                             .meanBreakdown()
+                             .overallPs();
+            }
+            for (auto _ : state)
+                state.SetIterationTime(total / 1e12);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    return benchMain(argc, argv, report);
+}

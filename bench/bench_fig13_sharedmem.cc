@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 13: sensitivity of vector_seq to the L1-cache/shared-memory
+ * partition (2 KiB -> 128 KiB carveout). Expected shape (Takeaway 5):
+ * too little shared memory starves the async pipeline; too much
+ * shrinks L1 and hurts the UVM configurations.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/sweep.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<Bytes> kCarveouts = {kib(2), kib(4), kib(8),
+                                       kib(16), kib(32), kib(64),
+                                       kib(128)};
+
+std::vector<SweepPoint> &
+sweepPoints()
+{
+    static std::vector<SweepPoint> points = [] {
+        Sweep sweep(ResultCache::instance().experiment());
+        ExperimentOptions opts;
+        opts.size = SizeClass::Super;
+        opts.runs = 5;
+        return sweep.sharedMemSweep("vector_seq", kCarveouts, opts);
+    }();
+    return points;
+}
+
+double
+kernelOf(const SweepPoint &p, TransferMode m)
+{
+    return findMode(p.modes, m).clean.kernelPs;
+}
+
+void
+report()
+{
+    TextTable table({"shared mem", "standard", "async", "uvm",
+                     "uvm_prefetch", "uvm_prefetch_async"});
+    double ref = 0.0;
+    for (const SweepPoint &point : sweepPoints()) {
+        double base = findMode(point.modes, TransferMode::Standard)
+                          .meanBreakdown()
+                          .overallPs();
+        if (ref == 0.0)
+            ref = base;
+        std::vector<std::string> row = {
+            fmtBytes(static_cast<double>(point.value))};
+        for (TransferMode m : allTransferModes) {
+            double v =
+                findMode(point.modes, m).meanBreakdown().overallPs();
+            row.push_back(fmtDouble(v / ref, 3));
+        }
+        table.addRow(row);
+    }
+    printTable(std::cout,
+               "Figure 13: vector_seq vs L1/shared partition "
+               "(normalized to standard @2KiB)",
+               table);
+
+    // Takeaway 5 shape checks on kernel time.
+    const SweepPoint &tiny = sweepPoints().front();   // 2 KiB
+    const SweepPoint &mid = sweepPoints()[4];          // 32 KiB
+    const SweepPoint &huge = sweepPoints().back();     // 128 KiB
+    TextTable shape({"check", "value", "expectation"});
+    shape.addRow({"async kernel @2KiB / @32KiB",
+                  fmtDouble(kernelOf(tiny, TransferMode::Async) /
+                                kernelOf(mid, TransferMode::Async),
+                            2),
+                  "> 1 (starved pipeline)"});
+    shape.addRow(
+        {"uvm_prefetch kernel @128KiB / @32KiB",
+         fmtDouble(kernelOf(huge, TransferMode::UvmPrefetch) /
+                       kernelOf(mid, TransferMode::UvmPrefetch),
+                   2),
+         "> 1 (L1 squeezed by UVM)"});
+    shape.addRow(
+        {"standard kernel @128KiB / @32KiB",
+         fmtDouble(kernelOf(huge, TransferMode::Standard) /
+                       kernelOf(mid, TransferMode::Standard),
+                   2),
+         "smaller increase than uvm_prefetch"});
+    printTable(std::cout, "Takeaway 5 shape checks", shape);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "fig13/sharedmem_sweep", [](benchmark::State &state) {
+            double total = 0.0;
+            for (const SweepPoint &p : sweepPoints()) {
+                total += findMode(p.modes, TransferMode::Standard)
+                             .meanBreakdown()
+                             .overallPs();
+            }
+            for (auto _ : state)
+                state.SetIterationTime(total / 1e12);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    return benchMain(argc, argv, report);
+}

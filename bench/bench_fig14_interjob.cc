@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 14 / Section 6: the proposed inter-job data-transfer model.
+ * Reproduces the discussion's bookkeeping — component shares before
+ * (standard) and after (uvm_prefetch_async) across the app suite —
+ * then schedules a batch of jobs under the overlapped model and
+ * reports the projected gain (the paper estimates "more than 30%").
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/batch_pipeline.hh"
+#include "core/paper_targets.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+ExperimentOptions
+superOpts()
+{
+    ExperimentOptions opts;
+    opts.size = SizeClass::Super;
+    opts.runs = 5;
+    return opts;
+}
+
+struct Shares
+{
+    double alloc = 0.0;
+    double transfer = 0.0;
+    double kernel = 0.0;
+};
+
+Shares
+averageShares(TransferMode mode)
+{
+    Shares shares;
+    auto names =
+        WorkloadRegistry::instance().names(WorkloadSuite::App);
+    for (const std::string &name : names) {
+        const ExperimentResult &res =
+            ResultCache::instance().get(name, mode, superOpts());
+        TimeBreakdown mean = res.meanBreakdown();
+        double total = mean.overallPs();
+        shares.alloc += mean.allocPs / total;
+        shares.transfer += mean.transferPs / total;
+        shares.kernel += mean.kernelPs / total;
+    }
+    auto n = static_cast<double>(names.size());
+    shares.alloc /= n;
+    shares.transfer /= n;
+    shares.kernel /= n;
+    return shares;
+}
+
+void
+report()
+{
+    Shares before = averageShares(TransferMode::Standard);
+    Shares after = averageShares(TransferMode::UvmPrefetchAsync);
+
+    TextTable table({"component", "standard", "uvm_prefetch_async"});
+    table.addRow({"data transfer", fmtPercent(before.transfer),
+                  fmtPercent(after.transfer)});
+    table.addRow({"data allocation", fmtPercent(before.alloc),
+                  fmtPercent(after.alloc)});
+    table.addRow({"gpu kernel", fmtPercent(before.kernel),
+                  fmtPercent(after.kernel)});
+    printTable(std::cout,
+               "Section 6.1: average component shares across the 14 "
+               "applications",
+               table);
+
+    std::vector<ComparisonRow> shareRows = {
+        {"transfer share before", paper::transferShareBefore,
+         before.transfer},
+        {"transfer share after", paper::transferShareAfter,
+         after.transfer},
+        {"allocation share before", paper::allocShareBefore,
+         before.alloc},
+        {"allocation share after", paper::allocShareAfter,
+         after.alloc},
+    };
+    printTable(std::cout,
+               "Section 6.1 shares (paper vs measured)",
+               comparisonTable(shareRows));
+
+    // Schedule a batch of uvm_prefetch_async jobs under the
+    // inter-job pipeline (Figure 14).
+    std::vector<TimeBreakdown> batch;
+    for (const std::string &name :
+         WorkloadRegistry::instance().names(WorkloadSuite::App)) {
+        batch.push_back(ResultCache::instance()
+                            .get(name, TransferMode::UvmPrefetchAsync,
+                                 superOpts())
+                            .meanBreakdown());
+    }
+    BatchScheduleResult sched = scheduleBatch(batch);
+
+    TextTable pipeline({"model", "batch makespan", "improvement"});
+    pipeline.addRow({"current (serial jobs)",
+                     fmtTime(sched.serialPs), "-"});
+    pipeline.addRow({"inter-job pipeline (Figure 14)",
+                     fmtTime(sched.pipelinedPs),
+                     fmtPercent(sched.improvement())});
+    printTable(std::cout,
+               "Figure 14: batch of 14 apps under the new data "
+               "transfer model",
+               pipeline);
+
+    printTable(std::cout, "Section 6.2 headline (paper vs measured)",
+               comparisonTable({{"inter-job pipeline gain",
+                                 paper::interJobModelGain,
+                                 sched.improvement()}}));
+
+    // The Figure 14 chart itself (first four jobs for legibility).
+    std::vector<TimeBreakdown> head(
+        batch.begin(), batch.begin() + std::min<std::size_t>(
+                                           4, batch.size()));
+    BatchTimelines charts = buildBatchTimelines(head);
+    std::cout << "\nFigure 14 (top): current model, jobs back to "
+                 "back\n"
+              << charts.serial.gantt() << "\n";
+    std::cout << "Figure 14 (bottom): inter-job pipeline\n"
+              << charts.pipelined.gantt();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "fig14/batch_pipeline", [](benchmark::State &state) {
+            std::vector<TimeBreakdown> batch(
+                8, TimeBreakdown{4e9, 2e9, 4e9});
+            BatchScheduleResult sched;
+            for (auto _ : state) {
+                sched = scheduleBatch(batch);
+                benchmark::DoNotOptimize(sched);
+            }
+            state.counters["improvement"] = sched.improvement();
+        });
+    return benchMain(argc, argv, report);
+}

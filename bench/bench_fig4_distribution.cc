@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4: overall-execution-time distributions of the seven
+ * microbenchmarks across the six input sizes, 30 runs per
+ * configuration. Prints per-size mean / p5 / p95 across the five
+ * setups, showing the stability window (Large/Super stable, Mega
+ * noisy again).
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::string> &
+microNames()
+{
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().names(WorkloadSuite::Micro);
+    return names;
+}
+
+ExperimentOptions
+optsFor(SizeClass size)
+{
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 30;
+    return opts;
+}
+
+void
+report()
+{
+    for (SizeClass size : allSizeClasses) {
+        TextTable table({"workload", "mode", "mean", "p5", "p95",
+                         "std/mean"});
+        for (const std::string &name : microNames()) {
+            ModeSet set = ResultCache::instance().getAllModes(
+                name, optsFor(size));
+            for (const ExperimentResult &res : set) {
+                SampleSet samples = res.overallSamples();
+                table.addRow({name, transferModeName(res.mode),
+                              fmtTime(samples.mean()),
+                              fmtTime(samples.percentile(5.0)),
+                              fmtTime(samples.percentile(95.0)),
+                              fmtDouble(samples.cv(), 4)});
+            }
+            table.addSeparator();
+        }
+        printTable(std::cout,
+                   std::string("Figure 4: execution-time "
+                               "distribution, ") +
+                       sizeClassName(size) + " input (30 runs)",
+                   table);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    for (SizeClass size : allSizeClasses) {
+        registerModeBenchmarks(std::string("fig4/") +
+                                   sizeClassName(size),
+                               microNames(), optsFor(size));
+    }
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 5: standard deviation over mean of the 30-run distributions
+ * for each input size (averaged over the five setups per workload,
+ * as in the paper), plus the geometric mean across the seven
+ * microbenchmarks. The expected shape: noise falls from Tiny to
+ * Large/Super, then regresses at Mega (Takeaway 1).
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::string> &
+microNames()
+{
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().names(WorkloadSuite::Micro);
+    return names;
+}
+
+double
+meanCv(const std::string &workload, SizeClass size)
+{
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 30;
+    ModeSet set =
+        ResultCache::instance().getAllModes(workload, opts);
+    double acc = 0.0;
+    for (const ExperimentResult &res : set)
+        acc += res.overallSamples().cv();
+    return acc / static_cast<double>(set.size());
+}
+
+void
+report()
+{
+    std::vector<std::string> headers = {"workload"};
+    for (SizeClass s : allSizeClasses)
+        headers.push_back(sizeClassName(s));
+    TextTable table(headers);
+
+    std::vector<std::vector<double>> perSize(allSizeClasses.size());
+    for (const std::string &name : microNames()) {
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 0; i < allSizeClasses.size(); ++i) {
+            double cv = meanCv(name, allSizeClasses[i]);
+            perSize[i].push_back(std::max(cv, 1e-9));
+            row.push_back(fmtDouble(cv, 4));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> geo = {"geo-mean"};
+    std::vector<double> geoVals;
+    for (const auto &sizeCvs : perSize) {
+        double g = geomean(sizeCvs);
+        geoVals.push_back(g);
+        geo.push_back(fmtDouble(g, 4));
+    }
+    table.addRow(geo);
+    printTable(std::cout,
+               "Figure 5: std/mean of 30 runs per input size",
+               table);
+
+    // The Takeaway 1 shape check: tiny > large, mega > super.
+    std::cout << "Takeaway 1 shape: tiny/large cv ratio = "
+              << fmtDouble(geoVals[0] / geoVals[3], 2)
+              << " (expect > 1), mega/super cv ratio = "
+              << fmtDouble(geoVals[5] / geoVals[4], 2)
+              << " (expect > 1)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "fig5/cv_geomean_large", [](benchmark::State &state) {
+            double cv = 0.0;
+            for (auto _ : state)
+                cv = meanCv("vector_seq", SizeClass::Large);
+            state.counters["cv"] = cv;
+        })
+        ->Iterations(1);
+    return benchMain(argc, argv, report);
+}

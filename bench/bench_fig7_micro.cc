@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 7: side-by-side comparison of the five data-transfer
+ * configurations on the seven microbenchmarks at Large and Super
+ * input sizes, with the execution time broken into gpu_kernel /
+ * memcpy / allocation (normalized to standard). Also reproduces the
+ * Section 4.1.1 headline numbers, printed paper-vs-measured.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/paper_targets.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::string> &
+microNames()
+{
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().names(WorkloadSuite::Micro);
+    return names;
+}
+
+ExperimentOptions
+optsFor(SizeClass size)
+{
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 30;
+    return opts;
+}
+
+std::vector<ModeSet>
+collect(SizeClass size)
+{
+    std::vector<ModeSet> all;
+    for (const std::string &name : microNames())
+        all.push_back(
+            ResultCache::instance().getAllModes(name, optsFor(size)));
+    return all;
+}
+
+/** Kernel-time change of @p mode vs standard for one workload. */
+double
+kernelChange(const ModeSet &set, TransferMode mode)
+{
+    double base =
+        findMode(set, TransferMode::Standard).clean.kernelPs;
+    double other = findMode(set, mode).clean.kernelPs;
+    return relativeChange(other, base);
+}
+
+void
+report()
+{
+    auto large = collect(SizeClass::Large);
+    auto super = collect(SizeClass::Super);
+
+    printTable(std::cout, "Figure 7a: microbenchmarks, Large input "
+                          "(normalized to standard)",
+               breakdownTable(large));
+    printTable(std::cout, "Figure 7b: microbenchmarks, Super input "
+                          "(normalized to standard)",
+               breakdownTable(super));
+
+    const ModeSet &vec = large[0]; // vector_seq is registered first
+    ModeSet conv2d;
+    ModeSet gemmSuper;
+    for (std::size_t i = 0; i < microNames().size(); ++i) {
+        if (microNames()[i] == "2DCONV")
+            conv2d = large[i];
+        if (microNames()[i] == "gemm")
+            gemmSuper = super[i];
+    }
+
+    std::vector<ComparisonRow> rows = {
+        {"async overall gain, Large (geomean)",
+         paper::microAsyncGainLarge,
+         geomeanImprovement(large, TransferMode::Async)},
+        {"async overall gain, Super (geomean)",
+         paper::microAsyncGainSuper,
+         geomeanImprovement(super, TransferMode::Async)},
+        {"uvm overall gain, Large (geomean)",
+         paper::microUvmGainLarge,
+         geomeanImprovement(large, TransferMode::Uvm)},
+        {"uvm overall gain, Super (geomean)",
+         paper::microUvmGainSuper,
+         geomeanImprovement(super, TransferMode::Uvm)},
+        {"uvm_prefetch overall gain, Large (geomean)",
+         paper::microUvmPrefetchGainLarge,
+         geomeanImprovement(large, TransferMode::UvmPrefetch)},
+        {"uvm_prefetch overall gain, Super (geomean)",
+         paper::microUvmPrefetchGainSuper,
+         geomeanImprovement(super, TransferMode::UvmPrefetch)},
+        {"uvm_prefetch_async overall gain, Super (geomean)",
+         paper::microUvmPrefetchAsyncGainSuper,
+         geomeanImprovement(super, TransferMode::UvmPrefetchAsync)},
+        {"uvm memcpy saving, Large (geomean)",
+         paper::microUvmTransferSavingLarge,
+         geomeanComponentSaving(large, TransferMode::Uvm, 1)},
+        {"uvm memcpy saving, Super (geomean)",
+         paper::microUvmTransferSavingSuper,
+         geomeanComponentSaving(super, TransferMode::Uvm, 1)},
+        {"vector_seq async kernel-time change, Large",
+         -paper::vectorSeqAsyncKernelSaving,
+         kernelChange(vec, TransferMode::Async)},
+        {"2DCONV async kernel-time change, Large",
+         paper::conv2dAsyncKernelIncrease,
+         kernelChange(conv2d, TransferMode::Async)},
+        {"gemm uvm_prefetch_async kernel-time change, Super",
+         paper::gemmPrefetchAsyncKernelIncrease,
+         kernelChange(gemmSuper, TransferMode::UvmPrefetchAsync)},
+    };
+    printTable(std::cout,
+               "Section 4.1.1 headline numbers (paper vs measured)",
+               comparisonTable(rows));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    registerModeBenchmarks("fig7/large", microNames(),
+                           optsFor(SizeClass::Large));
+    registerModeBenchmarks("fig7/super", microNames(),
+                           optsFor(SizeClass::Super));
+    return benchMain(argc, argv, report);
+}

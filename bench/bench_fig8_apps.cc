@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 8: the 14 real-world applications at Super input size under
+ * the five configurations, normalized to standard, plus the
+ * Section 4.1.2 / abstract headline numbers (21% gain with UVM
+ * prefetch, 23% with prefetch + async memcpy) paper-vs-measured.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+#include "core/paper_targets.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().names(WorkloadSuite::App);
+    return names;
+}
+
+ExperimentOptions
+superOpts()
+{
+    ExperimentOptions opts;
+    opts.size = SizeClass::Super;
+    opts.runs = 30;
+    return opts;
+}
+
+void
+report()
+{
+    std::vector<ModeSet> apps;
+    ModeSet lud;
+    for (const std::string &name : appNames()) {
+        apps.push_back(
+            ResultCache::instance().getAllModes(name, superOpts()));
+        if (name == "lud")
+            lud = apps.back();
+    }
+
+    printTable(std::cout, "Figure 8: real-world applications, Super "
+                          "input (normalized to standard)",
+               breakdownTable(apps));
+
+    double ludAsyncOverUvm =
+        findMode(lud, TransferMode::UvmPrefetch)
+            .meanBreakdown()
+            .overallPs() /
+        findMode(lud, TransferMode::Async).meanBreakdown().overallPs();
+
+    std::vector<ComparisonRow> rows = {
+        {"async overall gain (geomean)", paper::appsAsyncGain,
+         geomeanImprovement(apps, TransferMode::Async)},
+        {"uvm overall gain (geomean)", paper::appsUvmGain,
+         geomeanImprovement(apps, TransferMode::Uvm)},
+        {"uvm_prefetch overall gain (geomean)",
+         paper::appsUvmPrefetchGain,
+         geomeanImprovement(apps, TransferMode::UvmPrefetch)},
+        {"uvm_prefetch_async overall gain (geomean)",
+         paper::appsUvmPrefetchAsyncGain,
+         geomeanImprovement(apps, TransferMode::UvmPrefetchAsync)},
+        {"uvm memcpy saving (geomean)", paper::appsUvmTransferSaving,
+         geomeanComponentSaving(apps, TransferMode::Uvm, 1)},
+        {"uvm_prefetch memcpy saving (geomean)",
+         paper::appsUvmPrefetchTransferSaving,
+         geomeanComponentSaving(apps, TransferMode::UvmPrefetch, 1)},
+        {"uvm_prefetch_async memcpy saving (geomean)",
+         paper::appsUvmPrefetchAsyncTransferSaving,
+         geomeanComponentSaving(apps, TransferMode::UvmPrefetchAsync,
+                                1)},
+        {"uvm_prefetch kernel-time increase (geomean)",
+         paper::appsUvmPrefetchKernelIncrease,
+         -geomeanComponentSaving(apps, TransferMode::UvmPrefetch, 2)},
+        {"uvm_prefetch_async kernel-time increase (geomean)",
+         paper::appsUvmPrefetchAsyncKernelIncrease,
+         -geomeanComponentSaving(apps, TransferMode::UvmPrefetchAsync,
+                                 2)},
+        {"lud: async speedup over uvm_prefetch (x, -1)",
+         paper::ludAsyncOverUvmSpeedup - 1.0, ludAsyncOverUvm - 1.0},
+    };
+    printTable(std::cout,
+               "Section 4.1.2 / abstract headline numbers "
+               "(paper vs measured)",
+               comparisonTable(rows));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    registerModeBenchmarks("fig8/super", appNames(), superOpts());
+    return benchMain(argc, argv, report);
+}

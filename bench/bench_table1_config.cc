@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1: hardware configuration of the simulated testbed, printed
+ * from the live SystemConfig so the table always reflects what the
+ * other benches actually ran on.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+void
+report()
+{
+    SystemConfig cfg = SystemConfig::a100Epyc();
+
+    TextTable table({"component", "parameter", "value"});
+    table.addRow({"CPU DRAM", "modules",
+                  std::to_string(cfg.host.dimmCount) + " x " +
+                      fmtBytes(static_cast<double>(
+                          cfg.host.dimmCapacity))});
+    table.addRow({"CPU DRAM", "host read bandwidth",
+                  fmtDouble(cfg.host.readBandwidth.gbps(), 0) +
+                      " GB/s"});
+    table.addRow({"GPU", "SMs", std::to_string(cfg.gpu.smCount)});
+    table.addRow({"GPU", "clock",
+                  fmtDouble(cfg.gpu.clock.mhz(), 0) + " MHz"});
+    table.addRow({"GPU", "HBM2 capacity",
+                  fmtBytes(static_cast<double>(
+                      cfg.deviceMemoryBytes))});
+    table.addRow({"GPU", "HBM2 bandwidth",
+                  fmtDouble(cfg.gpu.hbmBandwidth.gbps(), 0) +
+                      " GB/s"});
+    table.addRow({"GPU", "unified L1/shared per SM",
+                  fmtBytes(static_cast<double>(
+                      cfg.gpu.unifiedL1Bytes))});
+    table.addRow({"GPU", "max shared carveout",
+                  fmtBytes(static_cast<double>(
+                      cfg.gpu.maxSharedBytes))});
+    table.addRow({"Interconnect", "PCIe raw bandwidth",
+                  fmtDouble(cfg.pcie.rawBandwidth.gbps(), 0) +
+                      " GB/s per direction"});
+    table.addRow({"UVM", "migration chunk",
+                  fmtBytes(static_cast<double>(cfg.uvm.chunkBytes))});
+    printTable(std::cout,
+               "Table 1: simulated hardware configuration "
+               "(A100 + EPYC testbed)",
+               table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "table1/config_construction", [](benchmark::State &state) {
+            for (auto _ : state) {
+                SystemConfig cfg = SystemConfig::a100Epyc();
+                benchmark::DoNotOptimize(cfg);
+            }
+        });
+    return benchMain(argc, argv, report);
+}

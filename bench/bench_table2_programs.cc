@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 2: the benchmark programs — printed from the registry, with
+ * Super-size job shape facts (footprint, kernels, launches) so the
+ * table documents what the suite actually executes.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+void
+report()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    TextTable table({"suite", "source", "program", "input",
+                     "footprint@super", "kernels", "launches"});
+    table.setAlign(1, TextTable::Align::Left);
+    table.setAlign(2, TextTable::Align::Left);
+    table.setAlign(3, TextTable::Align::Left);
+    for (WorkloadSuite suite :
+         {WorkloadSuite::Micro, WorkloadSuite::App}) {
+        for (const std::string &name : reg.names(suite)) {
+            const Workload &w = reg.get(name);
+            Job job = w.makeJob(SizeClass::Super);
+            table.addRow(
+                {suite == WorkloadSuite::Micro ? "Micro" : "Apps",
+                 w.info().source, name, w.info().inputShape,
+                 fmtBytes(static_cast<double>(job.footprint())),
+                 std::to_string(job.kernels.size()),
+                 std::to_string(job.launchCount())});
+        }
+        table.addSeparator();
+    }
+    printTable(std::cout, "Table 2: benchmark programs", table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "table2/job_construction", [](benchmark::State &state) {
+            WorkloadRegistry &reg = WorkloadRegistry::instance();
+            for (auto _ : state) {
+                for (const std::string &name : reg.names()) {
+                    Job job = reg.get(name).makeJob(SizeClass::Small);
+                    benchmark::DoNotOptimize(job);
+                }
+            }
+        });
+    return benchMain(argc, argv, report);
+}

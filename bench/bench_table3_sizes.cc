@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 3: the Tiny..Mega parameter configurations (memory targets
+ * and 1D/2D/3D reference dimensions).
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+using namespace uvmasync;
+using namespace uvmasync::bench;
+
+namespace
+{
+
+void
+report()
+{
+    TextTable table({"class", "mem", "1D grid", "2D grid", "3D grid"});
+    for (SizeClass s : allSizeClasses) {
+        table.addRow({sizeClassName(s),
+                      fmtBytes(static_cast<double>(sizeClassMem(s))),
+                      fmtCount(static_cast<double>(grid1d(s))),
+                      std::to_string(grid2d(s)) + "^2",
+                      std::to_string(grid3d(s)) + "^3"});
+    }
+    printTable(std::cout, "Table 3: parameter configurations", table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAllWorkloads();
+    benchmark::RegisterBenchmark(
+        "table3/size_lookup", [](benchmark::State &state) {
+            for (auto _ : state) {
+                for (SizeClass s : allSizeClasses) {
+                    benchmark::DoNotOptimize(sizeClassMem(s));
+                    benchmark::DoNotOptimize(grid1d(s));
+                }
+            }
+        });
+    return benchMain(argc, argv, report);
+}

@@ -1,0 +1,107 @@
+#include "common/bench_common.hh"
+
+#include <cstdio>
+
+namespace uvmasync
+{
+namespace bench
+{
+
+ResultCache &
+ResultCache::instance()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+ResultCache::ResultCache() : experiment_(SystemConfig::a100Epyc())
+{
+    registerAllWorkloads();
+}
+
+std::string
+ResultCache::key(const std::string &workload, TransferMode mode,
+                 const ExperimentOptions &opts)
+{
+    return workload + "/" + transferModeName(mode) + "/" +
+           sizeClassName(opts.size) + "/r" +
+           std::to_string(opts.runs) + "/c" +
+           std::to_string(opts.sharedCarveout) + "/b" +
+           std::to_string(opts.geometry.gridBlocks) + "/t" +
+           std::to_string(opts.geometry.threadsPerBlock) + "/s" +
+           std::to_string(opts.baseSeed);
+}
+
+const ExperimentResult &
+ResultCache::get(const std::string &workload, TransferMode mode,
+                 const ExperimentOptions &opts)
+{
+    std::string k = key(workload, mode, opts);
+    auto it = cache_.find(k);
+    if (it == cache_.end())
+        it = cache_.emplace(k, experiment_.run(workload, mode, opts))
+                 .first;
+    return it->second;
+}
+
+ModeSet
+ResultCache::getAllModes(const std::string &workload,
+                         const ExperimentOptions &opts)
+{
+    ModeSet set;
+    set.reserve(allTransferModes.size());
+    for (TransferMode mode : allTransferModes)
+        set.push_back(get(workload, mode, opts));
+    return set;
+}
+
+void
+registerModeBenchmarks(const std::string &prefix,
+                       const std::vector<std::string> &workloads,
+                       const ExperimentOptions &opts)
+{
+    for (const std::string &workload : workloads) {
+        for (TransferMode mode : allTransferModes) {
+            std::string name = prefix + "/" + workload + "/" +
+                               transferModeName(mode);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [workload, mode, opts](benchmark::State &state) {
+                    const ExperimentResult &res =
+                        ResultCache::instance().get(workload, mode,
+                                                    opts);
+                    TimeBreakdown mean = res.meanBreakdown();
+                    for (auto _ : state) {
+                        state.SetIterationTime(mean.overallPs() /
+                                               1e12);
+                    }
+                    state.counters["kernel_ms"] =
+                        mean.kernelPs / 1e9;
+                    state.counters["memcpy_ms"] =
+                        mean.transferPs / 1e9;
+                    state.counters["alloc_ms"] = mean.allocPs / 1e9;
+                    state.counters["faults"] = static_cast<double>(
+                        res.counters.faults);
+                })
+                ->UseManualTime()
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(1);
+        }
+    }
+}
+
+int
+benchMain(int argc, char **argv, void (*report)())
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (report)
+        report();
+    return 0;
+}
+
+} // namespace bench
+} // namespace uvmasync

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared machinery of the per-figure bench binaries.
+ *
+ * Each binary registers one google-benchmark case per experiment cell
+ * and reports the *simulated* time as manual time (the host wall time
+ * of the simulator is irrelevant to the paper's metrics). Results are
+ * memoised so that the figure tables printed after the benchmark run
+ * reuse the same data.
+ */
+
+#ifndef UVMASYNC_BENCH_COMMON_HH
+#define UVMASYNC_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+namespace bench
+{
+
+/**
+ * Memoised experiment runner shared by the registered benchmarks and
+ * the post-run report.
+ */
+class ResultCache
+{
+  public:
+    static ResultCache &instance();
+
+    /** Experiment driver (default A100/EPYC testbed). */
+    Experiment &experiment() { return experiment_; }
+
+    /** Run (or fetch) one cell. */
+    const ExperimentResult &get(const std::string &workload,
+                                TransferMode mode,
+                                const ExperimentOptions &opts);
+
+    /** Run (or fetch) all five modes of one workload. */
+    ModeSet getAllModes(const std::string &workload,
+                        const ExperimentOptions &opts);
+
+  private:
+    ResultCache();
+
+    static std::string key(const std::string &workload,
+                           TransferMode mode,
+                           const ExperimentOptions &opts);
+
+    Experiment experiment_;
+    std::map<std::string, ExperimentResult> cache_;
+};
+
+/**
+ * Register one benchmark per (workload, mode): manual time = mean
+ * simulated overall time; counters expose the breakdown fractions.
+ */
+void registerModeBenchmarks(const std::string &prefix,
+                            const std::vector<std::string> &workloads,
+                            const ExperimentOptions &opts);
+
+/**
+ * Standard bench main body: runs benchmarks, then calls @p report to
+ * print the figure's tables. Returns the process exit code.
+ */
+int benchMain(int argc, char **argv, void (*report)());
+
+} // namespace bench
+} // namespace uvmasync
+
+#endif // UVMASYNC_BENCH_COMMON_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Section 6 inter-job data-transfer model (Figure 14) as a
+ * runnable scenario: a KaaS-style batch of heterogeneous jobs is
+ * executed under uvm_prefetch_async, then scheduled both serially
+ * (today's model) and with allocation/free overlapped across jobs
+ * (the paper's proposal).
+ *
+ * Usage: batch_jobs [size] [jobs-per-workload]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/batch_pipeline.hh"
+#include "core/experiment.hh"
+#include "workloads/registry.hh"
+
+using namespace uvmasync;
+
+int
+main(int argc, char **argv)
+{
+    std::string sizeName = argc > 1 ? argv[1] : "super";
+    int copies = argc > 2 ? std::stoi(argv[2]) : 2;
+    SizeClass size;
+    if (!parseSizeClass(sizeName, size)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     sizeName.c_str());
+        return 1;
+    }
+
+    const char *batchMix[] = {"vector_seq", "kmeans", "hotspot",
+                              "knn"};
+
+    Experiment experiment;
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 5;
+
+    std::vector<TimeBreakdown> jobs;
+    TextTable table({"job", "allocation", "transfer+kernel (GPU)",
+                     "overall"});
+    for (int c = 0; c < copies; ++c) {
+        for (const char *name : batchMix) {
+            TimeBreakdown mean =
+                experiment
+                    .run(name, TransferMode::UvmPrefetchAsync, opts)
+                    .meanBreakdown();
+            jobs.push_back(mean);
+            table.addRow({name, fmtTime(mean.allocPs),
+                          fmtTime(mean.transferPs + mean.kernelPs),
+                          fmtTime(mean.overallPs())});
+        }
+    }
+    std::cout << "Batch of " << jobs.size()
+              << " uvm_prefetch_async jobs (" << sizeName
+              << " inputs):\n";
+    table.print(std::cout);
+
+    BatchScheduleResult sched = scheduleBatch(jobs);
+    TextTable result({"schedule", "makespan", "vs serial"});
+    result.addRow({"serial (current model)",
+                   fmtTime(sched.serialPs), "-"});
+    result.addRow({"inter-job pipeline (Figure 14)",
+                   fmtTime(sched.pipelinedPs),
+                   fmtPercent(-sched.improvement())});
+    std::cout << "\n";
+    result.print(std::cout);
+
+    std::cout << "\nThe paper projects 'more than 30%' from hiding "
+                 "allocation behind neighbouring kernels; this batch "
+                 "achieves "
+              << fmtPercent(sched.improvement()) << ".\n";
+    return 0;
+}

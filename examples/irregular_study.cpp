@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Irregular-workload study: the paper's Takeaway 2 on your terminal.
+ *
+ * Contrasts a regular streaming workload (pathfinder) against the
+ * irregular ones (lud, kmeans) across the five configurations and
+ * shows where each mechanism pays off:
+ *  - regular access -> UVM prefetch wins (transfer savings, no
+ *    faults);
+ *  - irregular access -> async memcpy wins (shared-memory staging
+ *    fixes the L1 behaviour; prefetch can't predict the walk).
+ *
+ * Usage: irregular_study [size] (default: super)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workloads/registry.hh"
+
+using namespace uvmasync;
+
+int
+main(int argc, char **argv)
+{
+    std::string sizeName = argc > 1 ? argv[1] : "super";
+    SizeClass size;
+    if (!parseSizeClass(sizeName, size)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     sizeName.c_str());
+        return 1;
+    }
+
+    Experiment experiment;
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 10;
+
+    const char *workloads[] = {"pathfinder", "lud", "kmeans"};
+
+    TextTable table({"workload", "pattern", "async", "uvm_prefetch",
+                     "uvm_prefetch_async", "winner"});
+    table.setAlign(1, TextTable::Align::Left);
+    table.setAlign(5, TextTable::Align::Left);
+
+    for (const char *name : workloads) {
+        ModeSet set = experiment.runAllModes(name, opts);
+        double base = findMode(set, TransferMode::Standard)
+                          .meanBreakdown()
+                          .overallPs();
+        double async = findMode(set, TransferMode::Async)
+                           .meanBreakdown()
+                           .overallPs() /
+                       base;
+        double prefetch = findMode(set, TransferMode::UvmPrefetch)
+                              .meanBreakdown()
+                              .overallPs() /
+                          base;
+        double combo =
+            findMode(set, TransferMode::UvmPrefetchAsync)
+                .meanBreakdown()
+                .overallPs() /
+            base;
+
+        bool irregular = false;
+        Job job = WorkloadRegistry::instance().get(name).makeJob(size);
+        for (const KernelDescriptor &kd : job.kernels) {
+            for (const KernelBufferUse &use : kd.buffers) {
+                if (use.pattern == AccessPattern::Irregular)
+                    irregular = true;
+            }
+        }
+
+        const char *winner = "uvm_prefetch";
+        double best = prefetch;
+        if (async < best) {
+            best = async;
+            winner = "async";
+        }
+        if (combo < best)
+            winner = "uvm_prefetch_async";
+
+        table.addRow({name, irregular ? "irregular" : "regular",
+                      fmtDouble(async, 3), fmtDouble(prefetch, 3),
+                      fmtDouble(combo, 3), winner});
+    }
+
+    std::cout << "Overall time normalized to standard (lower is "
+                 "better), "
+              << sizeName << " input:\n";
+    table.print(std::cout);
+
+    std::cout
+        << "\nTakeaway 2 in action: prefetch carries the regular "
+           "workload, async memcpy carries the irregular ones, and "
+           "the combination is a safe default.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: run one microbenchmark under the paper's five
+ * data-transfer configurations and print the execution-time
+ * breakdown, normalized to `standard` — one bar group of Figure 7.
+ *
+ * Usage: quickstart [workload] [size]
+ *   workload defaults to vector_seq, size to super
+ *   (see `registry` for names: vector_seq, gemm, lud, yolov3, ...).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workloads/registry.hh"
+
+using namespace uvmasync;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "vector_seq";
+    std::string sizeName = argc > 2 ? argv[2] : "super";
+
+    SizeClass size;
+    if (!parseSizeClass(sizeName, size)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     sizeName.c_str());
+        return 1;
+    }
+
+    registerAllWorkloads();
+    if (!WorkloadRegistry::instance().find(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'; available:\n",
+                     workload.c_str());
+        for (const std::string &name :
+             WorkloadRegistry::instance().names())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+
+    Experiment experiment;
+    ExperimentOptions opts;
+    opts.size = size;
+    opts.runs = 30;
+
+    std::cout << "Simulating " << workload << " (" << sizeName
+              << " input, 30 runs per configuration) on the A100-like "
+                 "testbed...\n";
+
+    ModeSet modes = experiment.runAllModes(workload, opts);
+
+    TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
+                     "overall", "norm", "faults", "occupancy"});
+    double ref =
+        findMode(modes, TransferMode::Standard).meanBreakdown()
+            .overallPs();
+    for (const ExperimentResult &res : modes) {
+        TimeBreakdown mean = res.meanBreakdown();
+        table.addRow({transferModeName(res.mode),
+                      fmtTime(mean.kernelPs), fmtTime(mean.transferPs),
+                      fmtTime(mean.allocPs), fmtTime(mean.overallPs()),
+                      fmtDouble(mean.overallPs() / ref, 3),
+                      fmtCount(static_cast<double>(res.counters.faults)),
+                      fmtDouble(res.counters.occupancy, 2)});
+    }
+    printTable(std::cout, workload + " / " + sizeName, table);
+
+    const ExperimentResult &best = findMode(
+        modes, TransferMode::UvmPrefetchAsync);
+    double gain = 1.0 - best.meanBreakdown().overallPs() / ref;
+    std::cout << "\nuvm_prefetch_async changes overall time by "
+              << fmtPercent(-gain) << " vs standard (negative = "
+              << "faster).\n";
+    return 0;
+}

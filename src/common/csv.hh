@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal CSV emission for experiment results (machine-readable twin of
+ * the ASCII tables).
+ */
+
+#ifndef UVMASYNC_COMMON_CSV_HH
+#define UVMASYNC_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uvmasync
+{
+
+/**
+ * Streams rows of comma-separated values with RFC-4180 quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit one row; each cell is quoted if it needs to be. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote a single cell per RFC 4180 when required. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_COMMON_CSV_HH

@@ -1,0 +1,153 @@
+#include "common/kv_config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+} // namespace
+
+KvConfig
+KvConfig::fromString(const std::string &text)
+{
+    KvConfig cfg;
+    std::istringstream iss(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(iss, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("config line %d: unterminated section header",
+                      lineno);
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected key = value", lineno);
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("config line %d: empty key", lineno);
+        if (!section.empty())
+            key = section + "." + key;
+        cfg.values_[key] = value;
+    }
+    return cfg;
+}
+
+KvConfig
+KvConfig::fromFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::ostringstream oss;
+    oss << file.rdbuf();
+    return fromString(oss.str());
+}
+
+bool
+KvConfig::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::vector<std::string>
+KvConfig::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[key, value] : values_)
+        out.push_back(key);
+    return out;
+}
+
+std::string
+KvConfig::getString(const std::string &key,
+                    const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+double
+KvConfig::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number", key.c_str(),
+              it->second.c_str());
+    return value;
+}
+
+std::int64_t
+KvConfig::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    long long value = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not an integer", key.c_str(),
+              it->second.c_str());
+    return value;
+}
+
+bool
+KvConfig::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(),
+          v.c_str());
+}
+
+void
+KvConfig::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+} // namespace uvmasync

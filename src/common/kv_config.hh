@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal key=value configuration store with typed getters —
+ * enough to override testbed parameters from a file without
+ * recompiling (ini-style: `#` comments, `key = value` lines,
+ * optional `[section]` headers that prefix keys with "section.").
+ */
+
+#ifndef UVMASYNC_COMMON_KV_CONFIG_HH
+#define UVMASYNC_COMMON_KV_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uvmasync
+{
+
+/**
+ * Flat string key -> string value map with parsing helpers.
+ */
+class KvConfig
+{
+  public:
+    KvConfig() = default;
+
+    /** Parse ini-style text; later keys override earlier ones. */
+    static KvConfig fromString(const std::string &text);
+
+    /** Load from a file; fatal() if unreadable. */
+    static KvConfig fromFile(const std::string &path);
+
+    bool has(const std::string &key) const;
+    std::size_t size() const { return values_.size(); }
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Raw string value; @p def if absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Floating point; fatal() on malformed value. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Integer; fatal() on malformed value. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t def) const;
+
+    /** Boolean: true/false/1/0/yes/no; fatal() otherwise. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Set (or override) a value programmatically. */
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_COMMON_KV_CONFIG_HH

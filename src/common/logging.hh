@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting in the spirit of gem5's logging.hh.
+ *
+ * panic()  — internal simulator invariant broken; aborts.
+ * fatal()  — user/configuration error; exits with an error code.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef UVMASYNC_COMMON_LOGGING_HH
+#define UVMASYNC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace uvmasync
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the global verbosity; messages above the level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list args);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort. Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a modelling approximation or suspicious condition. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal status to the console. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Debug chatter, only shown at LogLevel::Debug. */
+void debugLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant with a formatted message; compiled in all build
+ * types since simulator correctness depends on it.
+ */
+#define UVMASYNC_ASSERT(cond, ...)                                        \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::uvmasync::panic("assertion '%s' failed at %s:%d: %s",       \
+                              #cond, __FILE__, __LINE__,                  \
+                              ::uvmasync::strfmt(__VA_ARGS__).c_str());   \
+        }                                                                 \
+    } while (0)
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_COMMON_LOGGING_HH

@@ -1,0 +1,123 @@
+#include "core/batch_pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+BatchScheduleResult
+scheduleBatch(const std::vector<TimeBreakdown> &jobs, double allocSplit)
+{
+    UVMASYNC_ASSERT(allocSplit >= 0.0 && allocSplit <= 1.0,
+                    "alloc split %f out of [0, 1]", allocSplit);
+    BatchScheduleResult res;
+    if (jobs.empty())
+        return res;
+
+    // Serial: everything back to back.
+    for (const TimeBreakdown &job : jobs)
+        res.serialPs += job.overallPs();
+
+    // Pipelined (Figure 14): the CPU thread runs allocations of
+    // upcoming jobs and frees of finished jobs while the GPU is busy
+    // with transfer+kernel. GPU phases of consecutive jobs still
+    // serialise on the device. Allocations take CPU priority (they
+    // gate GPU progress); frees fill the remaining CPU time.
+    double gpuFree = 0.0; // when the GPU finishes the previous job
+    double cpuFree = 0.0; // when the CPU thread is available
+    std::vector<std::pair<double, double>> frees; // (ready, cost)
+    frees.reserve(jobs.size());
+    for (const TimeBreakdown &job : jobs) {
+        double alloc = job.allocPs * allocSplit;
+        double gpuWork = job.transferPs + job.kernelPs;
+
+        // Allocation runs on the CPU as early as possible, while the
+        // GPU still processes earlier jobs.
+        double allocDone = cpuFree + alloc;
+        cpuFree = allocDone;
+
+        // The GPU phase needs both the allocation and the device.
+        double gpuStart = std::max(allocDone, gpuFree);
+        gpuFree = gpuStart + gpuWork;
+
+        // cudaFree becomes eligible once the job's GPU phase is done.
+        frees.emplace_back(gpuFree, job.allocPs * (1.0 - allocSplit));
+    }
+    double end = gpuFree;
+    for (const auto &[ready, cost] : frees) {
+        cpuFree = std::max(cpuFree, ready) + cost;
+        end = std::max(end, cpuFree);
+    }
+    res.pipelinedPs = end;
+    return res;
+}
+
+BatchTimelines
+buildBatchTimelines(const std::vector<TimeBreakdown> &jobs,
+                    double allocSplit)
+{
+    UVMASYNC_ASSERT(allocSplit >= 0.0 && allocSplit <= 1.0,
+                    "alloc split %f out of [0, 1]", allocSplit);
+    BatchTimelines out;
+    for (Timeline *tl : {&out.serial, &out.pipelined}) {
+        tl->setLaneName(0, "cpu");
+        tl->setLaneName(1, "gpu");
+    }
+
+    auto toTick = [](double ps) {
+        return static_cast<Tick>(ps < 0.0 ? 0.0 : ps);
+    };
+
+    // Serial: alloc -> gpu (transfer+kernel) -> free, per job.
+    Tick cursor = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::string id = "job" + std::to_string(i);
+        Tick alloc = toTick(jobs[i].allocPs * allocSplit);
+        Tick gpuWork =
+            toTick(jobs[i].transferPs + jobs[i].kernelPs);
+        Tick freeTime =
+            toTick(jobs[i].allocPs * (1.0 - allocSplit));
+        out.serial.add(PhaseKind::Alloc, id + " alloc", cursor,
+                       cursor + alloc, 0);
+        cursor += alloc;
+        out.serial.add(PhaseKind::Kernel, id + " gpu", cursor,
+                       cursor + gpuWork, 1);
+        cursor += gpuWork;
+        out.serial.add(PhaseKind::Free, id + " free", cursor,
+                       cursor + freeTime, 0);
+        cursor += freeTime;
+    }
+
+    // Pipelined: mirrors scheduleBatch() exactly.
+    double gpuFree = 0.0;
+    double cpuFree = 0.0;
+    std::vector<std::pair<double, std::size_t>> frees;
+    std::vector<double> freeCost;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::string id = "job" + std::to_string(i);
+        double alloc = jobs[i].allocPs * allocSplit;
+        double gpuWork = jobs[i].transferPs + jobs[i].kernelPs;
+        double allocDone = cpuFree + alloc;
+        out.pipelined.add(PhaseKind::Alloc, id + " alloc",
+                          toTick(cpuFree), toTick(allocDone), 0);
+        cpuFree = allocDone;
+        double gpuStart = std::max(allocDone, gpuFree);
+        gpuFree = gpuStart + gpuWork;
+        out.pipelined.add(PhaseKind::Kernel, id + " gpu",
+                          toTick(gpuStart), toTick(gpuFree), 1);
+        frees.emplace_back(gpuFree, i);
+        freeCost.push_back(jobs[i].allocPs * (1.0 - allocSplit));
+    }
+    for (const auto &[ready, i] : frees) {
+        double begin = std::max(cpuFree, ready);
+        cpuFree = begin + freeCost[i];
+        out.pipelined.add(PhaseKind::Free,
+                          "job" + std::to_string(i) + " free",
+                          toTick(begin), toTick(cpuFree), 0);
+    }
+    return out;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's proposed inter-job data-transfer model (Section 6,
+ * Figure 14): in a batch of jobs, job i+1's allocation overlaps job
+ * i's kernel, and job i's free overlaps job i+1's kernel, hiding the
+ * allocation time that dominates once UVM + async memcpy have shrunk
+ * transfer and kernel time.
+ */
+
+#ifndef UVMASYNC_CORE_BATCH_PIPELINE_HH
+#define UVMASYNC_CORE_BATCH_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/time_breakdown.hh"
+#include "runtime/timeline.hh"
+
+namespace uvmasync
+{
+
+/** Outcome of scheduling a job batch both ways. */
+struct BatchScheduleResult
+{
+    double serialPs = 0.0;    //!< current model: jobs back to back
+    double pipelinedPs = 0.0; //!< Figure 14's overlapped model
+
+    /** Fractional improvement of the pipelined model. */
+    double
+    improvement() const
+    {
+        return serialPs > 0.0 ? 1.0 - pipelinedPs / serialPs : 0.0;
+    }
+};
+
+/**
+ * Schedule @p jobs (given as per-job breakdowns) under both models.
+ *
+ * The allocation component is split between a pre-kernel part
+ * (cudaMallocManaged) and a post-kernel part (cudaFree) by
+ * @p allocSplit; under the pipelined model each part overlaps the
+ * neighbouring job's GPU phase.
+ */
+BatchScheduleResult
+scheduleBatch(const std::vector<TimeBreakdown> &jobs,
+              double allocSplit = 0.55);
+
+/**
+ * Phase timelines of both schedules (the paper's Figure 14 chart):
+ * lane 0 = CPU (alloc/free), lane 1 = GPU (transfer+kernel).
+ */
+struct BatchTimelines
+{
+    Timeline serial;
+    Timeline pipelined;
+};
+
+/** Build renderable timelines for @p jobs under both models. */
+BatchTimelines
+buildBatchTimelines(const std::vector<TimeBreakdown> &jobs,
+                    double allocSplit = 0.55);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_BATCH_PIPELINE_HH

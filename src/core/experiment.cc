@@ -1,0 +1,93 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/noise_model.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+TimeBreakdown
+ExperimentResult::meanBreakdown() const
+{
+    TimeBreakdown sum;
+    if (runs.empty())
+        return clean;
+    for (const TimeBreakdown &b : runs)
+        sum += b;
+    return sum * (1.0 / static_cast<double>(runs.size()));
+}
+
+SampleSet
+ExperimentResult::overallSamples() const
+{
+    SampleSet set;
+    for (const TimeBreakdown &b : runs)
+        set.add(b.overallPs());
+    return set;
+}
+
+Experiment::Experiment(SystemConfig system) : system_(system)
+{
+    registerAllWorkloads();
+}
+
+ExperimentResult
+Experiment::run(const std::string &workloadName, TransferMode mode,
+                const ExperimentOptions &opts)
+{
+    const Workload &workload =
+        WorkloadRegistry::instance().get(workloadName);
+    Job job = workload.makeJob(opts.size, opts.geometry);
+
+    Device device(system_);
+    RunOptions runOpts;
+    runOpts.sharedCarveout = opts.sharedCarveout;
+    runOpts.seed = opts.baseSeed;
+    RunResult det = device.run(job, mode, runOpts);
+
+    // The straddle check applies to the job's whole host footprint —
+    // the paper's Mega effect appears when the job's data approaches
+    // a single DRAM module's capacity (Section 3.3 / Figure 6).
+    Bytes footprint = job.footprint();
+
+    ExperimentResult res;
+    res.workload = workloadName;
+    res.mode = mode;
+    res.size = opts.size;
+    res.clean = det.breakdown;
+    res.counters = det.counters;
+    res.runs.reserve(opts.runs);
+
+    NoiseModel noise(system_.noise, device.hostMemory());
+    for (std::uint32_t i = 0; i < opts.runs; ++i) {
+        // One stream per (workload, run) — deliberately NOT per mode,
+        // so the five configurations see the same machine conditions
+        // in run i and small clean-value differences (async vs
+        // standard) are not swamped by sampling error.
+        std::uint64_t seed = opts.baseSeed;
+        seed = seed * 1099511628211ull + std::hash<std::string>{}(
+                                             workloadName);
+        seed = seed * 1099511628211ull + i;
+        Rng rng(seed);
+        res.runs.push_back(
+            noise.perturb(det.breakdown, footprint, rng));
+    }
+    return res;
+}
+
+std::vector<ExperimentResult>
+Experiment::runAllModes(const std::string &workloadName,
+                        const ExperimentOptions &opts)
+{
+    std::vector<ExperimentResult> out;
+    out.reserve(allTransferModes.size());
+    for (TransferMode mode : allTransferModes)
+        out.push_back(run(workloadName, mode, opts));
+    return out;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The experiment harness: runs a workload under a transfer mode at an
+ * input size, repeats it with per-run measurement noise (the paper's
+ * 30-iteration methodology), and aggregates breakdowns and counters.
+ */
+
+#ifndef UVMASYNC_CORE_EXPERIMENT_HH
+#define UVMASYNC_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/transfer_mode.hh"
+#include "runtime/device.hh"
+#include "runtime/system_config.hh"
+#include "runtime/time_breakdown.hh"
+#include "workloads/workload.hh"
+
+namespace uvmasync
+{
+
+/** Per-experiment knobs. */
+struct ExperimentOptions
+{
+    SizeClass size = SizeClass::Super;
+
+    /** Measurement repetitions (paper: 30). */
+    std::uint32_t runs = 30;
+
+    std::uint64_t baseSeed = 42;
+
+    /** L1/shared partition override (Figure 13); 0 = default. */
+    Bytes sharedCarveout = 0;
+
+    /** Launch-geometry override (Figures 11/12). */
+    GeometryOverride geometry;
+};
+
+/** Aggregated outcome of one (workload, mode, options) cell. */
+struct ExperimentResult
+{
+    std::string workload;
+    TransferMode mode = TransferMode::Standard;
+    SizeClass size = SizeClass::Super;
+
+    /** Deterministic single-execution breakdown. */
+    TimeBreakdown clean;
+
+    /** Hardware counters of the deterministic execution. */
+    RunCounters counters;
+
+    /** Noisy per-run breakdowns (length = options.runs). */
+    std::vector<TimeBreakdown> runs;
+
+    /** Mean of the noisy breakdowns. */
+    TimeBreakdown meanBreakdown() const;
+
+    /** Overall times (ps) of the noisy runs as a sample set. */
+    SampleSet overallSamples() const;
+};
+
+/**
+ * Drives Devices and the noise model over the workload registry.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(SystemConfig system = SystemConfig::a100Epyc());
+
+    const SystemConfig &system() const { return system_; }
+
+    /** Run one cell. */
+    ExperimentResult run(const std::string &workloadName,
+                         TransferMode mode,
+                         const ExperimentOptions &opts = {});
+
+    /** Run all five modes for one workload. */
+    std::vector<ExperimentResult>
+    runAllModes(const std::string &workloadName,
+                const ExperimentOptions &opts = {});
+
+  private:
+    SystemConfig system_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_EXPERIMENT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's reported numbers, collected in one place so the bench
+ * harness can print paper-vs-measured tables (EXPERIMENTS.md). All
+ * values are fractions (0.21 = 21%). Positive improvement = faster
+ * than standard; negative = slower.
+ */
+
+#ifndef UVMASYNC_CORE_PAPER_TARGETS_HH
+#define UVMASYNC_CORE_PAPER_TARGETS_HH
+
+namespace uvmasync
+{
+namespace paper
+{
+
+/** @{ Section 4.1.1, microbenchmarks, geomean over the 7 kernels. */
+inline constexpr double microAsyncGainLarge = 0.0027;
+inline constexpr double microAsyncGainSuper = 0.0036;
+inline constexpr double microUvmGainLarge = -0.1679;
+inline constexpr double microUvmGainSuper = -0.1323;
+inline constexpr double microUvmPrefetchGainLarge = 0.0307;
+inline constexpr double microUvmPrefetchGainSuper = 0.2840;
+inline constexpr double microUvmPrefetchAsyncGainSuper = 0.2701;
+/** uvm transfer-time savings vs standard. */
+inline constexpr double microUvmTransferSavingLarge = 0.3146;
+inline constexpr double microUvmTransferSavingSuper = 0.3519;
+/** vector_seq async kernel-time reduction (Large). */
+inline constexpr double vectorSeqAsyncKernelSaving = 0.4178;
+/** 2DCONV async kernel-time increase (Large). */
+inline constexpr double conv2dAsyncKernelIncrease = 1.4602;
+/** gemm uvm_prefetch_async extra kernel time over standard. */
+inline constexpr double gemmPrefetchAsyncKernelIncrease = 0.0786;
+/** @} */
+
+/** @{ Section 4.1.2, real-world applications (Super), geomean. */
+inline constexpr double appsAsyncGain = 0.0281;
+inline constexpr double appsUvmGain = -0.0441;
+inline constexpr double appsUvmPrefetchGain = 0.2096;
+inline constexpr double appsUvmPrefetchAsyncGain = 0.2252;
+inline constexpr double appsUvmTransferSaving = 0.3270;
+inline constexpr double appsUvmPrefetchTransferSaving = 0.6424;
+inline constexpr double appsUvmPrefetchAsyncTransferSaving = 0.6418;
+inline constexpr double appsUvmPrefetchKernelIncrease = 0.2750;
+inline constexpr double appsUvmPrefetchAsyncKernelIncrease = 0.2172;
+/** lud: async speedup over UVM (with prefetch), "up to 1.24x". */
+inline constexpr double ludAsyncOverUvmSpeedup = 1.24;
+/** 2DCONV best-case speedup over standard, "up to 2.63x". */
+inline constexpr double conv2dBestSpeedup = 2.63;
+/** @} */
+
+/** @{ Section 4.2, performance counters. */
+inline constexpr double gemmAsyncControlIncrease = 0.3998;
+inline constexpr double yoloAsyncControlIncrease = 0.3013;
+inline constexpr double ludAsyncLoadMissReduction = 0.3596;
+inline constexpr double ludAsyncStoreMissReduction = 0.6999;
+/** @} */
+
+/** @{ Section 5 sensitivity studies (vector_seq). */
+inline constexpr double blockSweepAsyncGain = 0.0277;
+inline constexpr double blockSweepUvmPrefetchGain = 0.2134;
+inline constexpr double blockSweepUvmPrefetchAsyncGain = 0.2238;
+/** kernel time of 32 threads relative to 128 threads. */
+inline constexpr double threads32Vs128KernelRatio = 3.95;
+inline constexpr double asyncGain1024Threads = 0.0101;
+inline constexpr double asyncGain32Threads = 0.1651;
+/** @} */
+
+/** @{ Section 6 discussion. */
+inline constexpr double allocShareBefore = 0.1899;
+inline constexpr double allocShareAfter = 0.3766;
+inline constexpr double transferShareBefore = 0.5586;
+inline constexpr double transferShareAfter = 0.2455;
+inline constexpr double occupancyBefore = 0.2515;
+inline constexpr double occupancyAfter = 0.3779;
+inline constexpr double interJobModelGain = 0.30; // "more than 30%"
+/** @} */
+
+} // namespace paper
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_PAPER_TARGETS_HH

@@ -1,0 +1,106 @@
+#include "core/report.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace uvmasync
+{
+
+const ExperimentResult &
+findMode(const ModeSet &set, TransferMode mode)
+{
+    for (const ExperimentResult &res : set) {
+        if (res.mode == mode)
+            return res;
+    }
+    fatal("mode %s missing from result set", transferModeName(mode));
+}
+
+TextTable
+breakdownTable(const std::vector<ModeSet> &workloads)
+{
+    TextTable table({"workload", "mode", "gpu_kernel", "memcpy",
+                     "allocation", "overall"});
+    for (const ModeSet &set : workloads) {
+        const ExperimentResult &base =
+            findMode(set, TransferMode::Standard);
+        double ref = base.meanBreakdown().overallPs();
+        for (const ExperimentResult &res : set) {
+            TimeBreakdown mean = res.meanBreakdown();
+            table.addRow({res.workload, transferModeName(res.mode),
+                          fmtDouble(mean.kernelPs / ref, 3),
+                          fmtDouble(mean.transferPs / ref, 3),
+                          fmtDouble(mean.allocPs / ref, 3),
+                          fmtDouble(mean.overallPs() / ref, 3)});
+        }
+        table.addSeparator();
+    }
+    return table;
+}
+
+double
+geomeanImprovement(const std::vector<ModeSet> &workloads,
+                   TransferMode mode)
+{
+    std::vector<double> speedups;
+    speedups.reserve(workloads.size());
+    for (const ModeSet &set : workloads) {
+        double base = findMode(set, TransferMode::Standard)
+                          .meanBreakdown()
+                          .overallPs();
+        double other = findMode(set, mode).meanBreakdown().overallPs();
+        UVMASYNC_ASSERT(other > 0.0, "zero overall time");
+        speedups.push_back(base / other);
+    }
+    return geomean(speedups) - 1.0;
+}
+
+double
+geomeanComponentSaving(const std::vector<ModeSet> &workloads,
+                       TransferMode mode, int component)
+{
+    auto pick = [component](const TimeBreakdown &b) {
+        switch (component) {
+          case 0: return b.allocPs;
+          case 1: return b.transferPs;
+          default: return b.kernelPs;
+        }
+    };
+    std::vector<double> ratios;
+    for (const ModeSet &set : workloads) {
+        double base = pick(
+            findMode(set, TransferMode::Standard).meanBreakdown());
+        double other = pick(findMode(set, mode).meanBreakdown());
+        if (base <= 0.0 || other <= 0.0)
+            continue;
+        ratios.push_back(other / base);
+    }
+    if (ratios.empty())
+        return 0.0;
+    return 1.0 - geomean(ratios);
+}
+
+TextTable
+comparisonTable(const std::vector<ComparisonRow> &rows)
+{
+    TextTable table({"metric", "paper", "measured", "delta"});
+    for (const ComparisonRow &row : rows) {
+        table.addRow({row.label, fmtPercent(row.paperValue),
+                      fmtPercent(row.measuredValue),
+                      fmtPercent(row.measuredValue - row.paperValue)});
+    }
+    return table;
+}
+
+void
+printTable(std::ostream &os, const std::string &title,
+           const TextTable &table)
+{
+    os << "\n== " << title << " ==\n";
+    table.print(os);
+    os.flush();
+}
+
+} // namespace uvmasync

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Result aggregation and rendering: normalized stacked breakdowns
+ * (the paper's Figure 7/8 bars as tables), geometric-mean
+ * improvements, and paper-vs-measured comparison rows for
+ * EXPERIMENTS.md.
+ */
+
+#ifndef UVMASYNC_CORE_REPORT_HH
+#define UVMASYNC_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+namespace uvmasync
+{
+
+/** Results of one workload across the five modes. */
+using ModeSet = std::vector<ExperimentResult>;
+
+/** Find the entry for @p mode in a ModeSet (fatal if missing). */
+const ExperimentResult &findMode(const ModeSet &set, TransferMode mode);
+
+/**
+ * Normalized stacked-breakdown table for a group of workloads: each
+ * row is workload x mode with kernel/memcpy/alloc fractions relative
+ * to the workload's standard overall time (the Figure 7/8 bars).
+ */
+TextTable breakdownTable(const std::vector<ModeSet> &workloads);
+
+/**
+ * Geometric-mean overall-time improvement of @p mode over standard
+ * across workloads: positive means faster (the paper's "X%
+ * performance over standard").
+ */
+double geomeanImprovement(const std::vector<ModeSet> &workloads,
+                          TransferMode mode);
+
+/**
+ * Geometric-mean reduction of one component versus standard across
+ * workloads (e.g. the paper's "64.24% memcpy time savings").
+ * @param component 0 = alloc, 1 = transfer, 2 = kernel
+ */
+double geomeanComponentSaving(const std::vector<ModeSet> &workloads,
+                              TransferMode mode, int component);
+
+/** One paper-vs-measured comparison line. */
+struct ComparisonRow
+{
+    std::string label;
+    double paperValue;    //!< as a fraction (0.21 = 21%)
+    double measuredValue; //!< same convention
+};
+
+/** Render comparison rows with a pass/deviation column. */
+TextTable comparisonTable(const std::vector<ComparisonRow> &rows);
+
+/** Convenience: print a titled table to @p os. */
+void printTable(std::ostream &os, const std::string &title,
+                const TextTable &table);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_REPORT_HH

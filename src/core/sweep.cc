@@ -1,0 +1,61 @@
+#include "core/sweep.hh"
+
+namespace uvmasync
+{
+
+std::vector<SweepPoint>
+Sweep::blockSweep(const std::string &workload,
+                  const std::vector<std::uint64_t> &blockCounts,
+                  const ExperimentOptions &base)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(blockCounts.size());
+    for (std::uint64_t blocks : blockCounts) {
+        ExperimentOptions opts = base;
+        opts.geometry.gridBlocks = blocks;
+        if (!opts.geometry.threadsPerBlock)
+            opts.geometry.threadsPerBlock = 256;
+        points.push_back(
+            SweepPoint{blocks,
+                       experiment_.runAllModes(workload, opts)});
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+Sweep::threadSweep(const std::string &workload,
+                   const std::vector<std::uint32_t> &threadCounts,
+                   std::uint64_t fixedBlocks,
+                   const ExperimentOptions &base)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(threadCounts.size());
+    for (std::uint32_t threads : threadCounts) {
+        ExperimentOptions opts = base;
+        opts.geometry.gridBlocks = fixedBlocks;
+        opts.geometry.threadsPerBlock = threads;
+        points.push_back(
+            SweepPoint{threads,
+                       experiment_.runAllModes(workload, opts)});
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+Sweep::sharedMemSweep(const std::string &workload,
+                      const std::vector<Bytes> &carveouts,
+                      const ExperimentOptions &base)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(carveouts.size());
+    for (Bytes carveout : carveouts) {
+        ExperimentOptions opts = base;
+        opts.sharedCarveout = carveout;
+        points.push_back(
+            SweepPoint{carveout,
+                       experiment_.runAllModes(workload, opts)});
+    }
+    return points;
+}
+
+} // namespace uvmasync

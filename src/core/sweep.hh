@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sensitivity sweeps (Section 5): CUDA block count, threads per
+ * block, and L1-cache/shared-memory partition.
+ */
+
+#ifndef UVMASYNC_CORE_SWEEP_HH
+#define UVMASYNC_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace uvmasync
+{
+
+/** One sweep point: a parameter value and its five-mode results. */
+struct SweepPoint
+{
+    std::uint64_t value = 0; //!< blocks, threads, or carveout bytes
+    ModeSet modes;
+};
+
+/**
+ * Runs the paper's three sensitivity studies on one workload
+ * (vector_seq in the paper).
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(Experiment &experiment) : experiment_(experiment) {}
+
+    /** Figure 11: blocks 4096 -> 16 at 256 threads/block. */
+    std::vector<SweepPoint>
+    blockSweep(const std::string &workload,
+               const std::vector<std::uint64_t> &blockCounts,
+               const ExperimentOptions &base = {});
+
+    /** Figure 12: threads 1024 -> 32 at a fixed 64-block grid. */
+    std::vector<SweepPoint>
+    threadSweep(const std::string &workload,
+                const std::vector<std::uint32_t> &threadCounts,
+                std::uint64_t fixedBlocks,
+                const ExperimentOptions &base = {});
+
+    /** Figure 13: shared-memory carveout 2 KiB -> 128 KiB. */
+    std::vector<SweepPoint>
+    sharedMemSweep(const std::string &workload,
+                   const std::vector<Bytes> &carveouts,
+                   const ExperimentOptions &base = {});
+
+  private:
+    Experiment &experiment_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_SWEEP_HH

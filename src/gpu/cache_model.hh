@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-kernel unified-L1 behaviour under the five configurations.
+ *
+ * A sampled synthetic access stream with each buffer's pattern is
+ * driven through a SetAssocCache sized to the L1 share of the
+ * configured L1/shared partition. Async memcpy reshapes the stream:
+ * staged tile loads bypass L1 (cp.async fills shared memory via L2),
+ * leaving only residual, more local accesses, and stores become
+ * coalesced writebacks from shared memory — reproducing the large
+ * miss-rate reductions the paper measures on lud (Figure 10).
+ * UVM configurations lose part of the L1 to migration metadata and
+ * prefetch-injected lines, which is what makes them sensitive to
+ * oversized shared-memory carveouts (Figure 13).
+ */
+
+#ifndef UVMASYNC_GPU_CACHE_MODEL_HH
+#define UVMASYNC_GPU_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_descriptor.hh"
+#include "gpu/transfer_mode.hh"
+
+namespace uvmasync
+{
+
+/** Measured L1 behaviour of one kernel under one configuration. */
+struct CacheModelResult
+{
+    double loadMissRate = 0.0;
+    double storeMissRate = 0.0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+/** Tunables of the stream sampling. */
+struct CacheModelParams
+{
+    /** Number of sampled accesses fed through the cache. */
+    std::size_t sampleAccesses = 120000;
+
+    /** Residual L1 load traffic left when tiles ride cp.async. */
+    double asyncResidualLoadFraction = 0.15;
+
+    /** L1 share consumed by UVM machinery in managed configurations. */
+    double uvmL1Pollution = 0.12;
+
+    /** Extra pollution when the explicit prefetcher is active. */
+    double prefetchL1Pollution = 0.13;
+};
+
+/**
+ * Simulate the kernel's L1 under @p mode with a @p sharedCarveout
+ * partition. Deterministic for a given @p seed.
+ *
+ * @param bufferBytes job buffer sizes indexed by KernelBufferUse::bufferId
+ */
+CacheModelResult
+simulateL1(const GpuConfig &cfg, const KernelDescriptor &kd,
+           const std::vector<Bytes> &bufferBytes, TransferMode mode,
+           Bytes sharedCarveout, std::uint64_t seed,
+           const CacheModelParams &params = {});
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_GPU_CACHE_MODEL_HH

@@ -1,0 +1,46 @@
+#include "gpu/instruction_mix.hh"
+
+#include "common/table.hh"
+
+namespace uvmasync
+{
+
+InstrMix &
+InstrMix::operator+=(const InstrMix &o)
+{
+    memory += o.memory;
+    fp += o.fp;
+    integer += o.integer;
+    control += o.control;
+    return *this;
+}
+
+InstrMix
+InstrMix::operator+(const InstrMix &o) const
+{
+    InstrMix out = *this;
+    out += o;
+    return out;
+}
+
+InstrMix
+InstrMix::operator*(double k) const
+{
+    return InstrMix{memory * k, fp * k, integer * k, control * k};
+}
+
+double
+InstrMix::controlFraction() const
+{
+    double t = total();
+    return t > 0.0 ? control / t : 0.0;
+}
+
+std::string
+InstrMix::toString() const
+{
+    return "mem=" + fmtCount(memory) + " fp=" + fmtCount(fp) +
+           " int=" + fmtCount(integer) + " ctrl=" + fmtCount(control);
+}
+
+} // namespace uvmasync

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GPU instruction-mix counters (the Figure 9 metric).
+ */
+
+#ifndef UVMASYNC_GPU_INSTRUCTION_MIX_HH
+#define UVMASYNC_GPU_INSTRUCTION_MIX_HH
+
+#include <string>
+
+namespace uvmasync
+{
+
+/**
+ * Dynamic instruction counts by class, as CUPTI would report them.
+ * Stored as doubles because the executor scales analytic per-tile
+ * counts by large block/tile products.
+ */
+struct InstrMix
+{
+    double memory = 0.0;
+    double fp = 0.0;
+    double integer = 0.0;
+    double control = 0.0;
+
+    double total() const { return memory + fp + integer + control; }
+
+    InstrMix &operator+=(const InstrMix &o);
+    InstrMix operator+(const InstrMix &o) const;
+    InstrMix operator*(double k) const;
+
+    /** Fraction of control instructions in the mix. */
+    double controlFraction() const;
+
+    std::string toString() const;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_GPU_INSTRUCTION_MIX_HH

@@ -1,0 +1,52 @@
+#include "gpu/kernel_descriptor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+KernelDescriptor
+makeStreamKernel(std::string name, std::uint64_t gridBlocks,
+                 std::uint32_t threadsPerBlock, Bytes totalLoadBytes,
+                 Bytes sharedBytesPerBlock, Bytes elementBytes,
+                 double flopsPerElement, double intsPerElement,
+                 double ctrlPerElement, double storeRatio)
+{
+    UVMASYNC_ASSERT(gridBlocks > 0 && threadsPerBlock > 0,
+                    "%s: empty launch geometry", name.c_str());
+    UVMASYNC_ASSERT(elementBytes > 0, "%s: zero element size",
+                    name.c_str());
+
+    KernelDescriptor kd;
+    kd.name = std::move(name);
+    kd.gridBlocks = gridBlocks;
+    kd.threadsPerBlock = threadsPerBlock;
+    kd.sharedBytesPerBlock = sharedBytesPerBlock;
+
+    // One tile fills the shared-memory staging buffer.
+    kd.tileLoadBytes = std::max<Bytes>(sharedBytesPerBlock, elementBytes);
+    Bytes per_block = (totalLoadBytes + gridBlocks - 1) / gridBlocks;
+    kd.tilesPerBlock = std::max<std::uint64_t>(
+        1, (per_block + kd.tileLoadBytes - 1) / kd.tileLoadBytes);
+    kd.tileStoreBytes = static_cast<Bytes>(
+        std::ceil(static_cast<double>(kd.tileLoadBytes) * storeRatio));
+
+    double elements = static_cast<double>(kd.tileLoadBytes) /
+                      static_cast<double>(elementBytes);
+    // Loads plus stores issue through the LSU; each element is one
+    // load instruction and storeRatio store instructions.
+    kd.memPerTile = elements * (1.0 + storeRatio);
+    kd.fpPerTile = elements * flopsPerElement;
+    kd.intPerTile = elements * intsPerElement;
+    // Loop bookkeeping: one branch per thread per tile on top of the
+    // per-element control cost.
+    kd.ctrlPerTile = elements * ctrlPerElement +
+                     static_cast<double>(threadsPerBlock);
+    return kd;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,442 @@
+#include "gpu/kernel_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hh"
+#include "xfer/migration_engine.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+/** Knuth multiplicative hash onto [0, n). */
+std::uint64_t
+permuteIndex(std::uint64_t i, std::uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    return (i * 2654435761ull + 0x9e3779b9ull) % n;
+}
+
+} // namespace
+
+KernelExecutor::KernelExecutor(KernelExecConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    if (usesUvm(cfg_.mode)) {
+        UVMASYNC_ASSERT(cfg_.uvm != nullptr,
+                        "UVM mode requires a MigrationEngine");
+        UVMASYNC_ASSERT(cfg_.bufferRangeIds.size() ==
+                            cfg_.bufferBytes.size(),
+                        "range-id map must cover every buffer");
+    }
+}
+
+double
+KernelExecutor::stagedReadLocality(const KernelDescriptor &kd) const
+{
+    double weight = 0.0;
+    double acc = 0.0;
+    for (const KernelBufferUse &use : kd.buffers) {
+        if (!use.read)
+            continue;
+        double w = static_cast<double>(cfg_.bufferBytes[use.bufferId]) *
+                   use.touchedFraction;
+        acc += patternLocality(use.pattern) * w;
+        weight += w;
+    }
+    return weight > 0.0 ? acc / weight : 0.7;
+}
+
+KernelExecutor::Derived
+KernelExecutor::derive(const KernelDescriptor &kd) const
+{
+    const GpuConfig &gpu = cfg_.gpu;
+    // A kernel only has an async variant if it stages tiles through
+    // shared memory (pool/shortcut-style kernels keep their plain
+    // form even in async configurations).
+    bool staged = false;
+    for (const KernelBufferUse &use : kd.buffers) {
+        if (use.read && use.stagedThroughShared)
+            staged = true;
+    }
+    bool async = usesAsyncCopy(cfg_.mode) && staged;
+
+    Derived d;
+    d.carveout = cfg_.sharedCarveout ? cfg_.sharedCarveout
+                                     : gpu.defaultSharedCarveout;
+
+    Bytes shared_req = kd.sharedBytesPerBlock;
+    if (async) {
+        shared_req = static_cast<Bytes>(
+            std::ceil(static_cast<double>(shared_req) *
+                      gpu.asyncSharedMemFactor));
+    }
+    d.occ = computeOccupancy(gpu, kd.threadsPerBlock, shared_req,
+                             d.carveout);
+    d.tileScale = d.occ.tileScale;
+
+    d.tileLoadBytes = std::max<Bytes>(
+        1, static_cast<Bytes>(static_cast<double>(kd.tileLoadBytes) *
+                              d.tileScale));
+    d.tileStoreBytes = static_cast<Bytes>(
+        static_cast<double>(kd.tileStoreBytes) * d.tileScale);
+    d.tilesPerBlock = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(static_cast<double>(kd.tilesPerBlock) /
+                         d.tileScale)));
+
+    d.activeSms = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        gpu.smCount, std::max<std::uint64_t>(1, kd.gridBlocks)));
+    // A grid smaller than the residency limit leaves SMs holding
+    // fewer blocks than the occupancy calculation allows.
+    auto gridPerSm = static_cast<std::uint32_t>(
+        (kd.gridBlocks + d.activeSms - 1) / d.activeSms);
+    d.residentBlocks = std::min(d.occ.blocksPerSm, gridPerSm);
+    d.residentBlocks = std::max<std::uint32_t>(d.residentBlocks, 1);
+    std::uint32_t warpsPerBlock =
+        (kd.threadsPerBlock + gpu.warpSize - 1) / gpu.warpSize;
+    d.effWarpsPerSm = std::min(d.residentBlocks * warpsPerBlock,
+                               gpu.maxWarpsPerSm);
+    d.parallelEff = std::min(
+        1.0, static_cast<double>(d.effWarpsPerSm) /
+                 std::max(1.0, kd.warpsToSaturate));
+
+    d.cache = simulateL1(gpu, kd, cfg_.bufferBytes, cfg_.mode,
+                         d.carveout, cfg_.seed, cfg_.cacheParams);
+
+    // Per-tile instruction mix: element-proportional parts scale with
+    // the tile, async adds fixed per-thread pipeline management.
+    d.perTile = InstrMix{kd.memPerTile, kd.fpPerTile, kd.intPerTile,
+                         kd.ctrlPerTile} *
+                d.tileScale;
+    if (async) {
+        double threads = static_cast<double>(kd.threadsPerBlock);
+        d.perTile.control += gpu.asyncCtrlPerThreadTile * threads;
+        d.perTile.integer += gpu.asyncIntPerThreadTile * threads;
+    }
+
+    // --- Memory path (slot view: R blocks share one SM) ---
+    double r = static_cast<double>(d.residentBlocks);
+    double l1Bw = gpu.smLsuBandwidth.bytesPerSecond();
+    double l2Share = gpu.l2Bandwidth.bytesPerSecond() /
+                     static_cast<double>(d.activeSms);
+    double hbmEff = 0.45 + 0.55 * stagedReadLocality(kd);
+    double hbmShare = gpu.hbmBandwidth.bytesPerSecond() * hbmEff /
+                      static_cast<double>(d.activeSms);
+
+    // L2 residency: the re-read share of the kernel's load traffic
+    // (descriptor traffic beyond the touched footprint) hits the
+    // 40 MB L2 when the read working set fits it — gemm-style weight
+    // tiles never leave L2; GB-scale streams never enter it.
+    double readFootprint = 0.0;
+    for (const KernelBufferUse &use : kd.buffers) {
+        if (use.read) {
+            readFootprint +=
+                static_cast<double>(cfg_.bufferBytes[use.bufferId]) *
+                use.touchedFraction;
+        }
+    }
+    double totalLoad = static_cast<double>(kd.totalLoadBytes());
+    double reRead =
+        totalLoad > 0.0
+            ? std::max(0.0, 1.0 - readFootprint / totalLoad)
+            : 0.0;
+    double l2Fit =
+        readFootprint > 0.0
+            ? std::min(1.0, static_cast<double>(
+                                gpu.l2CapacityBytes) /
+                                readFootprint)
+            : 0.0;
+    double l2Hit = reRead * l2Fit;
+    double missBw =
+        1.0 / (l2Hit / l2Share +
+               (1.0 - l2Hit) / std::min(l2Share, hbmShare));
+
+    // A miss fetches a whole sector, so the memory-side traffic per
+    // payload byte is missRate * (sector / element). Sequential
+    // streams resolve to ~1.0 (every byte crosses HBM once); reuse
+    // patterns land below it; random 4 B gathers overfetch up to 8x.
+    double sectorPerElement =
+        static_cast<double>(gpu.l1LineBytes) / 4.0;
+
+    // UVM machinery (migration metadata, prefetch-injected lines)
+    // evicts in-use sectors, so some are fetched twice; the smaller
+    // the L1 share of the partition, the worse the refetching — the
+    // Figure 13 "too much shared memory hurts UVM" effect.
+    double uvmRefetch = 1.0;
+    if (usesUvm(cfg_.mode)) {
+        double l1Share =
+            static_cast<double>(gpu.l1Capacity(d.carveout)) /
+            static_cast<double>(gpu.unifiedL1Bytes);
+        uvmRefetch += 0.35 * (1.0 - l1Share);
+    }
+
+    // The synchronous load path: hits from L1, miss traffic from
+    // L2/HBM at sector granularity.
+    double m = d.cache.loadMissRate;
+    double syncLoadBw =
+        1.0 / ((1.0 - m) / l1Bw +
+               m * sectorPerElement * uvmRefetch / missBw);
+
+    double effLoadBw = syncLoadBw;
+    if (async) {
+        // cp.async bypasses L1 for the staged buffers: their gather
+        // pattern's raw sector traffic hits L2/HBM directly (reuse
+        // lives in shared memory, which the descriptor's tile
+        // traffic already encodes). Buffers marked unstaged keep the
+        // synchronous L1 path; the effective bandwidth is the
+        // byte-weighted harmonic blend of the two.
+        double stagedW = 0.0;
+        double unstagedW = 0.0;
+        double traffic = 0.0;
+        for (const KernelBufferUse &use : kd.buffers) {
+            if (!use.read)
+                continue;
+            double w =
+                static_cast<double>(cfg_.bufferBytes[use.bufferId]) *
+                use.touchedFraction;
+            if (use.stagedThroughShared) {
+                traffic += patternSectorTraffic(use.pattern) * w;
+                stagedW += w;
+            } else {
+                unstagedW += w;
+            }
+        }
+        traffic = stagedW > 0.0 ? traffic / stagedW : 1.0;
+        double asyncBw =
+            missBw / (traffic * uvmRefetch) * gpu.asyncCopyBwBonus;
+        double total = stagedW + unstagedW;
+        if (total > 0.0) {
+            effLoadBw = 1.0 / (stagedW / total / asyncBw +
+                               unstagedW / total / syncLoadBw);
+        } else {
+            effLoadBw = asyncBw;
+        }
+    }
+
+    double ms = d.cache.storeMissRate;
+    double storeTraffic = ms * sectorPerElement;
+    double effStoreBw =
+        1.0 / ((1.0 - ms) / l1Bw + storeTraffic / missBw);
+
+    // Memory-level parallelism: sustaining the load path needs enough
+    // resident warps to keep requests outstanding; an under-occupied
+    // SM cannot saturate even its HBM share (the thread-count
+    // sensitivity of Figure 12).
+    double loadPs = static_cast<double>(d.tileLoadBytes) * r * 1e12 /
+                    (effLoadBw * d.parallelEff);
+    double storePs = static_cast<double>(d.tileStoreBytes) * r * 1e12 /
+                     (effStoreBw * d.parallelEff);
+
+    // --- Compute path ---
+    double cycles = d.perTile.fp / gpu.fpPerCycle +
+                    d.perTile.integer / gpu.intPerCycle +
+                    d.perTile.control / gpu.ctrlPerCycle +
+                    d.perTile.memory / gpu.memIssuePerCycle *
+                        (async ? 0.5 : 1.0);
+    if (usesUvm(cfg_.mode)) {
+        double pages = static_cast<double>(d.tileLoadBytes) /
+                       static_cast<double>(gpu.gpuPageBytes);
+        cycles += pages * gpu.pageWalkCycles * gpu.tlbMissFraction;
+    }
+    double period = gpu.clock.periodPs();
+    double computePs = cycles * period * r / d.parallelEff;
+    if (async)
+        computePs *= std::max(1.0, kd.asyncComputePenalty);
+
+    // --- Tile pipeline shaping per mode ---
+    // Load and compute proceed on different pipes (LSU/HBM vs cores)
+    // and overlap across warps in both modes; the slower pipe bounds
+    // the tile. The sync path pays the register staging penalty on
+    // its loads and a block barrier; the async path pays the pipeline
+    // wait and its extra control instructions (already folded into
+    // computePs via the instruction mix).
+    if (async) {
+        // Every warp commits and drains its own wait_group, and the
+        // drains convoy at the stage boundary — the cost grows
+        // superlinearly with warps per block, which is why wide
+        // blocks (shallow per-thread buffers) profit least from
+        // async memcpy (Figure 12's 1024-thread point).
+        double warps = static_cast<double>(warpsPerBlock);
+        double wait = cfg_.asyncWaitCyclesPerWarpTile *
+                      gpu.asyncWaitMultiplier * warps * period * r /
+                      d.parallelEff;
+        d.tileTimePs = std::max(loadPs + storePs, computePs) + wait;
+        d.fillTimePs = loadPs;
+    } else {
+        double barrier = cfg_.barrierCyclesPerTile * period * r /
+                         d.parallelEff;
+        d.tileTimePs =
+            std::max(loadPs * cfg_.regStagingPenalty + storePs,
+                     computePs) +
+            barrier;
+        d.fillTimePs = 0.0;
+    }
+    return d;
+}
+
+Tick
+KernelExecutor::requestGroup(const KernelDescriptor &kd, std::uint64_t b,
+                             std::uint64_t g, std::uint64_t groups,
+                             Tick t) const
+{
+    MigrationEngine &uvm = *cfg_.uvm;
+    Bytes chunkBytes = uvm.config().chunkBytes;
+
+    Tick ready = t;
+    for (const KernelBufferUse &use : kd.buffers) {
+        if (use.touchedFraction <= 0.0)
+            continue;
+        std::size_t rangeId = cfg_.bufferRangeIds[use.bufferId];
+        Bytes bytes = cfg_.bufferBytes[use.bufferId];
+        std::uint64_t chunks = (bytes + chunkBytes - 1) / chunkBytes;
+        auto touched = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(chunks) *
+                      std::clamp(use.touchedFraction, 0.0, 1.0)));
+        if (touched == 0)
+            continue;
+
+        std::uint64_t blocks = std::max<std::uint64_t>(
+            1, kd.gridBlocks);
+        // Map this block onto its slice of the touched chunks.
+        std::uint64_t pos = b;
+        if (use.pattern == AccessPattern::Irregular)
+            pos = permuteIndex(b, blocks);
+        std::uint64_t lo = pos * touched / blocks;
+        std::uint64_t hi = (pos + 1) * touched / blocks;
+        if (hi <= lo)
+            hi = lo + 1;
+
+        // This group's share of the block's span.
+        std::uint64_t span = hi - lo;
+        std::uint64_t glo = lo + g * span / groups;
+        std::uint64_t ghi = lo + (g + 1) * span / groups;
+        if (g + 1 == groups)
+            ghi = hi;
+
+        for (std::uint64_t c = glo; c < ghi && c < chunks; ++c) {
+            std::uint64_t chunk = c;
+            if (use.pattern == AccessPattern::Random)
+                chunk = permuteIndex(c * blocks + b, touched);
+            ready = std::max(ready,
+                             uvm.requestChunk(rangeId, chunk, t));
+        }
+    }
+    return ready;
+}
+
+const KernelExecutor::Derived &
+KernelExecutor::derivedFor(const KernelDescriptor &kd)
+{
+    auto it = derivedCache_.find(kd.name);
+    if (it == derivedCache_.end())
+        it = derivedCache_.emplace(kd.name, derive(kd)).first;
+    return it->second;
+}
+
+KernelResult
+KernelExecutor::run(const KernelDescriptor &kd, Tick start)
+{
+    const Derived &d = derivedFor(kd);
+    bool uvm = usesUvm(cfg_.mode);
+
+    KernelResult res;
+    res.startTick = start;
+    res.l1LoadMissRate = d.cache.loadMissRate;
+    res.l1StoreMissRate = d.cache.storeMissRate;
+    res.occupancy = d.occ.occupancy;
+    res.blocksPerSm = d.occ.blocksPerSm;
+
+    std::uint64_t faultsBefore = uvm ? cfg_.uvm->jobFaults() : 0;
+
+    Tick launchDone = start + cfg_.gpu.kernelLaunchOverhead;
+    std::uint64_t slots = static_cast<std::uint64_t>(d.activeSms) *
+                          d.residentBlocks;
+    slots = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(slots, kd.gridBlocks));
+
+    auto blockTime = static_cast<Tick>(
+        std::ceil(d.tileTimePs * static_cast<double>(d.tilesPerBlock) +
+                  d.fillTimePs));
+    blockTime = std::max<Tick>(blockTime, 1);
+
+    // When no block can stall on data, block times are uniform and
+    // the wave schedule has a closed form; this covers the explicit
+    // modes and the steady state of iterative UVM kernels.
+    bool dataResident =
+        !uvm || (cfg_.uvm->allRangesResident() &&
+                 cfg_.uvm->latestReadyTick() <= launchDone);
+
+    Tick end = launchDone;
+    Tick stall = 0;
+    if (dataResident) {
+        std::uint64_t waves =
+            (kd.gridBlocks + slots - 1) / slots;
+        end = launchDone + static_cast<Tick>(waves) * blockTime;
+    } else {
+        // Event-ordered interleaving: blocks progress through chunk
+        // groups, and the globally earliest continuation always runs
+        // next so that demand requests reach the FIFO fault/link
+        // resources in time order.
+        std::uint64_t groups = std::max<std::uint32_t>(
+            1, cfg_.maxChunkGroupsPerBlock);
+        Tick perGroupCompute = std::max<Tick>(blockTime / groups, 1);
+
+        struct Continuation
+        {
+            Tick when;
+            std::uint64_t block;
+            std::uint64_t group;
+
+            bool
+            operator>(const Continuation &o) const
+            {
+                if (when != o.when)
+                    return when > o.when;
+                if (block != o.block)
+                    return block > o.block;
+                return group > o.group;
+            }
+        };
+        std::priority_queue<Continuation, std::vector<Continuation>,
+                            std::greater<>>
+            pending;
+
+        std::uint64_t nextBlock = std::min<std::uint64_t>(
+            slots, kd.gridBlocks);
+        for (std::uint64_t b = 0; b < nextBlock; ++b)
+            pending.push(Continuation{launchDone, b, 0});
+
+        while (!pending.empty()) {
+            Continuation c = pending.top();
+            pending.pop();
+            if (c.group == groups) {
+                // Block finished; its slot picks up the next block.
+                end = std::max(end, c.when);
+                if (nextBlock < kd.gridBlocks)
+                    pending.push(
+                        Continuation{c.when, nextBlock++, 0});
+                continue;
+            }
+            Tick ready = requestGroup(kd, c.block, c.group, groups,
+                                      c.when);
+            stall += ready - c.when;
+            pending.push(Continuation{ready + perGroupCompute,
+                                      c.block, c.group + 1});
+        }
+    }
+
+    res.endTick = end;
+    res.stallTime = stall;
+    res.instrs = d.perTile * (static_cast<double>(d.tilesPerBlock) *
+                              static_cast<double>(kd.gridBlocks));
+    res.faults = uvm ? cfg_.uvm->jobFaults() - faultsBefore : 0;
+    return res;
+}
+
+} // namespace uvmasync

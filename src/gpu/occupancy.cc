@@ -1,0 +1,63 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+OccupancyResult
+computeOccupancy(const GpuConfig &cfg, std::uint32_t threadsPerBlock,
+                 Bytes sharedPerBlock, Bytes sharedCarveout)
+{
+    UVMASYNC_ASSERT(threadsPerBlock > 0, "kernel with zero threads");
+    UVMASYNC_ASSERT(threadsPerBlock <= cfg.maxThreadsPerSm,
+                    "block of %u threads exceeds SM capacity %u",
+                    threadsPerBlock, cfg.maxThreadsPerSm);
+    UVMASYNC_ASSERT(sharedCarveout <= cfg.maxSharedBytes,
+                    "carveout %llu exceeds hardware maximum %llu",
+                    static_cast<unsigned long long>(sharedCarveout),
+                    static_cast<unsigned long long>(cfg.maxSharedBytes));
+
+    OccupancyResult res;
+
+    std::uint32_t by_threads = cfg.maxThreadsPerSm / threadsPerBlock;
+    std::uint32_t by_blocks = cfg.maxBlocksPerSm;
+
+    std::uint32_t by_shmem = cfg.maxBlocksPerSm;
+    if (sharedPerBlock > 0) {
+        if (sharedPerBlock > sharedCarveout) {
+            // The requested stage does not fit: run one block per SM
+            // with proportionally shallower tiles.
+            res.tileScale = static_cast<double>(sharedCarveout) /
+                            static_cast<double>(sharedPerBlock);
+            res.tileScale = std::max(res.tileScale, 1.0 / 64.0);
+            by_shmem = 1;
+        } else {
+            by_shmem = static_cast<std::uint32_t>(
+                sharedCarveout / sharedPerBlock);
+        }
+    }
+
+    res.blocksPerSm = std::min({by_threads, by_blocks, by_shmem});
+    res.blocksPerSm = std::max<std::uint32_t>(res.blocksPerSm, 1);
+
+    if (res.blocksPerSm == by_blocks) {
+        res.limiter = "blocks";
+    } else if (res.blocksPerSm == by_threads) {
+        res.limiter = "threads";
+    } else {
+        res.limiter = "shmem";
+    }
+
+    std::uint32_t warpsPerBlock =
+        (threadsPerBlock + cfg.warpSize - 1) / cfg.warpSize;
+    res.warpsPerSm = std::min(res.blocksPerSm * warpsPerBlock,
+                              cfg.maxWarpsPerSm);
+    res.occupancy = static_cast<double>(res.warpsPerSm) /
+                    static_cast<double>(cfg.maxWarpsPerSm);
+    return res;
+}
+
+} // namespace uvmasync

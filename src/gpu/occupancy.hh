@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CUDA occupancy calculation: how many blocks of a kernel fit on one
+ * SM given thread, block and shared-memory limits. Async memcpy
+ * double-buffers shared memory, which is one of the two mechanisms
+ * (with added control instructions) behind its slowdown on
+ * compute-dense kernels (Section 4.1.1).
+ */
+
+#ifndef UVMASYNC_GPU_OCCUPANCY_HH
+#define UVMASYNC_GPU_OCCUPANCY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+
+namespace uvmasync
+{
+
+/** Result of an occupancy query. */
+struct OccupancyResult
+{
+    /** Blocks resident per SM (>= 1; 0-block kernels are illegal). */
+    std::uint32_t blocksPerSm = 0;
+
+    /** Warps resident per SM. */
+    std::uint32_t warpsPerSm = 0;
+
+    /** warpsPerSm / maxWarpsPerSm. */
+    double occupancy = 0.0;
+
+    /** Which limit bound the result ("threads", "blocks", "shmem"). */
+    const char *limiter = "";
+
+    /**
+     * Tile scale factor in (0, 1]: when the requested shared memory
+     * per block exceeds the carveout, tiles must shrink by this
+     * factor (dynamic allocation with a smaller stage depth).
+     */
+    double tileScale = 1.0;
+};
+
+/**
+ * Compute residency for a kernel with @p threadsPerBlock threads and
+ * @p sharedPerBlock bytes of shared memory per block, under a
+ * @p sharedCarveout partition of the unified L1/shared SRAM.
+ */
+OccupancyResult computeOccupancy(const GpuConfig &cfg,
+                                 std::uint32_t threadsPerBlock,
+                                 Bytes sharedPerBlock,
+                                 Bytes sharedCarveout);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_GPU_OCCUPANCY_HH

@@ -1,0 +1,18 @@
+#include "gpu/transfer_mode.hh"
+
+namespace uvmasync
+{
+
+bool
+parseTransferMode(const std::string &text, TransferMode &out)
+{
+    for (TransferMode m : allTransferModes) {
+        if (text == transferModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace uvmasync

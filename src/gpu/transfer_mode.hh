@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The five data-transfer configurations studied by the paper
+ * (Section 3.1.3).
+ */
+
+#ifndef UVMASYNC_GPU_TRANSFER_MODE_HH
+#define UVMASYNC_GPU_TRANSFER_MODE_HH
+
+#include <array>
+#include <string>
+
+namespace uvmasync
+{
+
+/** The paper's five UVM / Async Memcpy configurations. */
+enum class TransferMode
+{
+    Standard,         //!< cudaMalloc + cudaMemcpy, no async copy
+    Async,            //!< explicit copies + global->shared async memcpy
+    Uvm,              //!< cudaMallocManaged, demand paging
+    UvmPrefetch,      //!< managed + cudaMemPrefetchAsync
+    UvmPrefetchAsync, //!< managed + prefetch + async memcpy
+};
+
+inline constexpr std::array<TransferMode, 5> allTransferModes = {
+    TransferMode::Standard,
+    TransferMode::Async,
+    TransferMode::Uvm,
+    TransferMode::UvmPrefetch,
+    TransferMode::UvmPrefetchAsync,
+};
+
+/** The paper's configuration name (e.g. "uvm_prefetch_async"). */
+constexpr const char *
+transferModeName(TransferMode m)
+{
+    switch (m) {
+      case TransferMode::Standard: return "standard";
+      case TransferMode::Async: return "async";
+      case TransferMode::Uvm: return "uvm";
+      case TransferMode::UvmPrefetch: return "uvm_prefetch";
+      case TransferMode::UvmPrefetchAsync: return "uvm_prefetch_async";
+    }
+    return "unknown";
+}
+
+/** Parse a configuration name; returns true on success. */
+bool parseTransferMode(const std::string &text, TransferMode &out);
+
+/** Managed memory (UVM) in use? */
+constexpr bool
+usesUvm(TransferMode m)
+{
+    return m == TransferMode::Uvm || m == TransferMode::UvmPrefetch ||
+           m == TransferMode::UvmPrefetchAsync;
+}
+
+/** Explicit bulk prefetch (cudaMemPrefetchAsync) in use? */
+constexpr bool
+usesPrefetch(TransferMode m)
+{
+    return m == TransferMode::UvmPrefetch ||
+           m == TransferMode::UvmPrefetchAsync;
+}
+
+/** Global->shared asynchronous memcpy in use? */
+constexpr bool
+usesAsyncCopy(TransferMode m)
+{
+    return m == TransferMode::Async ||
+           m == TransferMode::UvmPrefetchAsync;
+}
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_GPU_TRANSFER_MODE_HH

@@ -1,0 +1,133 @@
+#include "mem/access_pattern.hh"
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+const char *
+accessPatternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential: return "sequential";
+      case AccessPattern::Strided: return "strided";
+      case AccessPattern::Tiled: return "tiled";
+      case AccessPattern::Random: return "random";
+      case AccessPattern::Irregular: return "irregular";
+      case AccessPattern::Broadcast: return "broadcast";
+    }
+    panic("unknown access pattern %d", static_cast<int>(p));
+}
+
+double
+patternRegularity(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential: return 0.97;
+      case AccessPattern::Strided: return 0.90;
+      case AccessPattern::Tiled: return 0.92;
+      case AccessPattern::Broadcast: return 0.95;
+      case AccessPattern::Random: return 0.08;
+      case AccessPattern::Irregular: return 0.25;
+    }
+    panic("unknown access pattern %d", static_cast<int>(p));
+}
+
+double
+patternLocality(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential: return 0.95;
+      case AccessPattern::Strided: return 0.45;
+      case AccessPattern::Tiled: return 0.85;
+      case AccessPattern::Broadcast: return 0.90;
+      case AccessPattern::Random: return 0.02;
+      case AccessPattern::Irregular: return 0.30;
+    }
+    panic("unknown access pattern %d", static_cast<int>(p));
+}
+
+double
+patternSectorTraffic(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential: return 1.0;
+      case AccessPattern::Strided: return 4.0;
+      case AccessPattern::Tiled: return 0.9;
+      case AccessPattern::Broadcast: return 0.95;
+      case AccessPattern::Random: return 8.0;
+      case AccessPattern::Irregular: return 3.0;
+    }
+    panic("unknown access pattern %d", static_cast<int>(p));
+}
+
+StreamGenerator::StreamGenerator(AccessPattern pattern, Bytes footprint,
+                                 Bytes elementBytes, std::uint64_t seed)
+    : pattern_(pattern), footprint_(footprint),
+      elementBytes_(elementBytes), rng_(seed)
+{
+    UVMASYNC_ASSERT(footprint_ >= elementBytes_ && elementBytes_ > 0,
+                    "degenerate stream: footprint %llu, element %llu",
+                    static_cast<unsigned long long>(footprint_),
+                    static_cast<unsigned long long>(elementBytes_));
+    numElements_ = footprint_ / elementBytes_;
+}
+
+Addr
+StreamGenerator::next()
+{
+    std::uint64_t element = 0;
+    switch (pattern_) {
+      case AccessPattern::Sequential:
+      case AccessPattern::Broadcast:
+        element = cursor_++ % numElements_;
+        break;
+      case AccessPattern::Strided:
+        element = (cursor_ * strideElements_) % numElements_ +
+                  (cursor_ * strideElements_ / numElements_) %
+                      strideElements_;
+        element %= numElements_;
+        ++cursor_;
+        break;
+      case AccessPattern::Tiled: {
+        // Walk a tile several times before moving to the next tile.
+        constexpr std::uint64_t reuse = 4;
+        std::uint64_t tile_span = std::min(tileElements_, numElements_);
+        element = (tileBase_ + tileCursor_ % tile_span) % numElements_;
+        ++tileCursor_;
+        if (tileCursor_ >= tile_span * reuse) {
+            tileCursor_ = 0;
+            tileBase_ = (tileBase_ + tile_span) % numElements_;
+        }
+        break;
+      }
+      case AccessPattern::Random:
+        element = rng_.uniformInt(numElements_);
+        break;
+      case AccessPattern::Irregular: {
+        // Mostly-local walk with occasional long jumps: models
+        // pointer-chasing / data-dependent indexing with some reuse.
+        if (rng_.chance(0.70)) {
+            element = (cursor_ + rng_.uniformInt(8)) % numElements_;
+            ++cursor_;
+        } else {
+            cursor_ = rng_.uniformInt(numElements_);
+            element = cursor_;
+        }
+        break;
+      }
+    }
+    return element * elementBytes_;
+}
+
+std::vector<Addr>
+StreamGenerator::generate(std::size_t n)
+{
+    std::vector<Addr> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace uvmasync

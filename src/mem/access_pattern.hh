@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Buffer access-pattern taxonomy.
+ *
+ * The paper's central distinction is between "regular" workloads
+ * (2DCONV, gemm, yolov3's gemm kernels) whose next touch a prefetcher
+ * can predict, and "irregular" ones (lud, kmeans) where it cannot.
+ * Each workload buffer carries an AccessPattern; the prefetcher, the
+ * cache stream generator and the chunk-touch mapper all interpret it.
+ */
+
+#ifndef UVMASYNC_MEM_ACCESS_PATTERN_HH
+#define UVMASYNC_MEM_ACCESS_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace uvmasync
+{
+
+/** How a kernel walks a buffer. */
+enum class AccessPattern
+{
+    Sequential, //!< streaming, unit stride (vector_seq, saxpy)
+    Strided,    //!< constant non-unit stride (column walks, 3DCONV)
+    Tiled,      //!< blocked with heavy intra-tile reuse (gemm, 2DCONV)
+    Random,     //!< uniform random (vector_rand)
+    Irregular,  //!< data-dependent, partially local (lud, kmeans, nw)
+    Broadcast,  //!< whole buffer read by every block (gemv's vector)
+};
+
+/** Human-readable pattern name. */
+const char *accessPatternName(AccessPattern p);
+
+/**
+ * Prefetch predictability of a pattern in [0, 1]: the probability
+ * that a history-based prefetcher's next-chunk guess is useful.
+ * Values reflect the qualitative ordering the paper relies on.
+ */
+double patternRegularity(AccessPattern p);
+
+/**
+ * Spatial locality in [0, 1]: fraction of consecutive accesses that
+ * land in an already-touched cache line neighbourhood. Drives the
+ * analytic miss estimator and the synthetic stream generator.
+ */
+double patternLocality(AccessPattern p);
+
+/**
+ * Memory-side bytes moved per payload byte when the pattern streams
+ * through 32 B sectors without L1 filtering (the cp.async path):
+ * sequential walks fetch each sector once (1.0); random 4 B gathers
+ * fetch a whole sector per element (8.0).
+ */
+double patternSectorTraffic(AccessPattern p);
+
+/**
+ * Generates a synthetic address stream with the statistics of a
+ * pattern; the kernel executor feeds it through SetAssocCache to
+ * measure per-configuration L1 miss rates (Figures 10 and 13).
+ */
+class StreamGenerator
+{
+  public:
+    /**
+     * @param pattern     buffer walk shape
+     * @param footprint   bytes spanned by the walk
+     * @param elementBytes access granularity
+     * @param seed        RNG seed (deterministic streams)
+     */
+    StreamGenerator(AccessPattern pattern, Bytes footprint,
+                    Bytes elementBytes, std::uint64_t seed);
+
+    /** Next element address in the stream. */
+    Addr next();
+
+    /** Generate @p n addresses at once. */
+    std::vector<Addr> generate(std::size_t n);
+
+    AccessPattern pattern() const { return pattern_; }
+
+  private:
+    AccessPattern pattern_;
+    Bytes footprint_;
+    Bytes elementBytes_;
+    std::uint64_t numElements_;
+    Rng rng_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t tileBase_ = 0;
+    std::uint64_t tileCursor_ = 0;
+
+    static constexpr std::uint64_t tileElements_ = 1024;
+    static constexpr std::uint64_t strideElements_ = 16;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_MEM_ACCESS_PATTERN_HH

@@ -1,0 +1,151 @@
+#include "mem/cache.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+double
+CacheStats::loadMissRate() const
+{
+    std::uint64_t total = loads();
+    return total ? static_cast<double>(loadMisses) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CacheStats::storeMissRate() const
+{
+    std::uint64_t total = stores();
+    return total ? static_cast<double>(storeMisses) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+SetAssocCache::SetAssocCache(std::string name, Bytes capacity,
+                             Bytes lineBytes, unsigned ways,
+                             ReplacementPolicy policy)
+    : SimObject(std::move(name)), capacity_(capacity),
+      lineBytes_(lineBytes), ways_(ways), policy_(policy),
+      rng_(0xcafef00dull)
+{
+    UVMASYNC_ASSERT(lineBytes_ > 0 && ways_ > 0,
+                    "%s: bad geometry", this->name().c_str());
+    UVMASYNC_ASSERT(capacity_ % (lineBytes_ * ways_) == 0,
+                    "%s: capacity %llu not divisible by line*ways",
+                    this->name().c_str(),
+                    static_cast<unsigned long long>(capacity_));
+    std::size_t num_sets = capacity_ / (lineBytes_ * ways_);
+    UVMASYNC_ASSERT(num_sets > 0, "%s: zero sets", this->name().c_str());
+    sets_.resize(num_sets);
+    for (auto &set : sets_)
+        set.lines.resize(ways_);
+}
+
+int
+SetAssocCache::findLine(const Set &set, Addr tag) const
+{
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set.lines[w].valid && set.lines[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+SetAssocCache::victimWay(Set &set)
+{
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set.lines[w].valid)
+            return w;
+    }
+    if (policy_ == ReplacementPolicy::Random)
+        return static_cast<unsigned>(rng_.uniformInt(
+            static_cast<std::uint64_t>(ways_)));
+    unsigned victim = 0;
+    for (unsigned w = 1; w < ways_; ++w) {
+        if (set.lines[w].lastUse < set.lines[victim].lastUse)
+            victim = w;
+    }
+    return victim;
+}
+
+bool
+SetAssocCache::access(Addr addr, bool isWrite)
+{
+    Addr line_addr = addr / lineBytes_;
+    std::size_t set_idx = line_addr % sets_.size();
+    Addr tag = line_addr / sets_.size();
+    Set &set = sets_[set_idx];
+    ++useClock_;
+
+    int way = findLine(set, tag);
+    if (way >= 0) {
+        set.lines[static_cast<unsigned>(way)].lastUse = useClock_;
+        if (isWrite)
+            ++stats_.storeHits;
+        else
+            ++stats_.loadHits;
+        return true;
+    }
+
+    if (isWrite)
+        ++stats_.storeMisses;
+    else
+        ++stats_.loadMisses;
+
+    unsigned victim = victimWay(set);
+    set.lines[victim] = Line{true, tag, useClock_};
+    return false;
+}
+
+bool
+SetAssocCache::accessNoAllocate(Addr addr)
+{
+    Addr line_addr = addr / lineBytes_;
+    std::size_t set_idx = line_addr % sets_.size();
+    Addr tag = line_addr / sets_.size();
+    Set &set = sets_[set_idx];
+    ++useClock_;
+
+    int way = findLine(set, tag);
+    if (way >= 0) {
+        set.lines[static_cast<unsigned>(way)].lastUse = useClock_;
+        ++stats_.loadHits;
+        return true;
+    }
+    ++stats_.loadMisses;
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set.lines)
+            line = Line{};
+    }
+}
+
+void
+SetAssocCache::exportStats(StatMap &out) const
+{
+    putStat(out, "load_hits", static_cast<double>(stats_.loadHits));
+    putStat(out, "load_misses", static_cast<double>(stats_.loadMisses));
+    putStat(out, "store_hits", static_cast<double>(stats_.storeHits));
+    putStat(out, "store_misses", static_cast<double>(stats_.storeMisses));
+    putStat(out, "load_miss_rate", stats_.loadMissRate());
+    putStat(out, "store_miss_rate", stats_.storeMissRate());
+}
+
+void
+SetAssocCache::resetStats()
+{
+    stats_.reset();
+}
+
+} // namespace uvmasync

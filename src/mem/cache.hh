@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A set-associative cache model with pluggable replacement.
+ *
+ * Used to simulate the A100's unified L1/texture cache under the five
+ * data-transfer configurations (Figures 10 and 13 of the paper). The
+ * kernel executor drives it with a sampled per-block access stream;
+ * full-footprint simulation is unnecessary because miss behaviour is
+ * periodic in the tile structure.
+ */
+
+#ifndef UVMASYNC_MEM_CACHE_HH
+#define UVMASYNC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace uvmasync
+{
+
+/** Replacement policy selection for SetAssocCache. */
+enum class ReplacementPolicy
+{
+    Lru,
+    Random,
+};
+
+/** Per-class hit/miss counters. */
+struct CacheStats
+{
+    std::uint64_t loadHits = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+
+    std::uint64_t loads() const { return loadHits + loadMisses; }
+    std::uint64_t stores() const { return storeHits + storeMisses; }
+
+    /** Load miss rate in [0, 1]; 0 when there were no loads. */
+    double loadMissRate() const;
+
+    /** Store miss rate in [0, 1]; 0 when there were no stores. */
+    double storeMissRate() const;
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/**
+ * Set-associative, write-allocate cache with selectable replacement.
+ */
+class SetAssocCache : public SimObject
+{
+  public:
+    /**
+     * @param name      stat name
+     * @param capacity  total bytes (must be a multiple of line * ways)
+     * @param lineBytes cache line size
+     * @param ways      associativity
+     * @param policy    replacement policy
+     */
+    SetAssocCache(std::string name, Bytes capacity, Bytes lineBytes,
+                  unsigned ways, ReplacementPolicy policy =
+                      ReplacementPolicy::Lru);
+
+    Bytes capacity() const { return capacity_; }
+    Bytes lineBytes() const { return lineBytes_; }
+    unsigned ways() const { return ways_; }
+    std::size_t sets() const { return sets_.size(); }
+
+    /**
+     * Perform one access. @return true on hit.
+     * Misses allocate (write-allocate for stores).
+     */
+    bool access(Addr addr, bool isWrite);
+
+    /**
+     * A load that bypasses allocation on miss (models the async-copy
+     * global->shared path, which does not stage data in L1 sectors
+     * destined for the register file). Still probes for hits.
+     */
+    bool accessNoAllocate(Addr addr);
+
+    /** Invalidate everything (keeps statistics). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+
+    void exportStats(StatMap &out) const override;
+    void resetStats() override;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Set
+    {
+        std::vector<Line> lines;
+    };
+
+    /** Locate @p tag in @p set; returns way index or -1. */
+    int findLine(const Set &set, Addr tag) const;
+
+    /** Pick a victim way in @p set. */
+    unsigned victimWay(Set &set);
+
+    Bytes capacity_;
+    Bytes lineBytes_;
+    unsigned ways_;
+    ReplacementPolicy policy_;
+    std::vector<Set> sets_;
+    CacheStats stats_;
+    std::uint64_t useClock_ = 0;
+    Rng rng_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_MEM_CACHE_HH

@@ -1,0 +1,101 @@
+#include "mem/device_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+DeviceMemory::DeviceMemory(std::string name, Bytes capacity,
+                           Bandwidth bandwidth)
+    : SimObject(std::move(name)), capacity_(capacity),
+      bandwidth_(bandwidth)
+{
+    UVMASYNC_ASSERT(capacity_ > 0, "%s: zero capacity",
+                    this->name().c_str());
+    UVMASYNC_ASSERT(bandwidth_.valid(), "%s: zero bandwidth",
+                    this->name().c_str());
+}
+
+void
+DeviceMemory::setLruTracking(bool enabled)
+{
+    trackLru_ = enabled;
+    if (!enabled)
+        lru_.clear();
+}
+
+void
+DeviceMemory::insert(ResidentChunk chunk)
+{
+    UVMASYNC_ASSERT(fits(chunk.bytes),
+                    "%s: inserting %llu bytes would oversubscribe "
+                    "(resident %llu / %llu)",
+                    name().c_str(),
+                    static_cast<unsigned long long>(chunk.bytes),
+                    static_cast<unsigned long long>(residentBytes_),
+                    static_cast<unsigned long long>(capacity_));
+    residentBytes_ += chunk.bytes;
+    if (trackLru_)
+        lru_.push_back(chunk);
+}
+
+void
+DeviceMemory::touch(std::size_t rangeId, std::uint64_t chunkIndex)
+{
+    if (!trackLru_)
+        return;
+    auto it = std::find_if(lru_.begin(), lru_.end(),
+                           [&](const ResidentChunk &c) {
+                               return c.rangeId == rangeId &&
+                                      c.chunkIndex == chunkIndex;
+                           });
+    if (it == lru_.end())
+        return;
+    ResidentChunk chunk = *it;
+    lru_.erase(it);
+    lru_.push_back(chunk);
+}
+
+ResidentChunk
+DeviceMemory::evictVictim()
+{
+    UVMASYNC_ASSERT(trackLru_, "%s: eviction requires LRU tracking",
+                    name().c_str());
+    UVMASYNC_ASSERT(!lru_.empty(), "%s: eviction with nothing resident",
+                    name().c_str());
+    ResidentChunk victim = lru_.front();
+    lru_.pop_front();
+    UVMASYNC_ASSERT(residentBytes_ >= victim.bytes,
+                    "%s: resident byte accounting underflow",
+                    name().c_str());
+    residentBytes_ -= victim.bytes;
+    ++evictions_;
+    evictedBytes_ += victim.bytes;
+    return victim;
+}
+
+void
+DeviceMemory::clear()
+{
+    lru_.clear();
+    residentBytes_ = 0;
+}
+
+void
+DeviceMemory::exportStats(StatMap &out) const
+{
+    putStat(out, "resident_bytes", static_cast<double>(residentBytes_));
+    putStat(out, "evictions", static_cast<double>(evictions_));
+    putStat(out, "evicted_bytes", static_cast<double>(evictedBytes_));
+}
+
+void
+DeviceMemory::resetStats()
+{
+    evictions_ = 0;
+    evictedBytes_ = 0;
+}
+
+} // namespace uvmasync

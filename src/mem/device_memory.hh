@@ -1,0 +1,99 @@
+/**
+ * @file
+ * GPU global-memory (HBM) model: capacity accounting, bandwidth, and
+ * LRU chunk eviction when managed allocations oversubscribe it.
+ */
+
+#ifndef UVMASYNC_MEM_DEVICE_MEMORY_HH
+#define UVMASYNC_MEM_DEVICE_MEMORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "sim/sim_object.hh"
+
+namespace uvmasync
+{
+
+/** Identifies a resident chunk: (managed range id, chunk index). */
+struct ResidentChunk
+{
+    std::size_t rangeId;
+    std::uint64_t chunkIndex;
+    Bytes bytes;
+};
+
+/**
+ * Device HBM: tracks resident bytes, answers "must I evict?" queries
+ * and maintains an LRU order over resident chunks for
+ * oversubscription studies.
+ */
+class DeviceMemory : public SimObject
+{
+  public:
+    /**
+     * @param name      stat name
+     * @param capacity  usable HBM bytes
+     * @param bandwidth sustained HBM bandwidth
+     */
+    DeviceMemory(std::string name, Bytes capacity, Bandwidth bandwidth);
+
+    Bytes capacity() const { return capacity_; }
+    Bandwidth bandwidth() const { return bandwidth_; }
+    Bytes residentBytes() const { return residentBytes_; }
+    Bytes freeBytes() const { return capacity_ - residentBytes_; }
+
+    /** True if @p bytes more would fit without eviction. */
+    bool fits(Bytes bytes) const { return residentBytes_ + bytes <= capacity_; }
+
+    /**
+     * Enable/disable precise LRU bookkeeping. When the working set
+     * cannot oversubscribe the device, eviction never happens and the
+     * per-access touch() bookkeeping is wasted work; callers disable
+     * it for such jobs. Disabling clears the LRU list.
+     */
+    void setLruTracking(bool enabled);
+
+    bool lruTracking() const { return trackLru_; }
+
+    /**
+     * Note a chunk arriving on the device (appends to LRU tail).
+     * Call evictVictim() first until fits() holds.
+     */
+    void insert(ResidentChunk chunk);
+
+    /** Refresh a chunk's LRU position on access. */
+    void touch(std::size_t rangeId, std::uint64_t chunkIndex);
+
+    /**
+     * Pop the least-recently-used resident chunk for eviction;
+     * crashes if nothing is resident.
+     */
+    ResidentChunk evictVictim();
+
+    /** Forget all residency (free / reset). */
+    void clear();
+
+    std::uint64_t evictions() const { return evictions_; }
+    Bytes evictedBytes() const { return evictedBytes_; }
+
+    void exportStats(StatMap &out) const override;
+    void resetStats() override;
+
+  private:
+    Bytes capacity_;
+    Bandwidth bandwidth_;
+    bool trackLru_ = true;
+    Bytes residentBytes_ = 0;
+    std::deque<ResidentChunk> lru_;
+    std::uint64_t evictions_ = 0;
+    Bytes evictedBytes_ = 0;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_MEM_DEVICE_MEMORY_HH

@@ -1,0 +1,76 @@
+#include "mem/tlb.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+Tlb::Tlb(std::string name, std::size_t entries, Bytes pageBytes)
+    : SimObject(std::move(name)), entries_(entries), pageBytes_(pageBytes)
+{
+    UVMASYNC_ASSERT(entries_ > 0, "%s: zero entries",
+                    this->name().c_str());
+    UVMASYNC_ASSERT(pageBytes_ > 0, "%s: zero page size",
+                    this->name().c_str());
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    PageNum page = addr / pageBytes_;
+    ++clock_;
+    auto it = lastUse_.find(page);
+    if (it != lastUse_.end()) {
+        it->second = clock_;
+        ++hits_;
+        return true;
+    }
+
+    ++misses_;
+    if (lastUse_.size() >= entries_) {
+        // Evict the least recently used mapping.
+        auto victim = std::min_element(
+            lastUse_.begin(), lastUse_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        lastUse_.erase(victim);
+    }
+    lastUse_.emplace(page, clock_);
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    lastUse_.clear();
+}
+
+double
+Tlb::missRate() const
+{
+    std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+Tlb::exportStats(StatMap &out) const
+{
+    putStat(out, "hits", static_cast<double>(hits_));
+    putStat(out, "misses", static_cast<double>(misses_));
+    putStat(out, "miss_rate", missRate());
+}
+
+void
+Tlb::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,130 @@
+#include "runtime/config_loader.hh"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+Tick
+msToTick(double ms)
+{
+    return static_cast<Tick>(std::llround(ms * 1e9));
+}
+
+} // namespace
+
+SystemConfig
+applyConfig(const SystemConfig &base, const KvConfig &kv)
+{
+    static const std::set<std::string> known = {
+        "gpu.sm_count", "gpu.clock_mhz", "gpu.hbm_gbps",
+        "gpu.shared_carveout_kib", "pcie.raw_gbps",
+        "pcie.pageable_eff", "pcie.demand_eff", "pcie.prefetch_eff",
+        "pcie.writeback_eff", "uvm.chunk_kib", "uvm.fault_batch",
+        "uvm.fault_base_us", "uvm.demand_prefetcher", "uvm.churn",
+        "host.dimm_count", "host.dimm_gib", "alloc.context_init_ms",
+        "alloc.device_alloc_ms_per_gib",
+        "alloc.managed_free_ms_per_gib", "hbm.capacity_gib",
+        "noise.system_overhead_ms", "noise.transfer_cv",
+    };
+    for (const std::string &key : kv.keys()) {
+        if (!known.count(key))
+            fatal("unknown config key '%s'", key.c_str());
+    }
+
+    SystemConfig cfg = base;
+
+    cfg.gpu.smCount = static_cast<std::uint32_t>(
+        kv.getInt("gpu.sm_count", cfg.gpu.smCount));
+    if (kv.has("gpu.clock_mhz"))
+        cfg.gpu.clock =
+            Frequency::fromMHz(kv.getDouble("gpu.clock_mhz", 0));
+    if (kv.has("gpu.hbm_gbps"))
+        cfg.gpu.hbmBandwidth =
+            Bandwidth::fromGBps(kv.getDouble("gpu.hbm_gbps", 0));
+    if (kv.has("gpu.shared_carveout_kib"))
+        cfg.gpu.defaultSharedCarveout = kib(static_cast<Bytes>(
+            kv.getInt("gpu.shared_carveout_kib", 0)));
+
+    if (kv.has("pcie.raw_gbps"))
+        cfg.pcie.rawBandwidth =
+            Bandwidth::fromGBps(kv.getDouble("pcie.raw_gbps", 0));
+    auto setEff = [&](const char *key, TransferKind kind) {
+        if (kv.has(key)) {
+            cfg.pcie.efficiency[static_cast<std::size_t>(kind)] =
+                kv.getDouble(key, 0);
+        }
+    };
+    setEff("pcie.pageable_eff", TransferKind::PageableCopy);
+    setEff("pcie.demand_eff", TransferKind::DemandMigration);
+    setEff("pcie.prefetch_eff", TransferKind::BulkPrefetch);
+    setEff("pcie.writeback_eff", TransferKind::Writeback);
+
+    if (kv.has("uvm.chunk_kib"))
+        cfg.uvm.chunkBytes =
+            kib(static_cast<Bytes>(kv.getInt("uvm.chunk_kib", 0)));
+    cfg.uvm.fault.maxBatchSize = static_cast<std::uint32_t>(
+        kv.getInt("uvm.fault_batch", cfg.uvm.fault.maxBatchSize));
+    if (kv.has("uvm.fault_base_us"))
+        cfg.uvm.fault.batchBaseLatency = microseconds(
+            static_cast<std::uint64_t>(
+                kv.getInt("uvm.fault_base_us", 0)));
+    if (kv.has("uvm.demand_prefetcher")) {
+        std::string kind = kv.getString("uvm.demand_prefetcher");
+        if (kind == "none")
+            cfg.uvm.demandPrefetcher = PrefetcherKind::None;
+        else if (kind == "stream")
+            cfg.uvm.demandPrefetcher = PrefetcherKind::Stream;
+        else if (kind == "tree")
+            cfg.uvm.demandPrefetcher = PrefetcherKind::Tree;
+        else
+            fatal("uvm.demand_prefetcher: unknown kind '%s'",
+                  kind.c_str());
+    }
+    cfg.uvm.redundantPrefetchChurn =
+        kv.getDouble("uvm.churn", cfg.uvm.redundantPrefetchChurn);
+
+    cfg.host.dimmCount = static_cast<std::size_t>(
+        kv.getInt("host.dimm_count",
+                  static_cast<std::int64_t>(cfg.host.dimmCount)));
+    if (kv.has("host.dimm_gib"))
+        cfg.host.dimmCapacity = gib(
+            static_cast<Bytes>(kv.getInt("host.dimm_gib", 0)));
+
+    if (kv.has("alloc.context_init_ms"))
+        cfg.alloc.contextInit =
+            msToTick(kv.getDouble("alloc.context_init_ms", 0));
+    if (kv.has("alloc.device_alloc_ms_per_gib"))
+        cfg.alloc.deviceAllocPerGiB = msToTick(
+            kv.getDouble("alloc.device_alloc_ms_per_gib", 0));
+    if (kv.has("alloc.managed_free_ms_per_gib"))
+        cfg.alloc.managedFreePerGiB = msToTick(
+            kv.getDouble("alloc.managed_free_ms_per_gib", 0));
+
+    if (kv.has("hbm.capacity_gib"))
+        cfg.deviceMemoryBytes = gib(
+            static_cast<Bytes>(kv.getInt("hbm.capacity_gib", 0)));
+
+    if (kv.has("noise.system_overhead_ms"))
+        cfg.noise.systemOverheadMean =
+            msToTick(kv.getDouble("noise.system_overhead_ms", 0));
+    cfg.noise.transferCv =
+        kv.getDouble("noise.transfer_cv", cfg.noise.transferCv);
+
+    return cfg;
+}
+
+SystemConfig
+loadSystemConfig(const std::string &path)
+{
+    return applyConfig(SystemConfig::a100Epyc(),
+                       KvConfig::fromFile(path));
+}
+
+} // namespace uvmasync

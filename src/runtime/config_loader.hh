@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Applies KvConfig overrides to a SystemConfig, so a testbed can be
+ * described in a small ini file instead of recompiling (used by the
+ * `uvmasync --config` CLI flag).
+ *
+ * Recognised keys (all optional; unknown keys are fatal to catch
+ * typos):
+ *
+ *   [gpu]     sm_count, clock_mhz, hbm_gbps, shared_carveout_kib
+ *   [pcie]    raw_gbps, pageable_eff, demand_eff, prefetch_eff,
+ *             writeback_eff
+ *   [uvm]     chunk_kib, fault_batch, fault_base_us,
+ *             demand_prefetcher (none|stream|tree), churn
+ *   [host]    dimm_count, dimm_gib
+ *   [alloc]   context_init_ms, device_alloc_ms_per_gib,
+ *             managed_free_ms_per_gib
+ *   [hbm]     capacity_gib
+ *   [noise]   system_overhead_ms, transfer_cv
+ */
+
+#ifndef UVMASYNC_RUNTIME_CONFIG_LOADER_HH
+#define UVMASYNC_RUNTIME_CONFIG_LOADER_HH
+
+#include "common/kv_config.hh"
+#include "runtime/system_config.hh"
+
+namespace uvmasync
+{
+
+/** Overlay @p kv on @p base; fatal() on unknown keys. */
+SystemConfig applyConfig(const SystemConfig &base, const KvConfig &kv);
+
+/** Convenience: defaults + file overlay. */
+SystemConfig loadSystemConfig(const std::string &path);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_RUNTIME_CONFIG_LOADER_HH

@@ -1,0 +1,279 @@
+#include "runtime/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gpu/kernel_executor.hh"
+
+namespace uvmasync
+{
+
+Device::Device(SystemConfig cfg)
+    : cfg_(cfg), host_("host", cfg.host), pageTable_("pt"),
+      devMem_("hbm", cfg.deviceMemoryBytes, cfg.gpu.hbmBandwidth),
+      link_("pcie", cfg.pcie),
+      engine_("uvm", cfg.uvm, pageTable_, devMem_, link_),
+      allocator_("alloc", cfg.alloc)
+{
+}
+
+RunResult
+Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
+{
+    UVMASYNC_ASSERT(!job.kernels.empty(), "%s: job without kernels",
+                    job.name.c_str());
+
+    bool uvm = usesUvm(mode);
+    bool prefetch = usesPrefetch(mode);
+
+    RunResult res;
+    res.timeline.setLaneName(0, "cpu");
+    res.timeline.setLaneName(1, "dma");
+    res.timeline.setLaneName(2, "gpu");
+
+    // ---- Reset the testbed for this job -------------------------
+    link_.reset();
+    pageTable_.clearRanges();
+    pageTable_.resetStats();
+    allocator_.beginJob();
+    allocator_.resetContext();
+
+    if (!uvm && job.footprint() > devMem_.capacity()) {
+        warn("%s: footprint %llu exceeds device memory %llu in "
+             "explicit mode; a real cudaMalloc would fail",
+             job.name.c_str(),
+             static_cast<unsigned long long>(job.footprint()),
+             static_cast<unsigned long long>(devMem_.capacity()));
+    }
+
+    // ---- Allocation (cudaMalloc/cudaMallocManaged) ---------------
+    Tick t = 0;
+    for (const JobBuffer &buf : job.buffers) {
+        Tick cost = uvm ? allocator_.managedAlloc(buf.bytes)
+                        : allocator_.deviceAlloc(buf.bytes);
+        t += cost;
+    }
+    res.timeline.add(PhaseKind::Alloc, "alloc", 0, t, 0);
+
+    // Register managed ranges and reset the engine.
+    std::vector<std::size_t> rangeIds(job.buffers.size(), 0);
+    if (uvm) {
+        for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+            rangeIds[i] = pageTable_.addRange(job.buffers[i].name,
+                                              job.buffers[i].bytes,
+                                              cfg_.uvm.chunkBytes);
+        }
+        engine_.beginJob();
+    }
+
+    // ---- Data in --------------------------------------------------
+    TransferKind copyKind = opts.pinnedHost
+                                ? TransferKind::PinnedCopy
+                                : TransferKind::PageableCopy;
+    Tick explicitTransfer = 0;
+    if (!uvm) {
+        for (const JobBuffer &buf : job.buffers) {
+            if (!buf.hostInit)
+                continue;
+            Occupancy occ = link_.transfer(t, buf.bytes,
+                                           Direction::HostToDevice,
+                                           copyKind);
+            explicitTransfer += occ.duration();
+            res.counters.bytesH2d += buf.bytes;
+            res.timeline.add(PhaseKind::TransferIn,
+                             "h2d " + buf.name, occ.start, occ.end,
+                             1);
+            t = occ.end;
+        }
+    } else {
+        // Buffers the host never initialised materialise directly in
+        // device memory on first GPU touch — no transfer.
+        for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+            if (!job.buffers[i].hostInit)
+                engine_.populateOnDevice(rangeIds[i]);
+        }
+        if (prefetch) {
+            // cudaMemPrefetchAsync of every managed buffer,
+            // stream-ordered ahead of the first launch.
+            for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+                Occupancy occ = engine_.prefetchRange(rangeIds[i], t);
+                res.timeline.add(PhaseKind::TransferIn,
+                                 "prefetch " + job.buffers[i].name,
+                                 occ.start, occ.end, 1);
+                t = std::max(t, occ.end);
+            }
+        }
+    }
+
+    // ---- Kernel sequence ------------------------------------------
+    KernelExecConfig execCfg;
+    execCfg.gpu = cfg_.gpu;
+    execCfg.mode = mode;
+    execCfg.sharedCarveout = opts.sharedCarveout;
+    execCfg.uvm = uvm ? &engine_ : nullptr;
+    execCfg.bufferBytes = job.bufferSizes();
+    execCfg.bufferRangeIds = rangeIds;
+    execCfg.seed = opts.seed;
+    KernelExecutor executor(execCfg);
+
+    Tick kernelTime = 0;
+    double missLoadAcc = 0.0;
+    double missStoreAcc = 0.0;
+    double occAcc = 0.0;
+    double weightAcc = 0.0;
+
+    for (std::uint32_t rep = 0; rep < job.sequenceRepeats; ++rep) {
+        for (std::size_t ki = 0; ki < job.kernels.size(); ++ki) {
+            const KernelDescriptor &kd = job.kernels[ki];
+            bool firstLaunch = rep == 0 && ki == 0;
+            if (prefetch && job.prefetchEachLaunch && !firstLaunch) {
+                // The harness re-issues prefetch before every launch;
+                // on resident data this is pure churn (the nw effect).
+                for (const KernelBufferUse &use : kd.buffers) {
+                    Occupancy occ = engine_.prefetchRange(
+                        rangeIds[use.bufferId], t, /*churnOk=*/true);
+                    t = std::max(t, occ.end);
+                }
+            }
+            Tick demandBusyBefore = engine_.jobTransferBusy();
+            KernelResult kr = executor.run(kd, t);
+            kernelTime += kr.kernelTime();
+            res.timeline.add(PhaseKind::Kernel, kd.name,
+                             kr.startTick, kr.endTick, 2);
+            if (uvm && kr.faults > 0) {
+                // Demand migrations overlapped this launch.
+                Tick busy =
+                    engine_.jobTransferBusy() - demandBusyBefore;
+                res.timeline.add(
+                    PhaseKind::TransferIn, "demand " + kd.name,
+                    kr.startTick,
+                    std::min(kr.endTick, kr.startTick + busy), 1);
+            }
+            t = kr.endTick;
+
+            double w = static_cast<double>(kr.kernelTime());
+            missLoadAcc += kr.l1LoadMissRate * w;
+            missStoreAcc += kr.l1StoreMissRate * w;
+            occAcc += kr.occupancy * w;
+            weightAcc += w;
+            res.counters.instrs += kr.instrs;
+            res.counters.faults += kr.faults;
+            res.counters.stallTime += kr.stallTime;
+            ++res.counters.launches;
+
+            // Per-kernel profile, keyed by kernel name.
+            KernelProfile *prof = nullptr;
+            for (KernelProfile &p : res.kernelProfiles) {
+                if (p.name == kd.name) {
+                    prof = &p;
+                    break;
+                }
+            }
+            if (!prof) {
+                res.kernelProfiles.push_back(KernelProfile{});
+                prof = &res.kernelProfiles.back();
+                prof->name = kd.name;
+            }
+            ++prof->launches;
+            prof->totalTime += kr.kernelTime();
+            prof->stallTime += kr.stallTime;
+            prof->instrs += kr.instrs;
+            prof->faults += kr.faults;
+            prof->l1LoadMissRate += kr.l1LoadMissRate * w;
+            prof->l1StoreMissRate += kr.l1StoreMissRate * w;
+            prof->occupancy += kr.occupancy * w;
+        }
+    }
+
+    // ---- Data out ---------------------------------------------------
+    if (!uvm) {
+        for (const JobBuffer &buf : job.buffers) {
+            if (!buf.hostConsumed)
+                continue;
+            Occupancy occ = link_.transfer(t, buf.bytes,
+                                           Direction::DeviceToHost,
+                                           copyKind);
+            explicitTransfer += occ.duration();
+            res.counters.bytesD2h += buf.bytes;
+            res.timeline.add(PhaseKind::TransferOut,
+                             "d2h " + buf.name, occ.start, occ.end,
+                             1);
+            t = occ.end;
+        }
+    } else {
+        // Kernels wrote through block-level execution; mark written
+        // buffers dirty before the host consumes them.
+        std::vector<bool> written(job.buffers.size(), false);
+        for (const KernelDescriptor &kd : job.kernels) {
+            for (const KernelBufferUse &use : kd.buffers) {
+                if (use.written)
+                    written[use.bufferId] = true;
+            }
+        }
+        for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+            if (!job.buffers[i].hostConsumed)
+                continue;
+            if (written[i])
+                engine_.markRangeDirty(rangeIds[i]);
+            Tick done = engine_.writebackDirty(rangeIds[i], t);
+            if (done > t) {
+                res.timeline.add(PhaseKind::TransferOut,
+                                 "writeback " + job.buffers[i].name,
+                                 t, done, 1);
+            }
+            t = std::max(t, done);
+        }
+    }
+
+    // ---- Free (counted in allocation time, Section 3.3) -----------
+    Tick freeBegin = t;
+    for (const JobBuffer &buf : job.buffers) {
+        Tick cost = uvm ? allocator_.managedFree(buf.bytes)
+                        : allocator_.deviceFree(buf.bytes);
+        t += cost;
+    }
+    res.timeline.add(PhaseKind::Free, "free", freeBegin, t, 0);
+
+    res.breakdown.allocPs =
+        static_cast<double>(allocator_.jobAllocTime());
+    res.breakdown.kernelPs = static_cast<double>(kernelTime);
+    res.breakdown.transferPs = static_cast<double>(
+        uvm ? engine_.jobTransferBusy() : explicitTransfer);
+    if (uvm) {
+        res.counters.bytesH2d =
+            link_.bytesMoved(Direction::HostToDevice);
+        res.counters.bytesD2h =
+            link_.bytesMoved(Direction::DeviceToHost);
+    }
+    if (weightAcc > 0.0) {
+        res.counters.l1LoadMissRate = missLoadAcc / weightAcc;
+        res.counters.l1StoreMissRate = missStoreAcc / weightAcc;
+        res.counters.occupancy = occAcc / weightAcc;
+    }
+    // Normalise the time-weighted per-kernel rates.
+    for (KernelProfile &prof : res.kernelProfiles) {
+        double w = static_cast<double>(prof.totalTime);
+        if (w > 0.0) {
+            prof.l1LoadMissRate /= w;
+            prof.l1StoreMissRate /= w;
+            prof.occupancy /= w;
+        }
+    }
+    res.wallEnd = t;
+    return res;
+}
+
+StatMap
+Device::stats() const
+{
+    StatMap out;
+    host_.exportStats(out);
+    pageTable_.exportStats(out);
+    devMem_.exportStats(out);
+    link_.exportStats(out);
+    engine_.exportStats(out);
+    allocator_.exportStats(out);
+    return out;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,53 @@
+#include "runtime/job.hh"
+
+namespace uvmasync
+{
+
+Bytes
+Job::footprint() const
+{
+    Bytes total = 0;
+    for (const JobBuffer &b : buffers)
+        total += b.bytes;
+    return total;
+}
+
+Bytes
+Job::hostInitBytes() const
+{
+    Bytes total = 0;
+    for (const JobBuffer &b : buffers) {
+        if (b.hostInit)
+            total += b.bytes;
+    }
+    return total;
+}
+
+Bytes
+Job::hostConsumedBytes() const
+{
+    Bytes total = 0;
+    for (const JobBuffer &b : buffers) {
+        if (b.hostConsumed)
+            total += b.bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+Job::launchCount() const
+{
+    return static_cast<std::uint64_t>(kernels.size()) * sequenceRepeats;
+}
+
+std::vector<Bytes>
+Job::bufferSizes() const
+{
+    std::vector<Bytes> sizes;
+    sizes.reserve(buffers.size());
+    for (const JobBuffer &b : buffers)
+        sizes.push_back(b.bytes);
+    return sizes;
+}
+
+} // namespace uvmasync

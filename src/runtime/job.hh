@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A job: the unit the paper times end-to-end — allocate buffers,
+ * move data, run a sequence of kernel launches, move results back,
+ * free. Workload definitions produce Jobs; the Device executes them
+ * under one of the five transfer modes.
+ */
+
+#ifndef UVMASYNC_RUNTIME_JOB_HH
+#define UVMASYNC_RUNTIME_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/kernel_descriptor.hh"
+
+namespace uvmasync
+{
+
+/** One allocation of the job. */
+struct JobBuffer
+{
+    std::string name;
+    Bytes bytes = 0;
+
+    /** Host produces the data: explicit modes must copy it in. */
+    bool hostInit = true;
+
+    /** Host consumes the result: data must return after the kernels. */
+    bool hostConsumed = false;
+};
+
+/**
+ * A complete GPU job.
+ *
+ * The kernel list is executed in order; the whole sequence repeats
+ * `sequenceRepeats` times (iterative applications like nw, srad and
+ * lud launch the same kernels over and over on resident data).
+ */
+struct Job
+{
+    std::string name;
+    std::vector<JobBuffer> buffers;
+    std::vector<KernelDescriptor> kernels;
+    std::uint32_t sequenceRepeats = 1;
+
+    /**
+     * Whether the uvm_prefetch harness re-issues
+     * cudaMemPrefetchAsync before every launch (the benchmark-suite
+     * behaviour that makes prefetch counterproductive for nw).
+     */
+    bool prefetchEachLaunch = false;
+
+    /** Total allocated bytes. */
+    Bytes footprint() const;
+
+    /** Bytes that explicit modes copy host->device up front. */
+    Bytes hostInitBytes() const;
+
+    /** Bytes that explicit modes copy device->host at the end. */
+    Bytes hostConsumedBytes() const;
+
+    /** Total kernel launches (kernels x repeats). */
+    std::uint64_t launchCount() const;
+
+    /** Buffer sizes indexed by buffer id (executor input). */
+    std::vector<Bytes> bufferSizes() const;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_RUNTIME_JOB_HH

@@ -1,0 +1,39 @@
+#include "runtime/noise_model.hh"
+
+namespace uvmasync
+{
+
+NoiseModel::NoiseModel(NoiseConfig cfg, HostMemory &host)
+    : cfg_(cfg), host_(host)
+{
+}
+
+TimeBreakdown
+NoiseModel::perturb(const TimeBreakdown &clean, Bytes footprint,
+                    Rng &rng) const
+{
+    TimeBreakdown out;
+
+    out.allocPs = clean.allocPs *
+                  rng.lognormalMeanCv(1.0, cfg_.allocCv);
+    out.kernelPs = clean.kernelPs *
+                   rng.lognormalMeanCv(1.0, cfg_.kernelCv);
+
+    double transfer = clean.transferPs *
+                      rng.lognormalMeanCv(1.0, cfg_.transferCv);
+    // DRAM-module placement: the factor is <= 1 (a bandwidth
+    // multiplier), so divide the time by it.
+    double placement = host_.placementFactor(footprint, rng);
+    out.transferPs = transfer / placement;
+
+    // Absolute system overhead lands mostly in the allocation
+    // component (driver calls, page-table setup), which is where the
+    // paper's Tiny-input variance shows up.
+    double overhead =
+        rng.lognormalMeanCv(static_cast<double>(cfg_.systemOverheadMean),
+                            cfg_.systemOverheadCv);
+    out.allocPs += overhead;
+    return out;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-run measurement noise (Figures 4-6).
+ *
+ * Three effects are modelled:
+ *  1. multiplicative jitter on each time component (scheduling,
+ *     clocks, DVFS) — small coefficients of variation;
+ *  2. an additive absolute system overhead with high variance, which
+ *     dominates relative noise for small inputs (why Tiny..Medium are
+ *     unstable and Large/Super are stable, Figure 5);
+ *  3. the DRAM-module straddle effect: once the footprint nears a
+ *     single module's capacity, part of the data lands on a remote
+ *     module and host-side transfer bandwidth becomes a per-run
+ *     random variable (why Mega regresses, Figure 6).
+ */
+
+#ifndef UVMASYNC_RUNTIME_NOISE_MODEL_HH
+#define UVMASYNC_RUNTIME_NOISE_MODEL_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/host_memory.hh"
+#include "runtime/system_config.hh"
+#include "runtime/time_breakdown.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Applies run-to-run noise to a deterministic breakdown.
+ */
+class NoiseModel
+{
+  public:
+    NoiseModel(NoiseConfig cfg, HostMemory &host);
+
+    /**
+     * Perturb @p clean for one run.
+     *
+     * @param footprint  dominant host-buffer footprint (straddle check)
+     * @param rng        the run's seeded RNG
+     */
+    TimeBreakdown perturb(const TimeBreakdown &clean, Bytes footprint,
+                          Rng &rng) const;
+
+  private:
+    NoiseConfig cfg_;
+    HostMemory &host_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_RUNTIME_NOISE_MODEL_HH

@@ -1,0 +1,31 @@
+#include "runtime/time_breakdown.hh"
+
+#include "common/table.hh"
+
+namespace uvmasync
+{
+
+TimeBreakdown &
+TimeBreakdown::operator+=(const TimeBreakdown &o)
+{
+    allocPs += o.allocPs;
+    transferPs += o.transferPs;
+    kernelPs += o.kernelPs;
+    return *this;
+}
+
+TimeBreakdown
+TimeBreakdown::operator*(double k) const
+{
+    return TimeBreakdown{allocPs * k, transferPs * k, kernelPs * k};
+}
+
+std::string
+TimeBreakdown::toString() const
+{
+    return "alloc=" + fmtTime(allocPs) + " transfer=" +
+           fmtTime(transferPs) + " kernel=" + fmtTime(kernelPs) +
+           " overall=" + fmtTime(overallPs());
+}
+
+} // namespace uvmasync

@@ -1,0 +1,126 @@
+#include "runtime/timeline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace uvmasync
+{
+
+char
+phaseGlyph(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::Alloc: return 'a';
+      case PhaseKind::TransferIn: return '>';
+      case PhaseKind::Kernel: return '#';
+      case PhaseKind::TransferOut: return '<';
+      case PhaseKind::Free: return 'f';
+    }
+    panic("unknown phase kind %d", static_cast<int>(kind));
+}
+
+void
+Timeline::setLaneName(std::size_t index, std::string name)
+{
+    if (laneNames_.size() <= index)
+        laneNames_.resize(index + 1);
+    laneNames_[index] = std::move(name);
+}
+
+void
+Timeline::add(PhaseKind kind, std::string label, Tick start, Tick end,
+              std::size_t lane)
+{
+    UVMASYNC_ASSERT(end >= start, "phase '%s' ends before it starts",
+                    label.c_str());
+    if (end == start)
+        return;
+    if (laneNames_.size() <= lane)
+        laneNames_.resize(lane + 1, "lane");
+    phases_.push_back(
+        Phase{kind, std::move(label), start, end, lane});
+}
+
+Tick
+Timeline::makespan() const
+{
+    Tick latest = 0;
+    for (const Phase &phase : phases_)
+        latest = std::max(latest, phase.end);
+    return latest;
+}
+
+Tick
+Timeline::laneBusy(std::size_t lane) const
+{
+    // Merge overlapping intervals on the lane before summing.
+    std::vector<std::pair<Tick, Tick>> spans;
+    for (const Phase &phase : phases_) {
+        if (phase.lane == lane)
+            spans.emplace_back(phase.start, phase.end);
+    }
+    std::sort(spans.begin(), spans.end());
+    Tick busy = 0;
+    Tick curStart = 0, curEnd = 0;
+    bool open = false;
+    for (const auto &[s, e] : spans) {
+        if (!open || s > curEnd) {
+            if (open)
+                busy += curEnd - curStart;
+            curStart = s;
+            curEnd = e;
+            open = true;
+        } else {
+            curEnd = std::max(curEnd, e);
+        }
+    }
+    if (open)
+        busy += curEnd - curStart;
+    return busy;
+}
+
+std::string
+Timeline::gantt(std::size_t width) const
+{
+    UVMASYNC_ASSERT(width >= 8, "gantt width %zu too small", width);
+    Tick span = makespan();
+    if (span == 0)
+        return "(empty timeline)\n";
+
+    std::size_t nameWidth = 0;
+    for (const std::string &name : laneNames_)
+        nameWidth = std::max(nameWidth, name.size());
+
+    std::vector<std::string> rows(laneNames_.size(),
+                                  std::string(width, '.'));
+    for (const Phase &phase : phases_) {
+        auto begin = static_cast<std::size_t>(
+            static_cast<double>(phase.start) /
+            static_cast<double>(span) * static_cast<double>(width));
+        auto end = static_cast<std::size_t>(
+            static_cast<double>(phase.end) /
+            static_cast<double>(span) * static_cast<double>(width));
+        begin = std::min(begin, width - 1);
+        end = std::min(std::max(end, begin + 1), width);
+        for (std::size_t c = begin; c < end; ++c)
+            rows[phase.lane][c] = phaseGlyph(phase.kind);
+    }
+
+    std::ostringstream oss;
+    for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+        std::string name = laneNames_[lane];
+        name.resize(nameWidth, ' ');
+        oss << name << " |" << rows[lane] << "|\n";
+    }
+    oss << std::string(nameWidth, ' ') << " 0"
+        << std::string(width > 10 ? width - 8 : 0, ' ')
+        << fmtTime(static_cast<double>(span)) << "\n";
+    oss << "legend: a=alloc  >=transfer-in  #=kernel  "
+           "<=transfer-out  f=free\n";
+    return oss.str();
+}
+
+} // namespace uvmasync

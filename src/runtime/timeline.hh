@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Execution timelines: the phases of a job (allocation, transfers,
+ * kernels, frees) on their hardware lanes, with an ASCII Gantt
+ * renderer. The paper's Figure 14 is exactly such a chart; the
+ * Device records one per run and the batch scheduler emits one per
+ * scheduling model.
+ */
+
+#ifndef UVMASYNC_RUNTIME_TIMELINE_HH
+#define UVMASYNC_RUNTIME_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace uvmasync
+{
+
+/** What a phase does (selects the Gantt glyph). */
+enum class PhaseKind
+{
+    Alloc,       //!< cudaMalloc/cudaMallocManaged
+    TransferIn,  //!< H2D copy / migration / prefetch
+    Kernel,      //!< GPU kernel execution
+    TransferOut, //!< D2H copy / writeback
+    Free,        //!< cudaFree
+};
+
+/** Glyph used for a phase kind in the Gantt chart. */
+char phaseGlyph(PhaseKind kind);
+
+/** One phase occupying a lane for a time window. */
+struct Phase
+{
+    PhaseKind kind;
+    std::string label;
+    Tick start = 0;
+    Tick end = 0;
+    std::size_t lane = 0;
+
+    Tick duration() const { return end - start; }
+};
+
+/**
+ * An ordered collection of phases across named lanes.
+ */
+class Timeline
+{
+  public:
+    Timeline() = default;
+
+    /** Define lane @p index's display name (lanes are dense). */
+    void setLaneName(std::size_t index, std::string name);
+
+    /** Record a phase; zero-length phases are dropped. */
+    void add(PhaseKind kind, std::string label, Tick start, Tick end,
+             std::size_t lane);
+
+    std::size_t phaseCount() const { return phases_.size(); }
+    const std::vector<Phase> &phases() const { return phases_; }
+    std::size_t laneCount() const { return laneNames_.size(); }
+
+    /** Last phase end (0 when empty). */
+    Tick makespan() const;
+
+    /** Sum of phase durations on one lane. */
+    Tick laneBusy(std::size_t lane) const;
+
+    /**
+     * Render an ASCII Gantt chart: one row per lane, @p width
+     * columns spanning [0, makespan]. Overlapping phases on a lane
+     * overwrite left to right.
+     */
+    std::string gantt(std::size_t width = 72) const;
+
+  private:
+    std::vector<Phase> phases_;
+    std::vector<std::string> laneNames_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_RUNTIME_TIMELINE_HH

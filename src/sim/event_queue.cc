@@ -1,0 +1,59 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    UVMASYNC_ASSERT(when >= curTick_,
+                    "scheduling event in the past (%llu < %llu)",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(curTick_));
+    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
+                     std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb, EventPriority prio)
+{
+    schedule(curTick_ + delay, std::move(cb), prio);
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(maxTick);
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events
+        // and invalidate the reference returned by top().
+        Entry entry = heap_.top();
+        heap_.pop();
+        curTick_ = entry.when;
+        ++executed_;
+        entry.cb();
+    }
+    if (limit != maxTick && curTick_ < limit)
+        curTick_ = limit;
+    return curTick_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    curTick_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Components schedule
+ * callbacks at absolute ticks; run() drains the queue in (tick,
+ * priority, sequence) order so simultaneous events execute
+ * deterministically.
+ */
+
+#ifndef UVMASYNC_SIM_EVENT_QUEUE_HH
+#define UVMASYNC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Ordering priority for events scheduled at the same tick; lower
+ * values run first.
+ */
+enum class EventPriority : int
+{
+    /** Hardware state updates (transfer completions, etc.). */
+    Default = 0,
+    /** Consumers that want to observe a fully updated tick. */
+    Late = 10,
+};
+
+/**
+ * Deterministic discrete-event queue.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when. Scheduling in
+     * the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb,
+                    EventPriority prio = EventPriority::Default);
+
+    /**
+     * Run events until the queue is empty; returns the tick of the
+     * last event executed (or the current tick if none ran).
+     */
+    Tick run();
+
+    /**
+     * Run events with time <= @p limit; the current tick advances to
+     * at most @p limit. Returns the current tick afterwards.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+    /** Total number of events executed since construction/reset. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        SeqNum seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    SeqNum nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,98 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+BandwidthResource::BandwidthResource(std::string name, Bandwidth bandwidth,
+                                     Tick perRequestLatency)
+    : name_(std::move(name)), bandwidth_(bandwidth),
+      perRequestLatency_(perRequestLatency)
+{
+    UVMASYNC_ASSERT(bandwidth_.valid(), "%s: zero bandwidth",
+                    name_.c_str());
+}
+
+Occupancy
+BandwidthResource::acquire(Tick now, Bytes bytes)
+{
+    Tick start = std::max(now, busyUntil_);
+    Tick service = perRequestLatency_ + bandwidth_.transferTime(bytes);
+    Tick end = start + service;
+    busyUntil_ = end;
+    bytesServed_ += bytes;
+    busyTime_ += service;
+    ++requests_;
+    return Occupancy{start, end};
+}
+
+Tick
+BandwidthResource::nextFree(Tick now) const
+{
+    return std::max(now, busyUntil_);
+}
+
+void
+BandwidthResource::reset()
+{
+    busyUntil_ = 0;
+    bytesServed_ = 0;
+    busyTime_ = 0;
+    requests_ = 0;
+}
+
+ChannelResource::ChannelResource(std::string name, std::size_t channels,
+                                 Bandwidth perChannelBandwidth,
+                                 Tick perRequestLatency)
+    : name_(std::move(name))
+{
+    UVMASYNC_ASSERT(channels > 0, "%s: need at least one channel",
+                    name_.c_str());
+    channels_.reserve(channels);
+    for (std::size_t i = 0; i < channels; ++i) {
+        channels_.emplace_back(name_ + "." + std::to_string(i),
+                               perChannelBandwidth, perRequestLatency);
+    }
+}
+
+Occupancy
+ChannelResource::acquire(Tick now, Bytes bytes)
+{
+    BandwidthResource *best = &channels_.front();
+    for (auto &ch : channels_) {
+        if (ch.nextFree(now) < best->nextFree(now))
+            best = &ch;
+    }
+    return best->acquire(now, bytes);
+}
+
+Bytes
+ChannelResource::bytesServed() const
+{
+    Bytes total = 0;
+    for (const auto &ch : channels_)
+        total += ch.bytesServed();
+    return total;
+}
+
+Tick
+ChannelResource::busyTime() const
+{
+    Tick total = 0;
+    for (const auto &ch : channels_)
+        total += ch.busyTime();
+    return total;
+}
+
+void
+ChannelResource::reset()
+{
+    for (auto &ch : channels_)
+        ch.reset();
+}
+
+} // namespace uvmasync

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Time-shared hardware resources.
+ *
+ * BandwidthResource models a serially shared link or memory port: each
+ * request occupies the resource for bytes/bandwidth time, queued FCFS.
+ * ChannelResource models n identical parallel channels (e.g. DMA
+ * engines or DRAM channels) with earliest-free dispatch.
+ */
+
+#ifndef UVMASYNC_SIM_RESOURCE_HH
+#define UVMASYNC_SIM_RESOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace uvmasync
+{
+
+/** The time window a request occupies on a resource. */
+struct Occupancy
+{
+    Tick start;
+    Tick end;
+
+    Tick duration() const { return end - start; }
+};
+
+/**
+ * A single FCFS bandwidth pipe (PCIe direction, HBM port, ...).
+ *
+ * This is an analytic busy-until resource: acquire() computes when the
+ * request can start (max of "now" and the previous request's end) and
+ * advances the busy pointer. It composes with the EventQueue by having
+ * callers schedule completion events at the returned end tick.
+ */
+class BandwidthResource
+{
+  public:
+    /**
+     * @param name      stat/reporting name
+     * @param bandwidth sustained transfer rate
+     * @param perRequestLatency fixed setup latency added to each
+     *        request (DMA descriptor processing, protocol overhead)
+     */
+    BandwidthResource(std::string name, Bandwidth bandwidth,
+                      Tick perRequestLatency = 0);
+
+    const std::string &name() const { return name_; }
+    Bandwidth bandwidth() const { return bandwidth_; }
+    Tick perRequestLatency() const { return perRequestLatency_; }
+
+    /** Change the rate (used by sweeps); does not affect past grants. */
+    void setBandwidth(Bandwidth bw) { bandwidth_ = bw; }
+
+    /**
+     * Reserve the resource for a @p bytes transfer requested at
+     * @p now. Returns the occupied window.
+     */
+    Occupancy acquire(Tick now, Bytes bytes);
+
+    /** Earliest tick a new request could start. */
+    Tick nextFree(Tick now) const;
+
+    /** Total bytes granted so far. */
+    Bytes bytesServed() const { return bytesServed_; }
+
+    /** Total busy time accumulated so far. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Number of acquire() calls. */
+    std::uint64_t requests() const { return requests_; }
+
+    /** Forget all state (time goes back to zero). */
+    void reset();
+
+  private:
+    std::string name_;
+    Bandwidth bandwidth_;
+    Tick perRequestLatency_;
+    Tick busyUntil_ = 0;
+    Bytes bytesServed_ = 0;
+    Tick busyTime_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+/**
+ * N identical parallel channels with earliest-free dispatch.
+ */
+class ChannelResource
+{
+  public:
+    ChannelResource(std::string name, std::size_t channels,
+                    Bandwidth perChannelBandwidth,
+                    Tick perRequestLatency = 0);
+
+    const std::string &name() const { return name_; }
+    std::size_t channelCount() const { return channels_.size(); }
+
+    /**
+     * Dispatch a @p bytes transfer at @p now to the earliest-free
+     * channel; returns the occupied window.
+     */
+    Occupancy acquire(Tick now, Bytes bytes);
+
+    /** Aggregate bytes served across channels. */
+    Bytes bytesServed() const;
+
+    /** Aggregate busy time across channels. */
+    Tick busyTime() const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<BandwidthResource> channels_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SIM_RESOURCE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Base class for named, stat-exporting simulation components, plus the
+ * registry the experiment harness uses to dump all statistics.
+ */
+
+#ifndef UVMASYNC_SIM_SIM_OBJECT_HH
+#define UVMASYNC_SIM_SIM_OBJECT_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uvmasync
+{
+
+/** A flat name -> value statistics snapshot. */
+using StatMap = std::map<std::string, double>;
+
+/**
+ * Base class for simulator components. Provides a hierarchical name
+ * and a virtual stats hook; the experiment harness walks components
+ * and aggregates their StatMaps into result records.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name) : name_(std::move(name)) {}
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Append this component's statistics to @p out, each key prefixed
+     * with the component name ("pcie.bytes_h2d", ...).
+     */
+    virtual void exportStats(StatMap &out) const = 0;
+
+    /** Clear accumulated statistics between runs. */
+    virtual void resetStats() = 0;
+
+  protected:
+    /** Helper for exportStats implementations. */
+    void
+    putStat(StatMap &out, const std::string &key, double value) const
+    {
+        out[name_ + "." + key] = value;
+    }
+
+  private:
+    std::string name_;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SIM_SIM_OBJECT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-application job factories of the Rodinia subset (Table 2).
+ * Each factory lives in its own translation unit under
+ * workloads/apps/rodinia/; registration happens in
+ * rodinia_workloads.cc.
+ */
+
+#ifndef UVMASYNC_WORKLOADS_APPS_RODINIA_HH
+#define UVMASYNC_WORKLOADS_APPS_RODINIA_HH
+
+#include "runtime/job.hh"
+#include "workloads/workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+/** lavaMD: particle potential within a 3D box space. */
+Job makeLavaMdJob(SizeClass size, const GeometryOverride &geo);
+
+/** nw: Needleman-Wunsch wavefront alignment (two kernels, many
+ *  launches, per-launch re-prefetch churn). */
+Job makeNwJob(SizeClass size, const GeometryOverride &geo);
+
+/** kmeans: assignment + centroid-update iterations. */
+Job makeKmeansJob(SizeClass size, const GeometryOverride &geo);
+
+/** srad: two-kernel anisotropic-diffusion iterations. */
+Job makeSradJob(SizeClass size, const GeometryOverride &geo);
+
+/** backprop: layer-forward + weight-adjust pair. */
+Job makeBackpropJob(SizeClass size, const GeometryOverride &geo);
+
+/** pathfinder: dynamic-programming grid walk. */
+Job makePathfinderJob(SizeClass size, const GeometryOverride &geo);
+
+/** hotspot: iterative thermal stencil. */
+Job makeHotspotJob(SizeClass size, const GeometryOverride &geo);
+
+/** lud: irregular perimeter/internal decomposition iterations. */
+Job makeLudJob(SizeClass size, const GeometryOverride &geo);
+
+} // namespace rodinia
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_APPS_RODINIA_HH

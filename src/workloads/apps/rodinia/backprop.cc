@@ -1,0 +1,68 @@
+/**
+ * @file
+ * backprop: layer-forward and weight-adjust kernels over a wide
+ * input layer.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeBackpropJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t inputUnits = grid1d(size) / 32;
+    constexpr std::uint32_t hidden = 16;
+    Bytes inBytes = inputUnits * 4;
+    Bytes weightBytes = inputUnits * hidden * 4;
+
+    Job job;
+    job.name = "backprop";
+    job.buffers = {
+        JobBuffer{"input", inBytes, true, false},
+        JobBuffer{"weights", weightBytes, true, true},
+        JobBuffer{"delta", weightBytes, false, false},
+    };
+
+    KernelDescriptor forward = makeStreamKernel(
+        "backprop_layerforward", pickBlocks(geo, 4096),
+        pickThreads(geo, 256),
+        /*totalLoadBytes=*/inBytes + weightBytes, kib(16), 4,
+        /*flopsPerElement=*/3.0, /*intsPerElement=*/5.0,
+        /*ctrlPerElement=*/0.6, /*storeRatio=*/0.1);
+    forward.warpsToSaturate = 8.0;
+    forward.buffers = {
+        KernelBufferUse{0, AccessPattern::Broadcast, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Strided, true, false, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+
+    KernelDescriptor adjust = makeStreamKernel(
+        "backprop_adjust", pickBlocks(geo, 4096),
+        pickThreads(geo, 256),
+        /*totalLoadBytes=*/weightBytes * 2, kib(16), 4,
+        /*flopsPerElement=*/4.0, /*intsPerElement=*/4.0,
+        /*ctrlPerElement=*/0.5, /*storeRatio=*/0.5);
+    adjust.warpsToSaturate = 8.0;
+    adjust.buffers = {
+        KernelBufferUse{1, AccessPattern::Sequential, true, true, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+    };
+
+    job.kernels = {forward, adjust};
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * hotspot: iterative thermal stencil over temperature/power
+ * grids.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeHotspotJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes gridBytes = n * n * 4;
+
+    Job job;
+    job.name = "hotspot";
+    job.buffers = {
+        JobBuffer{"temperature", gridBytes, true, true},
+        JobBuffer{"power", gridBytes, true, false},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "hotspot_step", pickBlocks(geo, 4096), pickThreads(geo, 256),
+        /*totalLoadBytes=*/gridBytes * 2, kib(16), 4,
+        /*flopsPerElement=*/15.0, /*intsPerElement=*/8.0,
+        /*ctrlPerElement=*/1.5, /*storeRatio=*/0.5);
+    kd.warpsToSaturate = 12.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Tiled, true, true, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Tiled, true, false, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    job.sequenceRepeats = 8; // pyramid time steps
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

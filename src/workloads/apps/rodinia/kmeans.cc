@@ -1,0 +1,73 @@
+/**
+ * @file
+ * kmeans: point-assignment plus centroid-update iterations;
+ * irregular membership scatter and random centroid access.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeKmeansJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t points = grid1d(size) / 2;
+    constexpr std::uint32_t dims = 2; // floats per point
+    Bytes pointBytes = points * dims * 4;
+    Bytes memberBytes = points * 4;
+    Bytes centroidBytes = kib(16);
+
+    Job job;
+    job.name = "kmeans";
+    job.buffers = {
+        JobBuffer{"points", pointBytes, true, false},
+        JobBuffer{"membership", memberBytes, false, true},
+        JobBuffer{"centroids", centroidBytes, true, true},
+    };
+
+    KernelDescriptor assign = makeStreamKernel(
+        "kmeans_assign", pickBlocks(geo, 4096), pickThreads(geo, 256),
+        /*totalLoadBytes=*/pointBytes, kib(16), 8,
+        /*flopsPerElement=*/24.0, /*intsPerElement=*/18.0,
+        /*ctrlPerElement=*/5.0, /*storeRatio=*/0.5);
+    assign.warpsToSaturate = 10.0;
+    assign.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Irregular, false, true, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Random, true, true, 1.0,
+                        false},
+    };
+
+    // Centroid update: re-reads the points and memberships and
+    // reduces into the (tiny) centroid table.
+    KernelDescriptor update = makeStreamKernel(
+        "kmeans_update", pickBlocks(geo, 2048), pickThreads(geo, 256),
+        /*totalLoadBytes=*/pointBytes + memberBytes, kib(16), 8,
+        /*flopsPerElement=*/4.0, /*intsPerElement=*/8.0,
+        /*ctrlPerElement=*/2.0, /*storeRatio=*/0.001);
+    update.warpsToSaturate = 10.0;
+    update.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Random, false, true, 1.0,
+                        false},
+    };
+
+    job.kernels = {assign, update};
+    job.sequenceRepeats = 8; // clustering iterations
+    job.prefetchEachLaunch = true;
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

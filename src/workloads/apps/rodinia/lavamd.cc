@@ -1,0 +1,53 @@
+/**
+ * @file
+ * lavaMD: compute-dense particle-potential kernel with
+ * irregular neighbour-box gathers.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeLavaMdJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid3d(size);
+    // Boxes of 8^3 cells; ~100 particles of 16 B state per box slot.
+    std::uint64_t boxes = (n / 8) * (n / 8) * (n / 8);
+    Bytes posBytes = n * n * n * 4;      // particle positions+charge
+    Bytes forceBytes = posBytes / 2;
+
+    Job job;
+    job.name = "lavaMD";
+    job.buffers = {
+        JobBuffer{"positions", posBytes, true, false},
+        JobBuffer{"forces", forceBytes, false, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "lavamd_potential",
+        pickBlocks(geo, std::max<std::uint64_t>(boxes, 64)),
+        pickThreads(geo, 128),
+        // Each box re-reads its 27-neighbourhood.
+        /*totalLoadBytes=*/posBytes * 4, kib(24), 16,
+        /*flopsPerElement=*/110.0, /*intsPerElement=*/30.0,
+        /*ctrlPerElement=*/6.0, /*storeRatio=*/0.12);
+    kd.warpsToSaturate = 12.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Irregular, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

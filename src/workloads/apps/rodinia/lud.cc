@@ -1,0 +1,65 @@
+/**
+ * @file
+ * lud: branch-heavy, irregular perimeter/internal kernels -- the
+ * paper's showcase for async memcpy (Figures 9/10).
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeLudJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes matBytes = n * n * 4;
+
+    Job job;
+    job.name = "lud";
+    job.buffers = {
+        JobBuffer{"matrix", matBytes, true, true},
+    };
+
+    std::uint32_t repeats = 16;
+    // Perimeter kernel: data-dependent row/column walks, very
+    // branch-heavy (pivoting); the control-rich baseline is why
+    // async memcpy's extra control instructions barely register on
+    // lud (Figure 9a).
+    KernelDescriptor perimeter = makeStreamKernel(
+        "lud_perimeter", pickBlocks(geo, 1024), pickThreads(geo, 128),
+        /*totalLoadBytes=*/matBytes / repeats, kib(16), 4,
+        /*flopsPerElement=*/6.0, /*intsPerElement=*/14.0,
+        /*ctrlPerElement=*/8.0, /*storeRatio=*/0.6);
+    perimeter.warpsToSaturate = 10.0;
+    perimeter.buffers = {
+        KernelBufferUse{0, AccessPattern::Irregular, true, true, 1.0,
+                        true},
+    };
+
+    // Internal kernel: trailing submatrix update, still irregular
+    // through the pivot indirection.
+    KernelDescriptor internal = makeStreamKernel(
+        "lud_internal", pickBlocks(geo, 4096), pickThreads(geo, 256),
+        /*totalLoadBytes=*/matBytes * 2 / repeats, kib(16), 4,
+        /*flopsPerElement=*/10.0, /*intsPerElement=*/12.0,
+        /*ctrlPerElement=*/6.0, /*storeRatio=*/0.8);
+    internal.warpsToSaturate = 10.0;
+    internal.buffers = {
+        KernelBufferUse{0, AccessPattern::Irregular, true, true, 1.0,
+                        true},
+    };
+
+    job.kernels = {perimeter, internal};
+    job.sequenceRepeats = repeats;
+    job.prefetchEachLaunch = true;
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Needleman-Wunsch: two wavefront kernels alternating over the
+ * same matrices for many launches; the harness re-prefetches each
+ * launch (the Section 4.1.2 churn effect).
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeNwJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes matBytes = n * n * 4;
+
+    Job job;
+    job.name = "nw";
+    job.buffers = {
+        JobBuffer{"score", matBytes, true, true},
+        JobBuffer{"reference", matBytes, true, false},
+    };
+
+    // Wavefront: two kernels alternate over the same matrices for
+    // many diagonal steps (compressed here to keep simulation cheap
+    // while preserving the many-launch structure).
+    std::uint32_t repeats = 24;
+    auto makeHalf = [&](const char *name) {
+        KernelDescriptor kd = makeStreamKernel(
+            name, pickBlocks(geo, 512), pickThreads(geo, 128),
+            /*totalLoadBytes=*/(matBytes * 2) / repeats / 2, kib(8), 4,
+            /*flopsPerElement=*/4.0, /*intsPerElement=*/8.0,
+            /*ctrlPerElement=*/4.0, /*storeRatio=*/0.5);
+        kd.warpsToSaturate = 8.0;
+        kd.buffers = {
+            KernelBufferUse{0, AccessPattern::Strided, true, true, 1.0,
+                            true},
+            KernelBufferUse{1, AccessPattern::Strided, true, false, 1.0,
+                            true},
+        };
+        return kd;
+    };
+    job.kernels = {makeHalf("nw_upper_left"),
+                   makeHalf("nw_lower_right")};
+    job.sequenceRepeats = repeats;
+    // The harness re-issues cudaMemPrefetchAsync before every launch;
+    // with two kernels sharing the data this is pure churn.
+    job.prefetchEachLaunch = true;
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

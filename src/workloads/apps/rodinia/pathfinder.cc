@@ -1,0 +1,47 @@
+/**
+ * @file
+ * pathfinder: regular dynamic-programming walk over the grid --
+ * the prefetch-friendly end of the spectrum.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makePathfinderJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes wallBytes = n * n * 4;
+
+    Job job;
+    job.name = "pathfinder";
+    job.buffers = {
+        JobBuffer{"wall", wallBytes, true, false},
+        JobBuffer{"result", n * 4, false, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "pathfinder_dp", pickBlocks(geo, 2048), pickThreads(geo, 256),
+        /*totalLoadBytes=*/wallBytes, kib(16), 4,
+        /*flopsPerElement=*/3.0, /*intsPerElement=*/6.0,
+        /*ctrlPerElement=*/3.0, /*storeRatio=*/0.02);
+    kd.warpsToSaturate = 8.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * srad: two tiled PDE kernels iterating over the image.
+ */
+
+#include <algorithm>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+
+namespace uvmasync
+{
+namespace rodinia
+{
+
+Job
+makeSradJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes gridBytes = n * n * 4;
+
+    Job job;
+    job.name = "srad";
+    job.buffers = {
+        JobBuffer{"image", gridBytes, true, true},
+        JobBuffer{"coeff", gridBytes, false, false},
+    };
+
+    std::uint32_t repeats = 8;
+    auto makeKernel = [&](const char *name, double flops) {
+        KernelDescriptor kd = makeStreamKernel(
+            name, pickBlocks(geo, 4096), pickThreads(geo, 256),
+            /*totalLoadBytes=*/gridBytes, kib(16), 4,
+            flops, /*intsPerElement=*/8.0,
+            /*ctrlPerElement=*/1.5, /*storeRatio=*/0.8);
+        kd.warpsToSaturate = 10.0;
+        kd.buffers = {
+            KernelBufferUse{0, AccessPattern::Tiled, true, true, 1.0,
+                            true},
+            KernelBufferUse{1, AccessPattern::Tiled, true, true, 1.0,
+                            true},
+        };
+        return kd;
+    };
+    job.kernels = {makeKernel("srad_diffuse", 14.0),
+                   makeKernel("srad_update", 10.0)};
+    job.sequenceRepeats = repeats;
+    return job;
+}
+
+} // namespace rodinia
+} // namespace uvmasync

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Registration of the eight Rodinia applications (Table 2). The
+ * per-application job factories live in workloads/apps/rodinia/;
+ * the traits that matter to the paper's findings are documented
+ * there.
+ */
+
+#include <memory>
+
+#include "workloads/apps/rodinia.hh"
+#include "workloads/lambda_workload.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+void
+registerRodiniaWorkloads(WorkloadRegistry &reg)
+{
+    auto add = [&](WorkloadInfo info, LambdaWorkload::Factory f) {
+        reg.add(std::make_unique<LambdaWorkload>(std::move(info),
+                                                 std::move(f)));
+    };
+
+    add({"lavaMD", WorkloadSuite::App, "Rodinia", "physics simulation",
+         "Particle potential and relocation within a 3D space",
+         "Box (3D)"},
+        rodinia::makeLavaMdJob);
+
+    add({"nw", WorkloadSuite::App, "Rodinia", "bioinformatics",
+         "Needleman-Wunsch DNA sequence alignment", "Sequence (2D)"},
+        rodinia::makeNwJob);
+
+    add({"kmeans", WorkloadSuite::App, "Rodinia", "data mining",
+         "K-means clustering", "Points (1D)"},
+        rodinia::makeKmeansJob);
+
+    add({"srad", WorkloadSuite::App, "Rodinia", "image processing",
+         "Speckle Reducing Anisotropic Diffusion (PDE)", "Grid (2D)"},
+        rodinia::makeSradJob);
+
+    add({"backprop", WorkloadSuite::App, "Rodinia",
+         "machine learning",
+         "Back propagation training of a layered network",
+         "Nodes (1D)"},
+        rodinia::makeBackpropJob);
+
+    add({"pathfinder", WorkloadSuite::App, "Rodinia",
+         "dynamic programming",
+         "Dynamic-programming path search on a 2D grid", "Grid (2D)"},
+        rodinia::makePathfinderJob);
+
+    add({"hotspot", WorkloadSuite::App, "Rodinia",
+         "physics simulation",
+         "Processor temperature estimation from a floorplan",
+         "Grid (2D)"},
+        rodinia::makeHotspotJob);
+
+    add({"lud", WorkloadSuite::App, "Rodinia", "linear algebra",
+         "LU decomposition of a dense linear system", "Grid (2D)"},
+        rodinia::makeLudJob);
+}
+
+
+} // namespace uvmasync

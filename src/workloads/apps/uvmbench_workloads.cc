@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The two UVMBench applications the paper keeps (the rest of
+ * UVMBench overlaps PolyBench/Rodinia): bayesian network learning and
+ * K-nearest neighbours. The paper added the Async Memcpy versions;
+ * here both ride the same descriptor machinery as everything else.
+ */
+
+#include <memory>
+
+#include "workloads/lambda_workload.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+Job
+makeBayesianJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t nodes = grid1d(size) / 4;
+    Bytes stateBytes = nodes * 4;
+    Bytes cptBytes = nodes * 8; // conditional probability tables
+
+    Job job;
+    job.name = "BN";
+    job.buffers = {
+        JobBuffer{"states", stateBytes, true, false},
+        JobBuffer{"cpt", cptBytes, true, true},
+        JobBuffer{"scores", stateBytes, false, true},
+    };
+
+    // Structure-learning sweep: parent-set scoring with
+    // data-dependent table indexing.
+    KernelDescriptor kd = makeStreamKernel(
+        "bn_score", pickBlocks(geo, 2048), pickThreads(geo, 128),
+        /*totalLoadBytes=*/stateBytes + cptBytes, kib(16), 4,
+        /*flopsPerElement=*/10.0, /*intsPerElement=*/14.0,
+        /*ctrlPerElement=*/5.0, /*storeRatio=*/0.3);
+    kd.warpsToSaturate = 10.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Irregular, true, true, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    job.sequenceRepeats = 4;
+    return job;
+}
+
+Job
+makeKnnJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t points = grid1d(size) / 2;
+    Bytes pointBytes = points * 4;
+    Bytes distBytes = points * 4;
+
+    Job job;
+    job.name = "knn";
+    job.buffers = {
+        JobBuffer{"points", pointBytes, true, false},
+        JobBuffer{"distances", distBytes, false, true},
+        JobBuffer{"query", kib(4), true, false},
+    };
+
+    KernelDescriptor distance = makeStreamKernel(
+        "knn_distance", pickBlocks(geo, 4096), pickThreads(geo, 256),
+        /*totalLoadBytes=*/pointBytes, kib(16), 4,
+        /*flopsPerElement=*/8.0, /*intsPerElement=*/6.0,
+        /*ctrlPerElement=*/0.8, /*storeRatio=*/1.0);
+    distance.warpsToSaturate = 8.0;
+    distance.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Broadcast, true, false, 1.0,
+                        false},
+    };
+
+    // Partial selection of the k smallest distances.
+    KernelDescriptor select = makeStreamKernel(
+        "knn_select", pickBlocks(geo, 1024), pickThreads(geo, 256),
+        /*totalLoadBytes=*/distBytes, kib(16), 4,
+        /*flopsPerElement=*/1.0, /*intsPerElement=*/6.0,
+        /*ctrlPerElement=*/4.0, /*storeRatio=*/0.01);
+    select.warpsToSaturate = 8.0;
+    select.buffers = {
+        KernelBufferUse{1, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+    };
+
+    job.kernels = {distance, select};
+    return job;
+}
+
+} // namespace
+
+void
+registerUvmbenchWorkloads(WorkloadRegistry &reg)
+{
+    auto add = [&](WorkloadInfo info, LambdaWorkload::Factory f) {
+        reg.add(std::make_unique<LambdaWorkload>(std::move(info),
+                                                 std::move(f)));
+    };
+
+    add({"BN", WorkloadSuite::App, "UVMBench", "machine learning",
+         "Bayesian network structure learning", "Nodes (1D)"},
+        makeBayesianJob);
+
+    add({"knn", WorkloadSuite::App, "UVMBench", "data mining",
+         "K-Nearest Neighbors classification", "Points (1D)"},
+        makeKnnJob);
+}
+
+} // namespace uvmasync

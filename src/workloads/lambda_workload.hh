@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A Workload defined by metadata plus a job-factory callable; keeps
+ * the per-benchmark definitions declarative.
+ */
+
+#ifndef UVMASYNC_WORKLOADS_LAMBDA_WORKLOAD_HH
+#define UVMASYNC_WORKLOADS_LAMBDA_WORKLOAD_HH
+
+#include <functional>
+#include <utility>
+
+#include "workloads/workload.hh"
+
+namespace uvmasync
+{
+
+/** Workload whose makeJob is a stored callable. */
+class LambdaWorkload : public Workload
+{
+  public:
+    using Factory =
+        std::function<Job(SizeClass, const GeometryOverride &)>;
+
+    LambdaWorkload(WorkloadInfo info, Factory factory)
+        : info_(std::move(info)), factory_(std::move(factory))
+    {}
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    Job
+    makeJob(SizeClass size,
+            const GeometryOverride &geo = {}) const override
+    {
+        return factory_(size, geo);
+    }
+
+  private:
+    WorkloadInfo info_;
+    Factory factory_;
+};
+
+/** Apply a geometry override on top of workload defaults. */
+inline std::uint64_t
+pickBlocks(const GeometryOverride &geo, std::uint64_t def)
+{
+    return geo.gridBlocks ? geo.gridBlocks : def;
+}
+
+/** Apply a geometry override on top of workload defaults. */
+inline std::uint32_t
+pickThreads(const GeometryOverride &geo, std::uint32_t def)
+{
+    return geo.threadsPerBlock ? geo.threadsPerBlock : def;
+}
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_LAMBDA_WORKLOAD_HH

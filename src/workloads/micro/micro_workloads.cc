@@ -1,0 +1,293 @@
+/**
+ * @file
+ * The seven microbenchmarks (Table 2, "Micro" group):
+ * vector_seq / vector_rand after Svedin et al., and saxpy / gemv /
+ * gemm / 2DCONV / 3DCONV after PolyBench (adjusted, as in the paper,
+ * to stay scalable at large input sizes — gemm uses a bounded inner
+ * dimension so Super-sized runs remain in the same time envelope as
+ * the other kernels).
+ */
+
+#include <memory>
+
+#include "workloads/lambda_workload.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+/** Default microbenchmark launch geometry (Figures 11/12 baseline). */
+constexpr std::uint64_t defBlocks = 4096;
+constexpr std::uint32_t defThreads = 256;
+
+/**
+ * Shared shape of the two Vector-to-Constant workloads; only the
+ * access pattern differs (sequential vs random).
+ */
+Job
+makeVectorJob(const char *name, SizeClass size,
+              const GeometryOverride &geo, AccessPattern pattern)
+{
+    std::uint64_t elements = grid1d(size);
+    Bytes vecBytes = elements / 2 * 4;
+
+    Job job;
+    job.name = name;
+    job.buffers = {
+        JobBuffer{"in", vecBytes, /*hostInit=*/true,
+                  /*hostConsumed=*/false},
+        JobBuffer{"out", vecBytes, /*hostInit=*/false,
+                  /*hostConsumed=*/true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        name, pickBlocks(geo, defBlocks), pickThreads(geo, defThreads),
+        /*totalLoadBytes=*/vecBytes, /*sharedBytesPerBlock=*/kib(32),
+        /*elementBytes=*/4, /*flopsPerElement=*/16.0,
+        /*intsPerElement=*/6.0, /*ctrlPerElement=*/0.5,
+        /*storeRatio=*/1.0);
+    kd.warpsToSaturate = 8.0;
+    kd.buffers = {
+        KernelBufferUse{0, pattern, true, false, 1.0, true},
+        KernelBufferUse{1, pattern, false, true, 1.0, true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+Job
+makeSaxpyJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t elements = grid1d(size);
+    Bytes vecBytes = elements / 2 * 4;
+
+    Job job;
+    job.name = "saxpy";
+    job.buffers = {
+        JobBuffer{"x", vecBytes, true, false},
+        JobBuffer{"y", vecBytes, true, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "saxpy", pickBlocks(geo, defBlocks),
+        pickThreads(geo, defThreads),
+        /*totalLoadBytes=*/vecBytes * 2, kib(32), 4,
+        /*flopsPerElement=*/2.0, /*intsPerElement=*/4.0,
+        /*ctrlPerElement=*/0.25, /*storeRatio=*/0.5);
+    kd.warpsToSaturate = 8.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, true, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+Job
+makeGemvJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes matBytes = n * n * 4;
+    Bytes vecBytes = n * 4;
+
+    Job job;
+    job.name = "gemv";
+    job.buffers = {
+        JobBuffer{"A", matBytes, true, false},
+        JobBuffer{"x", vecBytes, true, false},
+        JobBuffer{"y", vecBytes, false, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "gemv", pickBlocks(geo, defBlocks),
+        pickThreads(geo, defThreads),
+        /*totalLoadBytes=*/matBytes, kib(32), 4,
+        /*flopsPerElement=*/2.0, /*intsPerElement=*/3.0,
+        /*ctrlPerElement=*/0.2, /*storeRatio=*/0.001);
+    kd.warpsToSaturate = 8.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Broadcast, true, false, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+Job
+makeGemmJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    // The paper adjusted PolyBench for scalability; our gemm bounds
+    // the inner dimension so compute stays comparable to the other
+    // microbenchmarks at Super/Mega sizes.
+    std::uint64_t k = std::min<std::uint64_t>(1024, n);
+    constexpr std::uint64_t tile = 128;
+
+    Bytes aBytes = n * k * 4;
+    Bytes bBytes = k * n * 4;
+    Bytes cBytes = n * n * 4;
+
+    Job job;
+    job.name = "gemm";
+    job.buffers = {
+        JobBuffer{"A", aBytes, true, false},
+        JobBuffer{"B", bBytes, true, false},
+        JobBuffer{"C", cBytes, false, true},
+    };
+
+    // Tiled GEMM traffic: every A/B element reloads n/tile times.
+    double reload = static_cast<double>(n) / tile;
+    auto totalLoad = static_cast<Bytes>(
+        static_cast<double>(aBytes + bBytes) * reload);
+    double flops = 2.0 * static_cast<double>(n) *
+                   static_cast<double>(n) * static_cast<double>(k);
+    double loadedElements = static_cast<double>(totalLoad) / 4.0;
+
+    std::uint64_t blocks = (n / tile) * (n / tile);
+    blocks = std::max<std::uint64_t>(blocks, 16);
+
+    KernelDescriptor kd = makeStreamKernel(
+        "gemm", pickBlocks(geo, blocks), pickThreads(geo, defThreads),
+        totalLoad, kib(16), 4,
+        /*flopsPerElement=*/flops / loadedElements,
+        /*intsPerElement=*/16.0, /*ctrlPerElement=*/2.0,
+        /*storeRatio=*/static_cast<double>(cBytes) /
+            static_cast<double>(totalLoad));
+    kd.warpsToSaturate = 8.0;
+    kd.asyncComputePenalty = 1.08;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Tiled, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Broadcast, true, false, 1.0,
+                        true},
+        KernelBufferUse{2, AccessPattern::Tiled, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+Job
+makeConv2dJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid2d(size);
+    Bytes gridBytes = n * n * 4;
+
+    Job job;
+    job.name = "2DCONV";
+    job.buffers = {
+        JobBuffer{"in", gridBytes, true, false},
+        JobBuffer{"out", gridBytes, false, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "2DCONV", pickBlocks(geo, defBlocks),
+        pickThreads(geo, defThreads),
+        /*totalLoadBytes=*/gridBytes + gridBytes / 4, kib(16), 4,
+        /*flopsPerElement=*/18.0, /*intsPerElement=*/12.0,
+        /*ctrlPerElement=*/2.0, /*storeRatio=*/0.8);
+    // Stencils need deep latency hiding; the async double buffer
+    // halving residency is what costs them (Section 4.1.1).
+    kd.warpsToSaturate = 16.0;
+    kd.asyncComputePenalty = 1.15;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Tiled, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+Job
+makeConv3dJob(SizeClass size, const GeometryOverride &geo)
+{
+    std::uint64_t n = grid3d(size);
+    Bytes gridBytes = n * n * n * 4;
+
+    Job job;
+    job.name = "3DCONV";
+    job.buffers = {
+        JobBuffer{"in", gridBytes, true, false},
+        JobBuffer{"out", gridBytes, false, true},
+    };
+
+    KernelDescriptor kd = makeStreamKernel(
+        "3DCONV", pickBlocks(geo, defBlocks),
+        pickThreads(geo, defThreads),
+        /*totalLoadBytes=*/gridBytes + gridBytes / 2, kib(16), 4,
+        /*flopsPerElement=*/54.0, /*intsPerElement=*/18.0,
+        /*ctrlPerElement=*/3.0, /*storeRatio=*/0.6);
+    kd.warpsToSaturate = 14.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Tiled, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+} // namespace
+
+void
+registerMicroWorkloads(WorkloadRegistry &reg)
+{
+    auto add = [&](WorkloadInfo info, LambdaWorkload::Factory f) {
+        reg.add(std::make_unique<LambdaWorkload>(std::move(info),
+                                                 std::move(f)));
+    };
+
+    add({"vector_seq", WorkloadSuite::Micro, "Svedin et al.",
+         "linear algebra",
+         "Vector-to-Constant, element-wise arithmetic (sequential "
+         "access)",
+         "Vector (1D)"},
+        [](SizeClass s, const GeometryOverride &g) {
+            return makeVectorJob("vector_seq", s, g,
+                                 AccessPattern::Sequential);
+        });
+
+    add({"vector_rand", WorkloadSuite::Micro, "Svedin et al.",
+         "linear algebra",
+         "Vector-to-Constant, element-wise arithmetic (random access)",
+         "Vector (1D)"},
+        [](SizeClass s, const GeometryOverride &g) {
+            return makeVectorJob("vector_rand", s, g,
+                                 AccessPattern::Random);
+        });
+
+    add({"saxpy", WorkloadSuite::Micro, "PolyBench", "linear algebra",
+         "Vector-to-Vector multiplication and addition",
+         "Vector (1D)"},
+        makeSaxpyJob);
+
+    add({"gemv", WorkloadSuite::Micro, "PolyBench", "linear algebra",
+         "general Matrix-to-Vector multiplication", "Matrix (2D)"},
+        makeGemvJob);
+
+    add({"gemm", WorkloadSuite::Micro, "PolyBench", "linear algebra",
+         "general Matrix-to-Matrix multiplication", "Matrix (2D)"},
+        makeGemmJob);
+
+    add({"2DCONV", WorkloadSuite::Micro, "PolyBench",
+         "image processing", "general 2D convolution", "Grid (2D)"},
+        makeConv2dJob);
+
+    add({"3DCONV", WorkloadSuite::Micro, "PolyBench",
+         "image processing", "general 3D convolution", "Grid (3D)"},
+        makeConv3dJob);
+}
+
+} // namespace uvmasync

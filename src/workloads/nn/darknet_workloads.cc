@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The four darknet workloads of Table 2 (resnet18, resnet50,
+ * yolov3-tiny, yolov3) wired into the registry. Batch size scales
+ * with the requested size class so the Super configuration lands in
+ * the GB-footprint regime the paper benchmarks.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/lambda_workload.hh"
+#include "workloads/nn/network.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+/** Scale a Super-reference batch with the size class's footprint. */
+std::uint32_t
+scaleBatch(SizeClass size, std::uint32_t superBatch)
+{
+    double ratio = static_cast<double>(sizeClassMem(size)) /
+                   static_cast<double>(sizeClassMem(SizeClass::Super));
+    auto batch = static_cast<std::uint32_t>(
+        static_cast<double>(superBatch) * ratio);
+    return std::max<std::uint32_t>(batch, 1);
+}
+
+} // namespace
+
+void
+registerDarknetWorkloads(WorkloadRegistry &reg)
+{
+    struct Model
+    {
+        const char *name;
+        const char *dataset;
+        std::uint32_t superBatch;
+        NetworkSpec (*make)(std::uint32_t);
+    };
+    static const Model models[] = {
+        {"resnet18", "ImageNet dataset", 96, makeResnet18},
+        {"resnet50", "ImageNet dataset", 48, makeResnet50},
+        {"yolov3-tiny", "COCO dataset", 48, makeYolov3Tiny},
+        {"yolov3", "COCO dataset", 2, makeYolov3},
+    };
+
+    for (const Model &model : models) {
+        WorkloadInfo info{
+            model.name, WorkloadSuite::App, "Darknet",
+            "machine learning",
+            std::string(model.name) + " inference on " + model.dataset,
+            "Images (3D)"};
+        auto make = model.make;
+        std::uint32_t superBatch = model.superBatch;
+        reg.add(std::make_unique<LambdaWorkload>(
+            std::move(info),
+            [make, superBatch](SizeClass s, const GeometryOverride &) {
+                // Darknet picks its own launch geometry per layer; the
+                // block/thread sweep does not apply to these jobs.
+                return buildNetworkJob(
+                    make(scaleBatch(s, superBatch)));
+            }));
+    }
+}
+
+} // namespace uvmasync

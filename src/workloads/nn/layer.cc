@@ -1,0 +1,173 @@
+#include "workloads/nn/layer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+const char *
+layerKindName(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::MaxPool: return "maxpool";
+      case LayerKind::Shortcut: return "shortcut";
+      case LayerKind::Upsample: return "upsample";
+      case LayerKind::Connected: return "connected";
+      case LayerKind::Route: return "route";
+      case LayerKind::Detection: return "detection";
+    }
+    panic("unknown layer kind %d", static_cast<int>(k));
+}
+
+TensorShape
+layerOutputShape(const LayerSpec &layer, const TensorShape &in)
+{
+    TensorShape out = in;
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        out.c = layer.filters;
+        out.h = in.h / layer.stride;
+        out.w = in.w / layer.stride;
+        break;
+      case LayerKind::MaxPool:
+        out.h = in.h / layer.stride;
+        out.w = in.w / layer.stride;
+        break;
+      case LayerKind::Shortcut:
+        break;
+      case LayerKind::Upsample:
+        out.h = in.h * 2;
+        out.w = in.w * 2;
+        break;
+      case LayerKind::Connected:
+        out.c = layer.filters;
+        out.h = 1;
+        out.w = 1;
+        break;
+      case LayerKind::Route:
+        out.c = in.c + layer.routeChannels;
+        break;
+      case LayerKind::Detection:
+        break;
+    }
+    UVMASYNC_ASSERT(out.elements() > 0, "layer produced empty tensor");
+    return out;
+}
+
+Bytes
+layerWeightBytes(const LayerSpec &layer, const TensorShape &in)
+{
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        return static_cast<Bytes>(layer.ksize) * layer.ksize * in.c *
+               layer.filters * 4;
+      case LayerKind::Connected:
+        return static_cast<Bytes>(in.elements()) * layer.filters * 4;
+      default:
+        return 0;
+    }
+}
+
+double
+layerFlops(const LayerSpec &layer, const TensorShape &in)
+{
+    TensorShape out = layerOutputShape(layer, in);
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        return 2.0 * layer.ksize * layer.ksize * in.c *
+               static_cast<double>(out.elements());
+      case LayerKind::Connected:
+        return 2.0 * static_cast<double>(in.elements()) *
+               layer.filters;
+      case LayerKind::MaxPool:
+        return static_cast<double>(in.elements());
+      case LayerKind::Shortcut:
+      case LayerKind::Upsample:
+      case LayerKind::Route:
+        return static_cast<double>(out.elements());
+      case LayerKind::Detection:
+        return 4.0 * static_cast<double>(in.elements());
+    }
+    return 0.0;
+}
+
+KernelDescriptor
+lowerLayer(const LayerSpec &layer, const TensorShape &in,
+           std::uint32_t batch, std::size_t layerIndex,
+           std::size_t inBuf, std::size_t outBuf, double weightShare)
+{
+    TensorShape out = layerOutputShape(layer, in);
+    double flops = layerFlops(layer, in) * batch;
+    Bytes weights = layerWeightBytes(layer, in);
+
+    // Global load traffic: im2col-expanded activations plus one pass
+    // over the weights (re-reads across output tiles hit the 40 MB
+    // L2, which the cache hierarchy model prices separately).
+    double actLoads;
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        actLoads = static_cast<double>(layer.ksize) * layer.ksize *
+                   in.c * static_cast<double>(out.h) * out.w * 4.0 *
+                   batch;
+        break;
+      case LayerKind::Shortcut:
+        actLoads = 2.0 * static_cast<double>(in.bytes(batch));
+        break;
+      case LayerKind::Route: {
+        TensorShape routed = layerOutputShape(layer, in);
+        actLoads = static_cast<double>(routed.bytes(batch));
+        break;
+      }
+      default:
+        actLoads = static_cast<double>(in.bytes(batch));
+        break;
+    }
+    auto totalLoad = static_cast<Bytes>(
+        actLoads + static_cast<double>(weights));
+    totalLoad = std::max<Bytes>(totalLoad, kib(64));
+
+    double loadedElements = static_cast<double>(totalLoad) / 4.0;
+    Bytes outBytes = out.bytes(batch);
+
+    std::uint64_t blocks = std::max<std::uint64_t>(
+        108, static_cast<std::uint64_t>(out.elements()) * batch /
+                 (256 * 16));
+    blocks = std::min<std::uint64_t>(blocks, 32768);
+
+    KernelDescriptor kd = makeStreamKernel(
+        std::string(layerKindName(layer.kind)) + "_" +
+            std::to_string(layerIndex),
+        blocks, 256, totalLoad, kib(16), 4,
+        /*flopsPerElement=*/flops / loadedElements,
+        /*intsPerElement=*/10.0, /*ctrlPerElement=*/1.5,
+        /*storeRatio=*/static_cast<double>(outBytes) /
+            static_cast<double>(totalLoad));
+    kd.warpsToSaturate = 8.0;
+    // Layer kernels are gemm-shaped; async double buffering adds the
+    // same pipeline-management overhead the paper measures on gemm
+    // and yolov3 (Section 4.1.2).
+    kd.asyncComputePenalty = 1.15;
+
+    // Only the gemm-lowered layers (conv / connected) have an async
+    // variant; pool/shortcut/upsample kernels keep their plain form.
+    bool staged = layer.kind == LayerKind::Conv ||
+                  layer.kind == LayerKind::Connected;
+    kd.buffers = {
+        // Input activations, read with gemm-like tiling.
+        KernelBufferUse{inBuf, AccessPattern::Tiled, true, false, 1.0,
+                        staged},
+        // This layer's slice of the packed weights.
+        KernelBufferUse{1, AccessPattern::Tiled, true, false,
+                        std::clamp(weightShare, 0.0, 1.0), staged},
+        // Output activations, coalesced stores.
+        KernelBufferUse{outBuf, AccessPattern::Sequential, false, true,
+                        1.0, staged},
+    };
+    return kd;
+}
+
+} // namespace uvmasync

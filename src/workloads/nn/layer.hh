@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Darknet-style layer descriptions and their lowering to simulated
+ * GPU kernels.
+ *
+ * The paper's four ML applications (resnet18/50, yolov3/-tiny) run
+ * darknet, which executes one CUDA kernel chain per layer (im2col +
+ * gemm for convolutions). Each layer is lowered to one
+ * KernelDescriptor with gemm-like tiling, so yolov3 inherits exactly
+ * the regular-access gemm behaviour the paper calls out in
+ * Section 4.1.2.
+ */
+
+#ifndef UVMASYNC_WORKLOADS_NN_LAYER_HH
+#define UVMASYNC_WORKLOADS_NN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/kernel_descriptor.hh"
+
+namespace uvmasync
+{
+
+/** A CHW activation shape (per batch element). */
+struct TensorShape
+{
+    std::uint32_t c = 0;
+    std::uint32_t h = 0;
+    std::uint32_t w = 0;
+
+    std::uint64_t
+    elements() const
+    {
+        return static_cast<std::uint64_t>(c) * h * w;
+    }
+
+    /** Bytes of a float32 activation with the given batch. */
+    Bytes
+    bytes(std::uint32_t batch) const
+    {
+        return elements() * 4 * batch;
+    }
+};
+
+/** Supported darknet layer kinds. */
+enum class LayerKind
+{
+    Conv,      //!< 2D convolution (+BN+activation folded)
+    MaxPool,   //!< max pooling
+    Shortcut,  //!< residual add
+    Upsample,  //!< nearest-neighbour 2x upsample
+    Connected, //!< fully connected
+    Route,     //!< channel concatenation (darknet route)
+    Detection, //!< yolo/softmax head (cheap)
+};
+
+/** Human-readable layer kind. */
+const char *layerKindName(LayerKind k);
+
+/** One layer of a network specification. */
+struct LayerSpec
+{
+    LayerKind kind = LayerKind::Conv;
+    std::uint32_t filters = 0; //!< conv/connected output channels
+    std::uint32_t ksize = 3;   //!< conv/pool kernel size
+    std::uint32_t stride = 1;
+    std::uint32_t routeChannels = 0; //!< extra channels a Route concats
+};
+
+/** Output shape of @p layer applied to @p in. */
+TensorShape layerOutputShape(const LayerSpec &layer,
+                             const TensorShape &in);
+
+/** Parameter bytes of @p layer applied to @p in (0 if stateless). */
+Bytes layerWeightBytes(const LayerSpec &layer, const TensorShape &in);
+
+/** Fused multiply-add count of @p layer for one batch element. */
+double layerFlops(const LayerSpec &layer, const TensorShape &in);
+
+/**
+ * Lower one layer to a kernel descriptor.
+ *
+ * The network job uses five buffers: 0 = network input, 1 = packed
+ * weights, 2/3 = ping-pong activations, 4 = network output. @p inBuf
+ * and @p outBuf select the activation buffers for this layer;
+ * @p weightShare is this layer's fraction of the packed weights.
+ */
+KernelDescriptor
+lowerLayer(const LayerSpec &layer, const TensorShape &in,
+           std::uint32_t batch, std::size_t layerIndex,
+           std::size_t inBuf, std::size_t outBuf, double weightShare);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_NN_LAYER_HH

@@ -1,0 +1,224 @@
+#include "workloads/nn/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+Bytes
+NetworkSpec::weightBytes() const
+{
+    Bytes total = 0;
+    TensorShape shape = input;
+    for (const LayerSpec &layer : layers) {
+        total += layerWeightBytes(layer, shape);
+        shape = layerOutputShape(layer, shape);
+    }
+    return total;
+}
+
+Bytes
+NetworkSpec::maxActivationBytes() const
+{
+    Bytes peak = input.bytes(batch);
+    TensorShape shape = input;
+    for (const LayerSpec &layer : layers) {
+        shape = layerOutputShape(layer, shape);
+        peak = std::max(peak, shape.bytes(batch));
+    }
+    return peak;
+}
+
+double
+NetworkSpec::totalFlops() const
+{
+    double total = 0.0;
+    TensorShape shape = input;
+    for (const LayerSpec &layer : layers) {
+        total += layerFlops(layer, shape) * batch;
+        shape = layerOutputShape(layer, shape);
+    }
+    return total;
+}
+
+Job
+buildNetworkJob(const NetworkSpec &net)
+{
+    UVMASYNC_ASSERT(!net.layers.empty(), "%s: empty network",
+                    net.name.c_str());
+
+    Bytes weights = std::max<Bytes>(net.weightBytes(), kib(64));
+    Bytes act = std::max<Bytes>(net.maxActivationBytes(), kib(64));
+
+    TensorShape shape = net.input;
+    for (std::size_t i = 0; i + 1 < net.layers.size(); ++i)
+        shape = layerOutputShape(net.layers[i], shape);
+    TensorShape outShape =
+        layerOutputShape(net.layers.back(), shape);
+
+    Job job;
+    job.name = net.name;
+    job.buffers = {
+        JobBuffer{"input", net.input.bytes(net.batch), true, false},
+        JobBuffer{"weights", weights, true, false},
+        // Ping-pong activations: produced and consumed on-device.
+        JobBuffer{"act_a", act, false, false},
+        JobBuffer{"act_b", act, false, false},
+        JobBuffer{"output",
+                  std::max<Bytes>(outShape.bytes(net.batch), kib(4)),
+                  false, true},
+    };
+
+    TensorShape cur = net.input;
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        const LayerSpec &layer = net.layers[i];
+        std::size_t inBuf = i == 0 ? 0 : 2 + ((i - 1) % 2);
+        std::size_t outBuf =
+            i + 1 == net.layers.size() ? 4 : 2 + (i % 2);
+        double share =
+            static_cast<double>(layerWeightBytes(layer, cur)) /
+            static_cast<double>(weights);
+        job.kernels.push_back(lowerLayer(layer, cur, net.batch, i,
+                                         inBuf, outBuf, share));
+        cur = layerOutputShape(layer, cur);
+    }
+    return job;
+}
+
+namespace
+{
+
+/** Append a 2-conv resnet basic block (stride on the first conv). */
+void
+basicBlock(std::vector<LayerSpec> &layers, std::uint32_t filters,
+           std::uint32_t stride)
+{
+    layers.push_back({LayerKind::Conv, filters, 3, stride});
+    layers.push_back({LayerKind::Conv, filters, 3, 1});
+    layers.push_back({LayerKind::Shortcut});
+}
+
+/** Append a 1x1/3x3/1x1 resnet bottleneck block. */
+void
+bottleneck(std::vector<LayerSpec> &layers, std::uint32_t filters,
+           std::uint32_t stride)
+{
+    layers.push_back({LayerKind::Conv, filters, 1, 1});
+    layers.push_back({LayerKind::Conv, filters, 3, stride});
+    layers.push_back({LayerKind::Conv, filters * 4, 1, 1});
+    layers.push_back({LayerKind::Shortcut});
+}
+
+/** Append a darknet53 residual unit (1x1 squeeze + 3x3 expand). */
+void
+darknetResidual(std::vector<LayerSpec> &layers, std::uint32_t filters)
+{
+    layers.push_back({LayerKind::Conv, filters / 2, 1, 1});
+    layers.push_back({LayerKind::Conv, filters, 3, 1});
+    layers.push_back({LayerKind::Shortcut});
+}
+
+} // namespace
+
+NetworkSpec
+makeResnet18(std::uint32_t batch)
+{
+    NetworkSpec net;
+    net.name = "resnet18";
+    net.input = {3, 224, 224};
+    net.batch = batch;
+    net.layers.push_back({LayerKind::Conv, 64, 7, 2});
+    net.layers.push_back({LayerKind::MaxPool, 0, 2, 2});
+    basicBlock(net.layers, 64, 1);
+    basicBlock(net.layers, 64, 1);
+    basicBlock(net.layers, 128, 2);
+    basicBlock(net.layers, 128, 1);
+    basicBlock(net.layers, 256, 2);
+    basicBlock(net.layers, 256, 1);
+    basicBlock(net.layers, 512, 2);
+    basicBlock(net.layers, 512, 1);
+    net.layers.push_back({LayerKind::MaxPool, 0, 7, 7});
+    net.layers.push_back({LayerKind::Connected, 1000});
+    return net;
+}
+
+NetworkSpec
+makeResnet50(std::uint32_t batch)
+{
+    NetworkSpec net;
+    net.name = "resnet50";
+    net.input = {3, 224, 224};
+    net.batch = batch;
+    net.layers.push_back({LayerKind::Conv, 64, 7, 2});
+    net.layers.push_back({LayerKind::MaxPool, 0, 2, 2});
+    static const struct { std::uint32_t filters, blocks; } stages[] = {
+        {64, 3}, {128, 4}, {256, 6}, {512, 3}};
+    bool first = true;
+    for (const auto &stage : stages) {
+        for (std::uint32_t b = 0; b < stage.blocks; ++b) {
+            std::uint32_t stride = (b == 0 && !first) ? 2 : 1;
+            bottleneck(net.layers, stage.filters, stride);
+        }
+        first = false;
+    }
+    net.layers.push_back({LayerKind::MaxPool, 0, 7, 7});
+    net.layers.push_back({LayerKind::Connected, 1000});
+    return net;
+}
+
+NetworkSpec
+makeYolov3Tiny(std::uint32_t batch)
+{
+    NetworkSpec net;
+    net.name = "yolov3-tiny";
+    net.input = {3, 416, 416};
+    net.batch = batch;
+    for (std::uint32_t filters : {16, 32, 64, 128, 256, 512}) {
+        net.layers.push_back({LayerKind::Conv, filters, 3, 1});
+        net.layers.push_back({LayerKind::MaxPool, 0, 2, 2});
+    }
+    net.layers.push_back({LayerKind::Conv, 1024, 3, 1});
+    net.layers.push_back({LayerKind::Conv, 256, 1, 1});
+    net.layers.push_back({LayerKind::Conv, 512, 3, 1});
+    net.layers.push_back({LayerKind::Conv, 255, 1, 1});
+    net.layers.push_back({LayerKind::Detection});
+    return net;
+}
+
+NetworkSpec
+makeYolov3(std::uint32_t batch)
+{
+    NetworkSpec net;
+    net.name = "yolov3";
+    net.input = {3, 416, 416};
+    net.batch = batch;
+
+    // darknet53 backbone.
+    net.layers.push_back({LayerKind::Conv, 32, 3, 1});
+    static const struct { std::uint32_t filters, units; } stages[] = {
+        {64, 1}, {128, 2}, {256, 8}, {512, 8}, {1024, 4}};
+    for (const auto &stage : stages) {
+        net.layers.push_back({LayerKind::Conv, stage.filters, 3, 2});
+        for (std::uint32_t u = 0; u < stage.units; ++u)
+            darknetResidual(net.layers, stage.filters);
+    }
+
+    // Detection head (largest scale; the two upsampled scales are
+    // folded into equivalent conv work on the same pipeline).
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        net.layers.push_back({LayerKind::Conv, 512, 1, 1});
+        net.layers.push_back({LayerKind::Conv, 1024, 3, 1});
+    }
+    net.layers.push_back({LayerKind::Conv, 255, 1, 1});
+    net.layers.push_back({LayerKind::Upsample});
+    // Route: concatenate with the 512-channel stage-4 feature map.
+    net.layers.push_back({LayerKind::Route, 0, 1, 1, 512});
+    net.layers.push_back({LayerKind::Conv, 256, 1, 1});
+    net.layers.push_back({LayerKind::Conv, 255, 1, 1});
+    net.layers.push_back({LayerKind::Detection});
+    return net;
+}
+
+} // namespace uvmasync

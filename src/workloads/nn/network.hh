@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Network specification and lowering to a Job: a sequence of
+ * per-layer kernels over five buffers (input, packed weights, two
+ * ping-pong activation buffers, output). Intermediate activations
+ * never leave the device — the structural reason the paper's ML
+ * applications gain most from UVM (explicit modes must still copy
+ * input+weights; UVM migrates only what the CPU actually touches).
+ */
+
+#ifndef UVMASYNC_WORKLOADS_NN_NETWORK_HH
+#define UVMASYNC_WORKLOADS_NN_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/job.hh"
+#include "workloads/nn/layer.hh"
+
+namespace uvmasync
+{
+
+/** A complete network description. */
+struct NetworkSpec
+{
+    std::string name;
+    TensorShape input;
+    std::uint32_t batch = 1;
+    std::vector<LayerSpec> layers;
+
+    /** Total parameter bytes. */
+    Bytes weightBytes() const;
+
+    /** Largest activation (bytes, with batch) across layers. */
+    Bytes maxActivationBytes() const;
+
+    /** Sum of per-layer fused-multiply-add counts (whole batch). */
+    double totalFlops() const;
+};
+
+/** Lower a network to an executable Job (one kernel per layer). */
+Job buildNetworkJob(const NetworkSpec &net);
+
+/** @{ Model zoo (darknet architectures, approximated faithfully). */
+NetworkSpec makeResnet18(std::uint32_t batch);
+NetworkSpec makeResnet50(std::uint32_t batch);
+NetworkSpec makeYolov3Tiny(std::uint32_t batch);
+NetworkSpec makeYolov3(std::uint32_t batch);
+/** @} */
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_NN_NETWORK_HH

@@ -1,0 +1,77 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(std::unique_ptr<Workload> workload)
+{
+    UVMASYNC_ASSERT(workload != nullptr, "registering null workload");
+    UVMASYNC_ASSERT(find(workload->name()) == nullptr,
+                    "duplicate workload '%s'",
+                    workload->name().c_str());
+    workloads_.push_back(std::move(workload));
+}
+
+const Workload *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const auto &w : workloads_) {
+        if (w->name() == name)
+            return w.get();
+    }
+    return nullptr;
+}
+
+const Workload &
+WorkloadRegistry::get(const std::string &name) const
+{
+    const Workload *w = find(name);
+    if (!w)
+        fatal("unknown workload '%s'", name.c_str());
+    return *w;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(workloads_.size());
+    for (const auto &w : workloads_)
+        out.push_back(w->name());
+    return out;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names(WorkloadSuite suite) const
+{
+    std::vector<std::string> out;
+    for (const auto &w : workloads_) {
+        if (w->info().suite == suite)
+            out.push_back(w->name());
+    }
+    return out;
+}
+
+void
+registerAllWorkloads()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    if (reg.size() > 0)
+        return;
+    registerMicroWorkloads(reg);
+    registerRodiniaWorkloads(reg);
+    registerUvmbenchWorkloads(reg);
+    registerDarknetWorkloads(reg);
+}
+
+} // namespace uvmasync

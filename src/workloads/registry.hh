@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Global registry of the benchmark suite's workloads.
+ */
+
+#ifndef UVMASYNC_WORKLOADS_REGISTRY_HH
+#define UVMASYNC_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Name -> Workload directory. Populated by registerAllWorkloads().
+ */
+class WorkloadRegistry
+{
+  public:
+    static WorkloadRegistry &instance();
+
+    /** Add a workload; duplicate names are a bug. */
+    void add(std::unique_ptr<Workload> workload);
+
+    /** Look up by name; nullptr if absent. */
+    const Workload *find(const std::string &name) const;
+
+    /** Look up by name; fatal() if absent. */
+    const Workload &get(const std::string &name) const;
+
+    /** All names, registration order. */
+    std::vector<std::string> names() const;
+
+    /** Names filtered by suite, registration order. */
+    std::vector<std::string> names(WorkloadSuite suite) const;
+
+    std::size_t size() const { return workloads_.size(); }
+
+  private:
+    WorkloadRegistry() = default;
+
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/**
+ * Register the full benchmark suite (7 microbenchmarks + 14 apps);
+ * idempotent. Call once before using the registry.
+ */
+void registerAllWorkloads();
+
+/** @{ Per-group registration hooks (used by registerAllWorkloads). */
+void registerMicroWorkloads(WorkloadRegistry &reg);
+void registerRodiniaWorkloads(WorkloadRegistry &reg);
+void registerUvmbenchWorkloads(WorkloadRegistry &reg);
+void registerDarknetWorkloads(WorkloadRegistry &reg);
+/** @} */
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_REGISTRY_HH

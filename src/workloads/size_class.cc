@@ -1,0 +1,71 @@
+#include "workloads/size_class.hh"
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+constexpr std::size_t
+idx(SizeClass s)
+{
+    return static_cast<std::size_t>(s);
+}
+
+} // namespace
+
+const char *
+sizeClassName(SizeClass s)
+{
+    static const char *names[] = {"tiny", "small", "medium",
+                                  "large", "super", "mega"};
+    return names[idx(s)];
+}
+
+bool
+parseSizeClass(const std::string &text, SizeClass &out)
+{
+    for (SizeClass s : allSizeClasses) {
+        if (text == sizeClassName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+Bytes
+sizeClassMem(SizeClass s)
+{
+    static const Bytes mem[] = {mib(1), mib(8), mib(64),
+                                mib(512), gib(4), gib(32)};
+    return mem[idx(s)];
+}
+
+std::uint64_t
+grid1d(SizeClass s)
+{
+    static const std::uint64_t n[] = {
+        256ull << 10, 2ull << 20, 16ull << 20,
+        128ull << 20, 1ull << 30, 8ull << 30};
+    return n[idx(s)];
+}
+
+std::uint64_t
+grid2d(SizeClass s)
+{
+    static const std::uint64_t n[] = {512, 1024, 4096,
+                                      8192, 32768, 65536};
+    return n[idx(s)];
+}
+
+std::uint64_t
+grid3d(SizeClass s)
+{
+    static const std::uint64_t n[] = {64, 128, 256, 512, 1024, 2048};
+    return n[idx(s)];
+}
+
+} // namespace uvmasync

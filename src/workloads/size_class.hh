@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's input-size classes (Table 3): six memory-footprint
+ * targets from 1 MB to 32 GB, with reference 1D/2D/3D problem
+ * dimensions assuming float32 data.
+ */
+
+#ifndef UVMASYNC_WORKLOADS_SIZE_CLASS_HH
+#define UVMASYNC_WORKLOADS_SIZE_CLASS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace uvmasync
+{
+
+/** Input-size classes of Table 3. */
+enum class SizeClass
+{
+    Tiny,   //!< 1 MB
+    Small,  //!< 8 MB
+    Medium, //!< 64 MB
+    Large,  //!< 512 MB
+    Super,  //!< 4 GB
+    Mega,   //!< 32 GB
+};
+
+inline constexpr std::array<SizeClass, 6> allSizeClasses = {
+    SizeClass::Tiny,  SizeClass::Small, SizeClass::Medium,
+    SizeClass::Large, SizeClass::Super, SizeClass::Mega,
+};
+
+/** Lower-case class name as used in the paper's figures. */
+const char *sizeClassName(SizeClass s);
+
+/** Parse a class name; returns true on success. */
+bool parseSizeClass(const std::string &text, SizeClass &out);
+
+/** Target memory footprint of the class (Table 3 "Mem" row). */
+Bytes sizeClassMem(SizeClass s);
+
+/** Reference 1D element count (256K ... 8G). */
+std::uint64_t grid1d(SizeClass s);
+
+/** Reference 2D side length (512 ... 64K). */
+std::uint64_t grid2d(SizeClass s);
+
+/** Reference 3D side length (64 ... 2K). */
+std::uint64_t grid3d(SizeClass s);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_SIZE_CLASS_HH

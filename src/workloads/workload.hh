@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload abstraction: a named generator of Jobs at a requested
+ * input-size class (Table 2 of the paper defines the 21 instances).
+ */
+
+#ifndef UVMASYNC_WORKLOADS_WORKLOAD_HH
+#define UVMASYNC_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/job.hh"
+#include "workloads/size_class.hh"
+
+namespace uvmasync
+{
+
+/** Which benchmark group a workload belongs to. */
+enum class WorkloadSuite
+{
+    Micro, //!< the 7 single-kernel microbenchmarks
+    App,   //!< the 14 real-world applications
+};
+
+/** Static metadata (the Table 2 row). */
+struct WorkloadInfo
+{
+    std::string name;
+    WorkloadSuite suite = WorkloadSuite::Micro;
+    std::string source;      //!< Svedin et al. / PolyBench / Rodinia...
+    std::string domain;      //!< linear algebra, data mining, ML...
+    std::string description;
+    std::string inputShape;  //!< "Vector (1D)", "Grid (2D)", ...
+};
+
+/**
+ * Launch-geometry override used by the sensitivity sweeps
+ * (Figures 11 and 12); zero fields keep the workload default.
+ */
+struct GeometryOverride
+{
+    std::uint64_t gridBlocks = 0;
+    std::uint32_t threadsPerBlock = 0;
+};
+
+/**
+ * A benchmark program: produces a Job for a given input size.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Table 2 metadata. */
+    virtual const WorkloadInfo &info() const = 0;
+
+    /**
+     * Build the job at @p size. @p geo overrides launch geometry for
+     * sensitivity studies; workloads with rigid geometry may ignore
+     * it.
+     */
+    virtual Job makeJob(SizeClass size,
+                        const GeometryOverride &geo = {}) const = 0;
+
+    const std::string &name() const { return info().name; }
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_WORKLOADS_WORKLOAD_HH

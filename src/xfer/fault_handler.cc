@@ -1,0 +1,71 @@
+#include "xfer/fault_handler.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace uvmasync
+{
+
+FaultHandler::FaultHandler(std::string name, FaultHandlerConfig cfg)
+    : SimObject(std::move(name)), cfg_(cfg)
+{
+}
+
+Tick
+FaultHandler::service(Tick now)
+{
+    ++faults_;
+
+    bool joins_batch = batches_ > 0 &&
+                       now <= batchHeadTime_ + cfg_.batchWindow &&
+                       batchCount_ < cfg_.maxBatchSize;
+    if (!joins_batch) {
+        // Open a new batch headed by this fault; it cannot start
+        // processing before the handler finished the previous batch.
+        batchHeadTime_ = std::max(now, handlerFreeAt_);
+        batchCount_ = 0;
+        ++batches_;
+    }
+    ++batchCount_;
+
+    // The whole batch completes base + n*perFault after its head; a
+    // fault in the batch resolves at the batch completion time.
+    Tick done = batchHeadTime_ + cfg_.batchBaseLatency +
+                static_cast<Tick>(batchCount_) * cfg_.perFaultLatency;
+    handlerFreeAt_ = std::max(handlerFreeAt_, done);
+    return done;
+}
+
+double
+FaultHandler::meanBatchSize() const
+{
+    return batches_ ? static_cast<double>(faults_) /
+                      static_cast<double>(batches_)
+                    : 0.0;
+}
+
+void
+FaultHandler::reset()
+{
+    batchHeadTime_ = 0;
+    batchCount_ = 0;
+    handlerFreeAt_ = 0;
+    faults_ = 0;
+    batches_ = 0;
+}
+
+void
+FaultHandler::exportStats(StatMap &out) const
+{
+    putStat(out, "faults", static_cast<double>(faults_));
+    putStat(out, "batches", static_cast<double>(batches_));
+    putStat(out, "mean_batch_size", meanBatchSize());
+}
+
+void
+FaultHandler::resetStats()
+{
+    reset();
+}
+
+} // namespace uvmasync

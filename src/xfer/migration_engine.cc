@@ -1,0 +1,352 @@
+#include "xfer/migration_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+MigrationEngine::MigrationEngine(std::string name, UvmConfig cfg,
+                                 PageTable &table, DeviceMemory &devMem,
+                                 PcieLink &link)
+    : SimObject(std::move(name)), cfg_(cfg), table_(table),
+      devMem_(devMem), link_(link),
+      faultHandler_(this->name() + ".faults", cfg.fault),
+      prefetcher_(makePrefetcher(cfg.demandPrefetcher,
+                                 this->name() + ".prefetcher"))
+{
+}
+
+void
+MigrationEngine::beginJob()
+{
+    for (std::size_t r = 0; r < table_.rangeCount(); ++r)
+        table_.range(r).reset();
+    devMem_.clear();
+    // Precise LRU bookkeeping only matters when the working set can
+    // oversubscribe the device.
+    Bytes managed = 0;
+    for (std::size_t r = 0; r < table_.rangeCount(); ++r)
+        managed += table_.range(r).bytes();
+    devMem_.setLruTracking(managed >
+                           devMem_.capacity() * 9 / 10);
+    faultHandler_.reset();
+    prefetcher_->resetStats();
+    rangeState_.clear();
+    syncRanges();
+    jobTransferBusy_ = 0;
+    latestReady_ = 0;
+    jobFaults_ = 0;
+}
+
+void
+MigrationEngine::syncRanges()
+{
+    while (rangeState_.size() < table_.rangeCount()) {
+        const ManagedRange &range = table_.range(rangeState_.size());
+        RangeState state;
+        state.readyAt.assign(range.chunkCount(), maxTick);
+        state.prefetched.assign(range.chunkCount(), false);
+        state.demanded.assign(range.chunkCount(), false);
+        rangeState_.push_back(std::move(state));
+    }
+}
+
+Tick
+MigrationEngine::ensureCapacity(Bytes bytes, Tick now)
+{
+    Tick freeAt = now;
+    while (!devMem_.fits(bytes)) {
+        ResidentChunk victim = devMem_.evictVictim();
+        ManagedRange &range = table_.range(victim.rangeId);
+        RangeState &state = rangeState_[victim.rangeId];
+        if (range.dirty(victim.chunkIndex)) {
+            Occupancy occ = link_.transfer(freeAt, victim.bytes,
+                                           Direction::DeviceToHost,
+                                           TransferKind::Writeback);
+            jobTransferBusy_ += occ.duration();
+            table_.recordMigration(false, victim.bytes);
+            freeAt = std::max(freeAt, occ.end);
+            range.setDirty(victim.chunkIndex, false);
+        }
+        if (state.prefetched[victim.chunkIndex] &&
+            !state.demanded[victim.chunkIndex]) {
+            prefetcher_->onWastedPrefetch(victim.rangeId);
+            if (state.outstandingPrefetches > 0)
+                --state.outstandingPrefetches;
+        }
+        range.setState(victim.chunkIndex, ChunkState::HostOnly);
+        state.readyAt[victim.chunkIndex] = maxTick;
+        state.prefetched[victim.chunkIndex] = false;
+        UVMASYNC_ASSERT(state.residentChunks > 0,
+                        "resident chunk accounting underflow");
+        --state.residentChunks;
+    }
+    return freeAt;
+}
+
+Tick
+MigrationEngine::migrateChunk(std::size_t rangeId, std::uint64_t chunk,
+                              Tick when, TransferKind kind,
+                              bool speculative)
+{
+    ManagedRange &range = table_.range(rangeId);
+    RangeState &state = rangeState_[rangeId];
+    Bytes bytes = range.chunkSize(chunk);
+
+    Tick start = ensureCapacity(bytes, when);
+    Occupancy occ = link_.transfer(start, bytes,
+                                   Direction::HostToDevice, kind);
+    jobTransferBusy_ += occ.duration();
+    table_.recordMigration(true, bytes);
+
+    range.setState(chunk, ChunkState::DeviceResident);
+    state.readyAt[chunk] = occ.end;
+    state.prefetched[chunk] = speculative;
+    if (speculative)
+        ++state.outstandingPrefetches;
+    ++state.residentChunks;
+    latestReady_ = std::max(latestReady_, occ.end);
+    devMem_.insert(ResidentChunk{rangeId, chunk, bytes});
+    return occ.end;
+}
+
+Tick
+MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
+                              Tick now)
+{
+    syncRanges();
+    UVMASYNC_ASSERT(rangeId < rangeState_.size(),
+                    "request on unknown range %zu", rangeId);
+    ManagedRange &range = table_.range(rangeId);
+    RangeState &state = rangeState_[rangeId];
+    UVMASYNC_ASSERT(chunk < range.chunkCount(),
+                    "%s: chunk %llu out of range", range.name().c_str(),
+                    static_cast<unsigned long long>(chunk));
+
+    if (range.state(chunk) == ChunkState::DeviceResident) {
+        devMem_.touch(rangeId, chunk);
+        Tick ready = state.readyAt[chunk];
+        if (!state.demanded[chunk] && state.prefetched[chunk]) {
+            prefetcher_->onUsefulPrefetch(rangeId);
+            if (state.outstandingPrefetches > 0)
+                --state.outstandingPrefetches;
+        }
+        state.demanded[chunk] = true;
+        return std::max(now, ready);
+    }
+
+    // Far fault: driver batching, then migration over the link.
+    table_.recordFault();
+    ++jobFaults_;
+    if (state.outstandingPrefetches > 0) {
+        // The speculation failed to cover this demand; cool down.
+        prefetcher_->onWastedPrefetch(rangeId);
+        --state.outstandingPrefetches;
+    }
+    Tick serviced = faultHandler_.service(now);
+    Tick ready = migrateChunk(rangeId, chunk, serviced,
+                              TransferKind::DemandMigration,
+                              /*speculative=*/false);
+    state.demanded[chunk] = true;
+
+    // Let the driver prefetcher ride along on the fault.
+    auto candidates = prefetcher_->onDemandMiss(rangeId, chunk,
+                                                range.chunkCount());
+    for (const PrefetchCandidate &cand : candidates) {
+        ManagedRange &crange = table_.range(cand.rangeId);
+        if (crange.state(cand.chunkIndex) == ChunkState::DeviceResident)
+            continue;
+        migrateChunk(cand.rangeId, cand.chunkIndex, ready,
+                     TransferKind::DemandMigration,
+                     /*speculative=*/true);
+    }
+    return ready;
+}
+
+void
+MigrationEngine::populateOnDevice(std::size_t rangeId)
+{
+    syncRanges();
+    UVMASYNC_ASSERT(rangeId < rangeState_.size(),
+                    "populate on unknown range %zu", rangeId);
+    ManagedRange &range = table_.range(rangeId);
+    RangeState &state = rangeState_[rangeId];
+    for (std::uint64_t c = 0; c < range.chunkCount(); ++c) {
+        if (range.state(c) == ChunkState::DeviceResident)
+            continue;
+        // An oversubscribing allocation only materialises up to the
+        // device capacity; the rest stays host-side and will be
+        // demand-migrated (with eviction) on first GPU touch.
+        if (!devMem_.fits(range.chunkSize(c)))
+            break;
+        range.setState(c, ChunkState::DeviceResident);
+        state.readyAt[c] = 0;
+        ++state.residentChunks;
+        devMem_.insert(ResidentChunk{rangeId, c, range.chunkSize(c)});
+    }
+}
+
+Occupancy
+MigrationEngine::prefetchRange(std::size_t rangeId, Tick now,
+                               bool churnOk)
+{
+    syncRanges();
+    UVMASYNC_ASSERT(rangeId < rangeState_.size(),
+                    "prefetch on unknown range %zu", rangeId);
+    ManagedRange &range = table_.range(rangeId);
+    RangeState &state = rangeState_[rangeId];
+
+    Tick start = now + cfg_.prefetchCallOverhead;
+
+    // Gather the bytes that actually need to move.
+    Bytes pending = 0;
+    for (std::uint64_t c = 0; c < range.chunkCount(); ++c) {
+        if (range.state(c) != ChunkState::DeviceResident)
+            pending += range.chunkSize(c);
+    }
+
+    if (pending == 0) {
+        // Redundant prefetch: the driver still revalidates mappings
+        // and re-migrates recently dirtied pages (consecutive kernels
+        // sharing a buffer — the `nw` effect).
+        auto churn = static_cast<Bytes>(
+            std::ceil(static_cast<double>(range.bytes()) *
+                      cfg_.redundantPrefetchChurn));
+        if (!churnOk || churn == 0)
+            return Occupancy{start, start};
+        Occupancy occ = link_.transfer(start, churn,
+                                       Direction::HostToDevice,
+                                       TransferKind::BulkPrefetch);
+        jobTransferBusy_ += occ.duration();
+        return occ;
+    }
+
+    // A prefetch larger than the device can never complete; the
+    // driver migrates (evicting LRU pages) until the allocation's
+    // resident share saturates capacity. Model: move at most what
+    // eviction can make room for and leave the tail host-side.
+    Bytes movable = std::min<Bytes>(pending, devMem_.capacity());
+    Tick begin = ensureCapacity(movable, start);
+    Occupancy occ = link_.transfer(begin, movable,
+                                   Direction::HostToDevice,
+                                   TransferKind::BulkPrefetch);
+    jobTransferBusy_ += occ.duration();
+
+    Bytes placed = 0;
+    for (std::uint64_t c = 0; c < range.chunkCount(); ++c) {
+        if (range.state(c) == ChunkState::DeviceResident)
+            continue;
+        if (placed + range.chunkSize(c) > movable)
+            break;
+        placed += range.chunkSize(c);
+        table_.recordMigration(true, range.chunkSize(c));
+        range.setState(c, ChunkState::DeviceResident);
+        state.readyAt[c] = occ.end;
+        state.prefetched[c] = false; // explicit, not speculative
+        ++state.residentChunks;
+        devMem_.insert(ResidentChunk{rangeId, c, range.chunkSize(c)});
+        latestReady_ = std::max(latestReady_, occ.end);
+    }
+    return occ;
+}
+
+void
+MigrationEngine::markRangeDirty(std::size_t rangeId)
+{
+    syncRanges();
+    ManagedRange &range = table_.range(rangeId);
+    for (std::uint64_t c = 0; c < range.chunkCount(); ++c) {
+        if (range.state(c) == ChunkState::DeviceResident)
+            range.setDirty(c, true);
+    }
+}
+
+Tick
+MigrationEngine::writebackDirty(std::size_t rangeId, Tick now)
+{
+    syncRanges();
+    ManagedRange &range = table_.range(rangeId);
+    Bytes dirtyBytes = 0;
+    for (std::uint64_t c = 0; c < range.chunkCount(); ++c) {
+        if (range.state(c) == ChunkState::DeviceResident &&
+            range.dirty(c)) {
+            dirtyBytes += range.chunkSize(c);
+            range.setDirty(c, false);
+        }
+    }
+    if (dirtyBytes == 0)
+        return now;
+    Occupancy occ = link_.transfer(now, dirtyBytes,
+                                   Direction::DeviceToHost,
+                                   TransferKind::Writeback);
+    jobTransferBusy_ += occ.duration();
+    table_.recordMigration(false, dirtyBytes);
+    return occ.end;
+}
+
+Tick
+MigrationEngine::rangeReadyAt(std::size_t rangeId) const
+{
+    UVMASYNC_ASSERT(rangeId < rangeState_.size(),
+                    "query on unknown range %zu", rangeId);
+    Tick latest = 0;
+    for (Tick t : rangeState_[rangeId].readyAt) {
+        if (t == maxTick)
+            return maxTick;
+        latest = std::max(latest, t);
+    }
+    return latest;
+}
+
+bool
+MigrationEngine::rangeFullyResident(std::size_t rangeId) const
+{
+    return rangeReadyAt(rangeId) != maxTick;
+}
+
+bool
+MigrationEngine::allRangesResident() const
+{
+    for (std::size_t r = 0; r < rangeState_.size(); ++r) {
+        if (rangeState_[r].residentChunks !=
+            rangeState_[r].readyAt.size())
+            return false;
+    }
+    return rangeState_.size() == table_.rangeCount();
+}
+
+std::uint64_t
+MigrationEngine::unusedPrefetches() const
+{
+    std::uint64_t total = 0;
+    for (const RangeState &state : rangeState_)
+        total += state.outstandingPrefetches;
+    return total;
+}
+
+void
+MigrationEngine::exportStats(StatMap &out) const
+{
+    putStat(out, "job_transfer_busy_ps",
+            static_cast<double>(jobTransferBusy_));
+    putStat(out, "job_faults", static_cast<double>(jobFaults_));
+    putStat(out, "unused_prefetches",
+            static_cast<double>(unusedPrefetches()));
+    faultHandler_.exportStats(out);
+    prefetcher_->exportStats(out);
+}
+
+void
+MigrationEngine::resetStats()
+{
+    jobTransferBusy_ = 0;
+    jobFaults_ = 0;
+    faultHandler_.resetStats();
+    prefetcher_->resetStats();
+}
+
+} // namespace uvmasync

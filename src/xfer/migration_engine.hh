@@ -1,0 +1,189 @@
+/**
+ * @file
+ * UVM migration engine: the glue between the page table, the fault
+ * handler, the prefetcher, device memory and the PCIe link.
+ *
+ * The engine is analytic/busy-until rather than callback-driven: a
+ * caller asking for a chunk at time `now` receives the tick at which
+ * the chunk's data is usable on the device. Usefulness of prefetches
+ * is emergent — the engine migrates whatever the prefetcher predicts,
+ * and a prediction pays off only if a later demand finds the chunk
+ * already (or sooner) resident.
+ */
+
+#ifndef UVMASYNC_XFER_MIGRATION_ENGINE_HH
+#define UVMASYNC_XFER_MIGRATION_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/device_memory.hh"
+#include "mem/page_table.hh"
+#include "sim/sim_object.hh"
+#include "xfer/fault_handler.hh"
+#include "xfer/pcie_link.hh"
+#include "xfer/prefetcher.hh"
+
+namespace uvmasync
+{
+
+/** Tunables of the UVM subsystem. */
+struct UvmConfig
+{
+    /** Migration granularity (driver basic block). */
+    Bytes chunkBytes = kib(256);
+
+    /** Fault servicing parameters. */
+    FaultHandlerConfig fault;
+
+    /**
+     * Driver-side speculative prefetcher used on demand misses (the
+     * plain `uvm` configuration). None reproduces the paper's
+     * fault-dominated `uvm` numbers; the ablation benches explore
+     * Stream and Tree.
+     */
+    PrefetcherKind demandPrefetcher = PrefetcherKind::None;
+
+    /** CPU overhead per cudaMemPrefetchAsync call. */
+    Tick prefetchCallOverhead = microseconds(10);
+
+    /**
+     * Fraction of an already-resident range that a redundant
+     * cudaMemPrefetchAsync re-migrates (dirty-page ping-pong between
+     * consecutive kernels touching the same buffer; the `nw` effect).
+     */
+    double redundantPrefetchChurn = 0.05;
+};
+
+/**
+ * Coordinates all data movement for managed allocations of one job.
+ */
+class MigrationEngine : public SimObject
+{
+  public:
+    /**
+     * @param name   stat name
+     * @param cfg    UVM tunables
+     * @param table  residency directory (shared with the device)
+     * @param devMem HBM capacity/LRU tracking
+     * @param link   CPU-GPU interconnect
+     */
+    MigrationEngine(std::string name, UvmConfig cfg, PageTable &table,
+                    DeviceMemory &devMem, PcieLink &link);
+
+    const UvmConfig &config() const { return cfg_; }
+
+    /** Reset all residency and per-job accounting (new job). */
+    void beginJob();
+
+    /**
+     * Demand access to a chunk at @p now.
+     * @return tick at which the chunk is usable on the device.
+     */
+    Tick requestChunk(std::size_t rangeId, std::uint64_t chunk, Tick now);
+
+    /**
+     * Bulk cudaMemPrefetchAsync of a whole range issued at @p now.
+     *
+     * @param churnOk whether a redundant prefetch of already-resident
+     *        data re-migrates dirty pages (true for the harness's
+     *        per-launch re-prefetch; false for the initial prefetch
+     *        of device-populated buffers)
+     * @return the window occupied on the link (end == data ready).
+     */
+    Occupancy prefetchRange(std::size_t rangeId, Tick now,
+                            bool churnOk = false);
+
+    /**
+     * First-touch population on the device: managed pages never
+     * written by the host come into existence in GPU memory with no
+     * transfer (outputs and scratch buffers).
+     */
+    void populateOnDevice(std::size_t rangeId);
+
+    /**
+     * Mark every device-resident chunk of a range dirty (a kernel
+     * wrote the buffer; block-level execution does not track
+     * individual stores).
+     */
+    void markRangeDirty(std::size_t rangeId);
+
+    /**
+     * Migrate all dirty chunks of a range back to the host (CPU
+     * consuming results after the kernel). @return completion tick.
+     */
+    Tick writebackDirty(std::size_t rangeId, Tick now);
+
+    /** Earliest tick at which every chunk of the range is usable. */
+    Tick rangeReadyAt(std::size_t rangeId) const;
+
+    /** True once every chunk of the range is device-resident. */
+    bool rangeFullyResident(std::size_t rangeId) const;
+
+    /**
+     * O(ranges) check that every registered range is fully resident
+     * (steady state of iterative kernels; lets the executor skip
+     * per-chunk requests entirely).
+     */
+    bool allRangesResident() const;
+
+    /** Latest data-ready tick across all migrations so far. */
+    Tick latestReadyTick() const { return latestReady_; }
+
+    /**
+     * Total link time consumed on behalf of this job so far
+     * (demand + prefetch + writeback + wasted speculation).
+     */
+    Tick jobTransferBusy() const { return jobTransferBusy_; }
+
+    /** Demand faults raised this job. */
+    std::uint64_t jobFaults() const { return jobFaults_; }
+
+    /** Prefetched-but-never-demanded chunks this job. */
+    std::uint64_t unusedPrefetches() const;
+
+    const Prefetcher &prefetcher() const { return *prefetcher_; }
+
+    void exportStats(StatMap &out) const override;
+    void resetStats() override;
+
+  private:
+    /** Per-chunk engine-side tracking parallel to ManagedRange. */
+    struct RangeState
+    {
+        std::vector<Tick> readyAt;      //!< maxTick when not migrated
+        std::vector<bool> prefetched;   //!< arrived speculatively
+        std::vector<bool> demanded;     //!< touched by a demand access
+        std::uint64_t outstandingPrefetches = 0;
+        std::uint64_t residentChunks = 0;
+    };
+
+    /** (Re)build engine state mirrors for the page table's ranges. */
+    void syncRanges();
+
+    /** Make room for @p bytes, evicting (and writing back) LRU chunks. */
+    Tick ensureCapacity(Bytes bytes, Tick now);
+
+    /** Issue one chunk migration on the link; updates all state. */
+    Tick migrateChunk(std::size_t rangeId, std::uint64_t chunk, Tick when,
+                      TransferKind kind, bool speculative);
+
+    UvmConfig cfg_;
+    PageTable &table_;
+    DeviceMemory &devMem_;
+    PcieLink &link_;
+    FaultHandler faultHandler_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+
+    std::vector<RangeState> rangeState_;
+    Tick jobTransferBusy_ = 0;
+    Tick latestReady_ = 0;
+    std::uint64_t jobFaults_ = 0;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_XFER_MIGRATION_ENGINE_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * UVM driver prefetcher models.
+ *
+ * On a demand miss the driver may speculatively migrate additional
+ * chunks. How useful those speculations are depends on the access
+ * pattern's regularity — the mechanism behind the paper's "regular
+ * workloads benefit from UVM (with prefetch), irregular ones do not"
+ * takeaway. Three models are provided:
+ *
+ *  - NonePrefetcher: plain demand paging (the `uvm` configuration).
+ *  - StreamPrefetcher: fixed next-N-chunks lookahead.
+ *  - TreePrefetcher: Nvidia-style density prefetcher whose lookahead
+ *    doubles on a hit streak and collapses on a useless prediction.
+ */
+
+#ifndef UVMASYNC_XFER_PREFETCHER_HH
+#define UVMASYNC_XFER_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace uvmasync
+{
+
+/** A predicted chunk to migrate speculatively. */
+struct PrefetchCandidate
+{
+    std::size_t rangeId;
+    std::uint64_t chunkIndex;
+};
+
+/**
+ * Prefetcher interface. Implementations are stateful per managed
+ * range (tracked by rangeId) and must be reset between runs.
+ */
+class Prefetcher : public SimObject
+{
+  public:
+    explicit Prefetcher(std::string name) : SimObject(std::move(name)) {}
+
+    /**
+     * React to a demand miss on (@p rangeId, @p chunkIndex) of a range
+     * with @p chunkCount chunks; return chunks to migrate
+     * speculatively (may be empty). Already-resident candidates are
+     * filtered by the caller.
+     */
+    virtual std::vector<PrefetchCandidate>
+    onDemandMiss(std::size_t rangeId, std::uint64_t chunkIndex,
+                 std::uint64_t chunkCount) = 0;
+
+    /** Feedback: a previously prefetched chunk was actually used. */
+    virtual void onUsefulPrefetch(std::size_t rangeId) = 0;
+
+    /** Feedback: a prefetched chunk was evicted unused. */
+    virtual void onWastedPrefetch(std::size_t rangeId) = 0;
+
+    /** Forget per-range state (new run). */
+    virtual void resetState() = 0;
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t useful() const { return useful_; }
+    std::uint64_t wasted() const { return wasted_; }
+
+    /** Fraction of issued prefetches confirmed useful. */
+    double accuracy() const;
+
+    void exportStats(StatMap &out) const override;
+    void resetStats() override;
+
+  protected:
+    void recordIssued(std::size_t n) { issued_ += n; }
+    void recordUseful() { ++useful_; }
+    void recordWasted() { ++wasted_; }
+
+  private:
+    std::uint64_t issued_ = 0;
+    std::uint64_t useful_ = 0;
+    std::uint64_t wasted_ = 0;
+};
+
+/** No speculation: plain demand paging. */
+class NonePrefetcher : public Prefetcher
+{
+  public:
+    explicit NonePrefetcher(std::string name)
+        : Prefetcher(std::move(name))
+    {}
+
+    std::vector<PrefetchCandidate>
+    onDemandMiss(std::size_t, std::uint64_t, std::uint64_t) override
+    {
+        return {};
+    }
+
+    void onUsefulPrefetch(std::size_t) override { recordUseful(); }
+    void onWastedPrefetch(std::size_t) override { recordWasted(); }
+    void resetState() override {}
+};
+
+/** Fixed-distance sequential prefetcher. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    StreamPrefetcher(std::string name, std::uint32_t distance);
+
+    std::vector<PrefetchCandidate>
+    onDemandMiss(std::size_t rangeId, std::uint64_t chunkIndex,
+                 std::uint64_t chunkCount) override;
+
+    void onUsefulPrefetch(std::size_t) override { recordUseful(); }
+    void onWastedPrefetch(std::size_t) override { recordWasted(); }
+    void resetState() override {}
+
+  private:
+    std::uint32_t distance_;
+};
+
+/**
+ * Density/tree prefetcher: lookahead grows geometrically while
+ * predictions prove useful and collapses to the minimum on waste,
+ * approximating the UVM driver's 64K->2M block promotion behaviour.
+ */
+class TreePrefetcher : public Prefetcher
+{
+  public:
+    TreePrefetcher(std::string name, std::uint32_t minDistance = 2,
+                   std::uint32_t maxDistance = 32);
+
+    std::vector<PrefetchCandidate>
+    onDemandMiss(std::size_t rangeId, std::uint64_t chunkIndex,
+                 std::uint64_t chunkCount) override;
+
+    void onUsefulPrefetch(std::size_t rangeId) override;
+    void onWastedPrefetch(std::size_t rangeId) override;
+    void resetState() override { distance_.clear(); }
+
+  private:
+    std::uint32_t minDistance_;
+    std::uint32_t maxDistance_;
+    std::unordered_map<std::size_t, std::uint32_t> distance_;
+};
+
+/** Factory helper for the three models. */
+enum class PrefetcherKind
+{
+    None,
+    Stream,
+    Tree,
+};
+
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
+                                           std::string name);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_XFER_PREFETCHER_HH

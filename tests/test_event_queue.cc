@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, priorities,
+ * determinism and time-window execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(nanoseconds(30), [&] { order.push_back(3); });
+    q.schedule(nanoseconds(10), [&] { order.push_back(1); });
+    q.schedule(nanoseconds(20), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), nanoseconds(30));
+}
+
+TEST(EventQueue, SameTickFifoBySequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(nanoseconds(5), [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(nanoseconds(5), [&] { order.push_back(2); },
+               EventPriority::Late);
+    q.schedule(nanoseconds(5), [&] { order.push_back(1); },
+               EventPriority::Default);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsScheduleNewEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(nanoseconds(1), [&] {
+        ++fired;
+        q.scheduleIn(nanoseconds(1), [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.curTick(), nanoseconds(2));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(nanoseconds(10), [&] { ++fired; });
+    q.schedule(nanoseconds(20), [&] { ++fired; });
+    q.runUntil(nanoseconds(15));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.curTick(), nanoseconds(15));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(nanoseconds(10), [&] {
+        q.scheduleIn(nanoseconds(5), [&] { seen = q.curTick(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, nanoseconds(15));
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    q.schedule(nanoseconds(10), [] {});
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.executedCount(), 0u);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 25; ++i)
+        q.schedule(nanoseconds(static_cast<std::uint64_t>(i)), [] {});
+    q.run();
+    EXPECT_EQ(q.executedCount(), 25u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(nanoseconds(10), [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(nanoseconds(5), [] {}), "past");
+}
+
+/** Property: any random schedule executes in non-decreasing time. */
+class EventOrderTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventOrderTest, MonotoneExecution)
+{
+    EventQueue q;
+    std::vector<Tick> seen;
+    std::uint64_t state = GetParam();
+    for (int i = 0; i < 200; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        Tick when = state % microseconds(1);
+        q.schedule(when, [&seen, &q] { seen.push_back(q.curTick()); });
+    }
+    q.run();
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        ASSERT_GE(seen[i], seen[i - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderTest,
+                         ::testing::Values(1ull, 99ull, 4242ull));
+
+} // namespace
+} // namespace uvmasync

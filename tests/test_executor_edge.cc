@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Edge cases of the kernel executor: degenerate geometries, extreme
+ * partitions, unstaged kernels, async API multiplier, and L2
+ * residency effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/kernel_executor.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+KernelDescriptor
+tinyKernel()
+{
+    KernelDescriptor kd = makeStreamKernel(
+        "tiny", 1, 32, kib(4), kib(4), 4, 2.0, 2.0, 0.5, 0.0);
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false,
+                        1.0, true},
+    };
+    return kd;
+}
+
+KernelExecConfig
+cfgFor(TransferMode mode, std::vector<Bytes> bytes)
+{
+    KernelExecConfig cfg;
+    cfg.mode = mode;
+    cfg.bufferBytes = std::move(bytes);
+    return cfg;
+}
+
+TEST(ExecutorEdge, SingleBlockSingleWarpRuns)
+{
+    KernelExecutor exec(cfgFor(TransferMode::Standard, {kib(4)}));
+    KernelResult res = exec.run(tinyKernel(), 0);
+    EXPECT_GT(res.kernelTime(), 0u);
+    EXPECT_EQ(res.faults, 0u);
+}
+
+TEST(ExecutorEdge, ZeroStoreKernel)
+{
+    KernelDescriptor kd = tinyKernel();
+    kd.tileStoreBytes = 0;
+    kd.name = "nostore";
+    KernelExecutor exec(cfgFor(TransferMode::Async, {kib(4)}));
+    EXPECT_GT(exec.run(kd, 0).kernelTime(), 0u);
+}
+
+TEST(ExecutorEdge, TinyCarveoutShrinksTilesNotCorrectness)
+{
+    KernelDescriptor kd = makeStreamKernel(
+        "bigtile", 256, 256, mib(64), kib(64), 4, 4.0, 4.0, 1.0,
+        0.5);
+    kd.buffers = tinyKernel().buffers;
+    KernelExecConfig cfg = cfgFor(TransferMode::Async, {mib(64)});
+    cfg.sharedCarveout = kib(2);
+    KernelExecutor exec(cfg);
+    KernelResult res = exec.run(kd, 0);
+    EXPECT_GT(res.kernelTime(), 0u);
+    // With 2 KiB of shared memory the 128 KiB double buffer cannot
+    // fit; tiles shrink and the pipeline pays heavy per-tile waits.
+    KernelExecConfig roomy = cfgFor(TransferMode::Async, {mib(64)});
+    roomy.sharedCarveout = kib(128);
+    KernelExecutor exec2(roomy);
+    EXPECT_GT(res.kernelTime(), exec2.run(kd, 0).kernelTime());
+}
+
+TEST(ExecutorEdge, UnstagedKernelIgnoresAsyncMode)
+{
+    KernelDescriptor kd = tinyKernel();
+    kd.gridBlocks = 1024;
+    for (KernelBufferUse &use : kd.buffers)
+        use.stagedThroughShared = false;
+    kd.name = "unstaged";
+    KernelExecutor sync(cfgFor(TransferMode::Standard, {kib(4)}));
+    KernelExecutor async(cfgFor(TransferMode::Async, {kib(4)}));
+    EXPECT_EQ(sync.run(kd, 0).kernelTime(),
+              async.run(kd, 0).kernelTime());
+    // Neither does it add control instructions.
+    EXPECT_DOUBLE_EQ(sync.run(kd, 0).instrs.control,
+                     async.run(kd, 0).instrs.control);
+}
+
+TEST(ExecutorEdge, BarrierApiSlowerThanPipeline)
+{
+    KernelDescriptor kd = makeStreamKernel(
+        "stream", 2048, 256, gib(1), kib(32), 4, 8.0, 4.0, 0.5, 1.0);
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, true,
+                        1.0, true},
+    };
+    KernelExecConfig pipe = cfgFor(TransferMode::Async, {gib(1)});
+    KernelExecConfig barrier = cfgFor(TransferMode::Async, {gib(1)});
+    barrier.gpu.asyncWaitMultiplier = 1.9;
+    KernelExecutor a(pipe), b(barrier);
+    EXPECT_LT(a.run(kd, 0).kernelTime(), b.run(kd, 0).kernelTime());
+}
+
+TEST(ExecutorEdge, L2ResidentReuseFasterThanStreaming)
+{
+    // Same traffic, but one kernel re-reads a small (L2-resident)
+    // footprint while the other streams a huge one.
+    auto make = [](const char *name, Bytes footprint) {
+        KernelDescriptor kd = makeStreamKernel(
+            name, 2048, 256, gib(1), kib(16), 4, 4.0, 4.0, 0.5, 0.1);
+        kd.buffers = {
+            KernelBufferUse{0, AccessPattern::Tiled, true, false, 1.0,
+                            true},
+        };
+        (void)footprint;
+        return kd;
+    };
+    KernelExecutor smallFp(
+        cfgFor(TransferMode::Standard, {mib(16)}));
+    KernelExecutor bigFp(cfgFor(TransferMode::Standard, {gib(8)}));
+    Tick reused = smallFp.run(make("reuse", mib(16)), 0).kernelTime();
+    Tick streamed = bigFp.run(make("stream", gib(8)), 0).kernelTime();
+    EXPECT_LT(reused, streamed);
+}
+
+TEST(ExecutorEdge, StartTickOffsetsResult)
+{
+    KernelExecutor exec(cfgFor(TransferMode::Standard, {kib(4)}));
+    KernelResult a = exec.run(tinyKernel(), 0);
+    KernelResult b = exec.run(tinyKernel(), seconds(1));
+    EXPECT_EQ(a.kernelTime(), b.kernelTime());
+    EXPECT_EQ(b.startTick, seconds(1));
+}
+
+TEST(ExecutorEdge, MemoizationIsByName)
+{
+    // Two kernels sharing a name inside one executor instance reuse
+    // the first derivation (documented contract).
+    KernelDescriptor kd = tinyKernel();
+    KernelExecutor exec(cfgFor(TransferMode::Standard, {kib(4)}));
+    Tick first = exec.run(kd, 0).kernelTime();
+    kd.fpPerTile *= 1000.0; // same name -> cached derivation
+    EXPECT_EQ(exec.run(kd, 0).kernelTime(), first);
+}
+
+} // namespace
+} // namespace uvmasync

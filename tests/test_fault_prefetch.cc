@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for far-fault batching and the prefetcher models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "xfer/fault_handler.hh"
+#include "xfer/prefetcher.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+FaultHandlerConfig
+cfg()
+{
+    FaultHandlerConfig c;
+    c.batchBaseLatency = microseconds(20);
+    c.perFaultLatency = microseconds(1);
+    c.batchWindow = microseconds(10);
+    c.maxBatchSize = 4;
+    return c;
+}
+
+TEST(FaultHandler, SingleFaultPaysBasePlusOne)
+{
+    FaultHandler h("fh", cfg());
+    Tick done = h.service(0);
+    EXPECT_EQ(done, microseconds(21));
+    EXPECT_EQ(h.faults(), 1u);
+    EXPECT_EQ(h.batches(), 1u);
+}
+
+TEST(FaultHandler, SimultaneousFaultsShareBatch)
+{
+    FaultHandler h("fh", cfg());
+    Tick d1 = h.service(0);
+    Tick d2 = h.service(0);
+    Tick d3 = h.service(0);
+    EXPECT_EQ(h.batches(), 1u);
+    // Later joiners resolve later (per-fault marginal cost).
+    EXPECT_LT(d1, d2);
+    EXPECT_LT(d2, d3);
+    EXPECT_DOUBLE_EQ(h.meanBatchSize(), 3.0);
+}
+
+TEST(FaultHandler, BatchSizeCapOpensNewBatch)
+{
+    FaultHandler h("fh", cfg());
+    for (int i = 0; i < 4; ++i)
+        h.service(0);
+    h.service(0); // fifth: cap is 4
+    EXPECT_EQ(h.batches(), 2u);
+}
+
+TEST(FaultHandler, WindowExpiryOpensNewBatch)
+{
+    FaultHandler h("fh", cfg());
+    h.service(0);
+    h.service(microseconds(11)); // outside 10 us window
+    EXPECT_EQ(h.batches(), 2u);
+}
+
+TEST(FaultHandler, BatchesSerializeOnHandler)
+{
+    FaultHandler h("fh", cfg());
+    Tick d1 = h.service(0);
+    // A fault arriving after the window but before the handler
+    // finished starts its batch when the handler frees up.
+    Tick d2 = h.service(microseconds(11));
+    EXPECT_GE(d2, d1);
+}
+
+TEST(FaultHandler, ResetClearsTimeline)
+{
+    FaultHandler h("fh", cfg());
+    h.service(0);
+    h.reset();
+    EXPECT_EQ(h.faults(), 0u);
+    EXPECT_EQ(h.service(0), microseconds(21));
+}
+
+TEST(Prefetcher, NoneNeverPredicts)
+{
+    NonePrefetcher p("none");
+    EXPECT_TRUE(p.onDemandMiss(0, 5, 100).empty());
+    EXPECT_EQ(p.issued(), 0u);
+}
+
+TEST(Prefetcher, StreamPredictsNextN)
+{
+    StreamPrefetcher p("stream", 3);
+    auto preds = p.onDemandMiss(0, 10, 100);
+    ASSERT_EQ(preds.size(), 3u);
+    EXPECT_EQ(preds[0].chunkIndex, 11u);
+    EXPECT_EQ(preds[2].chunkIndex, 13u);
+    EXPECT_EQ(p.issued(), 3u);
+}
+
+TEST(Prefetcher, StreamClampsAtRangeEnd)
+{
+    StreamPrefetcher p("stream", 8);
+    auto preds = p.onDemandMiss(0, 98, 100);
+    EXPECT_EQ(preds.size(), 1u);
+}
+
+TEST(Prefetcher, TreeGrowsOnUsefulHits)
+{
+    TreePrefetcher p("tree", 2, 16);
+    EXPECT_EQ(p.onDemandMiss(0, 0, 1000).size(), 2u);
+    p.onUsefulPrefetch(0);
+    EXPECT_EQ(p.onDemandMiss(0, 10, 1000).size(), 4u);
+    p.onUsefulPrefetch(0);
+    EXPECT_EQ(p.onDemandMiss(0, 20, 1000).size(), 8u);
+}
+
+TEST(Prefetcher, TreeCollapsesOnWaste)
+{
+    TreePrefetcher p("tree", 2, 16);
+    p.onUsefulPrefetch(0);
+    p.onUsefulPrefetch(0);
+    EXPECT_EQ(p.onDemandMiss(0, 0, 1000).size(), 8u);
+    p.onWastedPrefetch(0);
+    EXPECT_EQ(p.onDemandMiss(0, 50, 1000).size(), 2u);
+}
+
+TEST(Prefetcher, TreePerRangeState)
+{
+    TreePrefetcher p("tree", 2, 16);
+    p.onUsefulPrefetch(0);
+    // Range 1 is untouched and stays at the minimum distance.
+    EXPECT_EQ(p.onDemandMiss(1, 0, 1000).size(), 2u);
+    EXPECT_EQ(p.onDemandMiss(0, 0, 1000).size(), 4u);
+}
+
+TEST(Prefetcher, AccuracyAccounting)
+{
+    StreamPrefetcher p("stream", 1);
+    p.onUsefulPrefetch(0);
+    p.onUsefulPrefetch(0);
+    p.onWastedPrefetch(0);
+    EXPECT_NEAR(p.accuracy(), 2.0 / 3.0, 1e-9);
+    p.resetStats();
+    EXPECT_DOUBLE_EQ(p.accuracy(), 0.0);
+}
+
+TEST(Prefetcher, FactoryMakesAllKinds)
+{
+    EXPECT_NE(makePrefetcher(PrefetcherKind::None, "a"), nullptr);
+    EXPECT_NE(makePrefetcher(PrefetcherKind::Stream, "b"), nullptr);
+    EXPECT_NE(makePrefetcher(PrefetcherKind::Tree, "c"), nullptr);
+}
+
+} // namespace
+} // namespace uvmasync

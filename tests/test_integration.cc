@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Integration tests: the paper's qualitative findings, asserted
+ * end-to-end through the full stack (workload -> device -> harness).
+ * These are the invariants the reproduction must not lose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+struct IntegrationFixture : public ::testing::Test
+{
+    static ExperimentOptions
+    superOpts()
+    {
+        ExperimentOptions opts;
+        opts.size = SizeClass::Super;
+        opts.runs = 5;
+        return opts;
+    }
+
+    static double
+    norm(const ModeSet &set, TransferMode mode)
+    {
+        return findMode(set, mode).clean.overallPs() /
+               findMode(set, TransferMode::Standard)
+                   .clean.overallPs();
+    }
+
+    Experiment experiment;
+};
+
+TEST_F(IntegrationFixture, Takeaway2PrefetchHelpsRegularWorkloads)
+{
+    // "UVM with prefetch gives ~21% on real-world applications;
+    // regular patterns benefit more."
+    for (const char *name : {"vector_seq", "2DCONV", "pathfinder",
+                             "hotspot", "knn"}) {
+        ModeSet set = experiment.runAllModes(name, superOpts());
+        EXPECT_LT(norm(set, TransferMode::UvmPrefetch), 0.9) << name;
+    }
+}
+
+TEST_F(IntegrationFixture, Takeaway2AsyncHelpsIrregularWorkloads)
+{
+    // "In irregular programs like kmeans and lud, asynchronous memory
+    // copy provides benefits atop of unified virtual memory": the
+    // combination beats uvm_prefetch alone, and async alone helps.
+    for (const char *name : {"lud", "kmeans"}) {
+        ModeSet set = experiment.runAllModes(name, superOpts());
+        double async = norm(set, TransferMode::Async);
+        double prefetch = norm(set, TransferMode::UvmPrefetch);
+        double combo = norm(set, TransferMode::UvmPrefetchAsync);
+        EXPECT_LT(async, 1.0) << name;
+        EXPECT_LT(combo, prefetch) << name;
+    }
+    // lud specifically: async alone beats UVM with prefetch.
+    ModeSet lud = experiment.runAllModes("lud", superOpts());
+    EXPECT_LT(norm(lud, TransferMode::Async),
+              norm(lud, TransferMode::UvmPrefetch));
+}
+
+TEST_F(IntegrationFixture, LudCombinationMatchesAsyncOnly)
+{
+    // "When combining the two, lud maintains the same speedup as
+    // Async Memcpy only."
+    ModeSet set = experiment.runAllModes("lud", superOpts());
+    double async = norm(set, TransferMode::Async);
+    double combo = norm(set, TransferMode::UvmPrefetchAsync);
+    EXPECT_NEAR(combo, async, 0.08);
+}
+
+TEST_F(IntegrationFixture, AsyncIsOverallNeutralOnMicro)
+{
+    // Section 4.1.1: async alone moves overall time < 1.5% on the
+    // streaming microbenchmarks.
+    for (const char *name : {"vector_seq", "saxpy", "gemv"}) {
+        ModeSet set = experiment.runAllModes(name, superOpts());
+        EXPECT_NEAR(norm(set, TransferMode::Async), 1.0, 0.015)
+            << name;
+    }
+}
+
+TEST_F(IntegrationFixture, AsyncCutsStreamingKernelTime)
+{
+    // Section 4.1.1: ~42% kernel-time reduction on vector_seq.
+    ModeSet set = experiment.runAllModes("vector_seq", superOpts());
+    double standard =
+        findMode(set, TransferMode::Standard).clean.kernelPs;
+    double async = findMode(set, TransferMode::Async).clean.kernelPs;
+    EXPECT_LT(async, standard * 0.75);
+    EXPECT_GT(async, standard * 0.40);
+}
+
+TEST_F(IntegrationFixture, AsyncInflatesStencilKernelTime)
+{
+    // Section 4.1.1: 2DCONV's async kernel runs ~2.5x standard.
+    ModeSet set = experiment.runAllModes("2DCONV", superOpts());
+    double standard =
+        findMode(set, TransferMode::Standard).clean.kernelPs;
+    double async = findMode(set, TransferMode::Async).clean.kernelPs;
+    EXPECT_GT(async, standard * 1.8);
+}
+
+TEST_F(IntegrationFixture, UvmWithoutPrefetchDoesNotHelp)
+{
+    // Takeaway 2: plain uvm gives no significant improvement.
+    std::vector<ModeSet> micro;
+    for (const char *name :
+         {"vector_seq", "vector_rand", "saxpy", "gemv", "gemm",
+          "2DCONV", "3DCONV"})
+        micro.push_back(experiment.runAllModes(name, superOpts()));
+    double gain = geomeanImprovement(micro, TransferMode::Uvm);
+    EXPECT_LT(gain, 0.02);
+}
+
+TEST_F(IntegrationFixture, UvmRaisesFaultsPrefetchEliminatesThem)
+{
+    ModeSet set = experiment.runAllModes("saxpy", superOpts());
+    EXPECT_GT(findMode(set, TransferMode::Uvm).counters.faults, 0u);
+    EXPECT_EQ(findMode(set, TransferMode::UvmPrefetch).counters.faults,
+              0u);
+}
+
+TEST_F(IntegrationFixture, Figure9AsyncControlInstructions)
+{
+    // gemm/yolov3 control counts rise ~30-40% with async; lud's
+    // branch-heavy baseline dilutes the increase.
+    for (const char *name : {"gemm", "yolov3"}) {
+        ModeSet set = experiment.runAllModes(name, superOpts());
+        double std_ctrl =
+            findMode(set, TransferMode::Standard).counters.instrs
+                .control;
+        double async_ctrl =
+            findMode(set, TransferMode::UvmPrefetchAsync)
+                .counters.instrs.control;
+        double increase = async_ctrl / std_ctrl - 1.0;
+        EXPECT_GT(increase, 0.15) << name;
+        EXPECT_LT(increase, 0.8) << name;
+    }
+    ModeSet lud = experiment.runAllModes("lud", superOpts());
+    double increase =
+        findMode(lud, TransferMode::UvmPrefetchAsync)
+            .counters.instrs.control /
+            findMode(lud, TransferMode::Standard).counters.instrs
+                .control -
+        1.0;
+    EXPECT_LT(increase, 0.15);
+}
+
+TEST_F(IntegrationFixture, Figure10LudMissRatesDropWithAsync)
+{
+    ModeSet set = experiment.runAllModes("lud", superOpts());
+    const RunCounters &std_c =
+        findMode(set, TransferMode::Standard).counters;
+    const RunCounters &async_c =
+        findMode(set, TransferMode::Async).counters;
+    EXPECT_LT(async_c.l1LoadMissRate, std_c.l1LoadMissRate * 0.9);
+    EXPECT_LT(async_c.l1StoreMissRate, std_c.l1StoreMissRate * 0.6);
+}
+
+TEST_F(IntegrationFixture, Figure5LargeAndSuperAreStable)
+{
+    // Takeaway 1: relative noise shrinks from Tiny to Large/Super,
+    // then regresses at Mega.
+    auto cv = [&](SizeClass size) {
+        ExperimentOptions opts;
+        opts.size = size;
+        opts.runs = 30;
+        return experiment
+            .run("vector_seq", TransferMode::Standard, opts)
+            .overallSamples()
+            .cv();
+    };
+    double tiny = cv(SizeClass::Tiny);
+    double large = cv(SizeClass::Large);
+    double mega = cv(SizeClass::Mega);
+    EXPECT_GT(tiny, large);
+    EXPECT_GT(mega, large);
+}
+
+TEST_F(IntegrationFixture, Figure11BlockCountInsensitive)
+{
+    // Takeaway 4: repartitioning vector_seq across block counts
+    // moves overall time by only a few percent.
+    ExperimentOptions opts = superOpts();
+    opts.geometry.threadsPerBlock = 256;
+    double reference = 0.0;
+    for (std::uint64_t blocks : {4096ull, 512ull, 64ull}) {
+        opts.geometry.gridBlocks = blocks;
+        double overall =
+            experiment.run("vector_seq", TransferMode::Standard, opts)
+                .clean.overallPs();
+        if (reference == 0.0)
+            reference = overall;
+        EXPECT_NEAR(overall / reference, 1.0, 0.05) << blocks;
+    }
+}
+
+TEST_F(IntegrationFixture, Figure13PartitionShapes)
+{
+    // Takeaway 5: tiny shared memory starves async; a huge carveout
+    // (tiny L1) hurts the UVM configurations more than standard.
+    auto kernelAt = [&](Bytes carveout, TransferMode mode) {
+        ExperimentOptions opts = superOpts();
+        opts.sharedCarveout = carveout;
+        return experiment.run("vector_seq", mode, opts)
+            .clean.kernelPs;
+    };
+    EXPECT_GT(kernelAt(kib(2), TransferMode::Async),
+              kernelAt(kib(32), TransferMode::Async) * 1.5);
+    double uvmGrowth = kernelAt(kib(128), TransferMode::UvmPrefetch) /
+                       kernelAt(kib(32), TransferMode::UvmPrefetch);
+    double stdGrowth = kernelAt(kib(128), TransferMode::Standard) /
+                       kernelAt(kib(32), TransferMode::Standard);
+    EXPECT_GT(uvmGrowth, stdGrowth);
+}
+
+TEST_F(IntegrationFixture, Figure6MemcpyIsTheUnstableComponent)
+{
+    // At Mega, allocation and kernel are flat across runs while the
+    // memcpy component carries the DRAM-straddle noise.
+    ExperimentOptions opts;
+    opts.size = SizeClass::Mega;
+    opts.runs = 30;
+    ExperimentResult res =
+        experiment.run("vector_seq", TransferMode::Standard, opts);
+    SampleSet alloc, memcpy_s, kernel;
+    for (const TimeBreakdown &b : res.runs) {
+        alloc.add(b.allocPs);
+        memcpy_s.add(b.transferPs);
+        kernel.add(b.kernelPs);
+    }
+    EXPECT_GT(memcpy_s.cv(), alloc.cv() * 3);
+    EXPECT_GT(memcpy_s.cv(), kernel.cv() * 3);
+}
+
+TEST_F(IntegrationFixture, NwPrefetchChurnsVersusPlainUvm)
+{
+    // Section 4.1.2: for nw, prefetch downgrades performance
+    // relative to what plain demand paging would lose.
+    ModeSet set = experiment.runAllModes("nw", superOpts());
+    double prefetch_transfer =
+        findMode(set, TransferMode::UvmPrefetch).clean.transferPs;
+    double uvm_transfer =
+        findMode(set, TransferMode::Uvm).clean.transferPs;
+    EXPECT_GT(prefetch_transfer, uvm_transfer);
+}
+
+TEST_F(IntegrationFixture, YoloCombinationWorseThanPrefetchAlone)
+{
+    // Section 4.1.2: yolov3's gemm kernels make uvm_prefetch alone
+    // the best configuration.
+    ModeSet set = experiment.runAllModes("yolov3", superOpts());
+    EXPECT_GT(norm(set, TransferMode::UvmPrefetchAsync),
+              norm(set, TransferMode::UvmPrefetch));
+}
+
+} // namespace
+} // namespace uvmasync

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the kernel executor: mode-dependent timing, UVM stalls,
+ * residency steady state and counter production.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/kernel_executor.hh"
+#include "mem/device_memory.hh"
+#include "mem/page_table.hh"
+#include "xfer/migration_engine.hh"
+#include "xfer/pcie_link.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+KernelDescriptor
+streamingKernel()
+{
+    KernelDescriptor kd = makeStreamKernel(
+        "stream", 2048, 256, gib(1), kib(32), 4,
+        /*flops*/ 8.0, /*ints*/ 4.0, /*ctrl*/ 0.5, /*store*/ 1.0);
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false, 1.0,
+                        true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true, 1.0,
+                        true},
+    };
+    return kd;
+}
+
+KernelDescriptor
+computeKernel()
+{
+    KernelDescriptor kd = makeStreamKernel(
+        "compute", 2048, 256, mib(256), kib(16), 4,
+        /*flops*/ 300.0, /*ints*/ 30.0, /*ctrl*/ 4.0, /*store*/ 0.1);
+    kd.warpsToSaturate = 16.0;
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Tiled, true, true, 1.0,
+                        true},
+    };
+    return kd;
+}
+
+KernelExecConfig
+explicitConfig(TransferMode mode, std::vector<Bytes> bytes)
+{
+    KernelExecConfig cfg;
+    cfg.mode = mode;
+    cfg.bufferBytes = std::move(bytes);
+    return cfg;
+}
+
+TEST(KernelExecutor, ProducesPositiveTime)
+{
+    KernelExecutor exec(
+        explicitConfig(TransferMode::Standard, {gib(1), gib(1)}));
+    KernelResult res = exec.run(streamingKernel(), microseconds(5));
+    EXPECT_EQ(res.startTick, microseconds(5));
+    EXPECT_GT(res.endTick, res.startTick);
+    EXPECT_GT(res.instrs.total(), 0.0);
+    EXPECT_EQ(res.faults, 0u);
+}
+
+TEST(KernelExecutor, AsyncHelpsStreamingKernels)
+{
+    // The vector_seq effect: async removes the register staging.
+    KernelExecutor sync(
+        explicitConfig(TransferMode::Standard, {gib(1), gib(1)}));
+    KernelExecutor async(
+        explicitConfig(TransferMode::Async, {gib(1), gib(1)}));
+    Tick syncTime = sync.run(streamingKernel(), 0).kernelTime();
+    Tick asyncTime = async.run(streamingKernel(), 0).kernelTime();
+    EXPECT_LT(asyncTime, syncTime);
+}
+
+TEST(KernelExecutor, AsyncHurtsComputeDenseKernels)
+{
+    // The 2DCONV effect: double buffering halves residency and the
+    // added control instructions cost issue slots.
+    KernelExecutor sync(
+        explicitConfig(TransferMode::Standard, {mib(256)}));
+    KernelExecutor async(
+        explicitConfig(TransferMode::Async, {mib(256)}));
+    Tick syncTime = sync.run(computeKernel(), 0).kernelTime();
+    Tick asyncTime = async.run(computeKernel(), 0).kernelTime();
+    EXPECT_GT(asyncTime, syncTime);
+}
+
+TEST(KernelExecutor, AsyncAddsControlInstructions)
+{
+    KernelExecutor sync(
+        explicitConfig(TransferMode::Standard, {gib(1), gib(1)}));
+    KernelExecutor async(
+        explicitConfig(TransferMode::Async, {gib(1), gib(1)}));
+    double syncCtrl = sync.run(streamingKernel(), 0).instrs.control;
+    double asyncCtrl = async.run(streamingKernel(), 0).instrs.control;
+    EXPECT_GT(asyncCtrl, syncCtrl * 1.1);
+}
+
+TEST(KernelExecutor, AsyncComputePenaltyApplies)
+{
+    KernelDescriptor kd = computeKernel();
+    KernelExecutor base(
+        explicitConfig(TransferMode::Async, {mib(256)}));
+    Tick plain = base.run(kd, 0).kernelTime();
+
+    kd.asyncComputePenalty = 2.0;
+    kd.name = "compute_penalized"; // avoid the memoised derivation
+    KernelExecutor pen(
+        explicitConfig(TransferMode::Async, {mib(256)}));
+    Tick penalized = pen.run(kd, 0).kernelTime();
+    EXPECT_GT(penalized, plain);
+}
+
+TEST(KernelExecutor, FewerWarpsSlowDownKernel)
+{
+    // The Figure 12 effect: 32-thread blocks cannot hide latency.
+    KernelDescriptor wide = streamingKernel();
+    wide.gridBlocks = 64;
+    KernelDescriptor narrow = wide;
+    narrow.threadsPerBlock = 32;
+    narrow.name = "stream32";
+
+    KernelExecutor exec(
+        explicitConfig(TransferMode::Standard, {gib(1), gib(1)}));
+    Tick wideTime = exec.run(wide, 0).kernelTime();
+    Tick narrowTime = exec.run(narrow, 0).kernelTime();
+    EXPECT_GT(narrowTime, wideTime * 2);
+}
+
+TEST(KernelExecutor, BlockCountInsensitiveAtFixedWork)
+{
+    // The Figure 11 effect: repartitioning the same work across a
+    // different block count barely moves the needle.
+    KernelDescriptor a = makeStreamKernel("a", 4096, 256, gib(1),
+                                          kib(32), 4, 8.0, 4.0, 0.5,
+                                          1.0);
+    KernelDescriptor b = makeStreamKernel("b", 512, 256, gib(1),
+                                          kib(32), 4, 8.0, 4.0, 0.5,
+                                          1.0);
+    a.buffers = b.buffers = streamingKernel().buffers;
+    KernelExecutor exec(
+        explicitConfig(TransferMode::Standard, {gib(1), gib(1)}));
+    double ta = static_cast<double>(exec.run(a, 0).kernelTime());
+    double tb = static_cast<double>(exec.run(b, 0).kernelTime());
+    EXPECT_NEAR(ta / tb, 1.0, 0.1);
+}
+
+struct UvmExecFixture : public ::testing::Test
+{
+    UvmExecFixture()
+        : table("pt"),
+          devMem("hbm", gib(40), Bandwidth::fromGBps(1400.0)),
+          link("pcie", PcieConfig{}),
+          engine("uvm", UvmConfig{}, table, devMem, link)
+    {
+    }
+
+    KernelExecutor
+    makeExecutor(TransferMode mode, std::vector<Bytes> bytes)
+    {
+        std::vector<std::size_t> ids;
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            ids.push_back(table.addRange("buf" + std::to_string(i),
+                                         bytes[i],
+                                         engine.config().chunkBytes));
+        }
+        engine.beginJob();
+        KernelExecConfig cfg;
+        cfg.mode = mode;
+        cfg.uvm = &engine;
+        cfg.bufferBytes = std::move(bytes);
+        cfg.bufferRangeIds = ids;
+        return KernelExecutor(cfg);
+    }
+
+    PageTable table;
+    DeviceMemory devMem;
+    PcieLink link;
+    MigrationEngine engine;
+};
+
+TEST_F(UvmExecFixture, FirstLaunchFaultsSecondIsResident)
+{
+    KernelExecutor exec =
+        makeExecutor(TransferMode::Uvm, {gib(1), gib(1)});
+    KernelDescriptor kd = streamingKernel();
+
+    KernelResult first = exec.run(kd, 0);
+    EXPECT_GT(first.faults, 0u);
+    EXPECT_GT(first.stallTime, 0u);
+
+    KernelResult second = exec.run(kd, first.endTick);
+    EXPECT_EQ(second.faults, 0u);
+    EXPECT_LT(second.kernelTime(), first.kernelTime());
+}
+
+TEST_F(UvmExecFixture, UvmSlowerThanResidentExecution)
+{
+    KernelExecutor exec =
+        makeExecutor(TransferMode::Uvm, {gib(1), gib(1)});
+    KernelDescriptor kd = streamingKernel();
+    KernelResult cold = exec.run(kd, 0);
+    KernelResult warm = exec.run(kd, cold.endTick);
+    // Demand paging must dominate a streaming kernel's first launch.
+    EXPECT_GT(cold.kernelTime(), 2 * warm.kernelTime());
+}
+
+TEST_F(UvmExecFixture, PrefetchedDataAvoidsFaults)
+{
+    KernelExecutor exec =
+        makeExecutor(TransferMode::UvmPrefetch, {gib(1), gib(1)});
+    Tick ready = 0;
+    for (std::size_t r = 0; r < table.rangeCount(); ++r)
+        ready = std::max(ready,
+                         engine.prefetchRange(r, 0).end);
+    KernelResult res = exec.run(streamingKernel(), ready);
+    EXPECT_EQ(res.faults, 0u);
+    EXPECT_EQ(res.stallTime, 0u);
+}
+
+TEST_F(UvmExecFixture, TouchedFractionLimitsMigration)
+{
+    KernelDescriptor kd = streamingKernel();
+    kd.buffers[0].touchedFraction = 0.25;
+    kd.buffers[1].touchedFraction = 0.25;
+    KernelExecutor exec =
+        makeExecutor(TransferMode::Uvm, {gib(1), gib(1)});
+    exec.run(kd, 0);
+    // Only ~a quarter of each range should have migrated.
+    Bytes resident = table.range(0).residentBytes() +
+                     table.range(1).residentBytes();
+    EXPECT_LT(resident, gib(1));
+    EXPECT_GT(resident, mib(256));
+}
+
+TEST(KernelExecutorDeathTest, UvmModeNeedsEngine)
+{
+    KernelExecConfig cfg;
+    cfg.mode = TransferMode::Uvm;
+    cfg.bufferBytes = {gib(1)};
+    EXPECT_DEATH(KernelExecutor{cfg}, "MigrationEngine");
+}
+
+} // namespace
+} // namespace uvmasync

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the per-kernel profiling path (the CUPTI-style view the
+ * CLI `profile` command prints).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/device.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+struct ProfileFixture : public ::testing::Test
+{
+    ProfileFixture() { registerAllWorkloads(); }
+
+    RunResult
+    runWorkload(const char *name, TransferMode mode)
+    {
+        Job job = WorkloadRegistry::instance().get(name).makeJob(
+            SizeClass::Small);
+        Device device(SystemConfig::a100Epyc());
+        return device.run(job, mode);
+    }
+};
+
+TEST_F(ProfileFixture, OneProfilePerDistinctKernel)
+{
+    RunResult run = runWorkload("srad", TransferMode::Standard);
+    // srad launches two kernels, repeated.
+    ASSERT_EQ(run.kernelProfiles.size(), 2u);
+    EXPECT_EQ(run.kernelProfiles[0].name, "srad_diffuse");
+    EXPECT_EQ(run.kernelProfiles[1].name, "srad_update");
+}
+
+TEST_F(ProfileFixture, LaunchesAccumulateAcrossRepeats)
+{
+    Job job = WorkloadRegistry::instance().get("srad").makeJob(
+        SizeClass::Small);
+    Device device(SystemConfig::a100Epyc());
+    RunResult run = device.run(job, TransferMode::Standard);
+    for (const KernelProfile &prof : run.kernelProfiles)
+        EXPECT_EQ(prof.launches, job.sequenceRepeats);
+}
+
+TEST_F(ProfileFixture, ProfileTimesSumToKernelComponent)
+{
+    RunResult run = runWorkload("nw", TransferMode::UvmPrefetch);
+    double total = 0.0;
+    for (const KernelProfile &prof : run.kernelProfiles)
+        total += static_cast<double>(prof.totalTime);
+    EXPECT_NEAR(total, run.breakdown.kernelPs,
+                run.breakdown.kernelPs * 1e-9);
+}
+
+TEST_F(ProfileFixture, ProfileInstrsSumToJobCounters)
+{
+    RunResult run = runWorkload("backprop", TransferMode::Standard);
+    double total = 0.0;
+    for (const KernelProfile &prof : run.kernelProfiles)
+        total += prof.instrs.total();
+    EXPECT_NEAR(total, run.counters.instrs.total(),
+                run.counters.instrs.total() * 1e-12);
+}
+
+TEST_F(ProfileFixture, UvmFaultsAttributedToKernels)
+{
+    RunResult run = runWorkload("saxpy", TransferMode::Uvm);
+    std::uint64_t total = 0;
+    for (const KernelProfile &prof : run.kernelProfiles)
+        total += prof.faults;
+    EXPECT_EQ(total, run.counters.faults);
+    EXPECT_GT(total, 0u);
+}
+
+TEST_F(ProfileFixture, RatesStayNormalised)
+{
+    RunResult run = runWorkload("lud", TransferMode::Async);
+    for (const KernelProfile &prof : run.kernelProfiles) {
+        EXPECT_GE(prof.l1LoadMissRate, 0.0);
+        EXPECT_LE(prof.l1LoadMissRate, 1.0);
+        EXPECT_GE(prof.occupancy, 0.0);
+        EXPECT_LE(prof.occupancy, 1.0);
+    }
+}
+
+} // namespace
+} // namespace uvmasync

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Full-suite sweep: every (workload, transfer mode) pair executes
+ * end to end at the Small size and must satisfy the invariants of
+ * the execution model. This is the broad safety net under the
+ * calibration knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/device.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+class ModeSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, TransferMode>>
+{
+  protected:
+    ModeSweepTest() { registerAllWorkloads(); }
+};
+
+TEST_P(ModeSweepTest, ExecutesWithConsistentAccounting)
+{
+    auto [name, mode] = GetParam();
+    Job job =
+        WorkloadRegistry::instance().get(name).makeJob(
+            SizeClass::Small);
+    Device device(SystemConfig::a100Epyc());
+    RunResult run = device.run(job, mode);
+
+    // Time components are present and finite.
+    EXPECT_GT(run.breakdown.allocPs, 0.0);
+    EXPECT_GT(run.breakdown.kernelPs, 0.0);
+    EXPECT_GE(run.breakdown.transferPs, 0.0);
+    EXPECT_GT(run.breakdown.overallPs(), 0.0);
+    EXPECT_LT(run.breakdown.overallPs(), 1e15); // < 1000 s
+    EXPECT_GT(run.wallEnd, 0u);
+
+    // Counters.
+    EXPECT_EQ(run.counters.launches, job.launchCount());
+    EXPECT_GT(run.counters.instrs.total(), 0.0);
+    EXPECT_GE(run.counters.l1LoadMissRate, 0.0);
+    EXPECT_LE(run.counters.l1LoadMissRate, 1.0);
+    EXPECT_GE(run.counters.l1StoreMissRate, 0.0);
+    EXPECT_LE(run.counters.l1StoreMissRate, 1.0);
+    EXPECT_GT(run.counters.occupancy, 0.0);
+    EXPECT_LE(run.counters.occupancy, 1.0);
+
+    if (usesUvm(mode)) {
+        if (usesPrefetch(mode)) {
+            // Bulk prefetch precedes every first touch.
+            EXPECT_EQ(run.counters.faults, 0u) << name;
+        }
+        // UVM never moves more to the device than the footprint
+        // (plus per-launch re-prefetch churn).
+        double churnBound =
+            static_cast<double>(job.footprint()) *
+            (1.0 + 0.05 * static_cast<double>(job.launchCount()));
+        EXPECT_LE(static_cast<double>(run.counters.bytesH2d),
+                  churnBound)
+            << name;
+    } else {
+        // Explicit modes copy exactly the declared buffers.
+        EXPECT_EQ(run.counters.faults, 0u);
+        EXPECT_EQ(run.counters.bytesH2d, job.hostInitBytes());
+        EXPECT_EQ(run.counters.bytesD2h, job.hostConsumedBytes());
+    }
+}
+
+TEST_P(ModeSweepTest, DeterministicAcrossDevices)
+{
+    auto [name, mode] = GetParam();
+    Job job =
+        WorkloadRegistry::instance().get(name).makeJob(
+            SizeClass::Small);
+    Device a(SystemConfig::a100Epyc());
+    Device b(SystemConfig::a100Epyc());
+    RunResult ra = a.run(job, mode);
+    RunResult rb = b.run(job, mode);
+    EXPECT_DOUBLE_EQ(ra.breakdown.overallPs(),
+                     rb.breakdown.overallPs());
+    EXPECT_EQ(ra.counters.faults, rb.counters.faults);
+    EXPECT_DOUBLE_EQ(ra.counters.instrs.total(),
+                     rb.counters.instrs.total());
+}
+
+std::vector<std::string>
+names()
+{
+    registerAllWorkloads();
+    return WorkloadRegistry::instance().names();
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<
+          std::tuple<std::string, TransferMode>> &info)
+{
+    std::string id = std::get<0>(info.param);
+    id += "_";
+    id += transferModeName(std::get<1>(info.param));
+    for (char &c : id) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ModeSweepTest,
+    ::testing::Combine(::testing::ValuesIn(names()),
+                       ::testing::ValuesIn(
+                           std::vector<TransferMode>(
+                               allTransferModes.begin(),
+                               allTransferModes.end()))),
+    sweepName);
+
+} // namespace
+} // namespace uvmasync

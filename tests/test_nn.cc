@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the darknet layer/network substrate: shape propagation,
+ * parameter counts against the published architectures, and job
+ * lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/nn/network.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+TEST(Layer, ConvOutputShape)
+{
+    LayerSpec conv{LayerKind::Conv, 64, 7, 2};
+    TensorShape out = layerOutputShape(conv, {3, 224, 224});
+    EXPECT_EQ(out.c, 64u);
+    EXPECT_EQ(out.h, 112u);
+    EXPECT_EQ(out.w, 112u);
+}
+
+TEST(Layer, PoolHalvesSpatial)
+{
+    LayerSpec pool{LayerKind::MaxPool, 0, 2, 2};
+    TensorShape out = layerOutputShape(pool, {64, 112, 112});
+    EXPECT_EQ(out.c, 64u);
+    EXPECT_EQ(out.h, 56u);
+}
+
+TEST(Layer, UpsampleDoubles)
+{
+    LayerSpec up{LayerKind::Upsample};
+    TensorShape out = layerOutputShape(up, {256, 13, 13});
+    EXPECT_EQ(out.h, 26u);
+    EXPECT_EQ(out.w, 26u);
+}
+
+TEST(Layer, RouteConcatenatesChannels)
+{
+    LayerSpec route{LayerKind::Route, 0, 1, 1, 512};
+    TensorShape out = layerOutputShape(route, {256, 26, 26});
+    EXPECT_EQ(out.c, 768u);
+    EXPECT_EQ(out.h, 26u);
+    EXPECT_EQ(layerWeightBytes(route, {256, 26, 26}), 0u);
+}
+
+TEST(Layer, ConnectedFlattens)
+{
+    LayerSpec fc{LayerKind::Connected, 1000};
+    TensorShape out = layerOutputShape(fc, {512, 7, 7});
+    EXPECT_EQ(out.c, 1000u);
+    EXPECT_EQ(out.elements(), 1000u);
+}
+
+TEST(Layer, ConvWeightBytes)
+{
+    LayerSpec conv{LayerKind::Conv, 64, 3, 1};
+    // 3*3*32*64 floats.
+    EXPECT_EQ(layerWeightBytes(conv, {32, 56, 56}),
+              9u * 32u * 64u * 4u);
+    LayerSpec pool{LayerKind::MaxPool, 0, 2, 2};
+    EXPECT_EQ(layerWeightBytes(pool, {32, 56, 56}), 0u);
+}
+
+TEST(Layer, ConvFlops)
+{
+    LayerSpec conv{LayerKind::Conv, 64, 3, 1};
+    TensorShape in{32, 56, 56};
+    // 2 * k^2 * cin * out elements.
+    EXPECT_DOUBLE_EQ(layerFlops(conv, in),
+                     2.0 * 9 * 32 * (64.0 * 56 * 56));
+}
+
+TEST(Layer, LoweringProducesKernel)
+{
+    LayerSpec conv{LayerKind::Conv, 64, 3, 1};
+    KernelDescriptor kd =
+        lowerLayer(conv, {32, 56, 56}, 8, 3, 2, 3, 0.25);
+    EXPECT_EQ(kd.name, "conv_3");
+    EXPECT_GT(kd.gridBlocks, 0u);
+    EXPECT_EQ(kd.buffers.size(), 3u);
+    EXPECT_EQ(kd.buffers[0].bufferId, 2u);
+    EXPECT_EQ(kd.buffers[1].bufferId, 1u); // weights
+    EXPECT_DOUBLE_EQ(kd.buffers[1].touchedFraction, 0.25);
+    EXPECT_EQ(kd.buffers[2].bufferId, 3u);
+    EXPECT_TRUE(kd.buffers[2].written);
+}
+
+TEST(Network, Resnet18ParameterCount)
+{
+    NetworkSpec net = makeResnet18(1);
+    // The published resnet18 has ~11.7M parameters; our conv-only
+    // approximation must land in the same regime.
+    double params = static_cast<double>(net.weightBytes()) / 4.0;
+    EXPECT_GT(params, 8e6);
+    EXPECT_LT(params, 16e6);
+}
+
+TEST(Network, Resnet50HasMoreParamsThanResnet18)
+{
+    EXPECT_GT(makeResnet50(1).weightBytes(),
+              makeResnet18(1).weightBytes());
+}
+
+TEST(Network, Yolov3ParameterCount)
+{
+    // Published yolov3: ~62M parameters.
+    double params =
+        static_cast<double>(makeYolov3(1).weightBytes()) / 4.0;
+    EXPECT_GT(params, 40e6);
+    EXPECT_LT(params, 80e6);
+}
+
+TEST(Network, TinyIsMuchSmallerThanFull)
+{
+    EXPECT_LT(makeYolov3Tiny(1).weightBytes() * 4,
+              makeYolov3(1).weightBytes());
+}
+
+TEST(Network, FlopsScaleWithBatch)
+{
+    double one = makeResnet18(1).totalFlops();
+    double four = makeResnet18(4).totalFlops();
+    EXPECT_NEAR(four / one, 4.0, 1e-9);
+    // Published resnet18: ~1.8 GFLOPs (3.6e9 multiply-accumulate
+    // counted as 2 ops) per 224x224 image.
+    EXPECT_GT(one, 2e9);
+    EXPECT_LT(one, 8e9);
+}
+
+TEST(Network, JobHasFiveBuffers)
+{
+    Job job = buildNetworkJob(makeResnet18(4));
+    ASSERT_EQ(job.buffers.size(), 5u);
+    EXPECT_TRUE(job.buffers[0].hostInit);   // input
+    EXPECT_TRUE(job.buffers[1].hostInit);   // weights
+    EXPECT_FALSE(job.buffers[2].hostInit);  // act_a (device only)
+    EXPECT_FALSE(job.buffers[2].hostConsumed);
+    EXPECT_TRUE(job.buffers[4].hostConsumed); // output
+    EXPECT_EQ(job.kernels.size(),
+              makeResnet18(4).layers.size());
+}
+
+TEST(Network, PingPongAlternatesActivations)
+{
+    Job job = buildNetworkJob(makeYolov3Tiny(2));
+    // First layer reads the input buffer.
+    EXPECT_EQ(job.kernels.front().buffers[0].bufferId, 0u);
+    // Last layer writes the output buffer.
+    EXPECT_EQ(job.kernels.back().buffers[2].bufferId, 4u);
+    // Consecutive layers chain through act_a/act_b.
+    for (std::size_t i = 1; i + 1 < job.kernels.size(); ++i) {
+        EXPECT_EQ(job.kernels[i].buffers[0].bufferId,
+                  job.kernels[i - 1].buffers[2].bufferId);
+    }
+}
+
+TEST(Network, WeightSharesSumToOne)
+{
+    Job job = buildNetworkJob(makeResnet50(2));
+    double total = 0.0;
+    for (const KernelDescriptor &kd : job.kernels)
+        total += kd.buffers[1].touchedFraction;
+    EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST(Network, ActivationBufferCoversPeak)
+{
+    NetworkSpec net = makeYolov3(2);
+    Job job = buildNetworkJob(net);
+    EXPECT_GE(job.buffers[2].bytes, net.maxActivationBytes());
+}
+
+} // namespace
+} // namespace uvmasync

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Cross-module property tests: conservation laws, monotonicity and
+ * ordering invariants that must hold regardless of calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "mem/device_memory.hh"
+#include "mem/page_table.hh"
+#include "runtime/device.hh"
+#include "workloads/registry.hh"
+#include "xfer/migration_engine.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+// --- Migration engine conservation -----------------------------------
+
+TEST(Conservation, MigratedBytesMatchLinkPayload)
+{
+    PageTable table("pt");
+    DeviceMemory devMem("hbm", gib(4), Bandwidth::fromGBps(1400.0));
+    PcieLink link("pcie", PcieConfig{});
+    UvmConfig cfg;
+    cfg.chunkBytes = kib(256);
+    MigrationEngine engine("uvm", cfg, table, devMem, link);
+
+    std::size_t id = table.addRange("buf", mib(16) + 12345,
+                                    cfg.chunkBytes);
+    engine.beginJob();
+
+    Tick t = 0;
+    for (std::uint64_t c = 0; c < table.range(id).chunkCount();
+         c += 2)
+        t = engine.requestChunk(id, c, t);
+
+    // The page table's migration accounting and the link's payload
+    // accounting must agree byte for byte.
+    EXPECT_EQ(table.bytesToDevice(),
+              link.bytesMoved(Direction::HostToDevice));
+    // Resident bytes equal what was migrated (no eviction here).
+    EXPECT_EQ(devMem.residentBytes(), table.bytesToDevice());
+}
+
+TEST(Conservation, WritebackNeverExceedsResident)
+{
+    PageTable table("pt");
+    DeviceMemory devMem("hbm", gib(4), Bandwidth::fromGBps(1400.0));
+    PcieLink link("pcie", PcieConfig{});
+    MigrationEngine engine("uvm", UvmConfig{}, table, devMem, link);
+
+    std::size_t id = table.addRange("buf", mib(64),
+                                    UvmConfig{}.chunkBytes);
+    engine.beginJob();
+    engine.prefetchRange(id, 0);
+    engine.markRangeDirty(id);
+    engine.writebackDirty(id, seconds(1));
+    EXPECT_LE(link.bytesMoved(Direction::DeviceToHost), mib(64));
+    EXPECT_EQ(link.bytesMoved(Direction::DeviceToHost),
+              table.bytesToHost());
+}
+
+TEST(Conservation, OversubscribedResidencyNeverExceedsCapacity)
+{
+    PageTable table("pt");
+    DeviceMemory devMem("hbm", mib(1), Bandwidth::fromGBps(1400.0));
+    PcieLink link("pcie", PcieConfig{});
+    UvmConfig cfg;
+    cfg.chunkBytes = kib(64);
+    MigrationEngine engine("uvm", cfg, table, devMem, link);
+
+    std::size_t id = table.addRange("big", mib(4), cfg.chunkBytes);
+    engine.beginJob();
+
+    Tick t = 0;
+    for (std::uint64_t c = 0; c < table.range(id).chunkCount(); ++c) {
+        t = engine.requestChunk(id, c, t);
+        ASSERT_LE(devMem.residentBytes(), devMem.capacity());
+    }
+}
+
+// --- Executor monotonicity --------------------------------------------
+
+TEST(Monotonicity, KernelTimeGrowsWithWork)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.runs = 1;
+    double prev = 0.0;
+    for (SizeClass s : {SizeClass::Tiny, SizeClass::Small,
+                        SizeClass::Medium, SizeClass::Large}) {
+        opts.size = s;
+        double kernel =
+            e.run("saxpy", TransferMode::Standard, opts)
+                .clean.kernelPs;
+        EXPECT_GE(kernel, prev) << sizeClassName(s);
+        prev = kernel;
+    }
+}
+
+TEST(Monotonicity, OverallGrowsWithSizeForEveryMode)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.runs = 1;
+    for (TransferMode mode : allTransferModes) {
+        double prev = 0.0;
+        for (SizeClass s :
+             {SizeClass::Small, SizeClass::Medium, SizeClass::Large,
+              SizeClass::Super}) {
+            opts.size = s;
+            double overall =
+                e.run("vector_seq", mode, opts).clean.overallPs();
+            EXPECT_GT(overall, prev)
+                << transferModeName(mode) << "/" << sizeClassName(s);
+            prev = overall;
+        }
+    }
+}
+
+TEST(Monotonicity, SlowerLinkNeverHelpsTransfers)
+{
+    registerAllWorkloads();
+    double prev = 0.0;
+    for (double gbps : {200.0, 52.0, 26.0, 13.0}) {
+        SystemConfig cfg = SystemConfig::a100Epyc();
+        cfg.pcie.rawBandwidth = Bandwidth::fromGBps(gbps);
+        Device device(cfg);
+        Job job = WorkloadRegistry::instance()
+                      .get("saxpy")
+                      .makeJob(SizeClass::Medium);
+        double transfer =
+            device.run(job, TransferMode::Standard)
+                .breakdown.transferPs;
+        EXPECT_GT(transfer, prev) << gbps;
+        prev = transfer;
+    }
+}
+
+// --- Fault handler ordering -------------------------------------------
+
+TEST(Ordering, FaultCompletionIsMonotoneInArrival)
+{
+    FaultHandler handler("fh", FaultHandlerConfig{});
+    Tick prevDone = 0;
+    Tick now = 0;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 500; ++i) {
+        state = state * 6364136223846793005ull + 1;
+        now += state % microseconds(5);
+        Tick done = handler.service(now);
+        EXPECT_GE(done, now);
+        EXPECT_GE(done, prevDone);
+        prevDone = done;
+    }
+}
+
+// --- Experiment-level orderings ----------------------------------------
+
+TEST(Ordering, PrefetchAlwaysBeatsPlainUvmTransferOnFreshData)
+{
+    // Bulk prefetch moves the same bytes at higher efficiency than
+    // demand migration, for every single-kernel workload.
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Medium;
+    opts.runs = 1;
+    for (const char *name : {"vector_seq", "saxpy", "gemv", "knn"}) {
+        double uvm =
+            e.run(name, TransferMode::Uvm, opts).clean.transferPs;
+        double prefetch = e.run(name, TransferMode::UvmPrefetch, opts)
+                              .clean.transferPs;
+        EXPECT_LT(prefetch, uvm) << name;
+    }
+}
+
+TEST(Ordering, AllocationIsModeInsensitiveToFirstOrder)
+{
+    // The paper treats allocation as roughly constant across the five
+    // setups; managed and device allocation must stay within 25%.
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Super;
+    opts.runs = 1;
+    ModeSet set = e.runAllModes("vector_seq", opts);
+    double base = findMode(set, TransferMode::Standard).clean.allocPs;
+    for (const ExperimentResult &res : set) {
+        EXPECT_NEAR(res.clean.allocPs / base, 1.0, 0.25)
+            << transferModeName(res.mode);
+    }
+}
+
+TEST(Ordering, FasterPatternsLoadFaster)
+{
+    // vector_rand's gather can never beat vector_seq's stream.
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Large;
+    opts.runs = 1;
+    double seq = e.run("vector_seq", TransferMode::Standard, opts)
+                     .clean.kernelPs;
+    double rnd = e.run("vector_rand", TransferMode::Standard, opts)
+                     .clean.kernelPs;
+    EXPECT_GT(rnd, seq);
+}
+
+// --- Noise model properties ---------------------------------------------
+
+TEST(NoiseProperties, PerRunSamplesArePositive)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Tiny;
+    opts.runs = 50;
+    for (TransferMode mode :
+         {TransferMode::Standard, TransferMode::Uvm}) {
+        ExperimentResult res = e.run("saxpy", mode, opts);
+        for (const TimeBreakdown &b : res.runs) {
+            EXPECT_GT(b.allocPs, 0.0);
+            EXPECT_GT(b.transferPs, 0.0);
+            EXPECT_GT(b.kernelPs, 0.0);
+        }
+    }
+}
+
+TEST(NoiseProperties, MeanTracksClean)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Super;
+    opts.runs = 30;
+    ExperimentResult res =
+        e.run("vector_seq", TransferMode::Standard, opts);
+    // Mean of noisy runs within 5% of clean + expected overhead.
+    double expected =
+        res.clean.overallPs() +
+        static_cast<double>(NoiseConfig{}.systemOverheadMean);
+    EXPECT_NEAR(res.meanBreakdown().overallPs() / expected, 1.0,
+                0.05);
+}
+
+} // namespace
+} // namespace uvmasync

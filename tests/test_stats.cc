@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the statistics helpers, including the property that the
+ * streaming accumulator agrees with the retained-sample computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownValues)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Rng rng(1);
+    RunningStat all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, AgreesWithRunningStat)
+{
+    Rng rng(2);
+    SampleSet set;
+    RunningStat run;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(0.0, 10.0);
+        set.add(x);
+        run.add(x);
+    }
+    EXPECT_NEAR(set.mean(), run.mean(), 1e-9);
+    EXPECT_NEAR(set.stddev(), run.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(set.min(), run.min());
+    EXPECT_DOUBLE_EQ(set.max(), run.max());
+}
+
+TEST(SampleSet, Percentiles)
+{
+    SampleSet set;
+    for (int i = 1; i <= 100; ++i)
+        set.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(set.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(set.percentile(100.0), 100.0);
+    EXPECT_NEAR(set.median(), 50.5, 1e-9);
+    EXPECT_NEAR(set.percentile(25.0), 25.75, 1e-9);
+}
+
+TEST(SampleSet, CvZeroMean)
+{
+    SampleSet set;
+    set.add(0.0);
+    set.add(0.0);
+    EXPECT_DOUBLE_EQ(set.cv(), 0.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, BelowArithmeticMean)
+{
+    Rng rng(3);
+    std::vector<double> vals;
+    double sum = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        double v = rng.uniform(0.5, 5.0);
+        vals.push_back(v);
+        sum += v;
+    }
+    EXPECT_LE(geomean(vals), sum / 100.0);
+}
+
+TEST(Helpers, RelativeChangeAndSpeedup)
+{
+    EXPECT_DOUBLE_EQ(relativeChange(120.0, 100.0), 0.2);
+    EXPECT_DOUBLE_EQ(relativeChange(80.0, 100.0), -0.2);
+    EXPECT_DOUBLE_EQ(relativeChange(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(speedup(50.0, 100.0), 2.0);
+    EXPECT_DOUBLE_EQ(speedup(0.0, 100.0), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);  // clamps to bucket 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(25.0);  // clamps to last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(4), 10.0);
+}
+
+TEST(Histogram, SparklineLength)
+{
+    Histogram h(0.0, 1.0, 16);
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        h.add(rng.uniform());
+    EXPECT_EQ(h.sparkline().size(), 16u);
+}
+
+} // namespace
+} // namespace uvmasync

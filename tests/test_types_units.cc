@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the Tick/Bytes base types and the Bandwidth /
+ * Frequency unit classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+TEST(Types, TickConstructionLadder)
+{
+    EXPECT_EQ(picoseconds(1), 1u);
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1), nanoseconds(1000));
+    EXPECT_EQ(milliseconds(1), microseconds(1000));
+    EXPECT_EQ(seconds(1), milliseconds(1000));
+}
+
+TEST(Types, TickInspectionRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toNanoseconds(nanoseconds(123)), 123.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(9)), 9.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+}
+
+TEST(Types, ByteHelpers)
+{
+    EXPECT_EQ(kib(1), 1024u);
+    EXPECT_EQ(mib(1), 1024u * 1024u);
+    EXPECT_EQ(gib(1), 1024u * 1024u * 1024u);
+    EXPECT_EQ(kib(1024), mib(1));
+    EXPECT_EQ(mib(1024), gib(1));
+}
+
+TEST(Bandwidth, TransferTimeBasics)
+{
+    Bandwidth bw = Bandwidth::fromGBps(1.0); // 1e9 B/s
+    // 1e9 bytes at 1e9 B/s = 1 s.
+    EXPECT_EQ(bw.transferTime(1000000000ull), seconds(1));
+    // Zero bytes takes zero time.
+    EXPECT_EQ(bw.transferTime(0), 0u);
+}
+
+TEST(Bandwidth, TransferTimeRoundsUp)
+{
+    Bandwidth bw = Bandwidth::fromBytesPerSecond(3e12); // 3 B/ps
+    // 1 byte needs 1/3 ps; must round up to 1 ps.
+    EXPECT_EQ(bw.transferTime(1), 1u);
+}
+
+TEST(Bandwidth, InvalidBandwidthNeverFinishes)
+{
+    Bandwidth bw;
+    EXPECT_FALSE(bw.valid());
+    EXPECT_EQ(bw.transferTime(1), maxTick);
+}
+
+TEST(Bandwidth, ScaledChangesRate)
+{
+    Bandwidth bw = Bandwidth::fromGBps(10.0);
+    Bandwidth half = bw.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.gbps(), 5.0);
+    EXPECT_GE(half.transferTime(mib(1)), bw.transferTime(mib(1)));
+}
+
+TEST(Bandwidth, MonotoneInBytes)
+{
+    Bandwidth bw = Bandwidth::fromGBps(26.0);
+    Tick prev = 0;
+    for (Bytes b = 1; b < mib(8); b *= 7) {
+        Tick t = bw.transferTime(b);
+        EXPECT_GE(t, prev) << "bytes=" << b;
+        prev = t;
+    }
+}
+
+TEST(Frequency, CyclesToTicks)
+{
+    Frequency f = Frequency::fromGHz(1.0); // 1000 ps period
+    EXPECT_DOUBLE_EQ(f.periodPs(), 1000.0);
+    EXPECT_EQ(f.cyclesToTicks(1.0), 1000u);
+    EXPECT_EQ(f.cyclesToTicks(2.5), 2500u);
+}
+
+TEST(Frequency, TicksToCyclesInverse)
+{
+    Frequency f = Frequency::fromMHz(1410.0);
+    double cycles = 1234.0;
+    Tick t = f.cyclesToTicks(cycles);
+    EXPECT_NEAR(f.ticksToCycles(t), cycles, 0.01);
+}
+
+TEST(Frequency, InvalidFrequency)
+{
+    Frequency f;
+    EXPECT_FALSE(f.valid());
+    EXPECT_EQ(f.cyclesToTicks(1.0), maxTick);
+}
+
+} // namespace
+} // namespace uvmasync

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests over the benchmark suite: the registry matches Table 2, every
+ * workload builds at every size class, footprints track Table 3 and
+ * geometry overrides apply.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+struct RegistryFixture : public ::testing::Test
+{
+    RegistryFixture() { registerAllWorkloads(); }
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+};
+
+TEST_F(RegistryFixture, HasTwentyOneWorkloads)
+{
+    EXPECT_EQ(reg.size(), 21u);
+    EXPECT_EQ(reg.names(WorkloadSuite::Micro).size(), 7u);
+    EXPECT_EQ(reg.names(WorkloadSuite::App).size(), 14u);
+}
+
+TEST_F(RegistryFixture, Table2NamesPresent)
+{
+    for (const char *name :
+         {"vector_seq", "vector_rand", "saxpy", "gemv", "gemm",
+          "2DCONV", "3DCONV", "lavaMD", "nw", "kmeans", "srad",
+          "backprop", "pathfinder", "hotspot", "lud", "BN", "knn",
+          "resnet18", "resnet50", "yolov3-tiny", "yolov3"})
+        EXPECT_NE(reg.find(name), nullptr) << name;
+}
+
+TEST_F(RegistryFixture, RegistrationIsIdempotent)
+{
+    registerAllWorkloads();
+    EXPECT_EQ(reg.size(), 21u);
+}
+
+TEST_F(RegistryFixture, UnknownWorkloadIsNull)
+{
+    EXPECT_EQ(reg.find("nonexistent"), nullptr);
+}
+
+TEST_F(RegistryFixture, MetadataIsFilledIn)
+{
+    for (const std::string &name : reg.names()) {
+        const WorkloadInfo &info = reg.get(name).info();
+        EXPECT_FALSE(info.source.empty()) << name;
+        EXPECT_FALSE(info.domain.empty()) << name;
+        EXPECT_FALSE(info.description.empty()) << name;
+    }
+}
+
+TEST_F(RegistryFixture, GeometryOverrideApplies)
+{
+    const Workload &w = reg.get("vector_seq");
+    GeometryOverride geo;
+    geo.gridBlocks = 64;
+    geo.threadsPerBlock = 128;
+    Job job = w.makeJob(SizeClass::Small, geo);
+    EXPECT_EQ(job.kernels[0].gridBlocks, 64u);
+    EXPECT_EQ(job.kernels[0].threadsPerBlock, 128u);
+}
+
+// --- Size classes ------------------------------------------------------
+
+TEST(SizeClassTest, Table3Values)
+{
+    EXPECT_EQ(sizeClassMem(SizeClass::Tiny), mib(1));
+    EXPECT_EQ(sizeClassMem(SizeClass::Mega), gib(32));
+    EXPECT_EQ(grid1d(SizeClass::Tiny), 256u * 1024u);
+    EXPECT_EQ(grid1d(SizeClass::Super), 1ull << 30);
+    EXPECT_EQ(grid2d(SizeClass::Tiny), 512u);
+    EXPECT_EQ(grid2d(SizeClass::Mega), 65536u);
+    EXPECT_EQ(grid3d(SizeClass::Tiny), 64u);
+    EXPECT_EQ(grid3d(SizeClass::Mega), 2048u);
+}
+
+TEST(SizeClassTest, NamesParseRoundTrip)
+{
+    for (SizeClass s : allSizeClasses) {
+        SizeClass parsed;
+        ASSERT_TRUE(parseSizeClass(sizeClassName(s), parsed));
+        EXPECT_EQ(parsed, s);
+    }
+    SizeClass dummy;
+    EXPECT_FALSE(parseSizeClass("gigantic", dummy));
+}
+
+TEST(SizeClassTest, MemoryScalesEightfold)
+{
+    for (std::size_t i = 1; i < allSizeClasses.size(); ++i) {
+        EXPECT_EQ(sizeClassMem(allSizeClasses[i]),
+                  sizeClassMem(allSizeClasses[i - 1]) * 8);
+    }
+}
+
+// --- Every workload x size builds a valid job -------------------------
+
+class JobBuildTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, SizeClass>>
+{
+  protected:
+    JobBuildTest() { registerAllWorkloads(); }
+};
+
+TEST_P(JobBuildTest, BuildsConsistentJob)
+{
+    auto [name, size] = GetParam();
+    Job job =
+        WorkloadRegistry::instance().get(name).makeJob(size);
+
+    EXPECT_FALSE(job.buffers.empty()) << name;
+    EXPECT_FALSE(job.kernels.empty()) << name;
+    EXPECT_GT(job.footprint(), 0u) << name;
+    EXPECT_GT(job.hostInitBytes(), 0u) << name;
+
+    for (const KernelDescriptor &kd : job.kernels) {
+        EXPECT_GT(kd.gridBlocks, 0u) << name << "/" << kd.name;
+        EXPECT_GT(kd.threadsPerBlock, 0u) << name << "/" << kd.name;
+        EXPECT_GT(kd.tilesPerBlock, 0u) << name << "/" << kd.name;
+        EXPECT_GT(kd.tileLoadBytes, 0u) << name << "/" << kd.name;
+        EXPECT_FALSE(kd.buffers.empty()) << name << "/" << kd.name;
+        for (const KernelBufferUse &use : kd.buffers) {
+            EXPECT_LT(use.bufferId, job.buffers.size())
+                << name << "/" << kd.name;
+            EXPECT_GE(use.touchedFraction, 0.0);
+            EXPECT_LE(use.touchedFraction, 1.0);
+            EXPECT_TRUE(use.read || use.written);
+        }
+    }
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    registerAllWorkloads();
+    return WorkloadRegistry::instance().names();
+}
+
+std::string
+jobBuildTestName(
+    const ::testing::TestParamInfo<std::tuple<std::string, SizeClass>>
+        &info)
+{
+    std::string id = std::get<0>(info.param);
+    id += "_";
+    id += sizeClassName(std::get<1>(info.param));
+    for (char &c : id) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, JobBuildTest,
+    ::testing::Combine(::testing::ValuesIn(allWorkloadNames()),
+                       ::testing::Values(SizeClass::Tiny,
+                                         SizeClass::Medium,
+                                         SizeClass::Super)),
+    jobBuildTestName);
+
+TEST_F(RegistryFixture, FootprintsTrackSizeClassTargets)
+{
+    // Footprints should land within a small factor of Table 3's
+    // target (the paper itself rounds: "numbers are rounded up to
+    // the lower bound").
+    for (const std::string &name : reg.names(WorkloadSuite::Micro)) {
+        for (SizeClass s : {SizeClass::Large, SizeClass::Super}) {
+            Job job = reg.get(name).makeJob(s);
+            double target =
+                static_cast<double>(sizeClassMem(s));
+            double actual = static_cast<double>(job.footprint());
+            EXPECT_GT(actual, target * 0.2) << name;
+            EXPECT_LT(actual, target * 8.0) << name;
+        }
+    }
+}
+
+TEST_F(RegistryFixture, FootprintsGrowWithSizeClass)
+{
+    for (const std::string &name : reg.names()) {
+        Bytes prev = 0;
+        for (SizeClass s : {SizeClass::Tiny, SizeClass::Medium,
+                            SizeClass::Super}) {
+            Bytes fp = reg.get(name).makeJob(s).footprint();
+            EXPECT_GE(fp, prev) << name;
+            prev = fp;
+        }
+    }
+}
+
+TEST_F(RegistryFixture, IrregularWorkloadsAreMarked)
+{
+    // The paper's takeaway hinges on lud/kmeans being irregular.
+    for (const char *name : {"lud", "kmeans"}) {
+        Job job = reg.get(name).makeJob(SizeClass::Small);
+        bool irregular = false;
+        for (const KernelDescriptor &kd : job.kernels) {
+            for (const KernelBufferUse &use : kd.buffers) {
+                if (use.pattern == AccessPattern::Irregular)
+                    irregular = true;
+            }
+        }
+        EXPECT_TRUE(irregular) << name;
+    }
+}
+
+TEST_F(RegistryFixture, NwReprefetchesEachLaunch)
+{
+    Job job = reg.get("nw").makeJob(SizeClass::Small);
+    EXPECT_TRUE(job.prefetchEachLaunch);
+    EXPECT_GT(job.sequenceRepeats, 1u);
+    EXPECT_EQ(job.kernels.size(), 2u);
+}
+
+} // namespace
+} // namespace uvmasync

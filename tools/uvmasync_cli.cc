@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Command-line driver for the simulator — the tool a downstream user
+ * reaches for before writing code against the library.
+ *
+ *   uvmasync list [micro|apps]
+ *       Print the benchmark registry (the Table 2 rows).
+ *
+ *   uvmasync run --workload NAME [--size CLASS] [--mode MODE|all]
+ *                [--runs N] [--blocks N] [--threads N]
+ *                [--carveout KIB] [--seed N] [--csv]
+ *       Run one experiment cell (or all five modes) and print the
+ *       breakdown and counters, as a table or as CSV.
+ *
+ *   uvmasync sweep --kind blocks|threads|sharedmem
+ *                  [--workload NAME] [--size CLASS] [--csv]
+ *       Run one of the paper's Section 5 sensitivity sweeps.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/sweep.hh"
+#include "runtime/config_loader.hh"
+#include "runtime/device.hh"
+#include "workloads/job_loader.hh"
+#include "workloads/registry.hh"
+
+using namespace uvmasync;
+
+namespace
+{
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                std::string key = arg.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-')
+                    values_[key] = argv[++i];
+                else
+                    values_[key] = "true";
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? def : it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+int
+cmdList(const Args &args)
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    std::vector<std::string> names;
+    if (!args.positional().empty() &&
+        args.positional()[0] == "micro")
+        names = reg.names(WorkloadSuite::Micro);
+    else if (!args.positional().empty() &&
+             args.positional()[0] == "apps")
+        names = reg.names(WorkloadSuite::App);
+    else
+        names = reg.names();
+
+    TextTable table({"name", "suite", "source", "domain", "input"});
+    table.setAlign(1, TextTable::Align::Left);
+    table.setAlign(2, TextTable::Align::Left);
+    table.setAlign(3, TextTable::Align::Left);
+    table.setAlign(4, TextTable::Align::Left);
+    for (const std::string &name : names) {
+        const WorkloadInfo &info = reg.get(name).info();
+        table.addRow({name,
+                      info.suite == WorkloadSuite::Micro ? "micro"
+                                                         : "apps",
+                      info.source, info.domain, info.inputShape});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void
+emitCsvHeader(CsvWriter &csv)
+{
+    csv.writeRow({"workload", "mode", "size", "runs", "alloc_ms",
+                  "memcpy_ms", "kernel_ms", "overall_ms",
+                  "overall_cv", "faults", "l1_load_miss",
+                  "l1_store_miss", "occupancy", "ctrl_instrs"});
+}
+
+void
+emitCsvRow(CsvWriter &csv, const ExperimentResult &res,
+           std::uint32_t runs)
+{
+    TimeBreakdown mean = res.meanBreakdown();
+    csv.writeRow({res.workload, transferModeName(res.mode),
+                  sizeClassName(res.size), std::to_string(runs),
+                  fmtDouble(mean.allocPs / 1e9, 4),
+                  fmtDouble(mean.transferPs / 1e9, 4),
+                  fmtDouble(mean.kernelPs / 1e9, 4),
+                  fmtDouble(mean.overallPs() / 1e9, 4),
+                  fmtDouble(res.overallSamples().cv(), 5),
+                  std::to_string(res.counters.faults),
+                  fmtDouble(res.counters.l1LoadMissRate, 5),
+                  fmtDouble(res.counters.l1StoreMissRate, 5),
+                  fmtDouble(res.counters.occupancy, 4),
+                  fmtDouble(res.counters.instrs.control, 0)});
+}
+
+/** Run a job description file through the five modes directly. */
+int
+cmdRunJobFile(const Args &args)
+{
+    Job job = loadJobFile(args.get("jobfile"));
+    SystemConfig system = args.has("config")
+                              ? loadSystemConfig(args.get("config"))
+                              : SystemConfig::a100Epyc();
+    Device device(system);
+    RunOptions runOpts;
+    runOpts.pinnedHost = args.has("pinned");
+
+    TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
+                     "overall", "faults"});
+    for (TransferMode mode : allTransferModes) {
+        RunResult run = device.run(job, mode, runOpts);
+        table.addRow({transferModeName(mode),
+                      fmtTime(run.breakdown.kernelPs),
+                      fmtTime(run.breakdown.transferPs),
+                      fmtTime(run.breakdown.allocPs),
+                      fmtTime(run.breakdown.overallPs()),
+                      fmtCount(static_cast<double>(
+                          run.counters.faults))});
+    }
+    std::cout << job.name << " ("
+              << fmtBytes(static_cast<double>(job.footprint()))
+              << " footprint, from " << args.get("jobfile")
+              << ")\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.has("jobfile"))
+        return cmdRunJobFile(args);
+    std::string workload = args.get("workload");
+    if (workload.empty()) {
+        std::fprintf(stderr,
+                     "run: --workload or --jobfile is required\n");
+        return 1;
+    }
+    if (!WorkloadRegistry::instance().find(workload)) {
+        std::fprintf(stderr, "unknown workload '%s' (try `list`)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    ExperimentOptions opts;
+    if (!parseSizeClass(args.get("size", "super"), opts.size)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     args.get("size").c_str());
+        return 1;
+    }
+    opts.runs = static_cast<std::uint32_t>(
+        std::stoul(args.get("runs", "30")));
+    opts.baseSeed = std::stoull(args.get("seed", "42"));
+    opts.geometry.gridBlocks = std::stoull(args.get("blocks", "0"));
+    opts.geometry.threadsPerBlock = static_cast<std::uint32_t>(
+        std::stoul(args.get("threads", "0")));
+    opts.sharedCarveout =
+        kib(std::stoull(args.get("carveout", "0")));
+
+    std::vector<TransferMode> modes;
+    std::string modeArg = args.get("mode", "all");
+    if (modeArg == "all") {
+        modes.assign(allTransferModes.begin(),
+                     allTransferModes.end());
+    } else {
+        TransferMode m;
+        if (!parseTransferMode(modeArg, m)) {
+            std::fprintf(stderr, "unknown mode '%s'\n",
+                         modeArg.c_str());
+            return 1;
+        }
+        modes.push_back(m);
+    }
+
+    SystemConfig system = args.has("config")
+                              ? loadSystemConfig(args.get("config"))
+                              : SystemConfig::a100Epyc();
+    Experiment experiment(system);
+    std::vector<ExperimentResult> results;
+    results.reserve(modes.size());
+    for (TransferMode m : modes)
+        results.push_back(experiment.run(workload, m, opts));
+
+    if (args.has("csv")) {
+        CsvWriter csv(std::cout);
+        emitCsvHeader(csv);
+        for (const ExperimentResult &res : results)
+            emitCsvRow(csv, res, opts.runs);
+        return 0;
+    }
+
+    TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
+                     "overall", "cv", "faults", "l1 load miss"});
+    for (const ExperimentResult &res : results) {
+        TimeBreakdown mean = res.meanBreakdown();
+        table.addRow({transferModeName(res.mode),
+                      fmtTime(mean.kernelPs),
+                      fmtTime(mean.transferPs),
+                      fmtTime(mean.allocPs),
+                      fmtTime(mean.overallPs()),
+                      fmtDouble(res.overallSamples().cv(), 4),
+                      fmtCount(static_cast<double>(
+                          res.counters.faults)),
+                      fmtDouble(res.counters.l1LoadMissRate, 3)});
+    }
+    std::cout << workload << " @ " << sizeClassName(opts.size)
+              << " (" << opts.runs << " runs)\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    std::string workload = args.get("workload");
+    if (workload.empty() && !args.has("jobfile")) {
+        std::fprintf(stderr,
+                     "profile: --workload or --jobfile is required\n");
+        return 1;
+    }
+
+    Job job;
+    if (args.has("jobfile")) {
+        job = loadJobFile(args.get("jobfile"));
+    } else {
+        SizeClass size;
+        if (!parseSizeClass(args.get("size", "super"), size)) {
+            std::fprintf(stderr, "unknown size class '%s'\n",
+                         args.get("size").c_str());
+            return 1;
+        }
+        const Workload *w =
+            WorkloadRegistry::instance().find(workload);
+        if (!w) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         workload.c_str());
+            return 1;
+        }
+        job = w->makeJob(size);
+    }
+
+    TransferMode mode = TransferMode::Standard;
+    if (args.has("mode") &&
+        !parseTransferMode(args.get("mode"), mode)) {
+        std::fprintf(stderr, "unknown mode '%s'\n",
+                     args.get("mode").c_str());
+        return 1;
+    }
+
+    SystemConfig system = args.has("config")
+                              ? loadSystemConfig(args.get("config"))
+                              : SystemConfig::a100Epyc();
+    Device device(system);
+    RunResult run = device.run(job, mode);
+
+    TextTable table({"kernel", "launches", "total time", "stalls",
+                     "occupancy", "l1 load miss", "l1 store miss",
+                     "ctrl instrs", "faults"});
+    for (const KernelProfile &prof : run.kernelProfiles) {
+        table.addRow(
+            {prof.name, std::to_string(prof.launches),
+             fmtTime(static_cast<double>(prof.totalTime)),
+             fmtTime(static_cast<double>(prof.stallTime)),
+             fmtDouble(prof.occupancy, 2),
+             fmtDouble(prof.l1LoadMissRate, 4),
+             fmtDouble(prof.l1StoreMissRate, 4),
+             fmtCount(prof.instrs.control),
+             fmtCount(static_cast<double>(prof.faults))});
+    }
+    std::cout << job.name << " under " << transferModeName(mode)
+              << " — per-kernel profile (kernel total "
+              << fmtTime(run.breakdown.kernelPs) << "):\n";
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTimeline(const Args &args)
+{
+    Job job;
+    if (args.has("jobfile")) {
+        job = loadJobFile(args.get("jobfile"));
+    } else {
+        std::string workload = args.get("workload");
+        if (workload.empty()) {
+            std::fprintf(
+                stderr,
+                "timeline: --workload or --jobfile is required\n");
+            return 1;
+        }
+        SizeClass size;
+        if (!parseSizeClass(args.get("size", "super"), size)) {
+            std::fprintf(stderr, "unknown size class '%s'\n",
+                         args.get("size").c_str());
+            return 1;
+        }
+        const Workload *w =
+            WorkloadRegistry::instance().find(workload);
+        if (!w) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         workload.c_str());
+            return 1;
+        }
+        job = w->makeJob(size);
+    }
+
+    SystemConfig system = args.has("config")
+                              ? loadSystemConfig(args.get("config"))
+                              : SystemConfig::a100Epyc();
+    Device device(system);
+    std::vector<TransferMode> modes;
+    std::string modeArg = args.get("mode", "all");
+    if (modeArg == "all") {
+        modes.assign(allTransferModes.begin(),
+                     allTransferModes.end());
+    } else {
+        TransferMode m;
+        if (!parseTransferMode(modeArg, m)) {
+            std::fprintf(stderr, "unknown mode '%s'\n",
+                         modeArg.c_str());
+            return 1;
+        }
+        modes.push_back(m);
+    }
+    for (TransferMode mode : modes) {
+        RunResult run = device.run(job, mode);
+        std::cout << job.name << " under " << transferModeName(mode)
+                  << " (wall "
+                  << fmtTime(static_cast<double>(run.wallEnd))
+                  << "):\n"
+                  << run.timeline.gantt() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    std::string kind = args.get("kind");
+    std::string workload = args.get("workload", "vector_seq");
+    ExperimentOptions opts;
+    if (!parseSizeClass(args.get("size", "super"), opts.size)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     args.get("size").c_str());
+        return 1;
+    }
+    opts.runs = static_cast<std::uint32_t>(
+        std::stoul(args.get("runs", "5")));
+
+    SystemConfig system = args.has("config")
+                              ? loadSystemConfig(args.get("config"))
+                              : SystemConfig::a100Epyc();
+    Experiment experiment(system);
+    Sweep sweep(experiment);
+    std::vector<SweepPoint> points;
+    std::string unit;
+    if (kind == "blocks") {
+        points = sweep.blockSweep(
+            workload, {4096, 2048, 1024, 512, 256, 128, 64, 32, 16},
+            opts);
+        unit = "blocks";
+    } else if (kind == "threads") {
+        points = sweep.threadSweep(workload,
+                                   {1024, 512, 256, 128, 64, 32}, 64,
+                                   opts);
+        unit = "threads";
+    } else if (kind == "sharedmem") {
+        points = sweep.sharedMemSweep(
+            workload,
+            {kib(2), kib(4), kib(8), kib(16), kib(32), kib(64),
+             kib(128)},
+            opts);
+        unit = "carveout bytes";
+    } else {
+        std::fprintf(stderr,
+                     "sweep: --kind must be blocks|threads|"
+                     "sharedmem\n");
+        return 1;
+    }
+
+    if (args.has("csv")) {
+        CsvWriter csv(std::cout);
+        csv.writeRow({unit, "mode", "overall_ms"});
+        for (const SweepPoint &p : points) {
+            for (const ExperimentResult &res : p.modes) {
+                csv.writeRow(
+                    {std::to_string(p.value),
+                     transferModeName(res.mode),
+                     fmtDouble(res.meanBreakdown().overallPs() / 1e9,
+                               4)});
+            }
+        }
+        return 0;
+    }
+
+    TextTable table({unit, "standard", "async", "uvm",
+                     "uvm_prefetch", "uvm_prefetch_async"});
+    for (const SweepPoint &p : points) {
+        std::vector<std::string> row = {std::to_string(p.value)};
+        for (TransferMode m : allTransferModes) {
+            row.push_back(fmtTime(
+                findMode(p.modes, m).meanBreakdown().overallPs()));
+        }
+        table.addRow(row);
+    }
+    std::cout << workload << " " << kind << " sweep @ "
+              << sizeClassName(opts.size) << "\n";
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  uvmasync list [micro|apps]\n"
+        "  uvmasync run --workload NAME [--size CLASS] "
+        "[--mode MODE|all] [--runs N]\n"
+        "               [--blocks N] [--threads N] [--carveout KIB] "
+        "[--seed N] [--config FILE] [--csv]\n"
+        "  uvmasync sweep --kind blocks|threads|sharedmem "
+        "[--workload NAME] [--size CLASS] [--csv]\n"
+        "  uvmasync profile --workload NAME|--jobfile FILE "
+        "[--mode MODE] [--size CLASS]\n"
+        "  uvmasync timeline --workload NAME|--jobfile FILE "
+        "[--mode MODE|all] [--size CLASS]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    registerAllWorkloads();
+
+    std::string cmd = argv[1];
+    Args args(argc, argv, 2);
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "timeline")
+        return cmdTimeline(args);
+    usage();
+    return 1;
+}
