@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_asyncapi.dir/bench_ablation_asyncapi.cc.o"
+  "CMakeFiles/bench_ablation_asyncapi.dir/bench_ablation_asyncapi.cc.o.d"
+  "bench_ablation_asyncapi"
+  "bench_ablation_asyncapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asyncapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_faultbatch.dir/bench_ablation_faultbatch.cc.o"
+  "CMakeFiles/bench_ablation_faultbatch.dir/bench_ablation_faultbatch.cc.o.d"
+  "bench_ablation_faultbatch"
+  "bench_ablation_faultbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_faultbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

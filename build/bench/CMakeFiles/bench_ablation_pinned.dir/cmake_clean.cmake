@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pinned.dir/bench_ablation_pinned.cc.o"
+  "CMakeFiles/bench_ablation_pinned.dir/bench_ablation_pinned.cc.o.d"
+  "bench_ablation_pinned"
+  "bench_ablation_pinned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pinned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cachemiss.dir/bench_fig10_cachemiss.cc.o"
+  "CMakeFiles/bench_fig10_cachemiss.dir/bench_fig10_cachemiss.cc.o.d"
+  "bench_fig10_cachemiss"
+  "bench_fig10_cachemiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cachemiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

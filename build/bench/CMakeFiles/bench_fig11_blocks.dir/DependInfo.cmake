@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_blocks.cc" "bench/CMakeFiles/bench_fig11_blocks.dir/bench_fig11_blocks.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_blocks.dir/bench_fig11_blocks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/uvmasync_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uvmasync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/uvmasync_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/uvmasync_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmasync_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/uvmasync_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sharedmem.dir/bench_fig13_sharedmem.cc.o"
+  "CMakeFiles/bench_fig13_sharedmem.dir/bench_fig13_sharedmem.cc.o.d"
+  "bench_fig13_sharedmem"
+  "bench_fig13_sharedmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sharedmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_interjob.dir/bench_fig14_interjob.cc.o"
+  "CMakeFiles/bench_fig14_interjob.dir/bench_fig14_interjob.cc.o.d"
+  "bench_fig14_interjob"
+  "bench_fig14_interjob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_interjob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

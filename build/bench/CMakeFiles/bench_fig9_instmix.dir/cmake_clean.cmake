@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_instmix.dir/bench_fig9_instmix.cc.o"
+  "CMakeFiles/bench_fig9_instmix.dir/bench_fig9_instmix.cc.o.d"
+  "bench_fig9_instmix"
+  "bench_fig9_instmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_instmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_bench_common.dir/common/bench_common.cc.o"
+  "CMakeFiles/uvmasync_bench_common.dir/common/bench_common.cc.o.d"
+  "libuvmasync_bench_common.a"
+  "libuvmasync_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

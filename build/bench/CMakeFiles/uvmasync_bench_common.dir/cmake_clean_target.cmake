@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvmasync_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_jobs.dir/batch_jobs.cpp.o"
+  "CMakeFiles/batch_jobs.dir/batch_jobs.cpp.o.d"
+  "batch_jobs"
+  "batch_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_common.dir/csv.cc.o"
+  "CMakeFiles/uvmasync_common.dir/csv.cc.o.d"
+  "CMakeFiles/uvmasync_common.dir/kv_config.cc.o"
+  "CMakeFiles/uvmasync_common.dir/kv_config.cc.o.d"
+  "CMakeFiles/uvmasync_common.dir/logging.cc.o"
+  "CMakeFiles/uvmasync_common.dir/logging.cc.o.d"
+  "CMakeFiles/uvmasync_common.dir/rng.cc.o"
+  "CMakeFiles/uvmasync_common.dir/rng.cc.o.d"
+  "CMakeFiles/uvmasync_common.dir/stats.cc.o"
+  "CMakeFiles/uvmasync_common.dir/stats.cc.o.d"
+  "CMakeFiles/uvmasync_common.dir/table.cc.o"
+  "CMakeFiles/uvmasync_common.dir/table.cc.o.d"
+  "libuvmasync_common.a"
+  "libuvmasync_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

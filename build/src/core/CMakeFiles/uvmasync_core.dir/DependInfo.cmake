@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_pipeline.cc" "src/core/CMakeFiles/uvmasync_core.dir/batch_pipeline.cc.o" "gcc" "src/core/CMakeFiles/uvmasync_core.dir/batch_pipeline.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/uvmasync_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/uvmasync_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/uvmasync_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/uvmasync_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/uvmasync_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/uvmasync_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/uvmasync_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmasync_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/uvmasync_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/uvmasync_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

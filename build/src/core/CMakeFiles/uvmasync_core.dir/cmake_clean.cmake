@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_core.dir/batch_pipeline.cc.o"
+  "CMakeFiles/uvmasync_core.dir/batch_pipeline.cc.o.d"
+  "CMakeFiles/uvmasync_core.dir/experiment.cc.o"
+  "CMakeFiles/uvmasync_core.dir/experiment.cc.o.d"
+  "CMakeFiles/uvmasync_core.dir/report.cc.o"
+  "CMakeFiles/uvmasync_core.dir/report.cc.o.d"
+  "CMakeFiles/uvmasync_core.dir/sweep.cc.o"
+  "CMakeFiles/uvmasync_core.dir/sweep.cc.o.d"
+  "libuvmasync_core.a"
+  "libuvmasync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cache_model.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/cache_model.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/cache_model.cc.o.d"
+  "/root/repo/src/gpu/instruction_mix.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/instruction_mix.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/instruction_mix.cc.o.d"
+  "/root/repo/src/gpu/kernel_descriptor.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/kernel_descriptor.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/kernel_descriptor.cc.o.d"
+  "/root/repo/src/gpu/kernel_executor.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/kernel_executor.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/kernel_executor.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/occupancy.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpu/transfer_mode.cc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/transfer_mode.cc.o" "gcc" "src/gpu/CMakeFiles/uvmasync_gpu.dir/transfer_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/uvmasync_xfer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_gpu.dir/cache_model.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/cache_model.cc.o.d"
+  "CMakeFiles/uvmasync_gpu.dir/instruction_mix.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/instruction_mix.cc.o.d"
+  "CMakeFiles/uvmasync_gpu.dir/kernel_descriptor.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/kernel_descriptor.cc.o.d"
+  "CMakeFiles/uvmasync_gpu.dir/kernel_executor.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/kernel_executor.cc.o.d"
+  "CMakeFiles/uvmasync_gpu.dir/occupancy.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/occupancy.cc.o.d"
+  "CMakeFiles/uvmasync_gpu.dir/transfer_mode.cc.o"
+  "CMakeFiles/uvmasync_gpu.dir/transfer_mode.cc.o.d"
+  "libuvmasync_gpu.a"
+  "libuvmasync_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access_pattern.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/access_pattern.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/access_pattern.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/device_memory.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/device_memory.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/device_memory.cc.o.d"
+  "/root/repo/src/mem/host_memory.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/host_memory.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/host_memory.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/uvmasync_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/uvmasync_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

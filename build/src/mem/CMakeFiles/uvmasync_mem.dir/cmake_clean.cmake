@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_mem.dir/access_pattern.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/access_pattern.cc.o.d"
+  "CMakeFiles/uvmasync_mem.dir/cache.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/cache.cc.o.d"
+  "CMakeFiles/uvmasync_mem.dir/device_memory.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/device_memory.cc.o.d"
+  "CMakeFiles/uvmasync_mem.dir/host_memory.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/host_memory.cc.o.d"
+  "CMakeFiles/uvmasync_mem.dir/page_table.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/uvmasync_mem.dir/tlb.cc.o"
+  "CMakeFiles/uvmasync_mem.dir/tlb.cc.o.d"
+  "libuvmasync_mem.a"
+  "libuvmasync_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

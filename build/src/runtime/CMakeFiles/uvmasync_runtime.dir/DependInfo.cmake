@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/allocator.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/allocator.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/allocator.cc.o.d"
+  "/root/repo/src/runtime/config_loader.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/config_loader.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/config_loader.cc.o.d"
+  "/root/repo/src/runtime/device.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/device.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/device.cc.o.d"
+  "/root/repo/src/runtime/job.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/job.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/job.cc.o.d"
+  "/root/repo/src/runtime/noise_model.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/noise_model.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/noise_model.cc.o.d"
+  "/root/repo/src/runtime/time_breakdown.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/time_breakdown.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/time_breakdown.cc.o.d"
+  "/root/repo/src/runtime/timeline.cc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/timeline.cc.o" "gcc" "src/runtime/CMakeFiles/uvmasync_runtime.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/uvmasync_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmasync_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

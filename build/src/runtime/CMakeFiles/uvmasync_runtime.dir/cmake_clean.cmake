@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_runtime.dir/allocator.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/allocator.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/config_loader.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/config_loader.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/device.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/device.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/job.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/job.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/noise_model.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/noise_model.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/time_breakdown.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/time_breakdown.cc.o.d"
+  "CMakeFiles/uvmasync_runtime.dir/timeline.cc.o"
+  "CMakeFiles/uvmasync_runtime.dir/timeline.cc.o.d"
+  "libuvmasync_runtime.a"
+  "libuvmasync_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvmasync_runtime.a"
+)

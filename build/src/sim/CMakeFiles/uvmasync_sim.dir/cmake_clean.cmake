@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_sim.dir/event_queue.cc.o"
+  "CMakeFiles/uvmasync_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/uvmasync_sim.dir/resource.cc.o"
+  "CMakeFiles/uvmasync_sim.dir/resource.cc.o.d"
+  "libuvmasync_sim.a"
+  "libuvmasync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

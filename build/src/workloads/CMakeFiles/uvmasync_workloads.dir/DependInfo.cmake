@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps/rodinia/backprop.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/backprop.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/hotspot.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/hotspot.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/kmeans.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/kmeans.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/lavamd.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/lavamd.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/lavamd.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/lud.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/lud.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/lud.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/nw.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/nw.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/nw.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/pathfinder.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia/srad.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/srad.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia/srad.cc.o.d"
+  "/root/repo/src/workloads/apps/rodinia_workloads.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/rodinia_workloads.cc.o.d"
+  "/root/repo/src/workloads/apps/uvmbench_workloads.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/uvmbench_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/apps/uvmbench_workloads.cc.o.d"
+  "/root/repo/src/workloads/job_loader.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/job_loader.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/job_loader.cc.o.d"
+  "/root/repo/src/workloads/micro/micro_workloads.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/micro/micro_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/micro/micro_workloads.cc.o.d"
+  "/root/repo/src/workloads/nn/darknet_workloads.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/darknet_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/darknet_workloads.cc.o.d"
+  "/root/repo/src/workloads/nn/layer.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/layer.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/layer.cc.o.d"
+  "/root/repo/src/workloads/nn/network.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/network.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/nn/network.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/size_class.cc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/size_class.cc.o" "gcc" "src/workloads/CMakeFiles/uvmasync_workloads.dir/size_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/uvmasync_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmasync_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/uvmasync_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xfer/fault_handler.cc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/fault_handler.cc.o" "gcc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/fault_handler.cc.o.d"
+  "/root/repo/src/xfer/migration_engine.cc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/migration_engine.cc.o" "gcc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/migration_engine.cc.o.d"
+  "/root/repo/src/xfer/pcie_link.cc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/pcie_link.cc.o" "gcc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/pcie_link.cc.o.d"
+  "/root/repo/src/xfer/prefetcher.cc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/prefetcher.cc.o" "gcc" "src/xfer/CMakeFiles/uvmasync_xfer.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmasync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmasync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmasync_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_xfer.dir/fault_handler.cc.o"
+  "CMakeFiles/uvmasync_xfer.dir/fault_handler.cc.o.d"
+  "CMakeFiles/uvmasync_xfer.dir/migration_engine.cc.o"
+  "CMakeFiles/uvmasync_xfer.dir/migration_engine.cc.o.d"
+  "CMakeFiles/uvmasync_xfer.dir/pcie_link.cc.o"
+  "CMakeFiles/uvmasync_xfer.dir/pcie_link.cc.o.d"
+  "CMakeFiles/uvmasync_xfer.dir/prefetcher.cc.o"
+  "CMakeFiles/uvmasync_xfer.dir/prefetcher.cc.o.d"
+  "libuvmasync_xfer.a"
+  "libuvmasync_xfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_xfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_model_sweep.dir/test_cache_model_sweep.cc.o"
+  "CMakeFiles/test_cache_model_sweep.dir/test_cache_model_sweep.cc.o.d"
+  "test_cache_model_sweep"
+  "test_cache_model_sweep.pdb"
+  "test_cache_model_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_model_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_edge.dir/test_executor_edge.cc.o"
+  "CMakeFiles/test_executor_edge.dir/test_executor_edge.cc.o.d"
+  "test_executor_edge"
+  "test_executor_edge.pdb"
+  "test_executor_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

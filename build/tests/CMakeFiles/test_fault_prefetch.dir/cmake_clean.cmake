@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_prefetch.dir/test_fault_prefetch.cc.o"
+  "CMakeFiles/test_fault_prefetch.dir/test_fault_prefetch.cc.o.d"
+  "test_fault_prefetch"
+  "test_fault_prefetch.pdb"
+  "test_fault_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_models.dir/test_gpu_models.cc.o"
+  "CMakeFiles/test_gpu_models.dir/test_gpu_models.cc.o.d"
+  "test_gpu_models"
+  "test_gpu_models.pdb"
+  "test_gpu_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_executor.dir/test_kernel_executor.cc.o"
+  "CMakeFiles/test_kernel_executor.dir/test_kernel_executor.cc.o.d"
+  "test_kernel_executor"
+  "test_kernel_executor.pdb"
+  "test_kernel_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

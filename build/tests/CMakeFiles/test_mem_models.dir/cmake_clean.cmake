@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_models.dir/test_mem_models.cc.o"
+  "CMakeFiles/test_mem_models.dir/test_mem_models.cc.o.d"
+  "test_mem_models"
+  "test_mem_models.pdb"
+  "test_mem_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

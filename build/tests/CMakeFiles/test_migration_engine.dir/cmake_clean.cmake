@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_engine.dir/test_migration_engine.cc.o"
+  "CMakeFiles/test_migration_engine.dir/test_migration_engine.cc.o.d"
+  "test_migration_engine"
+  "test_migration_engine.pdb"
+  "test_migration_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie_link.dir/test_pcie_link.cc.o"
+  "CMakeFiles/test_pcie_link.dir/test_pcie_link.cc.o.d"
+  "test_pcie_link"
+  "test_pcie_link.pdb"
+  "test_pcie_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

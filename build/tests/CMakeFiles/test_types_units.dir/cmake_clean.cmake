@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_types_units.dir/test_types_units.cc.o"
+  "CMakeFiles/test_types_units.dir/test_types_units.cc.o.d"
+  "test_types_units"
+  "test_types_units.pdb"
+  "test_types_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_types_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_types_units[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_models[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie_link[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_prefetch[1]_include.cmake")
+include("/root/repo/build/tests/test_migration_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_models[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_modes_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_executor_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_model_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmasync_cli.dir/uvmasync_cli.cc.o"
+  "CMakeFiles/uvmasync_cli.dir/uvmasync_cli.cc.o.d"
+  "uvmasync"
+  "uvmasync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmasync_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
