@@ -1,11 +1,50 @@
 #include "common/bench_common.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
 
 namespace uvmasync
 {
 namespace bench
 {
+
+namespace
+{
+
+/**
+ * Find and strip `--jobs N` / `--jobs=N` from argv (google-benchmark
+ * rejects flags it does not know) and feed it to setGlobalJobs().
+ */
+void
+parseJobsFlag(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs" && i + 1 < argc) {
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        unsigned long jobs = std::strtoul(value.c_str(), nullptr, 10);
+        if (jobs == 0) {
+            std::fprintf(stderr, "--jobs needs a positive count\n");
+            std::exit(1);
+        }
+        setGlobalJobs(static_cast<unsigned>(jobs));
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
+} // namespace
 
 ResultCache &
 ResultCache::instance()
@@ -44,15 +83,63 @@ ResultCache::get(const std::string &workload, TransferMode mode,
     return it->second;
 }
 
+void
+ResultCache::runBatch(const std::vector<ExperimentPoint> &points)
+{
+    if (points.empty())
+        return;
+    ParallelRunner runner(experiment_.system());
+    BatchResult batch = runner.runPoints(points);
+    std::vector<ExperimentResult> results = batch.results();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        cache_.emplace(key(points[i].workload, points[i].mode,
+                           points[i].opts),
+                       std::move(results[i]));
+    }
+    engine_.jobs = std::max(engine_.jobs, batch.metrics.jobs);
+    engine_.points += batch.metrics.points;
+    engine_.wallMs += batch.metrics.wallMs;
+    engine_.busyMs += batch.metrics.busyMs;
+    engine_.steals += batch.metrics.steals;
+    engine_.pointsPerSec =
+        engine_.wallMs > 0.0
+            ? static_cast<double>(engine_.points) /
+                  (engine_.wallMs / 1e3)
+            : 0.0;
+}
+
 ModeSet
 ResultCache::getAllModes(const std::string &workload,
                          const ExperimentOptions &opts)
 {
+    // Run whichever of the five cells are missing as one batch.
+    std::vector<ExperimentPoint> missing;
+    for (TransferMode mode : allTransferModes) {
+        if (!cache_.count(key(workload, mode, opts)))
+            missing.push_back(ExperimentPoint{workload, mode, opts});
+    }
+    runBatch(missing);
+
     ModeSet set;
     set.reserve(allTransferModes.size());
     for (TransferMode mode : allTransferModes)
         set.push_back(get(workload, mode, opts));
     return set;
+}
+
+void
+ResultCache::prefetchGrid(const std::vector<std::string> &workloads,
+                          const ExperimentOptions &opts)
+{
+    std::vector<ExperimentPoint> missing;
+    for (const std::string &workload : workloads) {
+        for (TransferMode mode : allTransferModes) {
+            if (!cache_.count(key(workload, mode, opts)))
+                missing.push_back(
+                    ExperimentPoint{workload, mode, opts});
+        }
+    }
+    runBatch(missing);
 }
 
 void
@@ -91,15 +178,25 @@ registerModeBenchmarks(const std::string &prefix,
 }
 
 int
-benchMain(int argc, char **argv, void (*report)())
+benchMain(int argc, char **argv, void (*report)(),
+          void (*prewarm)())
 {
+    parseJobsFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    if (prewarm)
+        prewarm();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (report)
         report();
+    const BatchMetrics &engine =
+        ResultCache::instance().engineMetrics();
+    if (engine.points > 0) {
+        printTable(std::cout, "Parallel engine (host-side metrics)",
+                   parallelMetricsTable(engine));
+    }
     return 0;
 }
 

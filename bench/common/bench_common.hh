@@ -48,6 +48,18 @@ class ResultCache
     ModeSet getAllModes(const std::string &workload,
                         const ExperimentOptions &opts);
 
+    /**
+     * Run every missing (workload x mode) cell of a figure's grid as
+     * one batch through the parallel engine (globalJobs() workers)
+     * and fill the cache. Results are identical to cell-by-cell
+     * serial runs; only the wall time changes.
+     */
+    void prefetchGrid(const std::vector<std::string> &workloads,
+                      const ExperimentOptions &opts);
+
+    /** Engine metrics accumulated over all parallel batches so far. */
+    const BatchMetrics &engineMetrics() const { return engine_; }
+
   private:
     ResultCache();
 
@@ -55,8 +67,12 @@ class ResultCache
                            TransferMode mode,
                            const ExperimentOptions &opts);
 
+    /** Run @p points through the engine and cache the results. */
+    void runBatch(const std::vector<ExperimentPoint> &points);
+
     Experiment experiment_;
     std::map<std::string, ExperimentResult> cache_;
+    BatchMetrics engine_;
 };
 
 /**
@@ -68,10 +84,16 @@ void registerModeBenchmarks(const std::string &prefix,
                             const ExperimentOptions &opts);
 
 /**
- * Standard bench main body: runs benchmarks, then calls @p report to
- * print the figure's tables. Returns the process exit code.
+ * Standard bench main body: parses and strips `--jobs N` (also
+ * honouring the UVMASYNC_JOBS environment variable) into
+ * setGlobalJobs(), calls the optional @p prewarm hook — typically a
+ * ResultCache::prefetchGrid() that runs the figure's whole grid as
+ * one parallel batch — runs the benchmarks, then calls @p report to
+ * print the figure's tables followed by the engine's batch metrics.
+ * Returns the process exit code.
  */
-int benchMain(int argc, char **argv, void (*report)());
+int benchMain(int argc, char **argv, void (*report)(),
+              void (*prewarm)() = nullptr);
 
 } // namespace bench
 } // namespace uvmasync

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (full build + ctest) plus a ThreadSanitizer
+# pass over the parallel experiment engine.
+#
+#   scripts/check.sh            # tier-1 + TSan
+#   scripts/check.sh --no-tsan  # tier-1 only
+#
+# The TSan stage configures a separate build tree (build-tsan/) with
+# -DUVMASYNC_TSAN=ON and runs test_parallel_runner under it, so data
+# races in the work-stealing engine fail CI even when they do not
+# corrupt results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-tsan) run_tsan=0 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [ "$run_tsan" = 1 ]; then
+    echo "== TSan: parallel engine under ThreadSanitizer =="
+    cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
+    cmake --build build-tsan -j"$(nproc)" --target test_parallel_runner
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_parallel_runner
+fi
+
+echo "check.sh: all stages passed"

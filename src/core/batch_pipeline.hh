@@ -25,7 +25,14 @@ struct BatchScheduleResult
     double serialPs = 0.0;    //!< current model: jobs back to back
     double pipelinedPs = 0.0; //!< Figure 14's overlapped model
 
-    /** Fractional improvement of the pipelined model. */
+    /**
+     * Fractional improvement of the pipelined model.
+     *
+     * Sentinel: an empty or zero-length batch (serialPs <= 0) has no
+     * defined improvement and returns exactly 0.0 — callers that
+     * must distinguish "no gain" from "no jobs" should check
+     * serialPs themselves.
+     */
     double
     improvement() const
     {
@@ -35,6 +42,9 @@ struct BatchScheduleResult
 
 /**
  * Schedule @p jobs (given as per-job breakdowns) under both models.
+ *
+ * An empty @p jobs vector is allowed and returns the documented
+ * sentinel result {serialPs = 0, pipelinedPs = 0, improvement() = 0}.
  *
  * The allocation component is split between a pre-kernel part
  * (cudaMallocManaged) and a post-kernel part (cudaFree) by

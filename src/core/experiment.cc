@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "core/parallel_runner.hh"
 #include "runtime/noise_model.hh"
 #include "workloads/registry.hh"
 
@@ -83,11 +84,17 @@ std::vector<ExperimentResult>
 Experiment::runAllModes(const std::string &workloadName,
                         const ExperimentOptions &opts)
 {
-    std::vector<ExperimentResult> out;
-    out.reserve(allTransferModes.size());
+    // Fan the five modes out through the parallel engine. Each point
+    // keeps the cell's baseSeed unchanged (NOT a per-mode stream):
+    // the noise model deliberately shares run-i machine conditions
+    // across modes, and the engine's submission-order merge keeps the
+    // output byte-identical to the serial loop this replaces.
+    std::vector<ExperimentPoint> points;
+    points.reserve(allTransferModes.size());
     for (TransferMode mode : allTransferModes)
-        out.push_back(run(workloadName, mode, opts));
-    return out;
+        points.push_back(ExperimentPoint{workloadName, mode, opts});
+    ParallelRunner runner(system_);
+    return runner.run(points);
 }
 
 } // namespace uvmasync

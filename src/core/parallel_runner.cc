@@ -1,0 +1,314 @@
+#include "core/parallel_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Stable 64-bit FNV-1a over a byte range (machine-independent). */
+std::uint64_t
+fnv1a(const void *data, std::size_t size,
+      std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: diffuses a hash into a full 64-bit seed. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** 0 means "not set"; resolved lazily in globalJobs(). */
+std::atomic<unsigned> gGlobalJobs{0};
+
+unsigned
+autoJobs()
+{
+    if (const char *env = std::getenv("UVMASYNC_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid UVMASYNC_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Per-worker task queues with stealing. Workers pop from the back of
+ * their own queue and steal from the front of the most loaded other
+ * queue; a mutex per queue keeps the engine simple and TSan-clean.
+ */
+class StealingQueues
+{
+  public:
+    explicit StealingQueues(unsigned workers) : queues_(workers) {}
+
+    void
+    push(unsigned worker, std::size_t index)
+    {
+        Queue &q = queues_[worker];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(index);
+    }
+
+    /** Pop from the worker's own queue; false when empty. */
+    bool
+    popLocal(unsigned worker, std::size_t &index)
+    {
+        Queue &q = queues_[worker];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            return false;
+        index = q.tasks.back();
+        q.tasks.pop_back();
+        return true;
+    }
+
+    /** Steal from the front of another worker's queue. */
+    bool
+    steal(unsigned thief, std::size_t &index)
+    {
+        for (std::size_t off = 1; off < queues_.size(); ++off) {
+            unsigned victim = static_cast<unsigned>(
+                (thief + off) % queues_.size());
+            Queue &q = queues_[victim];
+            std::lock_guard<std::mutex> lock(q.mutex);
+            if (q.tasks.empty())
+                continue;
+            index = q.tasks.front();
+            q.tasks.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks;
+    };
+
+    std::vector<Queue> queues_;
+};
+
+} // namespace
+
+unsigned
+globalJobs()
+{
+    unsigned jobs = gGlobalJobs.load(std::memory_order_relaxed);
+    return jobs > 0 ? jobs : autoJobs();
+}
+
+void
+setGlobalJobs(unsigned jobs)
+{
+    gGlobalJobs.store(jobs, std::memory_order_relaxed);
+}
+
+bool
+BatchResult::allOk() const
+{
+    for (const PointOutcome &point : points) {
+        if (!point.ok)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ExperimentResult>
+BatchResult::results() const
+{
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].ok)
+            throw std::runtime_error("experiment point " +
+                                     std::to_string(i) + " failed: " +
+                                     points[i].error);
+    }
+    std::vector<ExperimentResult> out;
+    out.reserve(points.size());
+    for (const PointOutcome &point : points)
+        out.push_back(point.result);
+    return out;
+}
+
+ParallelRunner::ParallelRunner(SystemConfig system, unsigned jobs)
+    : system_(system), jobs_(jobs > 0 ? jobs : globalJobs())
+{
+    // Populate the registry on this thread before any worker runs, so
+    // workers only ever read it.
+    registerAllWorkloads();
+}
+
+std::uint64_t
+ParallelRunner::pointSeed(std::uint64_t baseSeed,
+                          const std::string &workload,
+                          TransferMode mode, std::uint32_t trial)
+{
+    std::uint64_t h = fnv1a(&baseSeed, sizeof(baseSeed));
+    h = fnv1a(workload.data(), workload.size(), h);
+    std::uint64_t m = static_cast<std::uint64_t>(mode);
+    h = fnv1a(&m, sizeof(m), h);
+    std::uint64_t t = trial;
+    h = fnv1a(&t, sizeof(t), h);
+    return mix64(h);
+}
+
+std::vector<ExperimentPoint>
+ParallelRunner::expandGrid(const std::vector<std::string> &workloads,
+                           const std::vector<TransferMode> &modes,
+                           std::uint32_t trials,
+                           const ExperimentOptions &base)
+{
+    std::vector<ExperimentPoint> points;
+    points.reserve(workloads.size() * modes.size() * trials);
+    for (const std::string &workload : workloads) {
+        for (TransferMode mode : modes) {
+            for (std::uint32_t trial = 0; trial < trials; ++trial) {
+                ExperimentPoint point;
+                point.workload = workload;
+                point.mode = mode;
+                point.opts = base;
+                point.opts.baseSeed =
+                    pointSeed(base.baseSeed, workload, mode, trial);
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
+BatchResult
+ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
+{
+    BatchResult batch;
+    batch.points.resize(points.size());
+    batch.metrics.points = points.size();
+    if (points.empty()) {
+        batch.metrics.jobs = 1;
+        return batch;
+    }
+
+    // Never spin up more workers than there are points.
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, points.size()));
+    batch.metrics.jobs = workers;
+
+    Clock::time_point submit = Clock::now();
+    std::atomic<std::size_t> steals{0};
+
+    // One point, on one worker's Experiment. All simulator state is
+    // local to the Experiment/Device, so points are independent and
+    // the outcome depends only on the point itself — never on which
+    // worker or in which order it ran.
+    auto runPoint = [&](Experiment &experiment,
+                        const ExperimentPoint &point,
+                        PointOutcome &outcome, unsigned worker,
+                        bool stolen) {
+        outcome.metrics.queueWaitMs = msSince(submit);
+        outcome.metrics.worker = worker;
+        outcome.metrics.stolen = stolen;
+        Clock::time_point start = Clock::now();
+        try {
+            if (!WorkloadRegistry::instance().find(point.workload))
+                throw std::runtime_error("unknown workload '" +
+                                         point.workload + "'");
+            outcome.result =
+                experiment.run(point.workload, point.mode, point.opts);
+            outcome.ok = true;
+        } catch (const std::exception &e) {
+            outcome.error = e.what();
+        } catch (...) {
+            outcome.error = "unknown error";
+        }
+        outcome.metrics.wallMs = msSince(start);
+    };
+
+    if (workers <= 1) {
+        Experiment experiment(system_);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            runPoint(experiment, points[i], batch.points[i], 0, false);
+    } else {
+        StealingQueues queues(workers);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            queues.push(static_cast<unsigned>(i % workers), i);
+
+        auto workerLoop = [&](unsigned worker) {
+            Experiment experiment(system_);
+            std::size_t index = 0;
+            for (;;) {
+                bool stolen = false;
+                if (!queues.popLocal(worker, index)) {
+                    if (!queues.steal(worker, index))
+                        break;
+                    stolen = true;
+                    steals.fetch_add(1, std::memory_order_relaxed);
+                }
+                runPoint(experiment, points[index],
+                         batch.points[index], worker, stolen);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(workerLoop, w);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    batch.metrics.wallMs = msSince(submit);
+    batch.metrics.steals = steals.load(std::memory_order_relaxed);
+    for (const PointOutcome &outcome : batch.points)
+        batch.metrics.busyMs += outcome.metrics.wallMs;
+    if (batch.metrics.wallMs > 0.0) {
+        batch.metrics.pointsPerSec =
+            static_cast<double>(points.size()) /
+            (batch.metrics.wallMs / 1e3);
+    }
+    return batch;
+}
+
+std::vector<ExperimentResult>
+ParallelRunner::run(const std::vector<ExperimentPoint> &points)
+{
+    return runPoints(points).results();
+}
+
+} // namespace uvmasync

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Parallel experiment engine with deterministic replay.
+ *
+ * A work-stealing thread pool over independent experiment points
+ * (workload x mode x trial). Every point runs on its own Device /
+ * simulator instance with a counter-derived RNG stream
+ * (seed = hash(baseSeed, mode, workload, trial)), so there is no
+ * shared mutable state between points and results are merged back in
+ * submission order: the output of `--jobs N` is byte-identical to
+ * the output of `--jobs 1` for any N.
+ *
+ * The engine also records lightweight per-point and per-batch
+ * metrics (wall time, queue wait, points/sec, steal count) so the
+ * speedup of a parallel sweep is observable without perturbing the
+ * simulated results.
+ */
+
+#ifndef UVMASYNC_CORE_PARALLEL_RUNNER_HH
+#define UVMASYNC_CORE_PARALLEL_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace uvmasync
+{
+
+/** One point of an experiment grid: a single (workload, mode) cell. */
+struct ExperimentPoint
+{
+    std::string workload;
+    TransferMode mode = TransferMode::Standard;
+    ExperimentOptions opts;
+};
+
+/** Host-side execution metrics of one point (not simulated time). */
+struct PointMetrics
+{
+    double wallMs = 0.0;      //!< execution wall time of the point
+    double queueWaitMs = 0.0; //!< batch submission -> point start
+    unsigned worker = 0;      //!< worker index that ran the point
+    bool stolen = false;      //!< ran on a worker it was not queued on
+};
+
+/** Outcome of one point: a result or a captured error. */
+struct PointOutcome
+{
+    bool ok = false;
+    std::string error; //!< what() of the captured exception, if !ok
+    ExperimentResult result;
+    PointMetrics metrics;
+};
+
+/** Host-side metrics of one batch. */
+struct BatchMetrics
+{
+    double wallMs = 0.0;       //!< batch submission -> last completion
+    double busyMs = 0.0;       //!< sum of per-point wall times
+    double pointsPerSec = 0.0; //!< points / wallMs
+    unsigned jobs = 1;         //!< worker count used
+    std::size_t points = 0;    //!< points submitted
+    std::size_t steals = 0;    //!< cross-worker steals
+};
+
+/** Batch outcome, point outcomes in submission order. */
+struct BatchResult
+{
+    std::vector<PointOutcome> points;
+    BatchMetrics metrics;
+
+    /** True when every point produced a result. */
+    bool allOk() const;
+
+    /**
+     * Results in submission order; throws std::runtime_error naming
+     * the first failed point if any point failed.
+     */
+    std::vector<ExperimentResult> results() const;
+};
+
+/**
+ * Work-stealing engine over independent experiment points.
+ *
+ * Each worker thread owns an Experiment (and therefore builds its own
+ * Device per point), so points never share simulator state. With
+ * jobs == 1 the batch runs inline on the calling thread.
+ */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param system testbed configuration, copied into every worker
+     * @param jobs   worker threads; 0 picks globalJobs()
+     */
+    explicit ParallelRunner(SystemConfig system = SystemConfig::a100Epyc(),
+                            unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Run a batch; per-point errors are captured, never thrown. */
+    BatchResult runPoints(const std::vector<ExperimentPoint> &points);
+
+    /** Run a batch; throws on the first failed point. */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentPoint> &points);
+
+    /**
+     * Counter-derived seed of one grid point: a stable (FNV-1a +
+     * splitmix64) hash of (baseSeed, workload, mode, trial). Equal
+     * keys give equal seeds; any differing component gives a
+     * statistically independent stream. Machine-independent.
+     */
+    static std::uint64_t pointSeed(std::uint64_t baseSeed,
+                                   const std::string &workload,
+                                   TransferMode mode,
+                                   std::uint32_t trial);
+
+    /**
+     * Expand a (workloads x modes x trials) grid into points in
+     * canonical submission order (workload-major, then mode, then
+     * trial). Each point's baseSeed is pointSeed(...) of its key, so
+     * trials are independent replicas with no shared RNG state.
+     */
+    static std::vector<ExperimentPoint>
+    expandGrid(const std::vector<std::string> &workloads,
+               const std::vector<TransferMode> &modes,
+               std::uint32_t trials, const ExperimentOptions &base);
+
+  private:
+    SystemConfig system_;
+    unsigned jobs_;
+};
+
+/**
+ * Process-wide default parallelism: the last setGlobalJobs() value,
+ * else the UVMASYNC_JOBS environment variable, else
+ * std::thread::hardware_concurrency().
+ */
+unsigned globalJobs();
+
+/** Override the default parallelism (CLI --jobs); 0 restores auto. */
+void setGlobalJobs(unsigned jobs);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_CORE_PARALLEL_RUNNER_HH

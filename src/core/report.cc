@@ -103,4 +103,25 @@ printTable(std::ostream &os, const std::string &title,
     os.flush();
 }
 
+TextTable
+parallelMetricsTable(const BatchMetrics &metrics)
+{
+    // busy/wall is the average number of points in flight, an upper
+    // bound on the speedup actually realised (they coincide when the
+    // machine has at least `jobs` free cores).
+    TextTable table({"jobs", "points", "wall_ms", "busy_ms",
+                     "points_per_sec", "concurrency", "steals"});
+    double concurrency = metrics.wallMs > 0.0
+                             ? metrics.busyMs / metrics.wallMs
+                             : 0.0;
+    table.addRow({std::to_string(metrics.jobs),
+                  std::to_string(metrics.points),
+                  fmtDouble(metrics.wallMs, 1),
+                  fmtDouble(metrics.busyMs, 1),
+                  fmtDouble(metrics.pointsPerSec, 1),
+                  fmtDouble(concurrency, 2),
+                  std::to_string(metrics.steals)});
+    return table;
+}
+
 } // namespace uvmasync

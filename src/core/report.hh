@@ -15,6 +15,7 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 
 namespace uvmasync
 {
@@ -62,6 +63,13 @@ TextTable comparisonTable(const std::vector<ComparisonRow> &rows);
 /** Convenience: print a titled table to @p os. */
 void printTable(std::ostream &os, const std::string &title,
                 const TextTable &table);
+
+/**
+ * Render the parallel engine's host-side batch metrics (jobs, wall
+ * time, busy time, points/sec, steals) so the speedup of a parallel
+ * sweep is observable alongside the simulated results.
+ */
+TextTable parallelMetricsTable(const BatchMetrics &metrics);
 
 } // namespace uvmasync
 

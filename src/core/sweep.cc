@@ -1,25 +1,72 @@
 #include "core/sweep.hh"
 
+#include "common/logging.hh"
+#include "core/parallel_runner.hh"
+
 namespace uvmasync
 {
+
+namespace
+{
+
+/**
+ * Run a sweep grid — every (value, mode) cell — as one parallel
+ * batch and reassemble per-value ModeSets in sweep order. The merge
+ * is submission-ordered, so the result is identical to the serial
+ * per-value loop this replaces.
+ */
+std::vector<SweepPoint>
+runSweepGrid(Experiment &experiment,
+             const std::string &workload,
+             const std::vector<std::uint64_t> &values,
+             const std::vector<ExperimentOptions> &optsPerValue)
+{
+    std::vector<ExperimentPoint> points;
+    points.reserve(values.size() * allTransferModes.size());
+    for (const ExperimentOptions &opts : optsPerValue) {
+        for (TransferMode mode : allTransferModes)
+            points.push_back(ExperimentPoint{workload, mode, opts});
+    }
+
+    ParallelRunner runner(experiment.system());
+    std::vector<ExperimentResult> results = runner.run(points);
+
+    std::vector<SweepPoint> out;
+    out.reserve(values.size());
+    std::size_t cursor = 0;
+    for (std::uint64_t value : values) {
+        SweepPoint point;
+        point.value = value;
+        point.modes.assign(
+            results.begin() + static_cast<std::ptrdiff_t>(cursor),
+            results.begin() + static_cast<std::ptrdiff_t>(
+                                  cursor + allTransferModes.size()));
+        cursor += allTransferModes.size();
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+} // namespace
 
 std::vector<SweepPoint>
 Sweep::blockSweep(const std::string &workload,
                   const std::vector<std::uint64_t> &blockCounts,
                   const ExperimentOptions &base)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(blockCounts.size());
+    UVMASYNC_ASSERT(!blockCounts.empty(),
+                    "blockSweep needs at least one block count");
+    std::vector<ExperimentOptions> optsPerValue;
+    optsPerValue.reserve(blockCounts.size());
     for (std::uint64_t blocks : blockCounts) {
         ExperimentOptions opts = base;
         opts.geometry.gridBlocks = blocks;
         if (!opts.geometry.threadsPerBlock)
             opts.geometry.threadsPerBlock = 256;
-        points.push_back(
-            SweepPoint{blocks,
-                       experiment_.runAllModes(workload, opts)});
+        optsPerValue.push_back(opts);
     }
-    return points;
+    return runSweepGrid(experiment_, workload, blockCounts,
+                        optsPerValue);
 }
 
 std::vector<SweepPoint>
@@ -28,17 +75,20 @@ Sweep::threadSweep(const std::string &workload,
                    std::uint64_t fixedBlocks,
                    const ExperimentOptions &base)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(threadCounts.size());
+    UVMASYNC_ASSERT(!threadCounts.empty(),
+                    "threadSweep needs at least one thread count");
+    std::vector<std::uint64_t> values;
+    std::vector<ExperimentOptions> optsPerValue;
+    values.reserve(threadCounts.size());
+    optsPerValue.reserve(threadCounts.size());
     for (std::uint32_t threads : threadCounts) {
         ExperimentOptions opts = base;
         opts.geometry.gridBlocks = fixedBlocks;
         opts.geometry.threadsPerBlock = threads;
-        points.push_back(
-            SweepPoint{threads,
-                       experiment_.runAllModes(workload, opts)});
+        values.push_back(threads);
+        optsPerValue.push_back(opts);
     }
-    return points;
+    return runSweepGrid(experiment_, workload, values, optsPerValue);
 }
 
 std::vector<SweepPoint>
@@ -46,16 +96,19 @@ Sweep::sharedMemSweep(const std::string &workload,
                       const std::vector<Bytes> &carveouts,
                       const ExperimentOptions &base)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(carveouts.size());
+    UVMASYNC_ASSERT(!carveouts.empty(),
+                    "sharedMemSweep needs at least one carveout");
+    std::vector<std::uint64_t> values;
+    std::vector<ExperimentOptions> optsPerValue;
+    values.reserve(carveouts.size());
+    optsPerValue.reserve(carveouts.size());
     for (Bytes carveout : carveouts) {
         ExperimentOptions opts = base;
         opts.sharedCarveout = carveout;
-        points.push_back(
-            SweepPoint{carveout,
-                       experiment_.runAllModes(workload, opts)});
+        values.push_back(carveout);
+        optsPerValue.push_back(opts);
     }
-    return points;
+    return runSweepGrid(experiment_, workload, values, optsPerValue);
 }
 
 } // namespace uvmasync

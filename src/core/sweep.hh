@@ -27,6 +27,12 @@ struct SweepPoint
 /**
  * Runs the paper's three sensitivity studies on one workload
  * (vector_seq in the paper).
+ *
+ * Every sweep fans its full (value x mode) grid out through the
+ * ParallelRunner engine (see parallel_runner.hh) and merges results
+ * in sweep order, so output is independent of the job count. An
+ * empty value list is a usage error and trips an assertion — a sweep
+ * of zero points has no meaningful result shape.
  */
 class Sweep
 {

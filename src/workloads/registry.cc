@@ -1,5 +1,7 @@
 #include "workloads/registry.hh"
 
+#include <mutex>
+
 #include "common/logging.hh"
 
 namespace uvmasync
@@ -65,13 +67,19 @@ WorkloadRegistry::names(WorkloadSuite suite) const
 void
 registerAllWorkloads()
 {
-    WorkloadRegistry &reg = WorkloadRegistry::instance();
-    if (reg.size() > 0)
-        return;
-    registerMicroWorkloads(reg);
-    registerRodiniaWorkloads(reg);
-    registerUvmbenchWorkloads(reg);
-    registerDarknetWorkloads(reg);
+    // once_flag rather than a size check: worker threads of the
+    // parallel engine construct Experiments concurrently, and the
+    // registry must be populated exactly once before they read it.
+    static std::once_flag once;
+    std::call_once(once, [] {
+        WorkloadRegistry &reg = WorkloadRegistry::instance();
+        if (reg.size() > 0)
+            return;
+        registerMicroWorkloads(reg);
+        registerRodiniaWorkloads(reg);
+        registerUvmbenchWorkloads(reg);
+        registerDarknetWorkloads(reg);
+    });
 }
 
 } // namespace uvmasync

@@ -199,6 +199,36 @@ TEST(BatchPipeline, EmptyBatch)
     EXPECT_DOUBLE_EQ(res.pipelinedPs, 0.0);
 }
 
+TEST(BatchPipeline, ImprovementSentinelOnEmptyBatch)
+{
+    // The documented sentinel: no jobs -> improvement() is exactly
+    // 0.0, not NaN or a division blow-up.
+    BatchScheduleResult empty = scheduleBatch({});
+    EXPECT_DOUBLE_EQ(empty.improvement(), 0.0);
+
+    // Same sentinel for a default-constructed (serialPs == 0) result
+    // and for all-zero jobs.
+    BatchScheduleResult fresh;
+    EXPECT_DOUBLE_EQ(fresh.improvement(), 0.0);
+    BatchScheduleResult zeros =
+        scheduleBatch(std::vector<TimeBreakdown>(3));
+    EXPECT_DOUBLE_EQ(zeros.improvement(), 0.0);
+}
+
+TEST(SweepDeath, EmptyValueListsAssert)
+{
+    // Empty sweep grids are a usage error, not a silent empty result.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Experiment e;
+    Sweep sweep(e);
+    EXPECT_DEATH(sweep.blockSweep("vector_seq", {}, smallOpts()),
+                 "at least one block count");
+    EXPECT_DEATH(sweep.threadSweep("vector_seq", {}, 64, smallOpts()),
+                 "at least one thread count");
+    EXPECT_DEATH(sweep.sharedMemSweep("vector_seq", {}, smallOpts()),
+                 "at least one carveout");
+}
+
 TEST(BatchPipeline, SerialIsSumOfJobs)
 {
     std::vector<TimeBreakdown> jobs(4, TimeBreakdown{1e9, 2e9, 3e9});

@@ -8,9 +8,12 @@
  *
  *   uvmasync run --workload NAME [--size CLASS] [--mode MODE|all]
  *                [--runs N] [--blocks N] [--threads N]
- *                [--carveout KIB] [--seed N] [--csv]
+ *                [--carveout KIB] [--seed N] [--csv] [--jobs N]
  *       Run one experiment cell (or all five modes) and print the
- *       breakdown and counters, as a table or as CSV.
+ *       breakdown and counters, as a table or as CSV. Multi-mode
+ *       runs and sweeps fan out over --jobs worker threads
+ *       (default: UVMASYNC_JOBS, then hardware concurrency) with
+ *       byte-identical output at any job count.
  *
  *   uvmasync sweep --kind blocks|threads|sharedmem
  *                  [--workload NAME] [--size CLASS] [--csv]
@@ -18,6 +21,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -27,6 +31,7 @@
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
 #include "runtime/config_loader.hh"
@@ -80,6 +85,26 @@ class Args
     std::map<std::string, std::string> values_;
     std::vector<std::string> positional_;
 };
+
+/**
+ * Apply --jobs N (default: UVMASYNC_JOBS env, then hardware
+ * concurrency). Output is byte-identical at any job count; only the
+ * wall time changes. Returns false on a malformed value.
+ */
+bool
+applyJobsFlag(const Args &args)
+{
+    if (!args.has("jobs"))
+        return true;
+    unsigned long jobs =
+        std::strtoul(args.get("jobs").c_str(), nullptr, 10);
+    if (jobs == 0) {
+        std::fprintf(stderr, "--jobs needs a positive count\n");
+        return false;
+    }
+    setGlobalJobs(static_cast<unsigned>(jobs));
+    return true;
+}
 
 int
 cmdList(const Args &args)
@@ -218,14 +243,17 @@ cmdRun(const Args &args)
         modes.push_back(m);
     }
 
+    if (!applyJobsFlag(args))
+        return 1;
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
-    Experiment experiment(system);
-    std::vector<ExperimentResult> results;
-    results.reserve(modes.size());
+    std::vector<ExperimentPoint> points;
+    points.reserve(modes.size());
     for (TransferMode m : modes)
-        results.push_back(experiment.run(workload, m, opts));
+        points.push_back(ExperimentPoint{workload, m, opts});
+    ParallelRunner runner(system);
+    std::vector<ExperimentResult> results = runner.run(points);
 
     if (args.has("csv")) {
         CsvWriter csv(std::cout);
@@ -392,6 +420,8 @@ cmdSweep(const Args &args)
     }
     opts.runs = static_cast<std::uint32_t>(
         std::stoul(args.get("runs", "5")));
+    if (!applyJobsFlag(args))
+        return 1;
 
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
@@ -465,9 +495,9 @@ usage()
         "  uvmasync run --workload NAME [--size CLASS] "
         "[--mode MODE|all] [--runs N]\n"
         "               [--blocks N] [--threads N] [--carveout KIB] "
-        "[--seed N] [--config FILE] [--csv]\n"
+        "[--seed N] [--config FILE] [--csv] [--jobs N]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
-        "[--workload NAME] [--size CLASS] [--csv]\n"
+        "[--workload NAME] [--size CLASS] [--csv] [--jobs N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "
         "[--mode MODE] [--size CLASS]\n"
         "  uvmasync timeline --workload NAME|--jobfile FILE "
