@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (full build + ctest) plus a ThreadSanitizer
-# pass over the parallel experiment engine.
+# CI gate: tier-1 verify (full build + ctest), the static model
+# linter over the whole workload registry, the source-level
+# determinism lint, a ThreadSanitizer pass over the parallel
+# experiment engine, and an ASan+UBSan build of the full test suite.
 #
-#   scripts/check.sh            # tier-1 + TSan
-#   scripts/check.sh --no-tsan  # tier-1 only
+#   scripts/check.sh            # all stages
+#   scripts/check.sh --no-tsan  # skip the TSan stage
+#   scripts/check.sh --no-asan  # skip the ASan+UBSan stage
 #
-# The TSan stage configures a separate build tree (build-tsan/) with
-# -DUVMASYNC_TSAN=ON and runs test_parallel_runner under it, so data
-# races in the work-stealing engine fail CI even when they do not
-# corrupt results.
+# The sanitizer stages configure separate build trees (build-tsan/,
+# build-asan/) so the instrumented objects never mix with the
+# regular build. The lint stage fails on any error-severity UAL
+# diagnostic, keeping the shipped registry lint-clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
+run_asan=1
 for arg in "$@"; do
     case "$arg" in
         --no-tsan) run_tsan=0 ;;
+        --no-asan) run_asan=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -25,12 +30,26 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== lint: static analysis of the workload registry =="
+./build/tools/uvmasync-lint --all-workloads --size all
+
+echo "== lint: source-level determinism gate =="
+./tools/determinism_lint.sh
+
 if [ "$run_tsan" = 1 ]; then
     echo "== TSan: parallel engine under ThreadSanitizer =="
     cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
     cmake --build build-tsan -j"$(nproc)" --target test_parallel_runner
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_parallel_runner
+fi
+
+if [ "$run_asan" = 1 ]; then
+    echo "== ASan+UBSan: full test suite under sanitizers =="
+    cmake -B build-asan -S . -DUVMASYNC_ASAN=ON
+    cmake --build build-asan -j"$(nproc)"
+    ASAN_OPTIONS="detect_leaks=0" \
+        ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 fi
 
 echo "check.sh: all stages passed"

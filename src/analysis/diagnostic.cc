@@ -1,0 +1,218 @@
+#include "analysis/diagnostic.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr std::array<DiagSpec, diagIdCount> specs = {{
+    {DiagId::DanglingBufferRef, "UAL001", Severity::Error,
+     "kernel references a buffer id the job does not declare",
+     "declare the buffer in the job's buffer list or fix the "
+     "kernel's bufferId"},
+    {DiagId::KernelDepCycle, "UAL002", Severity::Error,
+     "kernel dependency graph contains a cycle",
+     "remove the circular depends-on edge; kernels must form a DAG "
+     "(an empty depends list means 'after the previous kernel')"},
+    {DiagId::DanglingKernelDep, "UAL003", Severity::Error,
+     "kernel depends on a kernel index that does not exist",
+     "point depends-on entries at indices 0..kernelCount-1"},
+    {DiagId::UnusedBuffer, "UAL004", Severity::Warn,
+     "buffer is declared but no kernel reads or writes it",
+     "drop the buffer or add it to a kernel's buffer-use list; it "
+     "still costs allocation and (if host-initialised) copy time"},
+    {DiagId::ReadUninitialized, "UAL005", Severity::Warn,
+     "kernel reads a buffer that nothing initialises",
+     "set host_init = true or write the buffer from an earlier "
+     "kernel"},
+    {DiagId::SharedOverflow, "UAL006", Severity::Error,
+     "shared-memory tile footprint exceeds the SM partition",
+     "shrink the tile (sharedBytesPerBlock) or raise the carveout; "
+     "the largest legal A100 carveout is 164 KiB per SM"},
+    {DiagId::BadLaunchGeometry, "UAL007", Severity::Error,
+     "launch geometry violates device occupancy limits",
+     "use 1..maxThreadsPerSm threads per block (a multiple of the "
+     "32-thread warp size) and a non-zero grid"},
+    {DiagId::FootprintOverCapacity, "UAL008", Severity::Error,
+     "job footprint exceeds a memory capacity",
+     "shrink the input size class, or use a managed (uvm*) mode for "
+     "device oversubscription; host DRAM can never oversubscribe"},
+    {DiagId::BadPageGeometry, "UAL009", Severity::Error,
+     "page/chunk size or alignment is inconsistent",
+     "make uvm.chunk_kib a power-of-two multiple of the 4 KiB GPU "
+     "page size (the driver migrates whole basic blocks)"},
+    {DiagId::PrefetchMismatch, "UAL010", Severity::Warn,
+     "prefetcher mode contradicts the declared access regularity",
+     "disable the prefetcher (uvm.demand_prefetcher = none) for "
+     "random/irregular walks, or re-declare the buffer pattern"},
+    {DiagId::BadInstructionMix, "UAL011", Severity::Error,
+     "kernel instruction mix is invalid",
+     "per-tile instruction counts must be finite and >= 0 with a "
+     "non-zero total; warps_to_saturate and async_penalty must be "
+     "> 0"},
+    {DiagId::BadTouchedFraction, "UAL012", Severity::Error,
+     "buffer-use touched fraction is outside [0, 1]",
+     "touched_fraction is the share of the buffer the kernel "
+     "touches; use a value in [0, 1]"},
+    {DiagId::UnknownConfigKey, "UAL013", Severity::Error,
+     "config key is not recognised",
+     "fix the typo (see the suggestion) or remove the key; unknown "
+     "keys would otherwise silently fall back to defaults"},
+    {DiagId::ShadowedConfigKey, "UAL014", Severity::Warn,
+     "config key is assigned more than once; the last value wins",
+     "delete the earlier assignment or rename one of the keys"},
+    {DiagId::BadSystemParam, "UAL015", Severity::Error,
+     "system configuration parameter is out of its legal range",
+     "counts and capacities must be non-zero, bandwidths positive, "
+     "efficiencies in (0, 1], and noise CVs >= 0"},
+}};
+
+} // namespace
+
+const DiagSpec &
+diagSpec(DiagId id)
+{
+    std::size_t idx = static_cast<std::size_t>(id);
+    UVMASYNC_ASSERT(idx < specs.size(), "bad DiagId %zu", idx);
+    return specs[idx];
+}
+
+const std::array<DiagSpec, diagIdCount> &
+allDiagSpecs()
+{
+    return specs;
+}
+
+bool
+parseDiagCode(const std::string &code, DiagId &out)
+{
+    for (const DiagSpec &spec : specs) {
+        if (code == spec.code) {
+            out = spec.id;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+SourceLoc::toString() const
+{
+    if (!valid())
+        return "";
+    return line > 0 ? file + ":" + std::to_string(line) : file;
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream oss;
+    if (loc.valid())
+        oss << loc.toString() << ": ";
+    oss << severityName(severity) << "[" << code() << "]";
+    if (!subject.empty())
+        oss << " " << subject;
+    oss << ": " << message;
+    const std::string &fix = hint.empty() ? diagSpec(id).hint : hint;
+    oss << " (fix: " << fix << ")";
+    return oss.str();
+}
+
+Diagnostic &
+DiagnosticEngine::report(DiagId id, std::string subject,
+                         std::string message)
+{
+    return report(id, diagSpec(id).severity, std::move(subject),
+                  std::move(message));
+}
+
+Diagnostic &
+DiagnosticEngine::report(DiagId id, Severity severity,
+                         std::string subject, std::string message)
+{
+    Diagnostic d;
+    d.id = id;
+    d.severity = severity;
+    d.subject = std::move(subject);
+    d.message = std::move(message);
+    diags_.push_back(std::move(d));
+    return diags_.back();
+}
+
+std::size_t
+DiagnosticEngine::count(Severity s) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        diags_.begin(), diags_.end(),
+        [s](const Diagnostic &d) { return d.severity == s; }));
+}
+
+std::size_t
+DiagnosticEngine::count(DiagId id) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        diags_.begin(), diags_.end(),
+        [id](const Diagnostic &d) { return d.id == id; }));
+}
+
+std::string
+DiagnosticEngine::formatAll() const
+{
+    // Errors first, then warnings, then notes; stable within a
+    // severity so findings stay in pass order.
+    std::vector<const Diagnostic *> sorted;
+    sorted.reserve(diags_.size());
+    for (const Diagnostic &d : diags_)
+        sorted.push_back(&d);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Diagnostic *a, const Diagnostic *b) {
+                         return static_cast<int>(a->severity) >
+                                static_cast<int>(b->severity);
+                     });
+    std::ostringstream oss;
+    for (const Diagnostic *d : sorted)
+        oss << d->format() << "\n";
+    return oss.str();
+}
+
+std::string
+DiagnosticEngine::summary() const
+{
+    std::size_t errors = count(Severity::Error);
+    std::size_t warns = count(Severity::Warn);
+    std::size_t notes = count(Severity::Note);
+    std::ostringstream oss;
+    oss << errors << (errors == 1 ? " error, " : " errors, ") << warns
+        << (warns == 1 ? " warning, " : " warnings, ") << notes
+        << (notes == 1 ? " note" : " notes");
+    return oss.str();
+}
+
+void
+DiagnosticEngine::merge(const DiagnosticEngine &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+} // namespace uvmasync

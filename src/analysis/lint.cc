@@ -1,0 +1,107 @@
+#include "analysis/lint.hh"
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+DiagnosticEngine
+runPipeline(const LintContext &ctx, const LintOptions &opts)
+{
+    DiagnosticEngine diags;
+    PassManager::standardPipeline().run(ctx, diags, opts.passes);
+    if (opts.warningsAsErrors) {
+        for (Diagnostic &d : diags.all()) {
+            if (d.severity == Severity::Warn)
+                d.severity = Severity::Error;
+        }
+    }
+    return diags;
+}
+
+} // namespace
+
+DiagnosticEngine
+lintSystemConfig(const SystemConfig &system, const KvConfig *systemKv,
+                 const LintOptions &opts)
+{
+    LintContext ctx;
+    ctx.system = &system;
+    ctx.systemKv = systemKv;
+    ctx.subject = systemKv && !systemKv->sourceName().empty()
+                      ? systemKv->sourceName()
+                      : "system config";
+    return runPipeline(ctx, opts);
+}
+
+DiagnosticEngine
+lintJob(const SystemConfig &system, const Job &job,
+        const std::string &subject, const KvConfig *systemKv,
+        const KvConfig *jobKv, const LintOptions &opts)
+{
+    LintContext ctx;
+    ctx.system = &system;
+    ctx.job = &job;
+    ctx.systemKv = systemKv;
+    ctx.jobKv = jobKv;
+    ctx.subject = subject.empty() ? job.name : subject;
+    return runPipeline(ctx, opts);
+}
+
+DiagnosticEngine
+enforceLint(const SystemConfig &system, const Job &job,
+            const std::string &subject, LintMode mode,
+            const KvConfig *systemKv, const KvConfig *jobKv)
+{
+    if (mode == LintMode::Off)
+        return DiagnosticEngine{};
+
+    DiagnosticEngine diags =
+        lintJob(system, job, subject, systemKv, jobKv);
+    if (diags.empty())
+        return diags;
+
+    for (const Diagnostic &d : diags.all()) {
+        if (d.severity == Severity::Error && mode != LintMode::Enforce)
+            warn("%s", d.format().c_str());
+        else if (d.severity == Severity::Warn)
+            warn("%s", d.format().c_str());
+        else if (d.severity == Severity::Note &&
+                 logLevel() >= LogLevel::Inform)
+            inform("%s", d.format().c_str());
+    }
+
+    if (mode == LintMode::Enforce && diags.hasErrors()) {
+        std::string listing;
+        for (const Diagnostic &d : diags.all()) {
+            if (d.severity != Severity::Error)
+                continue;
+            listing += "\n  " + d.format();
+        }
+        fatal("model lint failed for %s (%s):%s\n"
+              "(re-run with --lint=warn to simulate anyway, or "
+              "--lint=off to skip the linter)",
+              subject.c_str(), diags.summary().c_str(),
+              listing.c_str());
+    }
+    return diags;
+}
+
+bool
+parseLintMode(const std::string &name, LintMode &out)
+{
+    if (name == "off")
+        out = LintMode::Off;
+    else if (name == "warn")
+        out = LintMode::Warn;
+    else if (name == "enforce")
+        out = LintMode::Enforce;
+    else
+        return false;
+    return true;
+}
+
+} // namespace uvmasync

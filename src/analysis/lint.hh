@@ -1,0 +1,69 @@
+/**
+ * @file
+ * High-level entry points of the static model linter ("uvmasync
+ * lint"): run the standard pass pipeline over a system config and/or
+ * a job and decide whether the model is fit to simulate.
+ */
+
+#ifndef UVMASYNC_ANALYSIS_LINT_HH
+#define UVMASYNC_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "analysis/passes.hh"
+
+namespace uvmasync
+{
+
+/** What to do with lint findings before a simulation runs. */
+enum class LintMode
+{
+    Off,     //!< skip the linter entirely
+    Warn,    //!< print every finding, run anyway
+    Enforce, //!< print every finding, refuse to run on errors
+};
+
+/** Options for a lint invocation. */
+struct LintOptions
+{
+    /** Restrict to these pass names; empty = full pipeline. */
+    std::vector<std::string> passes;
+
+    /** Promote warnings to errors (CLI --Werror). */
+    bool warningsAsErrors = false;
+};
+
+/** Lint only a system configuration (no job). */
+DiagnosticEngine lintSystemConfig(const SystemConfig &system,
+                                  const KvConfig *systemKv = nullptr,
+                                  const LintOptions &opts = {});
+
+/**
+ * Lint a job under a system configuration; @p subject labels the
+ * findings ("gemm @ super", a jobfile path, ...).
+ */
+DiagnosticEngine lintJob(const SystemConfig &system, const Job &job,
+                         const std::string &subject,
+                         const KvConfig *systemKv = nullptr,
+                         const KvConfig *jobKv = nullptr,
+                         const LintOptions &opts = {});
+
+/**
+ * Pre-run gate used by Experiment and the CLI jobfile path: lint the
+ * model under @p mode; print findings via warn(); fatal() listing the
+ * errors when @p mode is Enforce and any error-severity finding
+ * exists. Returns the engine so callers can inspect findings.
+ */
+DiagnosticEngine enforceLint(const SystemConfig &system, const Job &job,
+                             const std::string &subject, LintMode mode,
+                             const KvConfig *systemKv = nullptr,
+                             const KvConfig *jobKv = nullptr);
+
+/** Parse off/warn/enforce; returns false (out untouched) if unknown. */
+bool parseLintMode(const std::string &name, LintMode &out);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_ANALYSIS_LINT_HH

@@ -1,5 +1,6 @@
 #include "common/kv_config.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
@@ -30,9 +31,11 @@ trim(const std::string &text)
 } // namespace
 
 KvConfig
-KvConfig::fromString(const std::string &text)
+KvConfig::fromString(const std::string &text,
+                     const std::string &sourceName)
 {
     KvConfig cfg;
+    cfg.sourceName_ = sourceName;
     std::istringstream iss(text);
     std::string line;
     std::string section;
@@ -61,7 +64,12 @@ KvConfig::fromString(const std::string &text)
             fatal("config line %d: empty key", lineno);
         if (!section.empty())
             key = section + "." + key;
+        auto it = cfg.values_.find(key);
+        if (it != cfg.values_.end())
+            cfg.shadowed_.push_back(
+                KvShadowedKey{key, cfg.lines_[key], lineno});
         cfg.values_[key] = value;
+        cfg.lines_[key] = lineno;
     }
     return cfg;
 }
@@ -74,7 +82,14 @@ KvConfig::fromFile(const std::string &path)
         fatal("cannot open config file '%s'", path.c_str());
     std::ostringstream oss;
     oss << file.rdbuf();
-    return fromString(oss.str());
+    return fromString(oss.str(), path);
+}
+
+int
+KvConfig::lineOf(const std::string &key) const
+{
+    auto it = lines_.find(key);
+    return it == lines_.end() ? 0 : it->second;
 }
 
 bool
@@ -148,6 +163,48 @@ void
 KvConfig::set(const std::string &key, const std::string &value)
 {
     values_[key] = value;
+}
+
+namespace
+{
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Classic two-row Levenshtein.
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::string
+closestKey(const std::string &key,
+           const std::vector<std::string> &candidates)
+{
+    std::size_t bestDist = ~std::size_t(0);
+    std::string best;
+    for (const std::string &cand : candidates) {
+        std::size_t d = editDistance(key, cand);
+        if (d < bestDist) {
+            bestDist = d;
+            best = cand;
+        }
+    }
+    std::size_t limit = std::max<std::size_t>(2, key.size() / 3);
+    return bestDist <= limit ? best : "";
 }
 
 } // namespace uvmasync

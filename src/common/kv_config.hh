@@ -18,6 +18,17 @@ namespace uvmasync
 {
 
 /**
+ * A key assigned more than once in one source; the later value
+ * silently wins, which the linter reports as a shadowed key.
+ */
+struct KvShadowedKey
+{
+    std::string key;
+    int firstLine = 0; //!< line of the assignment that is shadowed
+    int line = 0;      //!< line of the assignment that wins
+};
+
+/**
  * Flat string key -> string value map with parsing helpers.
  */
 class KvConfig
@@ -26,10 +37,24 @@ class KvConfig
     KvConfig() = default;
 
     /** Parse ini-style text; later keys override earlier ones. */
-    static KvConfig fromString(const std::string &text);
+    static KvConfig fromString(const std::string &text,
+                               const std::string &sourceName =
+                                   "<string>");
 
     /** Load from a file; fatal() if unreadable. */
     static KvConfig fromFile(const std::string &path);
+
+    /** Where the config came from (file path or "<string>"). */
+    const std::string &sourceName() const { return sourceName_; }
+
+    /** 1-based line a key was (last) assigned on; 0 if unknown. */
+    int lineOf(const std::string &key) const;
+
+    /** Keys assigned more than once, in assignment order. */
+    const std::vector<KvShadowedKey> &shadowedKeys() const
+    {
+        return shadowed_;
+    }
 
     bool has(const std::string &key) const;
     std::size_t size() const { return values_.size(); }
@@ -56,7 +81,18 @@ class KvConfig
 
   private:
     std::map<std::string, std::string> values_;
+    std::map<std::string, int> lines_;
+    std::vector<KvShadowedKey> shadowed_;
+    std::string sourceName_ = "<string>";
 };
+
+/**
+ * Closest candidate to @p key by edit distance, for "did you mean"
+ * hints on typo'd config keys. Returns "" when nothing is within a
+ * plausible typo distance (<= 1/3 of the key length, minimum 2).
+ */
+std::string closestKey(const std::string &key,
+                       const std::vector<std::string> &candidates);
 
 } // namespace uvmasync
 

@@ -44,6 +44,11 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
         WorkloadRegistry::instance().get(workloadName);
     Job job = workload.makeJob(opts.size, opts.geometry);
 
+    enforceLint(system_, job,
+                workloadName + " @ " +
+                    std::string(sizeClassName(opts.size)),
+                opts.lint);
+
     Device device(system_);
     RunOptions runOpts;
     runOpts.sharedCarveout = opts.sharedCarveout;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "common/stats.hh"
 #include "gpu/transfer_mode.hh"
 #include "runtime/device.hh"
@@ -37,6 +38,13 @@ struct ExperimentOptions
 
     /** Launch-geometry override (Figures 11/12). */
     GeometryOverride geometry;
+
+    /**
+     * Pre-run static lint of the generated job: Enforce refuses to
+     * simulate a model with error-severity findings (the default),
+     * Warn reports and runs anyway, Off skips the linter.
+     */
+    LintMode lint = LintMode::Enforce;
 };
 
 /** Aggregated outcome of one (workload, mode, options) cell. */

@@ -1,5 +1,7 @@
 #include "gpu/instruction_mix.hh"
 
+#include <cmath>
+
 #include "common/table.hh"
 
 namespace uvmasync
@@ -34,6 +36,53 @@ InstrMix::controlFraction() const
 {
     double t = total();
     return t > 0.0 ? control / t : 0.0;
+}
+
+std::string
+InstrMix::validate() const
+{
+    const struct
+    {
+        const char *name;
+        double value;
+    } classes[] = {{"memory", memory},
+                   {"fp", fp},
+                   {"integer", integer},
+                   {"control", control}};
+    for (const auto &c : classes) {
+        // !(x >= 0) also catches NaN.
+        if (!(c.value >= 0.0) || std::isinf(c.value))
+            return std::string(c.name) + " count " +
+                   fmtDouble(c.value, 3) +
+                   " is not a finite non-negative number";
+    }
+    return "";
+}
+
+std::string
+validateMixFractions(const InstrMix &fractions, double tolerance)
+{
+    std::string err = fractions.validate();
+    if (!err.empty())
+        return err;
+    const struct
+    {
+        const char *name;
+        double value;
+    } classes[] = {{"memory", fractions.memory},
+                   {"fp", fractions.fp},
+                   {"integer", fractions.integer},
+                   {"control", fractions.control}};
+    for (const auto &c : classes) {
+        if (c.value > 1.0)
+            return std::string(c.name) + " fraction " +
+                   fmtDouble(c.value, 3) + " exceeds 1";
+    }
+    double sum = fractions.total();
+    if (std::abs(sum - 1.0) > tolerance)
+        return "fractions sum to " + fmtDouble(sum, 6) +
+               ", expected 1";
+    return "";
 }
 
 std::string

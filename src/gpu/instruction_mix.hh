@@ -32,8 +32,25 @@ struct InstrMix
     /** Fraction of control instructions in the mix. */
     double controlFraction() const;
 
+    /**
+     * Empty string when every class count is finite and >= 0;
+     * otherwise a description of the first offending class. Negative
+     * or NaN counts flow silently through the arithmetic operators,
+     * so anything that constructs a mix from user input (job files,
+     * analytic descriptors) must check this.
+     */
+    std::string validate() const;
+
     std::string toString() const;
 };
+
+/**
+ * Validate a mix expressed as *fractions of the total* (the Figure 9
+ * normalised view): each class in [0, 1] and the four summing to 1
+ * within @p tolerance. Empty string when valid.
+ */
+std::string validateMixFractions(const InstrMix &fractions,
+                                 double tolerance = 1e-6);
 
 } // namespace uvmasync
 

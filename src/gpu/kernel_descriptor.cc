@@ -16,10 +16,29 @@ makeStreamKernel(std::string name, std::uint64_t gridBlocks,
                  double flopsPerElement, double intsPerElement,
                  double ctrlPerElement, double storeRatio)
 {
-    UVMASYNC_ASSERT(gridBlocks > 0 && threadsPerBlock > 0,
-                    "%s: empty launch geometry", name.c_str());
-    UVMASYNC_ASSERT(elementBytes > 0, "%s: zero element size",
-                    name.c_str());
+    // These are user inputs (job files, example code), not simulator
+    // invariants: reject them as configuration errors with the fix
+    // spelled out rather than aborting through an assert.
+    if (gridBlocks == 0 || threadsPerBlock == 0)
+        fatal("kernel '%s': launch geometry %llu blocks x %u threads "
+              "is empty; both counts must be >= 1",
+              name.c_str(),
+              static_cast<unsigned long long>(gridBlocks),
+              threadsPerBlock);
+    if (elementBytes == 0)
+        fatal("kernel '%s': element size must be >= 1 byte (4 for "
+              "float32)",
+              name.c_str());
+    if (!(flopsPerElement >= 0.0) || !(intsPerElement >= 0.0) ||
+        !(ctrlPerElement >= 0.0))
+        fatal("kernel '%s': per-element instruction costs must be "
+              "finite and >= 0 (got flops=%g ints=%g ctrl=%g)",
+              name.c_str(), flopsPerElement, intsPerElement,
+              ctrlPerElement);
+    if (!(storeRatio >= 0.0))
+        fatal("kernel '%s': store_ratio must be finite and >= 0 "
+              "(got %g); it is stored bytes per loaded byte",
+              name.c_str(), storeRatio);
 
     KernelDescriptor kd;
     kd.name = std::move(name);

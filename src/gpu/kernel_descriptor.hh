@@ -91,6 +91,17 @@ struct KernelDescriptor
     /** Buffers this kernel touches. */
     std::vector<KernelBufferUse> buffers;
 
+    /**
+     * Declared ordering constraints: indices of kernels in the job's
+     * kernel list that must complete before this one. Empty means
+     * "after the previous kernel" (the implicit sequential chain).
+     * The executor plays kernels in list order either way; the
+     * declared DAG documents the true dataflow and is validated by
+     * the static linter (cycles, dangling indices, launch order
+     * consistent with the edges).
+     */
+    std::vector<std::size_t> dependsOn;
+
     /** Total bytes loaded from global memory per block. */
     Bytes
     loadBytesPerBlock() const

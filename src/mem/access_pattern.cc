@@ -19,6 +19,30 @@ accessPatternName(AccessPattern p)
     panic("unknown access pattern %d", static_cast<int>(p));
 }
 
+bool
+parseAccessPattern(const std::string &name, AccessPattern &out)
+{
+    for (AccessPattern p : allAccessPatterns) {
+        if (name == accessPatternName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+accessPatternNames()
+{
+    std::string out;
+    for (AccessPattern p : allAccessPatterns) {
+        if (!out.empty())
+            out += ", ";
+        out += accessPatternName(p);
+    }
+    return out;
+}
+
 double
 patternRegularity(AccessPattern p)
 {
@@ -66,10 +90,14 @@ StreamGenerator::StreamGenerator(AccessPattern pattern, Bytes footprint,
     : pattern_(pattern), footprint_(footprint),
       elementBytes_(elementBytes), rng_(seed)
 {
-    UVMASYNC_ASSERT(footprint_ >= elementBytes_ && elementBytes_ > 0,
-                    "degenerate stream: footprint %llu, element %llu",
-                    static_cast<unsigned long long>(footprint_),
-                    static_cast<unsigned long long>(elementBytes_));
+    // Caller-supplied geometry: report it as a configuration error
+    // with the constraint spelled out instead of asserting.
+    if (elementBytes_ == 0 || footprint_ < elementBytes_)
+        fatal("access stream over '%s': footprint (%llu B) must be "
+              ">= element size (%llu B) and the element size >= 1",
+              accessPatternName(pattern_),
+              static_cast<unsigned long long>(footprint_),
+              static_cast<unsigned long long>(elementBytes_));
     numElements_ = footprint_ / elementBytes_;
 }
 

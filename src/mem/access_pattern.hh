@@ -12,6 +12,7 @@
 #ifndef UVMASYNC_MEM_ACCESS_PATTERN_HH
 #define UVMASYNC_MEM_ACCESS_PATTERN_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,8 +34,21 @@ enum class AccessPattern
     Broadcast,  //!< whole buffer read by every block (gemv's vector)
 };
 
+/** Every pattern, in declaration order. */
+inline constexpr std::array<AccessPattern, 6> allAccessPatterns = {
+    AccessPattern::Sequential, AccessPattern::Strided,
+    AccessPattern::Tiled,      AccessPattern::Random,
+    AccessPattern::Irregular,  AccessPattern::Broadcast,
+};
+
 /** Human-readable pattern name. */
 const char *accessPatternName(AccessPattern p);
+
+/** Parse a pattern name; returns false (out untouched) if unknown. */
+bool parseAccessPattern(const std::string &name, AccessPattern &out);
+
+/** Comma-separated list of all valid pattern names (error text). */
+std::string accessPatternNames();
 
 /**
  * Prefetch predictability of a pattern in [0, 1]: the probability

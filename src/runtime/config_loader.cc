@@ -19,8 +19,8 @@ msToTick(double ms)
 
 } // namespace
 
-SystemConfig
-applyConfig(const SystemConfig &base, const KvConfig &kv)
+const std::set<std::string> &
+knownSystemConfigKeys()
 {
     static const std::set<std::string> known = {
         "gpu.sm_count", "gpu.clock_mhz", "gpu.hbm_gbps",
@@ -33,9 +33,23 @@ applyConfig(const SystemConfig &base, const KvConfig &kv)
         "alloc.managed_free_ms_per_gib", "hbm.capacity_gib",
         "noise.system_overhead_ms", "noise.transfer_cv",
     };
+    return known;
+}
+
+SystemConfig
+applyConfig(const SystemConfig &base, const KvConfig &kv)
+{
+    const std::set<std::string> &known = knownSystemConfigKeys();
     for (const std::string &key : kv.keys()) {
-        if (!known.count(key))
-            fatal("unknown config key '%s'", key.c_str());
+        if (known.count(key))
+            continue;
+        std::string suggestion = closestKey(
+            key, std::vector<std::string>(known.begin(), known.end()));
+        if (!suggestion.empty()) {
+            fatal("unknown config key '%s' (did you mean '%s'?)",
+                  key.c_str(), suggestion.c_str());
+        }
+        fatal("unknown config key '%s'", key.c_str());
     }
 
     SystemConfig cfg = base;

@@ -22,11 +22,17 @@
 #ifndef UVMASYNC_RUNTIME_CONFIG_LOADER_HH
 #define UVMASYNC_RUNTIME_CONFIG_LOADER_HH
 
+#include <set>
+#include <string>
+
 #include "common/kv_config.hh"
 #include "runtime/system_config.hh"
 
 namespace uvmasync
 {
+
+/** Every key applyConfig() understands (the linter's UAL013 set). */
+const std::set<std::string> &knownSystemConfigKeys();
 
 /** Overlay @p kv on @p base; fatal() on unknown keys. */
 SystemConfig applyConfig(const SystemConfig &base, const KvConfig &kv);

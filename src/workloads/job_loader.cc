@@ -1,8 +1,10 @@
 #include "workloads/job_loader.hh"
 
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
+#include "analysis/passes.hh"
 #include "common/logging.hh"
 
 namespace uvmasync
@@ -30,14 +32,35 @@ splitList(const std::string &text, char sep)
 AccessPattern
 parsePattern(const std::string &name)
 {
-    for (AccessPattern p :
-         {AccessPattern::Sequential, AccessPattern::Strided,
-          AccessPattern::Tiled, AccessPattern::Random,
-          AccessPattern::Irregular, AccessPattern::Broadcast}) {
-        if (name == accessPatternName(p))
-            return p;
-    }
-    fatal("job file: unknown access pattern '%s'", name.c_str());
+    AccessPattern p;
+    if (!parseAccessPattern(name, p))
+        fatal("job file: unknown access pattern '%s' (valid: %s)",
+              name.c_str(), accessPatternNames().c_str());
+    return p;
+}
+
+/** strtoul with full-string validation (std::stoul throws). */
+std::size_t
+parseIndex(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long value = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("job file: %s '%s' is not a non-negative integer",
+              what, text.c_str());
+    return static_cast<std::size_t>(value);
+}
+
+/** strtod with full-string validation (std::stod throws). */
+double
+parseFraction(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("job file: %s '%s' is not a number", what,
+              text.c_str());
+    return value;
 }
 
 Bytes
@@ -68,8 +91,7 @@ parseBufferUse(const std::string &spec, std::size_t bufferCount)
               spec.c_str());
 
     KernelBufferUse use;
-    use.bufferId = static_cast<std::size_t>(
-        std::stoul(parts[0]));
+    use.bufferId = parseIndex(parts[0], "buffer id");
     if (use.bufferId >= bufferCount)
         fatal("job file: buffer id %zu out of range (%zu buffers)",
               use.bufferId, bufferCount);
@@ -83,10 +105,17 @@ parseBufferUse(const std::string &spec, std::size_t bufferCount)
               spec.c_str());
 
     for (std::size_t i = 3; i < parts.size(); ++i) {
-        if (parts[i] == "nostage")
+        if (parts[i] == "nostage") {
             use.stagedThroughShared = false;
-        else
-            use.touchedFraction = std::stod(parts[i]);
+        } else {
+            use.touchedFraction =
+                parseFraction(parts[i], "touched fraction");
+            if (!(use.touchedFraction >= 0.0) ||
+                use.touchedFraction > 1.0)
+                fatal("job file: touched fraction %s of buffer use "
+                      "'%s' must be in [0, 1]",
+                      parts[i].c_str(), spec.c_str());
+        }
     }
     return use;
 }
@@ -94,8 +123,23 @@ parseBufferUse(const std::string &spec, std::size_t bufferCount)
 } // namespace
 
 Job
-jobFromConfig(const KvConfig &kv)
+jobFromConfig(const KvConfig &kv, DiagnosticEngine *diags)
 {
+    // Surface unknown/shadowed keys instead of silently ignoring
+    // them: into the caller's engine when linting, fatal otherwise.
+    DiagnosticEngine local;
+    DiagnosticEngine &sink = diags ? *diags : local;
+    checkKvKeys(kv, knownJobFileKeys(kv), "job description", sink);
+    if (!diags && local.hasErrors()) {
+        std::string listing;
+        for (const Diagnostic &d : local.all()) {
+            if (d.severity == Severity::Error)
+                listing += "\n  " + d.format();
+        }
+        fatal("job file %s: unknown keys:%s",
+              kv.sourceName().c_str(), listing.c_str());
+    }
+
     Job job;
     job.name = kv.getString("job.name", "custom");
     job.sequenceRepeats = static_cast<std::uint32_t>(
@@ -140,6 +184,13 @@ jobFromConfig(const KvConfig &kv)
             kv.getDouble(prefix + ".warps_to_saturate", 8.0);
         kd.asyncComputePenalty =
             kv.getDouble(prefix + ".async_penalty", 1.0);
+
+        // Optional declared dependency edges, validated by the
+        // linter (UAL002/UAL003): depends = 0, 2
+        std::string deps = kv.getString(prefix + ".depends");
+        for (const std::string &dep : splitList(deps, ','))
+            kd.dependsOn.push_back(
+                parseIndex(dep, "kernel dependency"));
 
         std::string uses = kv.getString(prefix + ".buffers");
         if (uses.empty())

@@ -29,6 +29,7 @@
  *   store_ratio = 0.05       # optional
  *   warps_to_saturate = 10   # optional
  *   async_penalty = 1.0      # optional
+ *   depends = 0, 2           # optional declared DAG (lint-checked)
  *   # comma-separated: bufferId:pattern:rw[:touched_fraction][:nostage]
  *   buffers = 0:sequential:r, 2:random:r:1.0:nostage, 3:sequential:w
  */
@@ -38,14 +39,23 @@
 
 #include <string>
 
+#include "analysis/diagnostic.hh"
 #include "common/kv_config.hh"
 #include "runtime/job.hh"
 
 namespace uvmasync
 {
 
-/** Build a Job from a parsed description; fatal() on malformed input. */
-Job jobFromConfig(const KvConfig &kv);
+/**
+ * Build a Job from a parsed description; fatal() on malformed input.
+ *
+ * Unknown keys are an error: with @p diags null they fatal()
+ * immediately (with a did-you-mean hint); otherwise they are
+ * collected as UAL013/UAL014 diagnostics and loading continues, so a
+ * linter can report every problem in one run.
+ */
+Job jobFromConfig(const KvConfig &kv,
+                  DiagnosticEngine *diags = nullptr);
 
 /** Build a Job from a description file. */
 Job loadJobFile(const std::string &path);

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Source-level determinism lint.
+#
+# The simulator promises bit-identical results for a given seed at any
+# --jobs count; that promise dies the day somebody reaches for a
+# wall-clock or an unseeded RNG inside the model, or iterates an
+# unordered container straight into a report. This grep-level gate
+# bans those constructions in simulation code:
+#
+#   - rand()/srand()/std::random_device: unseeded randomness (the
+#     deterministic Rng in common/rng.hh is the only legal source)
+#   - system_clock/high_resolution_clock: wall-clock time in any sim
+#     path; steady_clock is allowed ONLY in the allowlisted host-side
+#     measurement code (parallel_runner.cc wall-time metrics)
+#   - range-for over unordered_map/unordered_set in files that write
+#     CSV or report output (iteration order leaks into artifacts)
+#
+# Exit 0 when clean, 1 with findings. Run from anywhere.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() { printf '%s\n' "$*"; }
+
+# Simulation sources: everything under src/ and tools/.
+SIM_PATHS=(src tools)
+
+# --- unseeded randomness --------------------------------------------
+# \b keeps e.g. "srand48_r" or identifiers like "strand" from matching.
+hits=$(grep -rnE '\b(rand|srand)\s*\(|std::random_device' \
+    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh' \
+    | grep -v 'determinism' || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: unseeded randomness (use common/rng.hh):"
+    note "$hits"
+    fail=1
+fi
+
+# --- wall-clock time ------------------------------------------------
+hits=$(grep -rnE 'system_clock|high_resolution_clock' \
+    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh' || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: wall-clock source in simulation code:"
+    note "$hits"
+    fail=1
+fi
+
+# steady_clock is a monotonic duration source, acceptable only for
+# host-side performance metrics that never feed simulation results.
+ALLOW_STEADY='src/core/parallel_runner.cc'
+hits=$(grep -rnE 'steady_clock' \
+    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh' \
+    | grep -v -F "$ALLOW_STEADY" || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: steady_clock outside the allowlist" \
+         "($ALLOW_STEADY):"
+    note "$hits"
+    fail=1
+fi
+
+# --- unordered iteration feeding output -----------------------------
+# Files that produce user-visible artifacts must not range-for over
+# unordered containers; the iteration order is ABI/hash-seed soup.
+OUTPUT_FILES=$(grep -rlE 'CsvWriter|writeRow|TextTable' \
+    src tools --include='*.cc' || true)
+for f in $OUTPUT_FILES; do
+    hits=$(grep -nE \
+        'for\s*\(.*:\s*[^)]*unordered_(map|set)' "$f" || true)
+    if [ -n "$hits" ]; then
+        note "determinism lint: $f iterates an unordered container" \
+             "while producing report/CSV output:"
+        note "$hits"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    note "determinism lint: clean"
+fi
+exit "$fail"

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
@@ -106,6 +107,25 @@ applyJobsFlag(const Args &args)
     return true;
 }
 
+/** --lint off|warn|enforce (default enforce); --no-lint = off. */
+bool
+parseLintFlag(const Args &args, LintMode &out)
+{
+    out = LintMode::Enforce;
+    if (args.has("no-lint")) {
+        out = LintMode::Off;
+        return true;
+    }
+    if (!args.has("lint"))
+        return true;
+    if (!parseLintMode(args.get("lint"), out)) {
+        std::fprintf(stderr,
+                     "--lint must be off, warn or enforce\n");
+        return false;
+    }
+    return true;
+}
+
 int
 cmdList(const Args &args)
 {
@@ -168,10 +188,18 @@ emitCsvRow(CsvWriter &csv, const ExperimentResult &res,
 int
 cmdRunJobFile(const Args &args)
 {
-    Job job = loadJobFile(args.get("jobfile"));
+    LintMode lint;
+    if (!parseLintFlag(args, lint))
+        return 1;
+
+    KvConfig jobKv = KvConfig::fromFile(args.get("jobfile"));
+    DiagnosticEngine loadDiags; // re-found by the lint pipeline
+    Job job = jobFromConfig(jobKv, &loadDiags);
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
+    enforceLint(system, job, args.get("jobfile"), lint, nullptr,
+                &jobKv);
     Device device(system);
     RunOptions runOpts;
     runOpts.pinnedHost = args.has("pinned");
@@ -227,6 +255,8 @@ cmdRun(const Args &args)
         std::stoul(args.get("threads", "0")));
     opts.sharedCarveout =
         kib(std::stoull(args.get("carveout", "0")));
+    if (!parseLintFlag(args, opts.lint))
+        return 1;
 
     std::vector<TransferMode> modes;
     std::string modeArg = args.get("mode", "all");
@@ -496,6 +526,7 @@ usage()
         "[--mode MODE|all] [--runs N]\n"
         "               [--blocks N] [--threads N] [--carveout KIB] "
         "[--seed N] [--config FILE] [--csv] [--jobs N]\n"
+        "               [--lint off|warn|enforce] [--no-lint]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
         "[--workload NAME] [--size CLASS] [--csv] [--jobs N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "

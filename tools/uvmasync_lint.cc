@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Static model linter CLI: check system configs, job files and the
+ * built-in workload registry without simulating anything.
+ *
+ *   uvmasync-lint --all-workloads [--size CLASS|all]
+ *       Lint every registry workload (CI gate; milliseconds).
+ *
+ *   uvmasync-lint --workload NAME [--size CLASS|all]
+ *   uvmasync-lint --jobfile FILE
+ *   uvmasync-lint --config FILE
+ *       Lint one model.
+ *
+ *   uvmasync-lint --list-codes / --list-passes
+ *       Document the UAL diagnostic codes / analysis passes.
+ *
+ * Common flags: --config FILE (system overlay for job lints),
+ * --Werror (warnings fail the run), --pass NAME (restrict passes,
+ * repeatable via comma list), --quiet (findings only, no summary).
+ *
+ * Exit status: 0 clean (notes/warnings allowed unless --Werror),
+ * 1 error-severity findings, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+#include "common/table.hh"
+#include "runtime/config_loader.hh"
+#include "workloads/job_loader.hh"
+#include "workloads/registry.hh"
+
+using namespace uvmasync;
+
+namespace
+{
+
+struct Options
+{
+    bool allWorkloads = false;
+    std::string workload;
+    std::string jobfile;
+    std::string configFile;
+    bool configOnly = false;
+    std::string size = "super";
+    bool listCodes = false;
+    bool listPasses = false;
+    bool werror = false;
+    bool quiet = false;
+    LintOptions lint;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--all-workloads")
+            opt.allWorkloads = true;
+        else if (arg == "--workload")
+            opt.workload = value("--workload");
+        else if (arg == "--jobfile")
+            opt.jobfile = value("--jobfile");
+        else if (arg == "--config")
+            opt.configFile = value("--config");
+        else if (arg == "--size")
+            opt.size = value("--size");
+        else if (arg == "--list-codes")
+            opt.listCodes = true;
+        else if (arg == "--list-passes")
+            opt.listPasses = true;
+        else if (arg == "--Werror")
+            opt.werror = true;
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else if (arg == "--pass") {
+            std::istringstream iss(value("--pass"));
+            std::string name;
+            while (std::getline(iss, name, ','))
+                opt.lint.passes.push_back(name);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    opt.lint.warningsAsErrors = opt.werror;
+    opt.configOnly = !opt.configFile.empty() && !opt.allWorkloads &&
+                     opt.workload.empty() && opt.jobfile.empty();
+    return true;
+}
+
+int
+listCodes()
+{
+    TextTable table({"code", "severity", "title"});
+    table.setAlign(1, TextTable::Align::Left);
+    table.setAlign(2, TextTable::Align::Left);
+    for (const DiagSpec &spec : allDiagSpecs())
+        table.addRow({spec.code, severityName(spec.severity),
+                      spec.title});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+listPasses()
+{
+    TextTable table({"pass", "checks"});
+    table.setAlign(1, TextTable::Align::Left);
+    // Named to outlive the loop: the range expression's temporary
+    // would be destroyed before the body runs (dangling passes()).
+    PassManager pipeline = PassManager::standardPipeline();
+    for (const auto &pass : pipeline.passes())
+        table.addRow({pass->name(), pass->description()});
+    table.print(std::cout);
+    return 0;
+}
+
+/** Print findings; returns the number of error-severity ones. */
+std::size_t
+emit(const DiagnosticEngine &diags, const Options &opt)
+{
+    if (!diags.empty())
+        std::cout << diags.formatAll();
+    if (!opt.quiet && !diags.empty())
+        std::cout << diags.summary() << "\n";
+    return diags.count(Severity::Error);
+}
+
+std::vector<SizeClass>
+sizesFor(const Options &opt)
+{
+    if (opt.size == "all")
+        return {allSizeClasses.begin(), allSizeClasses.end()};
+    SizeClass s;
+    if (!parseSizeClass(opt.size, s)) {
+        std::fprintf(stderr, "unknown size class '%s'\n",
+                     opt.size.c_str());
+        std::exit(2);
+    }
+    return {s};
+}
+
+std::size_t
+lintOneWorkload(const std::string &name, const SystemConfig &system,
+                const KvConfig *systemKv, const Options &opt)
+{
+    const Workload *w = WorkloadRegistry::instance().find(name);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        std::exit(2);
+    }
+    std::size_t errors = 0;
+    for (SizeClass size : sizesFor(opt)) {
+        Job job = w->makeJob(size);
+        std::string subject =
+            name + " @ " + std::string(sizeClassName(size));
+        errors += emit(lintJob(system, job, subject, systemKv,
+                               nullptr, opt.lint),
+                       opt);
+    }
+    return errors;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+    if (opt.listCodes)
+        return listCodes();
+    if (opt.listPasses)
+        return listPasses();
+    if (!opt.allWorkloads && opt.workload.empty() &&
+        opt.jobfile.empty() && opt.configFile.empty()) {
+        std::fprintf(
+            stderr,
+            "usage: uvmasync-lint --all-workloads | --workload NAME "
+            "| --jobfile FILE | --config FILE\n"
+            "                     [--size CLASS|all] [--config FILE] "
+            "[--pass NAME[,NAME]] [--Werror] [--quiet]\n"
+            "                     [--list-codes] [--list-passes]\n");
+        return 2;
+    }
+
+    registerAllWorkloads();
+
+    KvConfig systemKv;
+    SystemConfig system = SystemConfig::a100Epyc();
+    const KvConfig *systemKvPtr = nullptr;
+    if (!opt.configFile.empty()) {
+        systemKv = KvConfig::fromFile(opt.configFile);
+        // Overlay leniently: unknown keys surface as UAL013 from the
+        // lint pipeline instead of applyConfig()'s fatal.
+        DiagnosticEngine scratch;
+        checkKvKeys(systemKv, knownSystemConfigKeys(),
+                    "system config", scratch);
+        if (!scratch.hasErrors())
+            system = applyConfig(system, systemKv);
+        systemKvPtr = &systemKv;
+    }
+
+    std::size_t errors = 0;
+
+    if (opt.configOnly) {
+        errors += emit(
+            lintSystemConfig(system, systemKvPtr, opt.lint), opt);
+    }
+
+    if (!opt.jobfile.empty()) {
+        KvConfig jobKv = KvConfig::fromFile(opt.jobfile);
+        DiagnosticEngine loadDiags;
+        Job job = jobFromConfig(jobKv, &loadDiags);
+        errors += emit(lintJob(system, job, opt.jobfile, systemKvPtr,
+                               &jobKv, opt.lint),
+                       opt);
+    }
+
+    if (!opt.workload.empty())
+        errors +=
+            lintOneWorkload(opt.workload, system, systemKvPtr, opt);
+
+    if (opt.allWorkloads) {
+        std::size_t linted = 0;
+        for (const std::string &name :
+             WorkloadRegistry::instance().names()) {
+            errors += lintOneWorkload(name, system, systemKvPtr, opt);
+            ++linted;
+        }
+        if (!opt.quiet) {
+            std::cout << "linted " << linted << " workload(s) x "
+                      << sizesFor(opt).size() << " size(s): "
+                      << (errors == 0 ? "clean"
+                                      : std::to_string(errors) +
+                                            " error(s)")
+                      << "\n";
+        }
+    }
+
+    return errors == 0 ? 0 : 1;
+}
