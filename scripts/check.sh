@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + ctest), the static model
 # linter over the whole workload registry, the source-level
-# determinism lint, a ThreadSanitizer pass over the parallel
-# experiment engine, and an ASan+UBSan build of the full test suite.
+# determinism lint, a trace-export smoke run, a ThreadSanitizer pass
+# over the parallel experiment engine and the tracer suite, and an
+# ASan+UBSan build of the full test suite.
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-tsan  # skip the TSan stage
@@ -36,12 +37,23 @@ echo "== lint: static analysis of the workload registry =="
 echo "== lint: source-level determinism gate =="
 ./tools/determinism_lint.sh
 
+echo "== trace: smoke export of an explicit and a UVM run =="
+trace_out=$(mktemp -d)
+trap 'rm -rf "$trace_out"' EXIT
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --trace "$trace_out/trace.json" --metrics > /dev/null
+grep -q '"traceEvents"' "$trace_out/trace.json"
+grep -q '"cat": "fault"' "$trace_out/trace.json"
+
 if [ "$run_tsan" = 1 ]; then
-    echo "== TSan: parallel engine under ThreadSanitizer =="
+    echo "== TSan: parallel engine + tracer under ThreadSanitizer =="
     cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
-    cmake --build build-tsan -j"$(nproc)" --target test_parallel_runner
+    cmake --build build-tsan -j"$(nproc)" \
+        --target test_parallel_runner --target test_trace
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_parallel_runner
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_trace
 fi
 
 if [ "$run_asan" = 1 ]; then

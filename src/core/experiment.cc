@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -50,9 +51,12 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
                 opts.lint);
 
     Device device(system_);
+    Tracer tracer;
+    tracer.setCategoryFilter(opts.traceCategories);
     RunOptions runOpts;
     runOpts.sharedCarveout = opts.sharedCarveout;
     runOpts.seed = opts.baseSeed;
+    runOpts.tracer = opts.trace ? &tracer : nullptr;
     RunResult det = device.run(job, mode, runOpts);
 
     // The straddle check applies to the job's whole host footprint —
@@ -66,6 +70,7 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
     res.size = opts.size;
     res.clean = det.breakdown;
     res.counters = det.counters;
+    res.trace = std::move(tracer);
     res.runs.reserve(opts.runs);
 
     NoiseModel noise(system_.noise, device.hostMemory());

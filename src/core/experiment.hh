@@ -45,6 +45,16 @@ struct ExperimentOptions
      * Warn reports and runs anyway, Off skips the linter.
      */
     LintMode lint = LintMode::Enforce;
+
+    /**
+     * Record the deterministic execution's trace into
+     * ExperimentResult::trace (noisy repetitions only perturb the
+     * breakdown and are not traced).
+     */
+    bool trace = false;
+
+    /** Category mask applied when tracing (trace/trace.hh bits). */
+    std::uint32_t traceCategories = traceAllCategories;
 };
 
 /** Aggregated outcome of one (workload, mode, options) cell. */
@@ -62,6 +72,9 @@ struct ExperimentResult
 
     /** Noisy per-run breakdowns (length = options.runs). */
     std::vector<TimeBreakdown> runs;
+
+    /** Deterministic execution's trace (empty unless options.trace). */
+    Tracer trace;
 
     /** Mean of the noisy breakdowns. */
     TimeBreakdown meanBreakdown() const;

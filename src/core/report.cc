@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "trace/metrics.hh"
 
 namespace uvmasync
 {
@@ -121,6 +122,32 @@ parallelMetricsTable(const BatchMetrics &metrics)
                   fmtDouble(metrics.pointsPerSec, 1),
                   fmtDouble(concurrency, 2),
                   std::to_string(metrics.steals)});
+    return table;
+}
+
+TextTable
+traceUtilizationTable(const std::vector<ModeSet> &workloads)
+{
+    TextTable table({"workload", "mode", "wall", "pcie busy",
+                     "queue wait", "faults/batches", "prefetch acc",
+                     "overlap"});
+    for (const ModeSet &set : workloads) {
+        for (const ExperimentResult &res : set) {
+            if (res.trace.empty())
+                continue;
+            TraceMetrics m = computeTraceMetrics(res.trace);
+            table.addRow(
+                {res.workload, transferModeName(res.mode),
+                 fmtTime(static_cast<double>(m.wallEndPs)),
+                 fmtTime(static_cast<double>(m.pcieBusyPs)),
+                 fmtTime(static_cast<double>(m.pcieQueueWaitPs)),
+                 std::to_string(m.faultsRaised) + "/" +
+                     std::to_string(m.faultBatches),
+                 m.prefetchIssued ? fmtPercent(m.prefetchAccuracy)
+                                  : std::string("-"),
+                 fmtPercent(m.overlapFraction)});
+        }
+    }
     return table;
 }
 

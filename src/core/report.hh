@@ -71,6 +71,14 @@ void printTable(std::ostream &os, const std::string &title,
  */
 TextTable parallelMetricsTable(const BatchMetrics &metrics);
 
+/**
+ * Per-resource utilization summary folded out of traced results: one
+ * row per workload x mode with PCIe busy/queueing, fault batching,
+ * prefetch accuracy and kernel/transfer overlap (see trace/metrics.hh
+ * for the underlying quantities). Untraced results are skipped.
+ */
+TextTable traceUtilizationTable(const std::vector<ModeSet> &workloads);
+
 } // namespace uvmasync
 
 #endif // UVMASYNC_CORE_REPORT_HH

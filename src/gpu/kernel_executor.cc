@@ -268,6 +268,7 @@ KernelExecutor::derive(const KernelDescriptor &kd) const
                       d.parallelEff;
         d.tileTimePs = std::max(loadPs + storePs, computePs) + wait;
         d.fillTimePs = loadPs;
+        d.asyncWaitPerTilePs = wait;
     } else {
         double barrier = cfg_.barrierCyclesPerTile * period * r /
                          d.parallelEff;
@@ -426,8 +427,40 @@ KernelExecutor::run(const KernelDescriptor &kd, Tick start)
             Tick ready = requestGroup(kd, c.block, c.group, groups,
                                       c.when);
             stall += ready - c.when;
+            if (cfg_.tracer && ready > c.when) {
+                cfg_.tracer->instant(TraceCategory::Kernel,
+                                     TraceName::DataStall,
+                                     cfg_.traceLane, c.when,
+                                     ready - c.when);
+            }
             pending.push(Continuation{ready + perGroupCompute,
                                       c.block, c.group + 1});
+        }
+    }
+
+    if (cfg_.tracer) {
+        Tracer &tr = *cfg_.tracer;
+        tr.span(TraceCategory::Kernel, TraceName::KernelLaunch,
+                cfg_.traceLane, start, launchDone, kd.gridBlocks, 0,
+                kd.name);
+        // TileCompute before AsyncFill: equal starts must arrive
+        // outermost-first for the nesting checker.
+        tr.span(TraceCategory::Kernel, TraceName::TileCompute,
+                cfg_.traceLane, launchDone, end, d.tilesPerBlock,
+                slots, kd.name);
+        if (d.fillTimePs > 0.0) {
+            auto fill = static_cast<Tick>(std::ceil(d.fillTimePs));
+            tr.span(TraceCategory::Kernel, TraceName::AsyncFill,
+                    cfg_.traceLane, launchDone,
+                    std::min(end, launchDone + fill));
+        }
+        if (d.asyncWaitPerTilePs > 0.0) {
+            auto wait = static_cast<std::uint64_t>(
+                d.asyncWaitPerTilePs *
+                static_cast<double>(d.tilesPerBlock));
+            tr.instant(TraceCategory::Kernel,
+                       TraceName::DoubleBufferWait, cfg_.traceLane,
+                       end, wait);
         }
     }
 

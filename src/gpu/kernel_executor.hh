@@ -40,6 +40,7 @@
 #include "gpu/kernel_descriptor.hh"
 #include "gpu/occupancy.hh"
 #include "gpu/transfer_mode.hh"
+#include "trace/trace.hh"
 
 namespace uvmasync
 {
@@ -80,6 +81,14 @@ struct KernelExecConfig
 
     /** Upper bound of chunk-request groups per block (UVM modes). */
     std::uint32_t maxChunkGroupsPerBlock = 8;
+
+    /**
+     * Optional per-launch pipeline detail sink: launch overhead and
+     * tile-compute spans, async fill span, double-buffer wait and
+     * data-stall instants, all on @p traceLane.
+     */
+    Tracer *tracer = nullptr;
+    std::uint32_t traceLane = 0;
 };
 
 /** Outcome of one kernel launch. */
@@ -142,6 +151,8 @@ class KernelExecutor
         double parallelEff = 1.0;
         double tileTimePs = 0.0;  //!< slot-view per-tile time
         double fillTimePs = 0.0;  //!< async pipeline fill per block
+        /** Double-buffer arrive/wait share of tileTimePs (async). */
+        double asyncWaitPerTilePs = 0.0;
         CacheModelResult cache;
         InstrMix perTile;
     };

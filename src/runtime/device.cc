@@ -31,6 +31,27 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
     res.timeline.setLaneName(1, "dma");
     res.timeline.setLaneName(2, "gpu");
 
+    // ---- Trace lanes (fixed registration order) -------------------
+    // The phase lanes come first so they share ids with the Timeline;
+    // component lanes follow. Components are re-pointed every run
+    // (including to null) so a stale sink can never dangle.
+    Tracer *tr = opts.tracer;
+    std::uint32_t laneKernel = 0, laneH2d = 0, laneD2h = 0;
+    std::uint32_t laneFault = 0, lanePrefetch = 0, laneMigrate = 0;
+    if (tr) {
+        tr->lane("cpu");
+        tr->lane("dma");
+        tr->lane("gpu");
+        laneKernel = tr->lane("gpu.kernel");
+        laneH2d = tr->lane("pcie.h2d");
+        laneD2h = tr->lane("pcie.d2h");
+        laneFault = tr->lane("uvm.fault");
+        lanePrefetch = tr->lane("uvm.prefetch");
+        laneMigrate = tr->lane("uvm.migrate");
+    }
+    link_.setTrace(tr, laneH2d, laneD2h);
+    engine_.setTrace(tr, laneFault, lanePrefetch, laneMigrate);
+
     // ---- Reset the testbed for this job -------------------------
     link_.reset();
     pageTable_.clearRanges();
@@ -114,6 +135,8 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
     execCfg.bufferBytes = job.bufferSizes();
     execCfg.bufferRangeIds = rangeIds;
     execCfg.seed = opts.seed;
+    execCfg.tracer = tr;
+    execCfg.traceLane = laneKernel;
     KernelExecutor executor(execCfg);
 
     Tick kernelTime = 0;
@@ -260,6 +283,11 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
         }
     }
     res.wallEnd = t;
+    if (tr) {
+        if (uvm)
+            engine_.flushTrace();
+        exportTimelineToTrace(res.timeline, *tr);
+    }
     return res;
 }
 

@@ -98,6 +98,12 @@ struct RunOptions
      * its Section 2 discusses the pageable-staging cost).
      */
     bool pinnedHost = false;
+
+    /**
+     * Record spans/instants of every instrumented component into this
+     * sink (owned by the caller); null runs untraced at zero cost.
+     */
+    Tracer *tracer = nullptr;
 };
 
 /**

@@ -36,12 +36,10 @@ Timeline::add(PhaseKind kind, std::string label, Tick start, Tick end,
 {
     UVMASYNC_ASSERT(end >= start, "phase '%s' ends before it starts",
                     label.c_str());
-    if (end == start)
-        return;
     if (laneNames_.size() <= lane)
         laneNames_.resize(lane + 1, "lane");
-    phases_.push_back(
-        Phase{kind, std::move(label), start, end, lane});
+    auto &dest = end == start ? instants_ : phases_;
+    dest.push_back(Phase{kind, std::move(label), start, end, lane});
 }
 
 Tick
@@ -80,6 +78,49 @@ Timeline::laneBusy(std::size_t lane) const
     if (open)
         busy += curEnd - curStart;
     return busy;
+}
+
+void
+exportTimelineToTrace(const Timeline &timeline, Tracer &tracer)
+{
+    std::vector<std::uint32_t> laneMap;
+    for (std::size_t i = 0; i < timeline.laneCount(); ++i)
+        laneMap.push_back(tracer.lane(timeline.laneName(i)));
+
+    auto phaseName = [](PhaseKind kind) {
+        // The TraceName Phase block mirrors PhaseKind order.
+        return static_cast<TraceName>(
+            static_cast<int>(TraceName::PhaseAlloc) +
+            static_cast<int>(kind));
+    };
+
+    // Emit spans per lane ordered by (start asc, end desc): this
+    // yields the non-decreasing starts and outermost-first nesting
+    // the trace invariants require, independent of the order phases
+    // were recorded in.
+    for (std::size_t lane = 0; lane < timeline.laneCount(); ++lane) {
+        std::vector<const Phase *> spans;
+        for (const Phase &phase : timeline.phases()) {
+            if (phase.lane == lane)
+                spans.push_back(&phase);
+        }
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const Phase *a, const Phase *b) {
+                             if (a->start != b->start)
+                                 return a->start < b->start;
+                             return a->end > b->end;
+                         });
+        for (const Phase *phase : spans) {
+            tracer.span(TraceCategory::Phase, phaseName(phase->kind),
+                        laneMap[lane], phase->start, phase->end, 0, 0,
+                        phase->label);
+        }
+    }
+    for (const Phase &phase : timeline.instants()) {
+        tracer.instant(TraceCategory::Phase, phaseName(phase.kind),
+                       laneMap[phase.lane], phase.start, 0,
+                       phase.label);
+    }
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace uvmasync
 {
@@ -54,13 +55,28 @@ class Timeline
     /** Define lane @p index's display name (lanes are dense). */
     void setLaneName(std::size_t index, std::string name);
 
-    /** Record a phase; zero-length phases are dropped. */
+    /**
+     * Record a phase. Zero-length phases don't occupy the Gantt
+     * chart, but they are real moments (an instantaneous free, a
+     * no-op writeback) — they are kept separately and surface as
+     * instant events in the trace exporter.
+     */
     void add(PhaseKind kind, std::string label, Tick start, Tick end,
              std::size_t lane);
 
     std::size_t phaseCount() const { return phases_.size(); }
     const std::vector<Phase> &phases() const { return phases_; }
+
+    /** Zero-length phases, in recording order. */
+    const std::vector<Phase> &instants() const { return instants_; }
+
     std::size_t laneCount() const { return laneNames_.size(); }
+
+    /** Display name of lane @p index. */
+    const std::string &laneName(std::size_t index) const
+    {
+        return laneNames_[index];
+    }
 
     /** Last phase end (0 when empty). */
     Tick makespan() const;
@@ -77,8 +93,17 @@ class Timeline
 
   private:
     std::vector<Phase> phases_;
+    std::vector<Phase> instants_;
     std::vector<std::string> laneNames_;
 };
+
+/**
+ * Re-emit @p timeline into @p tracer as Phase-category events: one
+ * span per phase and one instant per zero-length entry, on tracer
+ * lanes matching the timeline's lane names. Lanes are created in
+ * timeline order if absent.
+ */
+void exportTimelineToTrace(const Timeline &timeline, Tracer &tracer);
 
 } // namespace uvmasync
 

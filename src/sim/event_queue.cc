@@ -40,6 +40,11 @@ EventQueue::runUntil(Tick limit)
         heap_.pop();
         curTick_ = entry.when;
         ++executed_;
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Sim,
+                             TraceName::EventDispatch, traceLane_,
+                             entry.when, entry.seq);
+        }
         entry.cb();
     }
     if (limit != maxTick && curTick_ < limit)

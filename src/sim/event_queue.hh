@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace uvmasync
 {
@@ -83,6 +84,17 @@ class EventQueue
     /** Total number of events executed since construction/reset. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /**
+     * Emit a dispatch instant into @p tracer (lane @p lane) for every
+     * event executed. Pass nullptr to detach.
+     */
+    void
+    setTracer(Tracer *tracer, std::uint32_t lane = 0)
+    {
+        tracer_ = tracer;
+        traceLane_ = lane;
+    }
+
   private:
     struct Entry
     {
@@ -109,6 +121,8 @@ class EventQueue
     Tick curTick_ = 0;
     SeqNum nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    Tracer *tracer_ = nullptr;
+    std::uint32_t traceLane_ = 0;
 };
 
 } // namespace uvmasync

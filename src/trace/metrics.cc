@@ -1,0 +1,253 @@
+#include "trace/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+struct Interval
+{
+    Tick start;
+    Tick end;
+};
+
+/** Union length of possibly-overlapping intervals; sorts in place. */
+Tick
+unionLength(std::vector<Interval> &iv)
+{
+    std::sort(iv.begin(), iv.end(), [](const auto &a, const auto &b) {
+        return a.start < b.start || (a.start == b.start && a.end < b.end);
+    });
+    Tick total = 0;
+    Tick curStart = 0, curEnd = 0;
+    bool open = false;
+    for (const Interval &i : iv) {
+        if (open && i.start <= curEnd) {
+            curEnd = std::max(curEnd, i.end);
+            continue;
+        }
+        if (open)
+            total += curEnd - curStart;
+        curStart = i.start;
+        curEnd = i.end;
+        open = true;
+    }
+    if (open)
+        total += curEnd - curStart;
+    return total;
+}
+
+/** Coalesce to disjoint sorted intervals; sorts in place. */
+std::vector<Interval>
+coalesce(std::vector<Interval> iv)
+{
+    std::sort(iv.begin(), iv.end(), [](const auto &a, const auto &b) {
+        return a.start < b.start || (a.start == b.start && a.end < b.end);
+    });
+    std::vector<Interval> out;
+    for (const Interval &i : iv) {
+        if (!out.empty() && i.start <= out.back().end)
+            out.back().end = std::max(out.back().end, i.end);
+        else
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** Total intersection length of two disjoint sorted interval lists. */
+Tick
+intersectionLength(const std::vector<Interval> &a,
+                   const std::vector<Interval> &b)
+{
+    Tick total = 0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        const Tick lo = std::max(a[i].start, b[j].start);
+        const Tick hi = std::min(a[i].end, b[j].end);
+        if (hi > lo)
+            total += hi - lo;
+        if (a[i].end < b[j].end)
+            ++i;
+        else
+            ++j;
+    }
+    return total;
+}
+
+std::size_t
+batchBucket(std::uint64_t n)
+{
+    std::size_t bucket = 0;
+    while (n > 1 && bucket + 1 < faultBatchBuckets) {
+        n >>= 1;
+        ++bucket;
+    }
+    return bucket;
+}
+
+std::string
+fixed6(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+faultBatchBucketLabel(std::size_t i)
+{
+    if (i == 0)
+        return "1";
+    const std::uint64_t lo = 1ull << i;
+    if (i + 1 == faultBatchBuckets)
+        return ">=" + std::to_string(lo);
+    return std::to_string(lo) + "-" + std::to_string(2 * lo - 1);
+}
+
+TraceMetrics
+computeTraceMetrics(const Tracer &trace)
+{
+    TraceMetrics m;
+    m.wallEndPs = trace.wallEnd();
+
+    std::vector<std::vector<Interval>> laneSpans(trace.laneCount());
+    std::vector<std::uint64_t> laneCounts(trace.laneCount(), 0);
+    std::vector<Interval> pcieSpans, kernelSpans;
+
+    for (const TraceEvent &ev : trace.events()) {
+        if (!ev.isInstant()) {
+            laneSpans[ev.lane].push_back({ev.start, ev.end});
+            ++laneCounts[ev.lane];
+        }
+
+        switch (ev.category) {
+          case TraceCategory::Pcie:
+            pcieSpans.push_back({ev.start, ev.end});
+            m.pcieQueueWaitPs += ev.arg2;
+            break;
+          case TraceCategory::Fault:
+            if (ev.name == TraceName::FaultRaise) {
+                ++m.faultsRaised;
+            } else if (ev.name == TraceName::FaultBatch) {
+                ++m.faultBatches;
+                ++m.faultBatchHist[batchBucket(ev.arg)];
+            }
+            break;
+          case TraceCategory::Prefetch:
+            if (ev.name == TraceName::PrefetchIssue)
+                m.prefetchIssued += ev.arg;
+            else if (ev.name == TraceName::PrefetchHit)
+                ++m.prefetchHits;
+            else if (ev.name == TraceName::PrefetchWaste)
+                ++m.prefetchWasted;
+            break;
+          case TraceCategory::Phase:
+            if (ev.name == TraceName::PhaseKernel && !ev.isInstant())
+                kernelSpans.push_back({ev.start, ev.end});
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < laneSpans.size(); ++i) {
+        LaneMetrics lm;
+        lm.name = trace.laneNames()[i];
+        lm.spans = laneCounts[i];
+        lm.busyPs = unionLength(laneSpans[i]);
+        lm.utilization = m.wallEndPs
+                             ? static_cast<double>(lm.busyPs) /
+                                   static_cast<double>(m.wallEndPs)
+                             : 0.0;
+        m.lanes.push_back(std::move(lm));
+    }
+
+    const auto pcie = coalesce(std::move(pcieSpans));
+    const auto kernel = coalesce(std::move(kernelSpans));
+    for (const Interval &i : pcie)
+        m.pcieBusyPs += i.end - i.start;
+    for (const Interval &i : kernel)
+        m.kernelBusyPs += i.end - i.start;
+    m.overlapPs = intersectionLength(pcie, kernel);
+    m.overlapFraction = m.kernelBusyPs
+                            ? static_cast<double>(m.overlapPs) /
+                                  static_cast<double>(m.kernelBusyPs)
+                            : 0.0;
+    if (m.prefetchIssued) {
+        m.prefetchAccuracy = static_cast<double>(m.prefetchHits) /
+                             static_cast<double>(m.prefetchIssued);
+    }
+    return m;
+}
+
+void
+writeTraceMetricsCsv(std::ostream &os, const TraceMetrics &m)
+{
+    CsvWriter csv(os);
+    csv.writeRow({"metric", "key", "value"});
+    csv.writeRow({"wall_end_ps", "", std::to_string(m.wallEndPs)});
+    for (const LaneMetrics &lm : m.lanes) {
+        csv.writeRow({"lane_busy_ps", lm.name,
+                      std::to_string(lm.busyPs)});
+        csv.writeRow({"lane_utilization", lm.name,
+                      fixed6(lm.utilization)});
+        csv.writeRow({"lane_spans", lm.name, std::to_string(lm.spans)});
+    }
+    csv.writeRow({"pcie_busy_ps", "", std::to_string(m.pcieBusyPs)});
+    csv.writeRow({"pcie_queue_wait_ps", "",
+                  std::to_string(m.pcieQueueWaitPs)});
+    csv.writeRow({"faults_raised", "", std::to_string(m.faultsRaised)});
+    csv.writeRow({"fault_batches", "", std::to_string(m.faultBatches)});
+    for (std::size_t i = 0; i < faultBatchBuckets; ++i) {
+        csv.writeRow({"fault_batch_hist", faultBatchBucketLabel(i),
+                      std::to_string(m.faultBatchHist[i])});
+    }
+    csv.writeRow({"prefetch_issued", "",
+                  std::to_string(m.prefetchIssued)});
+    csv.writeRow({"prefetch_hits", "", std::to_string(m.prefetchHits)});
+    csv.writeRow({"prefetch_wasted", "",
+                  std::to_string(m.prefetchWasted)});
+    csv.writeRow({"prefetch_accuracy", "", fixed6(m.prefetchAccuracy)});
+    csv.writeRow({"kernel_busy_ps", "", std::to_string(m.kernelBusyPs)});
+    csv.writeRow({"overlap_ps", "", std::to_string(m.overlapPs)});
+    csv.writeRow({"overlap_fraction", "", fixed6(m.overlapFraction)});
+}
+
+std::string
+traceMetricsTable(const TraceMetrics &m)
+{
+    TextTable table({"resource", "busy", "util", "spans"});
+    for (const LaneMetrics &lm : m.lanes) {
+        table.addRow({lm.name,
+                      fmtTime(static_cast<double>(lm.busyPs)),
+                      fmtPercent(lm.utilization),
+                      std::to_string(lm.spans)});
+    }
+    table.addSeparator();
+    table.addRow({"pcie queue wait",
+                  fmtTime(static_cast<double>(m.pcieQueueWaitPs)), "",
+                  ""});
+    table.addRow({"faults / batches",
+                  std::to_string(m.faultsRaised) + " / " +
+                      std::to_string(m.faultBatches),
+                  "", ""});
+    table.addRow({"prefetch hit/issued",
+                  std::to_string(m.prefetchHits) + " / " +
+                      std::to_string(m.prefetchIssued),
+                  fmtPercent(m.prefetchAccuracy), ""});
+    table.addRow({"kernel/pcie overlap",
+                  fmtTime(static_cast<double>(m.overlapPs)),
+                  fmtPercent(m.overlapFraction), ""});
+    return table.toString();
+}
+
+} // namespace uvmasync

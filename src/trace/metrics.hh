@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-resource metrics folded out of a recorded trace.
+ *
+ * Everything here is derived purely from the event list — no access
+ * to simulator internals — so the same numbers can be recomputed from
+ * an exported trace. The headline quantities mirror the paper's
+ * analysis axes: link busy/utilization per direction, how large the
+ * far-fault batches grew, how much speculative traffic paid off, and
+ * how much of the kernel window overlapped PCIe activity (the async
+ * shaping effect).
+ */
+
+#ifndef UVMASYNC_TRACE_METRICS_HH
+#define UVMASYNC_TRACE_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace uvmasync
+{
+
+/** Busy/utilization for one lane. */
+struct LaneMetrics
+{
+    std::string name;
+    std::uint64_t spans = 0; //!< span count (instants excluded)
+    Tick busyPs = 0;         //!< union of span windows
+    double utilization = 0;  //!< busyPs / trace wall end
+};
+
+/** Fault-batch size histogram: log2 buckets 1, 2-3, 4-7, ..., >=128. */
+inline constexpr std::size_t faultBatchBuckets = 8;
+
+/** Label for histogram bucket @p i ("1", "2-3", ..., ">=128"). */
+std::string faultBatchBucketLabel(std::size_t i);
+
+/** Aggregate metrics computed by computeTraceMetrics(). */
+struct TraceMetrics
+{
+    Tick wallEndPs = 0;
+    std::vector<LaneMetrics> lanes;
+
+    // PCIe: queueing recorded as arg2 on every occupancy span.
+    Tick pcieBusyPs = 0;      //!< union across all pcie lanes
+    Tick pcieQueueWaitPs = 0; //!< total time requests waited for the link
+
+    // Far-fault servicing.
+    std::uint64_t faultsRaised = 0;
+    std::uint64_t faultBatches = 0;
+    std::array<std::uint64_t, faultBatchBuckets> faultBatchHist{};
+
+    // Prefetch effectiveness: issued counts chunks speculatively
+    // moved; hits are demand touches served from them; wasted are
+    // evicted untouched.
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchHits = 0;
+    std::uint64_t prefetchWasted = 0;
+    double prefetchAccuracy = 0; //!< hits / issued (0 when none issued)
+
+    // Compute/transfer overlap: intersection of kernel-phase windows
+    // with PCIe occupancy, as a fraction of kernel busy time.
+    Tick kernelBusyPs = 0;
+    Tick overlapPs = 0;
+    double overlapFraction = 0; //!< overlapPs / kernelBusyPs
+};
+
+/** Fold @p trace into per-resource metrics. */
+TraceMetrics computeTraceMetrics(const Tracer &trace);
+
+/** Flat `metric,key,value` CSV — stable row order, golden-friendly. */
+void writeTraceMetricsCsv(std::ostream &os, const TraceMetrics &m);
+
+/** Human-readable table for the CLI's --metrics flag. */
+std::string traceMetricsTable(const TraceMetrics &m);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_TRACE_METRICS_HH

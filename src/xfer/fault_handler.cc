@@ -22,6 +22,7 @@ FaultHandler::service(Tick now)
     if (!joins_batch) {
         // Open a new batch headed by this fault; it cannot start
         // processing before the handler finished the previous batch.
+        closeBatchTrace();
         batchHeadTime_ = std::max(now, handlerFreeAt_);
         batchCount_ = 0;
         ++batches_;
@@ -33,7 +34,25 @@ FaultHandler::service(Tick now)
     Tick done = batchHeadTime_ + cfg_.batchBaseLatency +
                 static_cast<Tick>(batchCount_) * cfg_.perFaultLatency;
     handlerFreeAt_ = std::max(handlerFreeAt_, done);
+    lastDone_ = done;
     return done;
+}
+
+void
+FaultHandler::closeBatchTrace()
+{
+    if (tracer_ && batchCount_ > 0) {
+        tracer_->span(TraceCategory::Fault, TraceName::FaultBatch,
+                      traceLane_, batchHeadTime_, lastDone_,
+                      batchCount_);
+    }
+}
+
+void
+FaultHandler::flushTrace()
+{
+    closeBatchTrace();
+    batchCount_ = 0;
 }
 
 double
@@ -50,6 +69,7 @@ FaultHandler::reset()
     batchHeadTime_ = 0;
     batchCount_ = 0;
     handlerFreeAt_ = 0;
+    lastDone_ = 0;
     faults_ = 0;
     batches_ = 0;
 }

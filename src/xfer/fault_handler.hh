@@ -18,6 +18,7 @@
 
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "trace/trace.hh"
 
 namespace uvmasync
 {
@@ -66,18 +67,40 @@ class FaultHandler : public SimObject
     /** Forget the timeline (new run). */
     void reset();
 
+    /**
+     * Record one span per serviced batch ([head, completion], batch
+     * size in arg) on @p lane of @p tracer. A batch's span is emitted
+     * when the next batch opens; call flushTrace() at end of run to
+     * emit the final one. Pass nullptr to detach.
+     */
+    void
+    setTrace(Tracer *tracer, std::uint32_t lane = 0)
+    {
+        tracer_ = tracer;
+        traceLane_ = lane;
+    }
+
+    /** Emit the still-open batch's span, if any. */
+    void flushTrace();
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
   private:
+    void closeBatchTrace();
+
     FaultHandlerConfig cfg_;
 
     Tick batchHeadTime_ = 0;
     std::uint32_t batchCount_ = 0;
     Tick handlerFreeAt_ = 0;
+    Tick lastDone_ = 0;
 
     std::uint64_t faults_ = 0;
     std::uint64_t batches_ = 0;
+
+    Tracer *tracer_ = nullptr;
+    std::uint32_t traceLane_ = 0;
 };
 
 } // namespace uvmasync

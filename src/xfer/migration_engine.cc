@@ -43,6 +43,24 @@ MigrationEngine::beginJob()
 }
 
 void
+MigrationEngine::setTrace(Tracer *tracer, std::uint32_t faultLane,
+                          std::uint32_t prefetchLane,
+                          std::uint32_t migrateLane)
+{
+    tracer_ = tracer;
+    faultLane_ = faultLane;
+    prefetchLane_ = prefetchLane;
+    migrateLane_ = migrateLane;
+    faultHandler_.setTrace(tracer, faultLane);
+}
+
+void
+MigrationEngine::flushTrace()
+{
+    faultHandler_.flushTrace();
+}
+
+void
 MigrationEngine::syncRanges()
 {
     while (rangeState_.size() < table_.rangeCount()) {
@@ -77,6 +95,16 @@ MigrationEngine::ensureCapacity(Bytes bytes, Tick now)
             prefetcher_->onWastedPrefetch(victim.rangeId);
             if (state.outstandingPrefetches > 0)
                 --state.outstandingPrefetches;
+            if (tracer_) {
+                tracer_->instant(TraceCategory::Prefetch,
+                                 TraceName::PrefetchWaste,
+                                 prefetchLane_, freeAt,
+                                 victim.rangeId);
+            }
+        }
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Migration, TraceName::Evict,
+                             migrateLane_, freeAt, victim.bytes);
         }
         range.setState(victim.chunkIndex, ChunkState::HostOnly);
         state.readyAt[victim.chunkIndex] = maxTick;
@@ -134,6 +162,11 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
             prefetcher_->onUsefulPrefetch(rangeId);
             if (state.outstandingPrefetches > 0)
                 --state.outstandingPrefetches;
+            if (tracer_) {
+                tracer_->instant(TraceCategory::Prefetch,
+                                 TraceName::PrefetchHit, prefetchLane_,
+                                 now, rangeId);
+            }
         }
         state.demanded[chunk] = true;
         return std::max(now, ready);
@@ -142,10 +175,19 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
     // Far fault: driver batching, then migration over the link.
     table_.recordFault();
     ++jobFaults_;
+    if (tracer_) {
+        tracer_->instant(TraceCategory::Fault, TraceName::FaultRaise,
+                         faultLane_, now, rangeId);
+    }
     if (state.outstandingPrefetches > 0) {
         // The speculation failed to cover this demand; cool down.
         prefetcher_->onWastedPrefetch(rangeId);
         --state.outstandingPrefetches;
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Prefetch,
+                             TraceName::PrefetchWaste, prefetchLane_,
+                             now, rangeId);
+        }
     }
     Tick serviced = faultHandler_.service(now);
     Tick ready = migrateChunk(rangeId, chunk, serviced,
@@ -163,6 +205,11 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
         migrateChunk(cand.rangeId, cand.chunkIndex, ready,
                      TransferKind::DemandMigration,
                      /*speculative=*/true);
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Prefetch,
+                             TraceName::PrefetchIssue, prefetchLane_,
+                             ready, /*chunks=*/1);
+        }
     }
     return ready;
 }
@@ -222,6 +269,11 @@ MigrationEngine::prefetchRange(std::size_t rangeId, Tick now,
                                        Direction::HostToDevice,
                                        TransferKind::BulkPrefetch);
         jobTransferBusy_ += occ.duration();
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Prefetch,
+                             TraceName::PrefetchChurn, prefetchLane_,
+                             start, churn);
+        }
         return occ;
     }
 

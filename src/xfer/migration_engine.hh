@@ -134,6 +134,21 @@ class MigrationEngine : public SimObject
     Tick latestReadyTick() const { return latestReady_; }
 
     /**
+     * Route the fault/migration/prefetch lifecycle into @p tracer:
+     * fault raises (instants) and batch-service spans on
+     * @p faultLane, speculation issue/hit/waste/churn instants on
+     * @p prefetchLane, eviction instants on @p migrateLane. Call
+     * flushTrace() at end of run to close the final fault batch.
+     * Pass nullptr to detach.
+     */
+    void setTrace(Tracer *tracer, std::uint32_t faultLane = 0,
+                  std::uint32_t prefetchLane = 0,
+                  std::uint32_t migrateLane = 0);
+
+    /** Emit spans still buffered in sub-components (end of run). */
+    void flushTrace();
+
+    /**
      * Total link time consumed on behalf of this job so far
      * (demand + prefetch + writeback + wasted speculation).
      */
@@ -182,6 +197,11 @@ class MigrationEngine : public SimObject
     Tick jobTransferBusy_ = 0;
     Tick latestReady_ = 0;
     std::uint64_t jobFaults_ = 0;
+
+    Tracer *tracer_ = nullptr;
+    std::uint32_t faultLane_ = 0;
+    std::uint32_t prefetchLane_ = 0;
+    std::uint32_t migrateLane_ = 0;
 };
 
 } // namespace uvmasync

@@ -50,12 +50,20 @@ PcieLink::transfer(Tick now, Bytes bytes, Direction dir,
         std::ceil(static_cast<double>(bytes) * scale + latencyBytes));
 
     kindBytes_[static_cast<std::size_t>(kind)] += bytes;
-    if (dir == Direction::HostToDevice) {
-        payloadH2d_ += bytes;
-        return h2d_.acquire(now, scaled);
+    const bool h2d = dir == Direction::HostToDevice;
+    (h2d ? payloadH2d_ : payloadD2h_) += bytes;
+    Occupancy occ = (h2d ? h2d_ : d2h_).acquire(now, scaled);
+    if (tracer_) {
+        // TraceName's Pcie block mirrors TransferKind order, so the
+        // name is a constant offset from the kind.
+        auto name = static_cast<TraceName>(
+            static_cast<int>(TraceName::PageableCopy) +
+            static_cast<int>(kind));
+        tracer_->span(TraceCategory::Pcie, name,
+                      h2d ? h2dLane_ : d2hLane_, occ.start, occ.end,
+                      bytes, occ.start - now);
     }
-    payloadD2h_ += bytes;
-    return d2h_.acquire(now, scaled);
+    return occ;
 }
 
 Tick

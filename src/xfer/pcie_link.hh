@@ -22,6 +22,7 @@
 #include "common/units.hh"
 #include "sim/resource.hh"
 #include "sim/sim_object.hh"
+#include "trace/trace.hh"
 
 namespace uvmasync
 {
@@ -113,6 +114,21 @@ class PcieLink : public SimObject
     /** Drop the timeline and statistics (new run). */
     void reset();
 
+    /**
+     * Record every occupancy window into @p tracer: one span per
+     * transfer on the direction's lane, bytes in arg and the FCFS
+     * queueing delay (start - issue tick) in arg2. Pass nullptr to
+     * detach.
+     */
+    void
+    setTrace(Tracer *tracer, std::uint32_t h2dLane = 0,
+             std::uint32_t d2hLane = 0)
+    {
+        tracer_ = tracer;
+        h2dLane_ = h2dLane;
+        d2hLane_ = d2hLane;
+    }
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
@@ -123,6 +139,9 @@ class PcieLink : public SimObject
     std::array<Bytes, numTransferKinds> kindBytes_{};
     Bytes payloadH2d_ = 0;
     Bytes payloadD2h_ = 0;
+    Tracer *tracer_ = nullptr;
+    std::uint32_t h2dLane_ = 0;
+    std::uint32_t d2hLane_ = 0;
 };
 
 } // namespace uvmasync

@@ -10,10 +10,12 @@
 
 #include <cstdio>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/parallel_runner.hh"
+#include "trace/chrome_export.hh"
 #include "workloads/registry.hh"
 
 namespace uvmasync
@@ -207,6 +209,43 @@ TEST(ParallelRunner, ExpandGridSeedsAreCounterDerived)
     EXPECT_EQ(grid[3].opts.baseSeed,
               ParallelRunner::pointSeed(7, "saxpy", TransferMode::Uvm,
                                         1));
+}
+
+TEST(ParallelRunner, TracedBatchExportIsByteIdenticalToSerial)
+{
+    // Tracing must not perturb the engine's determinism: the merged
+    // Chrome export of a traced grid is byte-identical between a
+    // serial run and a 4-worker run (submission-order merge, one
+    // Tracer per point).
+    ExperimentOptions base;
+    base.size = SizeClass::Tiny;
+    base.runs = 1;
+    base.baseSeed = 42;
+    base.trace = true;
+    std::vector<TransferMode> modes(allTransferModes.begin(),
+                                    allTransferModes.end());
+    std::vector<ExperimentPoint> points = ParallelRunner::expandGrid(
+        {"saxpy", "vector_seq"}, modes, 1, base);
+
+    auto exported = [](const std::vector<ExperimentResult> &results) {
+        std::vector<ChromeTraceJob> jobs;
+        jobs.reserve(results.size());
+        for (const ExperimentResult &res : results) {
+            jobs.push_back(ChromeTraceJob{
+                res.workload + "/" + transferModeName(res.mode),
+                &res.trace});
+        }
+        std::ostringstream out;
+        writeChromeTrace(out, jobs);
+        return out.str();
+    };
+
+    ParallelRunner serial(SystemConfig::a100Epyc(), 1);
+    std::string reference = exported(serial.run(points));
+    ASSERT_NE(reference.find("\"traceEvents\""), std::string::npos);
+
+    ParallelRunner parallel(SystemConfig::a100Epyc(), 4);
+    EXPECT_EQ(exported(parallel.run(points)), reference);
 }
 
 TEST(ParallelRunner, GlobalJobsOverrideAndRestore)

@@ -11,6 +11,8 @@
 #include "mem/device_memory.hh"
 #include "mem/page_table.hh"
 #include "runtime/device.hh"
+#include "trace/metrics.hh"
+#include "trace/trace_check.hh"
 #include "workloads/registry.hh"
 #include "xfer/migration_engine.hh"
 
@@ -212,6 +214,81 @@ TEST(Ordering, FasterPatternsLoadFaster)
     double rnd = e.run("vector_rand", TransferMode::Standard, opts)
                      .clean.kernelPs;
     EXPECT_GT(rnd, seq);
+}
+
+// --- Trace invariants ---------------------------------------------------
+
+/**
+ * Every workload in the registry, under every transfer mode, must
+ * produce a structurally valid trace: spans in per-lane time order
+ * and properly nested, nothing past the wall, per-lane busy bounded
+ * by the wall, the kernel-detail spans covering at least the kernel
+ * busy time, and fault lifecycle events exactly in (and only in) the
+ * UVM modes.
+ */
+TEST(TraceInvariants, RegistryWideStructuralChecks)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Tiny;
+    opts.runs = 1;
+    opts.trace = true;
+    for (const std::string &name :
+         WorkloadRegistry::instance().names()) {
+        for (TransferMode mode : allTransferModes) {
+            SCOPED_TRACE(name + "/" + transferModeName(mode));
+            ExperimentResult res = e.run(name, mode, opts);
+            const Tracer &trace = res.trace;
+            ASSERT_FALSE(trace.empty());
+
+            TraceCheckResult check = checkTrace(trace);
+            EXPECT_TRUE(check.ok) << check.first();
+
+            // No lane (PCIe directions included) can be busier than
+            // the trace is long.
+            TraceMetrics m = computeTraceMetrics(trace);
+            for (const LaneMetrics &lane : m.lanes)
+                EXPECT_LE(lane.busyPs, m.wallEndPs) << lane.name;
+
+            Tick kernelSpanPs = 0;
+            std::uint64_t raises = 0;
+            std::uint64_t faultEvents = 0;
+            for (const TraceEvent &ev : trace.events()) {
+                if (ev.category == TraceCategory::Kernel &&
+                    (ev.name == TraceName::KernelLaunch ||
+                     ev.name == TraceName::TileCompute))
+                    kernelSpanPs += ev.duration();
+                if (ev.category == TraceCategory::Fault) {
+                    ++faultEvents;
+                    if (ev.name == TraceName::FaultRaise)
+                        ++raises;
+                }
+            }
+            // Launch + tile spans jointly tile each launch window, so
+            // their total can never undercut the kernel component.
+            EXPECT_GE(static_cast<double>(kernelSpanPs) + 1.0,
+                      res.clean.kernelPs);
+            if (usesUvm(mode)) {
+                EXPECT_EQ(raises, res.counters.faults);
+            } else {
+                EXPECT_EQ(faultEvents, 0u);
+            }
+        }
+    }
+}
+
+/** An untraced run must leave the result's trace empty. */
+TEST(TraceInvariants, UntracedRunRecordsNothing)
+{
+    registerAllWorkloads();
+    Experiment e;
+    ExperimentOptions opts;
+    opts.size = SizeClass::Tiny;
+    opts.runs = 1;
+    ExperimentResult res = e.run("saxpy", TransferMode::Uvm, opts);
+    EXPECT_TRUE(res.trace.empty());
+    EXPECT_EQ(res.trace.laneCount(), 0u);
 }
 
 // --- Noise model properties ---------------------------------------------

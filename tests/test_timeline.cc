@@ -23,12 +23,47 @@ TEST(Timeline, EmptyTimeline)
     EXPECT_NE(tl.gantt().find("empty"), std::string::npos);
 }
 
-TEST(Timeline, ZeroLengthPhasesDropped)
+TEST(Timeline, ZeroLengthPhasesBecomeInstants)
 {
+    // Regression: zero-length phases used to vanish entirely. They
+    // still stay off the Gantt chart (no occupancy), but they are
+    // kept as instants and surface in the trace exporter.
     Timeline tl;
+    tl.setLaneName(0, "cpu");
     tl.add(PhaseKind::Alloc, "nop", nanoseconds(5), nanoseconds(5),
            0);
     EXPECT_EQ(tl.phaseCount(), 0u);
+    EXPECT_EQ(tl.makespan(), 0u);
+    ASSERT_EQ(tl.instants().size(), 1u);
+    EXPECT_EQ(tl.instants()[0].label, "nop");
+
+    Tracer tracer;
+    exportTimelineToTrace(tl, tracer);
+    ASSERT_EQ(tracer.eventCount(), 1u);
+    const TraceEvent &ev = tracer.events()[0];
+    EXPECT_TRUE(ev.isInstant());
+    EXPECT_EQ(ev.start, nanoseconds(5));
+    EXPECT_EQ(ev.category, TraceCategory::Phase);
+    EXPECT_EQ(ev.name, TraceName::PhaseAlloc);
+    EXPECT_EQ(tracer.laneNames()[ev.lane], "cpu");
+}
+
+TEST(Timeline, ExportOrdersSpansForNesting)
+{
+    // The Device records phases in completion order; the exporter
+    // must re-sort per lane so containment windows arrive
+    // outermost-first and the trace checker accepts them.
+    Timeline tl;
+    tl.setLaneName(0, "gpu");
+    tl.add(PhaseKind::Kernel, "inner", nanoseconds(10),
+           nanoseconds(20), 0);
+    tl.add(PhaseKind::Kernel, "outer", 0, nanoseconds(40), 0);
+
+    Tracer tracer;
+    exportTimelineToTrace(tl, tracer);
+    ASSERT_EQ(tracer.eventCount(), 2u);
+    EXPECT_EQ(tracer.events()[0].label, "outer");
+    EXPECT_EQ(tracer.events()[1].label, "inner");
 }
 
 TEST(Timeline, MakespanIsLatestEnd)

@@ -62,7 +62,8 @@ fi
 # --- unordered iteration feeding output -----------------------------
 # Files that produce user-visible artifacts must not range-for over
 # unordered containers; the iteration order is ABI/hash-seed soup.
-OUTPUT_FILES=$(grep -rlE 'CsvWriter|writeRow|TextTable' \
+OUTPUT_FILES=$(grep -rlE \
+    'CsvWriter|writeRow|TextTable|writeChromeTrace|writeTraceMetricsCsv' \
     src tools --include='*.cc' || true)
 for f in $OUTPUT_FILES; do
     hits=$(grep -nE \

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -37,6 +38,8 @@
 #include "core/sweep.hh"
 #include "runtime/config_loader.hh"
 #include "runtime/device.hh"
+#include "trace/chrome_export.hh"
+#include "trace/metrics.hh"
 #include "workloads/job_loader.hh"
 #include "workloads/registry.hh"
 
@@ -184,6 +187,24 @@ emitCsvRow(CsvWriter &csv, const ExperimentResult &res,
                   fmtDouble(res.counters.instrs.control, 0)});
 }
 
+/**
+ * Export per-mode traces as one merged Chrome trace file. Returns
+ * false if the file cannot be written.
+ */
+bool
+exportTraceFile(const std::string &path,
+                const std::vector<ChromeTraceJob> &jobs)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write trace file '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    writeChromeTrace(out, jobs);
+    return true;
+}
+
 /** Run a job description file through the five modes directly. */
 int
 cmdRunJobFile(const Args &args)
@@ -204,10 +225,19 @@ cmdRunJobFile(const Args &args)
     RunOptions runOpts;
     runOpts.pinnedHost = args.has("pinned");
 
+    std::string tracePath = args.get("trace");
+    bool wantMetrics = args.has("metrics");
+    bool traced = !tracePath.empty() || wantMetrics;
+    std::vector<Tracer> traces;
+    traces.reserve(allTransferModes.size());
+
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
                      "overall", "faults"});
     for (TransferMode mode : allTransferModes) {
+        Tracer tracer;
+        runOpts.tracer = traced ? &tracer : nullptr;
         RunResult run = device.run(job, mode, runOpts);
+        traces.push_back(std::move(tracer));
         table.addRow({transferModeName(mode),
                       fmtTime(run.breakdown.kernelPs),
                       fmtTime(run.breakdown.transferPs),
@@ -221,6 +251,28 @@ cmdRunJobFile(const Args &args)
               << " footprint, from " << args.get("jobfile")
               << ")\n";
     table.print(std::cout);
+
+    if (!tracePath.empty()) {
+        std::vector<ChromeTraceJob> jobs;
+        for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
+            jobs.push_back(ChromeTraceJob{
+                job.name + "/" +
+                    transferModeName(allTransferModes[i]),
+                &traces[i]});
+        }
+        if (!exportTraceFile(tracePath, jobs))
+            return 1;
+    }
+    if (wantMetrics) {
+        for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
+            std::cout << "\n"
+                      << job.name << " under "
+                      << transferModeName(allTransferModes[i])
+                      << " — resource metrics:\n"
+                      << traceMetricsTable(
+                             computeTraceMetrics(traces[i]));
+        }
+    }
     return 0;
 }
 
@@ -257,6 +309,9 @@ cmdRun(const Args &args)
         kib(std::stoull(args.get("carveout", "0")));
     if (!parseLintFlag(args, opts.lint))
         return 1;
+    std::string tracePath = args.get("trace");
+    bool wantMetrics = args.has("metrics");
+    opts.trace = !tracePath.empty() || wantMetrics;
 
     std::vector<TransferMode> modes;
     std::string modeArg = args.get("mode", "all");
@@ -285,11 +340,31 @@ cmdRun(const Args &args)
     ParallelRunner runner(system);
     std::vector<ExperimentResult> results = runner.run(points);
 
+    if (!tracePath.empty()) {
+        std::vector<ChromeTraceJob> jobs;
+        for (const ExperimentResult &res : results) {
+            jobs.push_back(ChromeTraceJob{
+                res.workload + "/" + transferModeName(res.mode),
+                &res.trace});
+        }
+        if (!exportTraceFile(tracePath, jobs))
+            return 1;
+    }
+
     if (args.has("csv")) {
         CsvWriter csv(std::cout);
         emitCsvHeader(csv);
         for (const ExperimentResult &res : results)
             emitCsvRow(csv, res, opts.runs);
+        if (wantMetrics) {
+            for (const ExperimentResult &res : results) {
+                std::cout << "\n";
+                csv.writeRow({"trace_metrics", res.workload,
+                              transferModeName(res.mode)});
+                writeTraceMetricsCsv(std::cout,
+                                     computeTraceMetrics(res.trace));
+            }
+        }
         return 0;
     }
 
@@ -310,6 +385,10 @@ cmdRun(const Args &args)
     std::cout << workload << " @ " << sizeClassName(opts.size)
               << " (" << opts.runs << " runs)\n";
     table.print(std::cout);
+    if (wantMetrics) {
+        printTable(std::cout, "per-resource trace metrics",
+                   traceUtilizationTable({results}));
+    }
     return 0;
 }
 
@@ -527,6 +606,7 @@ usage()
         "               [--blocks N] [--threads N] [--carveout KIB] "
         "[--seed N] [--config FILE] [--csv] [--jobs N]\n"
         "               [--lint off|warn|enforce] [--no-lint]\n"
+        "               [--trace FILE.json] [--metrics]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
         "[--workload NAME] [--size CLASS] [--csv] [--jobs N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "
