@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + ctest), the static model
 # linter over the whole workload registry, the source-level
-# determinism lint, a trace-export smoke run, a ThreadSanitizer pass
-# over the parallel experiment engine and the tracer suite, and an
-# ASan+UBSan build of the full test suite.
+# determinism lint, a trace-export smoke run, a chaos stage (the
+# fault-injection suite plus an injected smoke run), a
+# ThreadSanitizer pass over the parallel experiment engine, the
+# tracer suite and the injection suite, and an ASan+UBSan build of
+# the full test suite (which includes the injection suite).
 #
-#   scripts/check.sh            # all stages
-#   scripts/check.sh --no-tsan  # skip the TSan stage
-#   scripts/check.sh --no-asan  # skip the ASan+UBSan stage
+#   scripts/check.sh             # all stages
+#   scripts/check.sh --no-tsan   # skip the TSan stage
+#   scripts/check.sh --no-asan   # skip the ASan+UBSan stage
+#   scripts/check.sh --no-chaos  # skip the chaos smoke stage
 #
 # The sanitizer stages configure separate build trees (build-tsan/,
 # build-asan/) so the instrumented objects never mix with the
@@ -18,10 +21,12 @@ cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+run_chaos=1
 for arg in "$@"; do
     case "$arg" in
         --no-tsan) run_tsan=0 ;;
         --no-asan) run_asan=0 ;;
+        --no-chaos) run_chaos=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -45,15 +50,33 @@ trap 'rm -rf "$trace_out"' EXIT
 grep -q '"traceEvents"' "$trace_out/trace.json"
 grep -q '"cat": "fault"' "$trace_out/trace.json"
 
+if [ "$run_chaos" = 1 ]; then
+    echo "== chaos: injection suite + injected smoke run =="
+    # The demo plan must lint clean, an injected UVM run must surface
+    # inject.* spans in the Chrome export, and an uninjected run must
+    # never mention them (the provable-inertness guarantee).
+    ./build/tools/uvmasync-lint \
+        --inject examples/jobs/inject_pcie_degrade.kv
+    ./build/tools/uvmasync run --workload saxpy --size tiny \
+        --runs 2 --inject examples/jobs/inject_pcie_degrade.kv \
+        --inject-seed 7 \
+        --trace "$trace_out/inject.json" --metrics > /dev/null
+    grep -q '"cat": "inject"' "$trace_out/inject.json"
+    ! grep -q 'inject' "$trace_out/trace.json"
+fi
+
 if [ "$run_tsan" = 1 ]; then
-    echo "== TSan: parallel engine + tracer under ThreadSanitizer =="
+    echo "== TSan: parallel engine + tracer + injection suite =="
     cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
     cmake --build build-tsan -j"$(nproc)" \
-        --target test_parallel_runner --target test_trace
+        --target test_parallel_runner --target test_trace \
+        --target test_inject
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_parallel_runner
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_trace
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_inject
 fi
 
 if [ "$run_asan" = 1 ]; then

@@ -85,6 +85,15 @@ constexpr std::array<DiagSpec, diagIdCount> specs = {{
      "system configuration parameter is out of its legal range",
      "counts and capacities must be non-zero, bandwidths positive, "
      "efficiencies in (0, 1], and noise CVs >= 0"},
+    {DiagId::BadInjectParam, "UAL016", Severity::Error,
+     "fault-injection plan parameter is malformed",
+     "rates/probabilities must be in [0, 1], factors >= 1, durations "
+     "and counts >= 0, and window_end_us must be past "
+     "window_start_us (0 = open-ended)"},
+    {DiagId::InertInjectPlan, "UAL017", Severity::Note,
+     "fault-injection plan is valid but perturbs nothing",
+     "every rate is 0 and every factor is 1; raise at least one "
+     "inject.* knob, or drop --inject for a clean run"},
 }};
 
 } // namespace

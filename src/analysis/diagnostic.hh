@@ -50,9 +50,11 @@ enum class DiagId
     UnknownConfigKey,      //!< UAL013
     ShadowedConfigKey,     //!< UAL014
     BadSystemParam,        //!< UAL015
+    BadInjectParam,        //!< UAL016
+    InertInjectPlan,       //!< UAL017
 };
 
-inline constexpr std::size_t diagIdCount = 15;
+inline constexpr std::size_t diagIdCount = 17;
 
 /** Static description of one diagnostic code. */
 struct DiagSpec

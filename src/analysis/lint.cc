@@ -1,6 +1,9 @@
 #include "analysis/lint.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "inject/inject_plan.hh"
 
 namespace uvmasync
 {
@@ -86,6 +89,70 @@ enforceLint(const SystemConfig &system, const Job &job,
               "--lint=off to skip the linter)",
               subject.c_str(), diags.summary().c_str(),
               listing.c_str());
+    }
+    return diags;
+}
+
+DiagnosticEngine
+lintInjectPlan(const KvConfig &kv, const LintOptions &opts)
+{
+    DiagnosticEngine diags;
+    const std::string subject = kv.sourceName();
+    const std::vector<std::string> &known = knownInjectKeys();
+
+    auto locate = [&](Diagnostic &d, const std::string &key) {
+        d.loc.file = kv.sourceName();
+        d.loc.line = kv.lineOf(key);
+    };
+
+    // Unknown keys are the generic UAL013 (with did-you-mean), same
+    // as every other config surface.
+    for (const std::string &key : kv.keys()) {
+        if (std::binary_search(known.begin(), known.end(), key))
+            continue;
+        Diagnostic &d = diags.report(
+            DiagId::UnknownConfigKey, subject,
+            "unknown injection-plan key '" + key + "'");
+        std::string close = closestKey(key, known);
+        if (!close.empty())
+            d.hint = "did you mean '" + close + "'?";
+        locate(d, key);
+    }
+
+    for (const KvShadowedKey &shadow : kv.shadowedKeys()) {
+        Diagnostic &d = diags.report(
+            DiagId::ShadowedConfigKey, subject,
+            strfmt("key '%s' assigned on line %d shadows the "
+                   "assignment on line %d",
+                   shadow.key.c_str(), shadow.line,
+                   shadow.firstLine));
+        locate(d, shadow.key);
+    }
+
+    std::vector<InjectIssue> issues;
+    InjectPlan plan = InjectPlan::parse(kv, issues);
+    for (const InjectIssue &issue : issues) {
+        // parse() also flags unknown keys; those are already UAL013.
+        if (!std::binary_search(known.begin(), known.end(),
+                                issue.key)) {
+            continue;
+        }
+        Diagnostic &d =
+            diags.report(DiagId::BadInjectParam, subject,
+                         "'" + issue.key + "': " + issue.message);
+        locate(d, issue.key);
+    }
+
+    if (diags.empty() && !plan.enabled()) {
+        diags.report(DiagId::InertInjectPlan, subject,
+                     "plan parses cleanly but no seam can fire");
+    }
+
+    if (opts.warningsAsErrors) {
+        for (Diagnostic &d : diags.all()) {
+            if (d.severity == Severity::Warn)
+                d.severity = Severity::Error;
+        }
     }
     return diags;
 }

@@ -64,6 +64,15 @@ DiagnosticEngine enforceLint(const SystemConfig &system, const Job &job,
 /** Parse off/warn/enforce; returns false (out untouched) if unknown. */
 bool parseLintMode(const std::string &name, LintMode &out);
 
+/**
+ * Lint a fault-injection plan (`inject.*` KV config): semantic
+ * parameter problems as UAL016, unknown keys as UAL013 (with
+ * did-you-mean), shadowed keys as UAL014, and a valid-but-inert plan
+ * as a UAL017 note.
+ */
+DiagnosticEngine lintInjectPlan(const KvConfig &kv,
+                                const LintOptions &opts = {});
+
 } // namespace uvmasync
 
 #endif // UVMASYNC_ANALYSIS_LINT_HH

@@ -12,6 +12,9 @@ namespace
 
 LogLevel globalLevel = LogLevel::Inform;
 
+/** Depth of nested FatalThrowScopes on this thread. */
+thread_local int fatalThrowDepth = 0;
+
 void
 emit(const char *tag, FILE *stream, const char *fmt, std::va_list args)
 {
@@ -73,9 +76,24 @@ fatal(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
+    if (fatalThrowDepth > 0) {
+        std::string body = vstrfmt(fmt, args);
+        va_end(args);
+        throw FatalError(body);
+    }
     emit("fatal: ", stderr, fmt, args);
     va_end(args);
     std::exit(1);
+}
+
+FatalThrowScope::FatalThrowScope()
+{
+    ++fatalThrowDepth;
+}
+
+FatalThrowScope::~FatalThrowScope()
+{
+    --fatalThrowDepth;
 }
 
 void

@@ -12,6 +12,7 @@
 #define UVMASYNC_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace uvmasync
@@ -46,10 +47,35 @@ std::string strfmt(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
- * Report an unrecoverable user error and exit(1). Never returns.
+ * Report an unrecoverable user error and exit(1) — unless the calling
+ * thread holds a FatalThrowScope, in which case the formatted message
+ * is thrown as a FatalError instead. Never returns normally.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** What fatal() throws inside a FatalThrowScope. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard turning fatal() on this thread into a FatalError throw
+ * for its lifetime. Batch drivers (the parallel experiment engine)
+ * hold one around each job so a poisoned configuration fails that one
+ * job with a structured error instead of exiting the whole process.
+ * Nests; fatal() reverts to exit(1) once the last scope unwinds.
+ */
+class FatalThrowScope
+{
+  public:
+    FatalThrowScope();
+    ~FatalThrowScope();
+    FatalThrowScope(const FatalThrowScope &) = delete;
+    FatalThrowScope &operator=(const FatalThrowScope &) = delete;
+};
 
 /** Report a modelling approximation or suspicious condition. */
 void warn(const char *fmt, ...)

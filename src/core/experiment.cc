@@ -53,10 +53,18 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
     Device device(system_);
     Tracer tracer;
     tracer.setCategoryFilter(opts.traceCategories);
+    // The injector's streams derive only from (inject seed, point
+    // seed), never from scheduling, so `--jobs N` replays an injected
+    // batch byte-identically to serial.
+    std::uint64_t injectSeed =
+        opts.injectSeed ? opts.injectSeed : opts.inject.seed;
+    Injector injector(opts.inject,
+                      injectSalt(injectSeed, opts.baseSeed));
     RunOptions runOpts;
     runOpts.sharedCarveout = opts.sharedCarveout;
     runOpts.seed = opts.baseSeed;
     runOpts.tracer = opts.trace ? &tracer : nullptr;
+    runOpts.injector = &injector;
     RunResult det = device.run(job, mode, runOpts);
 
     // The straddle check applies to the job's whole host footprint —
@@ -71,6 +79,7 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
     res.clean = det.breakdown;
     res.counters = det.counters;
     res.trace = std::move(tracer);
+    res.injectCounters = injector.counters();
     res.runs.reserve(opts.runs);
 
     NoiseModel noise(system_.noise, device.hostMemory());

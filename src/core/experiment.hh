@@ -15,6 +15,7 @@
 #include "analysis/lint.hh"
 #include "common/stats.hh"
 #include "gpu/transfer_mode.hh"
+#include "inject/injector.hh"
 #include "runtime/device.hh"
 #include "runtime/system_config.hh"
 #include "runtime/time_breakdown.hh"
@@ -55,6 +56,20 @@ struct ExperimentOptions
 
     /** Category mask applied when tracing (trace/trace.hh bits). */
     std::uint32_t traceCategories = traceAllCategories;
+
+    /**
+     * Fault-injection plan for the deterministic execution; the
+     * default plan is inert, making the run byte-identical to one
+     * with no injection support at all.
+     */
+    InjectPlan inject;
+
+    /**
+     * Seed of the injector's RNG streams; 0 uses the plan's own
+     * `inject.seed`. Combined with baseSeed per point, so injected
+     * parallel batches replay byte-identically to serial.
+     */
+    std::uint64_t injectSeed = 0;
 };
 
 /** Aggregated outcome of one (workload, mode, options) cell. */
@@ -75,6 +90,9 @@ struct ExperimentResult
 
     /** Deterministic execution's trace (empty unless options.trace). */
     Tracer trace;
+
+    /** What the injector actually did (all zero when not injecting). */
+    InjectCounters injectCounters;
 
     /** Mean of the noisy breakdowns. */
     TimeBreakdown meanBreakdown() const;

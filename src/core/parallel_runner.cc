@@ -246,6 +246,10 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
         outcome.metrics.stolen = stolen;
         Clock::time_point start = Clock::now();
         try {
+            // A configuration that fatals (bad geometry, malformed
+            // inject plan, ...) or aborts an injected transfer fails
+            // only this point; siblings are untouched.
+            FatalThrowScope fatalGuard;
             if (!WorkloadRegistry::instance().find(point.workload))
                 throw std::runtime_error("unknown workload '" +
                                          point.workload + "'");

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "inject/injector.hh"
 #include "xfer/migration_engine.hh"
 
 namespace uvmasync
@@ -356,6 +357,11 @@ KernelExecutor::run(const KernelDescriptor &kd, Tick start)
     std::uint64_t faultsBefore = uvm ? cfg_.uvm->jobFaults() : 0;
 
     Tick launchDone = start + cfg_.gpu.kernelLaunchOverhead;
+    // Injected launch jitter: queueing noise between the driver call
+    // and the grid actually starting (contended scheduler, clock
+    // ramp); everything downstream shifts with launchDone.
+    if (cfg_.inject)
+        launchDone += cfg_.inject->launchJitter(start);
     std::uint64_t slots = static_cast<std::uint64_t>(d.activeSms) *
                           d.residentBlocks;
     slots = std::max<std::uint64_t>(

@@ -45,6 +45,7 @@
 namespace uvmasync
 {
 
+class Injector;
 class MigrationEngine;
 
 /** Execution-environment configuration for the kernel executor. */
@@ -89,6 +90,9 @@ struct KernelExecConfig
      */
     Tracer *tracer = nullptr;
     std::uint32_t traceLane = 0;
+
+    /** Optional fault injector: adds launch jitter when attached. */
+    Injector *inject = nullptr;
 };
 
 /** Outcome of one kernel launch. */

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "inject/injector.hh"
 
 namespace uvmasync
 {
@@ -47,6 +48,12 @@ HostMemory::placementFactor(Bytes footprint, Rng &rng)
     if (factor < 0.999)
         ++straddledRuns_;
     return factor;
+}
+
+double
+HostMemory::transferPathFactor(Tick now)
+{
+    return inject_ ? inject_->hostSlowFactor(now) : 1.0;
 }
 
 void

@@ -22,6 +22,8 @@
 namespace uvmasync
 {
 
+class Injector;
+
 /** Configuration of the host memory system (Table 1's 16x 64 GB). */
 struct HostMemoryConfig
 {
@@ -80,6 +82,20 @@ class HostMemory : public SimObject
     std::uint64_t straddledRuns() const { return straddledRuns_; }
     std::uint64_t sampledRuns() const { return sampledRuns_; }
 
+    /**
+     * Attach the fault injector (null detaches): transfers issued
+     * inside an injected slow-page window may hit a degraded DIMM.
+     */
+    void setInjector(Injector *inject) { inject_ = inject; }
+
+    /**
+     * Per-transfer host-path multiplier in (0, 1] at @p now — the
+     * transient (slow-page) counterpart of the per-run
+     * placementFactor(). 1.0 whenever no injector is attached, so
+     * the clean path is untouched.
+     */
+    double transferPathFactor(Tick now);
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
@@ -87,6 +103,7 @@ class HostMemory : public SimObject
     HostMemoryConfig cfg_;
     std::uint64_t straddledRuns_ = 0;
     std::uint64_t sampledRuns_ = 0;
+    Injector *inject_ = nullptr;
 };
 
 } // namespace uvmasync

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "gpu/kernel_executor.hh"
+#include "inject/injector.hh"
 
 namespace uvmasync
 {
@@ -15,6 +16,10 @@ Device::Device(SystemConfig cfg)
       engine_("uvm", cfg.uvm, pageTable_, devMem_, link_),
       allocator_("alloc", cfg.alloc)
 {
+    // The link consults host memory for slow-page windows on the
+    // host side of every transfer (a no-op until an injector with an
+    // active host seam is attached).
+    link_.setHostPath(&host_);
 }
 
 RunResult
@@ -36,8 +41,15 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
     // component lanes follow. Components are re-pointed every run
     // (including to null) so a stale sink can never dangle.
     Tracer *tr = opts.tracer;
+    // An inert injector detaches completely, so a zero-rate plan (or
+    // none) leaves lanes, draws and results byte-identical to an
+    // uninjected run.
+    Injector *inj = (opts.injector && opts.injector->enabled())
+                        ? opts.injector
+                        : nullptr;
     std::uint32_t laneKernel = 0, laneH2d = 0, laneD2h = 0;
     std::uint32_t laneFault = 0, lanePrefetch = 0, laneMigrate = 0;
+    std::uint32_t laneInject = 0, laneInjH2d = 0, laneInjD2h = 0;
     if (tr) {
         tr->lane("cpu");
         tr->lane("dma");
@@ -48,9 +60,21 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
         laneFault = tr->lane("uvm.fault");
         lanePrefetch = tr->lane("uvm.prefetch");
         laneMigrate = tr->lane("uvm.migrate");
+        if (inj) {
+            // Registered after the frozen base lanes so untraced and
+            // uninjected exports keep their lane ids and pids.
+            laneInject = tr->lane("inject");
+            laneInjH2d = tr->lane("inject.h2d");
+            laneInjD2h = tr->lane("inject.d2h");
+        }
     }
     link_.setTrace(tr, laneH2d, laneD2h);
     engine_.setTrace(tr, laneFault, lanePrefetch, laneMigrate);
+    if (inj)
+        inj->setTrace(tr, laneInject, laneInjH2d, laneInjD2h);
+    link_.setInjector(inj);
+    engine_.setInjector(inj);
+    host_.setInjector(inj);
 
     // ---- Reset the testbed for this job -------------------------
     link_.reset();
@@ -137,6 +161,7 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
     execCfg.seed = opts.seed;
     execCfg.tracer = tr;
     execCfg.traceLane = laneKernel;
+    execCfg.inject = inj;
     KernelExecutor executor(execCfg);
 
     Tick kernelTime = 0;

@@ -34,6 +34,8 @@
 namespace uvmasync
 {
 
+class Injector;
+
 /** Hardware counters aggregated over one job (Section 4.2 metrics). */
 struct RunCounters
 {
@@ -104,6 +106,13 @@ struct RunOptions
      * sink (owned by the caller); null runs untraced at zero cost.
      */
     Tracer *tracer = nullptr;
+
+    /**
+     * Fault injector for this run (owned by the caller); null — or an
+     * injector whose plan is inert — leaves every seam untouched and
+     * the run byte-identical to an uninjected one.
+     */
+    Injector *injector = nullptr;
 };
 
 /**

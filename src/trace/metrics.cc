@@ -121,7 +121,7 @@ computeTraceMetrics(const Tracer &trace)
 
     std::vector<std::vector<Interval>> laneSpans(trace.laneCount());
     std::vector<std::uint64_t> laneCounts(trace.laneCount(), 0);
-    std::vector<Interval> pcieSpans, kernelSpans;
+    std::vector<Interval> pcieSpans, kernelSpans, degradedSpans;
 
     for (const TraceEvent &ev : trace.events()) {
         if (!ev.isInstant()) {
@@ -154,6 +154,18 @@ computeTraceMetrics(const Tracer &trace)
             if (ev.name == TraceName::PhaseKernel && !ev.isInstant())
                 kernelSpans.push_back({ev.start, ev.end});
             break;
+          case TraceCategory::Inject:
+            ++m.injectEvents;
+            if (ev.name == TraceName::InjectRetry) {
+                ++m.injectRetries;
+                m.injectBackoffPs += ev.arg;
+            } else if (ev.name == TraceName::InjectAbort) {
+                ++m.injectAborts;
+            } else if (ev.name == TraceName::InjectDegraded) {
+                ++m.injectDegraded;
+                degradedSpans.push_back({ev.start, ev.end});
+            }
+            break;
           default:
             break;
         }
@@ -185,6 +197,12 @@ computeTraceMetrics(const Tracer &trace)
     if (m.prefetchIssued) {
         m.prefetchAccuracy = static_cast<double>(m.prefetchHits) /
                              static_cast<double>(m.prefetchIssued);
+    }
+    m.injectDegradedBusyPs = unionLength(degradedSpans);
+    if (m.pcieBusyPs) {
+        m.injectDegradedShare =
+            static_cast<double>(m.injectDegradedBusyPs) /
+            static_cast<double>(m.pcieBusyPs);
     }
     return m;
 }
@@ -220,6 +238,24 @@ writeTraceMetricsCsv(std::ostream &os, const TraceMetrics &m)
     csv.writeRow({"kernel_busy_ps", "", std::to_string(m.kernelBusyPs)});
     csv.writeRow({"overlap_ps", "", std::to_string(m.overlapPs)});
     csv.writeRow({"overlap_fraction", "", fixed6(m.overlapFraction)});
+    // Injection rows appear only when injection fired, so existing
+    // (uninjected) golden CSVs stay byte-identical.
+    if (m.injectEvents > 0) {
+        csv.writeRow({"inject_events", "",
+                      std::to_string(m.injectEvents)});
+        csv.writeRow({"inject_retries", "",
+                      std::to_string(m.injectRetries)});
+        csv.writeRow({"inject_aborts", "",
+                      std::to_string(m.injectAborts)});
+        csv.writeRow({"inject_backoff_ps", "",
+                      std::to_string(m.injectBackoffPs)});
+        csv.writeRow({"inject_degraded_transfers", "",
+                      std::to_string(m.injectDegraded)});
+        csv.writeRow({"inject_degraded_busy_ps", "",
+                      std::to_string(m.injectDegradedBusyPs)});
+        csv.writeRow({"inject_degraded_share", "",
+                      fixed6(m.injectDegradedShare)});
+    }
 }
 
 std::string
@@ -247,6 +283,22 @@ traceMetricsTable(const TraceMetrics &m)
     table.addRow({"kernel/pcie overlap",
                   fmtTime(static_cast<double>(m.overlapPs)),
                   fmtPercent(m.overlapFraction), ""});
+    if (m.injectEvents > 0) {
+        table.addSeparator();
+        table.addRow({"inject events",
+                      std::to_string(m.injectEvents), "", ""});
+        table.addRow({"inject retries/aborts",
+                      std::to_string(m.injectRetries) + " / " +
+                          std::to_string(m.injectAborts),
+                      "", ""});
+        table.addRow({"inject backoff",
+                      fmtTime(static_cast<double>(m.injectBackoffPs)),
+                      "", ""});
+        table.addRow({"inject degraded busy",
+                      fmtTime(static_cast<double>(
+                          m.injectDegradedBusyPs)),
+                      fmtPercent(m.injectDegradedShare), ""});
+    }
     return table.toString();
 }
 

@@ -68,6 +68,16 @@ struct TraceMetrics
     Tick kernelBusyPs = 0;
     Tick overlapPs = 0;
     double overlapFraction = 0; //!< overlapPs / kernelBusyPs
+
+    // Fault injection (all zero — and absent from the CSV/table —
+    // when the trace has no Inject events).
+    std::uint64_t injectEvents = 0;  //!< all Inject spans + instants
+    std::uint64_t injectRetries = 0; //!< transient-failure retries
+    std::uint64_t injectAborts = 0;  //!< retry budgets exhausted
+    Tick injectBackoffPs = 0;        //!< total retry backoff
+    std::uint64_t injectDegraded = 0; //!< transfers run degraded
+    Tick injectDegradedBusyPs = 0;    //!< union of degraded windows
+    double injectDegradedShare = 0;   //!< degraded / pcie busy
 };
 
 /** Fold @p trace into per-resource metrics. */

@@ -18,6 +18,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Prefetch: return "prefetch";
       case TraceCategory::Kernel: return "kernel";
       case TraceCategory::Phase: return "phase";
+      case TraceCategory::Inject: return "inject";
     }
     panic("unknown trace category %d", static_cast<int>(c));
 }
@@ -49,6 +50,18 @@ traceNameStr(TraceName n)
       case TraceName::PhaseKernel: return "kernel";
       case TraceName::PhaseTransferOut: return "transfer_out";
       case TraceName::PhaseFree: return "free";
+      case TraceName::InjectDegraded: return "inject_degraded";
+      case TraceName::InjectRetry: return "inject_retry";
+      case TraceName::InjectAbort: return "inject_abort";
+      case TraceName::InjectBatchDelay: return "inject_batch_delay";
+      case TraceName::InjectBatchOverflow:
+        return "inject_batch_overflow";
+      case TraceName::InjectBackpressure:
+        return "inject_backpressure";
+      case TraceName::InjectEvictStorm: return "inject_evict_storm";
+      case TraceName::InjectSlowPage: return "inject_slow_page";
+      case TraceName::InjectLaunchJitter:
+        return "inject_launch_jitter";
     }
     panic("unknown trace name %d", static_cast<int>(n));
 }

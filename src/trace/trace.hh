@@ -48,9 +48,10 @@ enum class TraceCategory : std::uint8_t
     Prefetch = 4,  //!< speculation issue / hit / waste
     Kernel = 5,    //!< tile pipeline detail inside a launch
     Phase = 6,     //!< job phases (the Timeline lanes)
+    Inject = 7,    //!< fault-injection perturbations
 };
 
-inline constexpr std::size_t numTraceCategories = 7;
+inline constexpr std::size_t numTraceCategories = 8;
 
 /** Stable category slug ("pcie", "fault", ...). */
 const char *traceCategoryName(TraceCategory c);
@@ -102,6 +103,16 @@ enum class TraceName : std::uint16_t
     PhaseKernel = 62,
     PhaseTransferOut = 63,
     PhaseFree = 64,
+    // Inject
+    InjectDegraded = 70,
+    InjectRetry = 71,
+    InjectAbort = 72,
+    InjectBatchDelay = 73,
+    InjectBatchOverflow = 74,
+    InjectBackpressure = 75,
+    InjectEvictStorm = 76,
+    InjectSlowPage = 77,
+    InjectLaunchJitter = 78,
 };
 
 /** Stable name slug ("fault_batch", "tile_compute", ...). */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "inject/injector.hh"
+
 namespace uvmasync
 {
 
@@ -16,14 +18,31 @@ FaultHandler::service(Tick now)
 {
     ++faults_;
 
+    // An injected fault-buffer overflow shrinks the effective batch
+    // capacity below the configured one, forcing early batch splits.
+    std::uint32_t maxBatch = cfg_.maxBatchSize;
+    if (inject_)
+        maxBatch = inject_->clampBatchSize(maxBatch);
+
     bool joins_batch = batches_ > 0 &&
                        now <= batchHeadTime_ + cfg_.batchWindow &&
-                       batchCount_ < cfg_.maxBatchSize;
+                       batchCount_ < maxBatch;
     if (!joins_batch) {
+        // This batch opens only because the injected capacity filled
+        // up — the configured handler would still have batched it.
+        bool overflowed = inject_ && batches_ > 0 &&
+                          now <= batchHeadTime_ + cfg_.batchWindow &&
+                          batchCount_ >= maxBatch &&
+                          maxBatch < cfg_.maxBatchSize;
         // Open a new batch headed by this fault; it cannot start
         // processing before the handler finished the previous batch.
         closeBatchTrace();
         batchHeadTime_ = std::max(now, handlerFreeAt_);
+        if (inject_) {
+            if (overflowed)
+                batchHeadTime_ += inject_->overflowPenalty(batchHeadTime_);
+            batchHeadTime_ += inject_->batchOpenDelay(batchHeadTime_);
+        }
         batchCount_ = 0;
         ++batches_;
     }

@@ -23,6 +23,8 @@
 namespace uvmasync
 {
 
+class Injector;
+
 /** Tunables of the fault servicing path. */
 struct FaultHandlerConfig
 {
@@ -83,6 +85,13 @@ class FaultHandler : public SimObject
     /** Emit the still-open batch's span, if any. */
     void flushTrace();
 
+    /**
+     * Attach the fault injector (null detaches): shrinks the
+     * effective fault-buffer capacity (batch overflow) and delays the
+     * servicing of newly opened batches.
+     */
+    void setInjector(Injector *inject) { inject_ = inject; }
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
@@ -101,6 +110,7 @@ class FaultHandler : public SimObject
 
     Tracer *tracer_ = nullptr;
     std::uint32_t traceLane_ = 0;
+    Injector *inject_ = nullptr;
 };
 
 } // namespace uvmasync

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "inject/injector.hh"
 
 namespace uvmasync
 {
@@ -27,12 +28,13 @@ MigrationEngine::beginJob()
         table_.range(r).reset();
     devMem_.clear();
     // Precise LRU bookkeeping only matters when the working set can
-    // oversubscribe the device.
+    // oversubscribe the device — or when injected eviction storms
+    // need victims to thrash regardless of occupancy.
     Bytes managed = 0;
     for (std::size_t r = 0; r < table_.rangeCount(); ++r)
         managed += table_.range(r).bytes();
-    devMem_.setLruTracking(managed >
-                           devMem_.capacity() * 9 / 10);
+    devMem_.setLruTracking(managed > devMem_.capacity() * 9 / 10 ||
+                           (inject_ && inject_->stormsEnabled()));
     faultHandler_.reset();
     prefetcher_->resetStats();
     rangeState_.clear();
@@ -61,6 +63,13 @@ MigrationEngine::flushTrace()
 }
 
 void
+MigrationEngine::setInjector(Injector *inject)
+{
+    inject_ = inject;
+    faultHandler_.setInjector(inject);
+}
+
+void
 MigrationEngine::syncRanges()
 {
     while (rangeState_.size() < table_.rangeCount()) {
@@ -74,45 +83,51 @@ MigrationEngine::syncRanges()
 }
 
 Tick
+MigrationEngine::evictOne(Tick freeAt)
+{
+    ResidentChunk victim = devMem_.evictVictim();
+    ManagedRange &range = table_.range(victim.rangeId);
+    RangeState &state = rangeState_[victim.rangeId];
+    if (range.dirty(victim.chunkIndex)) {
+        Occupancy occ = link_.transfer(freeAt, victim.bytes,
+                                       Direction::DeviceToHost,
+                                       TransferKind::Writeback);
+        jobTransferBusy_ += occ.duration();
+        table_.recordMigration(false, victim.bytes);
+        freeAt = std::max(freeAt, occ.end);
+        range.setDirty(victim.chunkIndex, false);
+    }
+    if (state.prefetched[victim.chunkIndex] &&
+        !state.demanded[victim.chunkIndex]) {
+        prefetcher_->onWastedPrefetch(victim.rangeId);
+        if (state.outstandingPrefetches > 0)
+            --state.outstandingPrefetches;
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Prefetch,
+                             TraceName::PrefetchWaste,
+                             prefetchLane_, freeAt,
+                             victim.rangeId);
+        }
+    }
+    if (tracer_) {
+        tracer_->instant(TraceCategory::Migration, TraceName::Evict,
+                         migrateLane_, freeAt, victim.bytes);
+    }
+    range.setState(victim.chunkIndex, ChunkState::HostOnly);
+    state.readyAt[victim.chunkIndex] = maxTick;
+    state.prefetched[victim.chunkIndex] = false;
+    UVMASYNC_ASSERT(state.residentChunks > 0,
+                    "resident chunk accounting underflow");
+    --state.residentChunks;
+    return freeAt;
+}
+
+Tick
 MigrationEngine::ensureCapacity(Bytes bytes, Tick now)
 {
     Tick freeAt = now;
-    while (!devMem_.fits(bytes)) {
-        ResidentChunk victim = devMem_.evictVictim();
-        ManagedRange &range = table_.range(victim.rangeId);
-        RangeState &state = rangeState_[victim.rangeId];
-        if (range.dirty(victim.chunkIndex)) {
-            Occupancy occ = link_.transfer(freeAt, victim.bytes,
-                                           Direction::DeviceToHost,
-                                           TransferKind::Writeback);
-            jobTransferBusy_ += occ.duration();
-            table_.recordMigration(false, victim.bytes);
-            freeAt = std::max(freeAt, occ.end);
-            range.setDirty(victim.chunkIndex, false);
-        }
-        if (state.prefetched[victim.chunkIndex] &&
-            !state.demanded[victim.chunkIndex]) {
-            prefetcher_->onWastedPrefetch(victim.rangeId);
-            if (state.outstandingPrefetches > 0)
-                --state.outstandingPrefetches;
-            if (tracer_) {
-                tracer_->instant(TraceCategory::Prefetch,
-                                 TraceName::PrefetchWaste,
-                                 prefetchLane_, freeAt,
-                                 victim.rangeId);
-            }
-        }
-        if (tracer_) {
-            tracer_->instant(TraceCategory::Migration, TraceName::Evict,
-                             migrateLane_, freeAt, victim.bytes);
-        }
-        range.setState(victim.chunkIndex, ChunkState::HostOnly);
-        state.readyAt[victim.chunkIndex] = maxTick;
-        state.prefetched[victim.chunkIndex] = false;
-        UVMASYNC_ASSERT(state.residentChunks > 0,
-                        "resident chunk accounting underflow");
-        --state.residentChunks;
-    }
+    while (!devMem_.fits(bytes))
+        freeAt = evictOne(freeAt);
     return freeAt;
 }
 
@@ -124,6 +139,29 @@ MigrationEngine::migrateChunk(std::size_t rangeId, std::uint64_t chunk,
     ManagedRange &range = table_.range(rangeId);
     RangeState &state = rangeState_[rangeId];
     Bytes bytes = range.chunkSize(chunk);
+
+    if (inject_) {
+        // Driver backpressure: the migration queue throttles this
+        // request before it reaches the link.
+        when += inject_->migrationBackpressure(when);
+        // Eviction storm: the driver thrashes resident chunks out
+        // first; their writebacks delay this migration, and the
+        // thrashed chunks must be re-migrated on their next touch.
+        std::uint32_t storm = inject_->drawEvictionStorm();
+        if (storm > 0) {
+            Tick stormFreeAt = when;
+            std::uint32_t evicted = 0;
+            while (evicted < storm && devMem_.lruTracking() &&
+                   devMem_.residentBytes() > 0) {
+                stormFreeAt = evictOne(stormFreeAt);
+                ++evicted;
+            }
+            if (evicted > 0) {
+                when = std::max(when, stormFreeAt);
+                inject_->noteEvictionStorm(when, evicted);
+            }
+        }
+    }
 
     Tick start = ensureCapacity(bytes, when);
     Occupancy occ = link_.transfer(start, bytes,

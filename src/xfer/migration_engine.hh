@@ -149,6 +149,14 @@ class MigrationEngine : public SimObject
     void flushTrace();
 
     /**
+     * Attach the fault injector (null detaches): driver backpressure
+     * stalls and eviction storms on migrations here, plus the
+     * fault-batch perturbations forwarded to the FaultHandler.
+     * Storms force LRU tracking on for the job (beginJob).
+     */
+    void setInjector(Injector *inject);
+
+    /**
      * Total link time consumed on behalf of this job so far
      * (demand + prefetch + writeback + wasted speculation).
      */
@@ -182,6 +190,9 @@ class MigrationEngine : public SimObject
     /** Make room for @p bytes, evicting (and writing back) LRU chunks. */
     Tick ensureCapacity(Bytes bytes, Tick now);
 
+    /** Evict one LRU victim (with dirty writeback) at @p freeAt. */
+    Tick evictOne(Tick freeAt);
+
     /** Issue one chunk migration on the link; updates all state. */
     Tick migrateChunk(std::size_t rangeId, std::uint64_t chunk, Tick when,
                       TransferKind kind, bool speculative);
@@ -202,6 +213,7 @@ class MigrationEngine : public SimObject
     std::uint32_t faultLane_ = 0;
     std::uint32_t prefetchLane_ = 0;
     std::uint32_t migrateLane_ = 0;
+    Injector *inject_ = nullptr;
 };
 
 } // namespace uvmasync

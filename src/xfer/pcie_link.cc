@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "inject/injector.hh"
+#include "mem/host_memory.hh"
 
 namespace uvmasync
 {
@@ -32,6 +34,18 @@ Occupancy
 PcieLink::transfer(Tick now, Bytes bytes, Direction dir,
                    TransferKind kind, double hostFactor)
 {
+    // Injected transient failures delay the issue tick (retry with
+    // exponential backoff) or throw TransferAborted when the budget
+    // runs out; rolled before anything else so the slow-page and
+    // degradation windows see the tick the transfer actually issues.
+    if (inject_) {
+        now = inject_->applyTransferFaults(now, bytes,
+                                           transferKindName(kind));
+    }
+    // Host-DIMM slow-page windows slow the host side of the path the
+    // same way DRAM placement effects do.
+    if (hostPath_)
+        hostFactor *= hostPath_->transferPathFactor(now);
     UVMASYNC_ASSERT(hostFactor > 0.0 && hostFactor <= 1.0,
                     "host factor %f out of (0, 1]", hostFactor);
     double eff = cfg_.efficiency[static_cast<std::size_t>(kind)];
@@ -42,6 +56,10 @@ PcieLink::transfer(Tick now, Bytes bytes, Direction dir,
     // bytes pushed through the raw-rate resource); the per-kind setup
     // latency is folded in as equivalent bytes.
     double scale = 1.0 / (eff * hostFactor);
+    // Link degradation/stutter windows: sampled at issue time, so a
+    // transfer keeps the mode the link was in when it queued.
+    double degrade = inject_ ? inject_->degradeFactor(now) : 1.0;
+    scale *= degrade;
     Tick latency =
         cfg_.perTransferLatency[static_cast<std::size_t>(kind)];
     double latencyBytes = static_cast<double>(latency) *
@@ -63,6 +81,8 @@ PcieLink::transfer(Tick now, Bytes bytes, Direction dir,
                       h2d ? h2dLane_ : d2hLane_, occ.start, occ.end,
                       bytes, occ.start - now);
     }
+    if (inject_ && degrade > 1.0)
+        inject_->noteDegradedTransfer(occ.start, occ.end, degrade, h2d);
     return occ;
 }
 

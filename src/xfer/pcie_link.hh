@@ -27,6 +27,9 @@
 namespace uvmasync
 {
 
+class HostMemory;
+class Injector;
+
 /** Transfer direction over the link. */
 enum class Direction
 {
@@ -129,6 +132,20 @@ class PcieLink : public SimObject
         d2hLane_ = d2hLane;
     }
 
+    /**
+     * Attach the fault injector (null detaches): transient failures
+     * with retry/backoff before the transfer issues, and bandwidth
+     * degradation/stutter windows while it runs. A transfer that
+     * exhausts its retry budget throws TransferAborted.
+     */
+    void setInjector(Injector *inject) { inject_ = inject; }
+
+    /**
+     * Attach the host-memory model so host-DIMM slow-page windows
+     * (injected or otherwise) scale the host path of every transfer.
+     */
+    void setHostPath(HostMemory *host) { hostPath_ = host; }
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
@@ -142,6 +159,8 @@ class PcieLink : public SimObject
     Tracer *tracer_ = nullptr;
     std::uint32_t h2dLane_ = 0;
     std::uint32_t d2hLane_ = 0;
+    Injector *inject_ = nullptr;
+    HostMemory *hostPath_ = nullptr;
 };
 
 } // namespace uvmasync

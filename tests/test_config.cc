@@ -1,12 +1,13 @@
 /**
  * @file
- * Tests for the key=value config store, the SystemConfig loader and
- * the declarative job loader.
+ * Tests for the key=value config store, the SystemConfig loader, the
+ * declarative job loader and the strict fault-injection plan loader.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/kv_config.hh"
+#include "inject/inject_plan.hh"
 #include "runtime/config_loader.hh"
 #include "runtime/device.hh"
 #include "workloads/job_loader.hh"
@@ -212,6 +213,66 @@ TEST(JobLoaderDeathTest, RejectsMalformedDescriptions)
             "[buffer.0]\nname = b\nmib = 1\n[kernel.0]\nname = k\n"
             "buffers = 0:sequential:x\n")),
         "read and/or write");
+}
+
+// --- Fault-injection plan loader -------------------------------------------
+
+TEST(InjectPlanLoader, WellFormedPlanLoads)
+{
+    InjectPlan plan = InjectPlan::fromKv(KvConfig::fromString(
+        "[inject.pcie]\n"
+        "degrade_factor = 4\n"
+        "window_start_us = 10\n"
+        "window_end_us = 50\n"));
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_DOUBLE_EQ(plan.pcie.degradeFactor, 4.0);
+}
+
+TEST(InjectPlanLoaderDeathTest, MalformedPlansFatalWithKeyAndLine)
+{
+    // Every malformed parameter is an actionable fatal naming the
+    // offending key — never a silent clamp. A window that ends
+    // before it starts:
+    EXPECT_DEATH(
+        InjectPlan::fromKv(
+            KvConfig::fromString("inject.pcie.window_start_us = 20\n"
+                                 "inject.pcie.window_end_us = 10\n")),
+        "injection plan key 'inject.pcie.window_end_us'.*not after "
+        "its start");
+    // A negative rate and a probability above 1:
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.host.slow_rate = -0.5\n")),
+        "injection plan key 'inject.host.slow_rate'.*outside \\[0, "
+        "1\\]");
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.pcie.fail_rate = 1.5\n")),
+        "injection plan key 'inject.pcie.fail_rate'.*outside \\[0, "
+        "1\\]");
+    // A degradation factor that would speed the link up:
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.pcie.degrade_factor = 0.25\n")),
+        "injection plan key 'inject.pcie.degrade_factor'.*must be "
+        ">= 1");
+    // Negative durations and counts:
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.kernel.jitter_us = -3\n")),
+        "injection plan key 'inject.kernel.jitter_us'.*must be >= 0");
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.migrate.storm_chunks = -1\n")),
+        "injection plan key 'inject.migrate.storm_chunks'.*must be "
+        ">= 0");
+    // Typo'd keys fatal with a did-you-mean instead of silently
+    // leaving the seam inert:
+    EXPECT_DEATH(
+        InjectPlan::fromKv(KvConfig::fromString(
+            "inject.pcie.degrade_facter = 4\n")),
+        "injection plan key 'inject.pcie.degrade_facter'.*did you "
+        "mean 'inject.pcie.degrade_factor'");
 }
 
 // --- Pinned host option ----------------------------------------------------

@@ -3,7 +3,9 @@
  * Tests for the parallel experiment engine: serial-vs-parallel
  * bit-identical results over a full mode x workload x trial grid,
  * error isolation (one failing point does not poison the batch),
- * and the empty-batch / jobs-greater-than-points edge cases.
+ * the empty-batch / jobs-greater-than-points edge cases, and the
+ * differential-determinism and failure-isolation guarantees of the
+ * fault-injection layer.
  */
 
 #include <gtest/gtest.h>
@@ -15,7 +17,9 @@
 #include <vector>
 
 #include "core/parallel_runner.hh"
+#include "inject/inject_plan.hh"
 #include "trace/chrome_export.hh"
+#include "trace/metrics.hh"
 #include "workloads/registry.hh"
 
 namespace uvmasync
@@ -246,6 +250,134 @@ TEST(ParallelRunner, TracedBatchExportIsByteIdenticalToSerial)
 
     ParallelRunner parallel(SystemConfig::a100Epyc(), 4);
     EXPECT_EQ(exported(parallel.run(points)), reference);
+}
+
+TEST(ParallelRunner, InjectedBatchIsByteIdenticalAcrossJobCounts)
+{
+    // Differential determinism of the fault-injection layer: with a
+    // plan firing on four different seams, a 4-worker batch must
+    // replay byte-identically to a serial one — fingerprints, merged
+    // Chrome export and per-point metrics CSVs all included. The
+    // injector's RNG streams derive from (injectSeed, point seed)
+    // only, never from scheduling.
+    ExperimentOptions base;
+    base.size = SizeClass::Tiny;
+    base.runs = 1;
+    base.baseSeed = 42;
+    base.trace = true;
+    base.injectSeed = 7;
+    base.inject = InjectPlan::fromKv(KvConfig::fromString(
+        "inject.pcie.degrade_factor = 3\n"
+        "inject.pcie.fail_rate = 0.1\n"
+        "inject.pcie.max_retries = 1000000\n"
+        "inject.pcie.backoff_base_us = 1\n"
+        "inject.host.slow_rate = 0.5\n"
+        "inject.host.slow_factor = 2\n"
+        "inject.kernel.jitter_rate = 0.5\n"
+        "inject.kernel.jitter_us = 2\n"));
+    std::vector<TransferMode> modes(allTransferModes.begin(),
+                                    allTransferModes.end());
+    std::vector<ExperimentPoint> points = ParallelRunner::expandGrid(
+        {"saxpy", "vector_seq"}, modes, 1, base);
+
+    auto artifacts = [](const std::vector<ExperimentResult> &results) {
+        std::ostringstream out;
+        std::vector<ChromeTraceJob> jobs;
+        jobs.reserve(results.size());
+        for (const ExperimentResult &res : results) {
+            jobs.push_back(ChromeTraceJob{
+                res.workload + "/" + transferModeName(res.mode),
+                &res.trace});
+        }
+        writeChromeTrace(out, jobs);
+        for (const ExperimentResult &res : results) {
+            writeTraceMetricsCsv(out, computeTraceMetrics(res.trace));
+            out << fingerprint(res) << "\n";
+        }
+        return out.str();
+    };
+
+    ParallelRunner serial(SystemConfig::a100Epyc(), 1);
+    std::vector<ExperimentResult> reference = serial.run(points);
+
+    // The plan must actually have perturbed something, or this test
+    // proves nothing.
+    std::uint64_t fired = 0;
+    for (const ExperimentResult &res : reference)
+        fired += res.injectCounters.totalEvents();
+    ASSERT_GT(fired, 0u);
+
+    ParallelRunner parallel(SystemConfig::a100Epyc(), 4);
+    EXPECT_EQ(artifacts(parallel.run(points)), artifacts(reference));
+}
+
+TEST(ParallelRunner, PoisonedConfigurationFailsOnlyItsPoint)
+{
+    // A configuration the linter rejects (a block bigger than the SM
+    // thread capacity) fatals inside the worker; the engine converts
+    // it to a structured per-point error and the sibling points come
+    // out bit-identical to a batch that never contained the poison.
+    ExperimentOptions good;
+    good.size = SizeClass::Small;
+    good.runs = 2;
+    ExperimentOptions poisoned = good;
+    poisoned.geometry.threadsPerBlock = 4096;
+
+    std::vector<ExperimentPoint> withPoison = {
+        {"vector_seq", TransferMode::Standard, good},
+        {"saxpy", TransferMode::Uvm, poisoned},
+        {"saxpy", TransferMode::Async, good},
+    };
+    std::vector<ExperimentPoint> clean = {
+        {"vector_seq", TransferMode::Standard, good},
+        {"saxpy", TransferMode::Async, good},
+    };
+
+    ParallelRunner runner(SystemConfig::a100Epyc(), 2);
+    BatchResult batch = runner.runPoints(withPoison);
+    ASSERT_EQ(batch.points.size(), 3u);
+    EXPECT_TRUE(batch.points[0].ok);
+    ASSERT_FALSE(batch.points[1].ok);
+    EXPECT_NE(batch.points[1].error.find("lint"), std::string::npos)
+        << batch.points[1].error;
+    EXPECT_TRUE(batch.points[2].ok);
+
+    std::vector<ExperimentResult> reference = runner.run(clean);
+    EXPECT_EQ(fingerprint(batch.points[0].result),
+              fingerprint(reference[0]));
+    EXPECT_EQ(fingerprint(batch.points[2].result),
+              fingerprint(reference[1]));
+}
+
+TEST(ParallelRunner, InjectedAbortIsAStructuredPerPointError)
+{
+    // A transfer that exhausts its injected retry budget fails its
+    // job with TransferAborted; the batch survives and reports the
+    // abort verbatim.
+    ExperimentOptions good;
+    good.size = SizeClass::Small;
+    good.runs = 1;
+    ExperimentOptions doomed = good;
+    doomed.inject = InjectPlan::fromKv(KvConfig::fromString(
+        "inject.pcie.fail_rate = 1\n"
+        "inject.pcie.max_retries = 2\n"
+        "inject.pcie.backoff_base_us = 1\n"));
+
+    std::vector<ExperimentPoint> points = {
+        {"vector_seq", TransferMode::Standard, good},
+        {"vector_seq", TransferMode::Standard, doomed},
+        {"saxpy", TransferMode::Uvm, good},
+    };
+    ParallelRunner runner(SystemConfig::a100Epyc(), 2);
+    BatchResult batch = runner.runPoints(points);
+    ASSERT_EQ(batch.points.size(), 3u);
+    EXPECT_TRUE(batch.points[0].ok);
+    ASSERT_FALSE(batch.points[1].ok);
+    EXPECT_NE(batch.points[1].error.find("after 2 retries"),
+              std::string::npos)
+        << batch.points[1].error;
+    EXPECT_TRUE(batch.points[2].ok);
+    EXPECT_FALSE(batch.allOk());
 }
 
 TEST(ParallelRunner, GlobalJobsOverrideAndRestore)

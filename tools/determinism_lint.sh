@@ -14,6 +14,9 @@
 #     measurement code (parallel_runner.cc wall-time metrics)
 #   - range-for over unordered_map/unordered_set in files that write
 #     CSV or report output (iteration order leaks into artifacts)
+#   - default- or literal-seeded Rng construction in src/inject: every
+#     injector stream must be derived from the plan salt, or injected
+#     runs stop replaying identically across --jobs counts
 #
 # Exit 0 when clean, 1 with findings. Run from anywhere.
 
@@ -55,6 +58,20 @@ hits=$(grep -rnE 'steady_clock' \
 if [ -n "$hits" ]; then
     note "determinism lint: steady_clock outside the allowlist" \
          "($ALLOW_STEADY):"
+    note "$hits"
+    fail=1
+fi
+
+# --- fault injection: salt-derived RNG streams only -----------------
+# The injection layer's whole replay guarantee rests on every stream
+# being a pure function of the plan salt (Injector::streamRng). A
+# default-constructed or literal-seeded Rng in src/inject would pass
+# every functional test and still break --jobs replay identity.
+hits=$(grep -rnE 'Rng\s*\(\s*\)|Rng\{\s*\}|Rng\s*\(\s*[0-9]' \
+    src/inject --include='*.cc' --include='*.hh' || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: src/inject RNG stream not derived from" \
+         "the plan salt (use Injector::streamRng):"
     note "$hits"
     fail=1
 fi

@@ -9,11 +9,15 @@
  *   uvmasync run --workload NAME [--size CLASS] [--mode MODE|all]
  *                [--runs N] [--blocks N] [--threads N]
  *                [--carveout KIB] [--seed N] [--csv] [--jobs N]
+ *                [--inject PLAN.kv] [--inject-seed N]
  *       Run one experiment cell (or all five modes) and print the
  *       breakdown and counters, as a table or as CSV. Multi-mode
  *       runs and sweeps fan out over --jobs worker threads
  *       (default: UVMASYNC_JOBS, then hardware concurrency) with
- *       byte-identical output at any job count.
+ *       byte-identical output at any job count. --inject perturbs
+ *       the run with a deterministic fault-injection plan; a point
+ *       whose transfers exhaust their retry budget fails with a
+ *       structured error while sibling points run to completion.
  *
  *   uvmasync sweep --kind blocks|threads|sharedmem
  *                  [--workload NAME] [--size CLASS] [--csv]
@@ -31,7 +35,10 @@
 
 #include "analysis/lint.hh"
 #include "common/csv.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "inject/inject_plan.hh"
+#include "inject/injector.hh"
 #include "core/experiment.hh"
 #include "core/parallel_runner.hh"
 #include "core/report.hh"
@@ -108,6 +115,33 @@ applyJobsFlag(const Args &args)
     }
     setGlobalJobs(static_cast<unsigned>(jobs));
     return true;
+}
+
+/**
+ * Load --inject PLAN.kv and --inject-seed N. The plan is linted
+ * before parsing so every problem is reported at once (fromKv alone
+ * stops at the first); non-error findings — notably the UAL017
+ * inert-plan note — print to stderr but do not block the run.
+ */
+void
+loadInjectFlags(const Args &args, InjectPlan &plan,
+                std::uint64_t &seed)
+{
+    if (args.has("inject-seed")) {
+        seed = std::strtoull(args.get("inject-seed").c_str(),
+                             nullptr, 10);
+    }
+    if (!args.has("inject"))
+        return;
+    KvConfig kv = KvConfig::fromFile(args.get("inject"));
+    DiagnosticEngine diags = lintInjectPlan(kv);
+    if (!diags.empty())
+        std::cerr << diags.formatAll();
+    if (diags.hasErrors()) {
+        fatal("invalid injection plan '%s' (%s)",
+              args.get("inject").c_str(), diags.summary().c_str());
+    }
+    plan = InjectPlan::fromKv(kv);
 }
 
 /** --lint off|warn|enforce (default enforce); --no-lint = off. */
@@ -225,26 +259,46 @@ cmdRunJobFile(const Args &args)
     RunOptions runOpts;
     runOpts.pinnedHost = args.has("pinned");
 
+    InjectPlan injectPlan;
+    std::uint64_t injectSeed = 0;
+    loadInjectFlags(args, injectPlan, injectSeed);
+    if (!injectSeed)
+        injectSeed = injectPlan.seed;
+
     std::string tracePath = args.get("trace");
     bool wantMetrics = args.has("metrics");
     bool traced = !tracePath.empty() || wantMetrics;
     std::vector<Tracer> traces;
     traces.reserve(allTransferModes.size());
 
+    bool anyFailed = false;
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
                      "overall", "faults"});
     for (TransferMode mode : allTransferModes) {
         Tracer tracer;
         runOpts.tracer = traced ? &tracer : nullptr;
-        RunResult run = device.run(job, mode, runOpts);
+        // A fresh injector per mode: every mode sees the same
+        // deterministic perturbation schedule from the same streams.
+        Injector injector(injectPlan, injectSalt(injectSeed, 0));
+        runOpts.injector = &injector;
+        try {
+            RunResult run = device.run(job, mode, runOpts);
+            table.addRow({transferModeName(mode),
+                          fmtTime(run.breakdown.kernelPs),
+                          fmtTime(run.breakdown.transferPs),
+                          fmtTime(run.breakdown.allocPs),
+                          fmtTime(run.breakdown.overallPs()),
+                          fmtCount(static_cast<double>(
+                              run.counters.faults))});
+        } catch (const TransferAborted &e) {
+            anyFailed = true;
+            table.addRow({transferModeName(mode), "-", "-", "-",
+                          "failed", "-"});
+            std::fprintf(stderr, "%s under %s failed: %s\n",
+                         job.name.c_str(), transferModeName(mode),
+                         e.what());
+        }
         traces.push_back(std::move(tracer));
-        table.addRow({transferModeName(mode),
-                      fmtTime(run.breakdown.kernelPs),
-                      fmtTime(run.breakdown.transferPs),
-                      fmtTime(run.breakdown.allocPs),
-                      fmtTime(run.breakdown.overallPs()),
-                      fmtCount(static_cast<double>(
-                          run.counters.faults))});
     }
     std::cout << job.name << " ("
               << fmtBytes(static_cast<double>(job.footprint()))
@@ -273,7 +327,7 @@ cmdRunJobFile(const Args &args)
                              computeTraceMetrics(traces[i]));
         }
     }
-    return 0;
+    return anyFailed ? 1 : 0;
 }
 
 int
@@ -309,6 +363,7 @@ cmdRun(const Args &args)
         kib(std::stoull(args.get("carveout", "0")));
     if (!parseLintFlag(args, opts.lint))
         return 1;
+    loadInjectFlags(args, opts.inject, opts.injectSeed);
     std::string tracePath = args.get("trace");
     bool wantMetrics = args.has("metrics");
     opts.trace = !tracePath.empty() || wantMetrics;
@@ -338,7 +393,25 @@ cmdRun(const Args &args)
     for (TransferMode m : modes)
         points.push_back(ExperimentPoint{workload, m, opts});
     ParallelRunner runner(system);
-    std::vector<ExperimentResult> results = runner.run(points);
+    BatchResult batch = runner.runPoints(points);
+
+    // Failed points (a poisoned configuration, an injected transfer
+    // that exhausted its retries) are reported individually; the
+    // surviving points still print and export normally.
+    bool anyFailed = false;
+    std::vector<ExperimentResult> results;
+    results.reserve(batch.points.size());
+    for (std::size_t i = 0; i < batch.points.size(); ++i) {
+        if (batch.points[i].ok) {
+            results.push_back(std::move(batch.points[i].result));
+            continue;
+        }
+        anyFailed = true;
+        std::fprintf(stderr, "%s/%s failed: %s\n",
+                     points[i].workload.c_str(),
+                     transferModeName(points[i].mode),
+                     batch.points[i].error.c_str());
+    }
 
     if (!tracePath.empty()) {
         std::vector<ChromeTraceJob> jobs;
@@ -365,7 +438,7 @@ cmdRun(const Args &args)
                                      computeTraceMetrics(res.trace));
             }
         }
-        return 0;
+        return anyFailed ? 1 : 0;
     }
 
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
@@ -389,7 +462,7 @@ cmdRun(const Args &args)
         printTable(std::cout, "per-resource trace metrics",
                    traceUtilizationTable({results}));
     }
-    return 0;
+    return anyFailed ? 1 : 0;
 }
 
 int
@@ -607,6 +680,7 @@ usage()
         "[--seed N] [--config FILE] [--csv] [--jobs N]\n"
         "               [--lint off|warn|enforce] [--no-lint]\n"
         "               [--trace FILE.json] [--metrics]\n"
+        "               [--inject PLAN.kv] [--inject-seed N]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
         "[--workload NAME] [--size CLASS] [--csv] [--jobs N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "

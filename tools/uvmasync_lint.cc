@@ -11,6 +11,11 @@
  *   uvmasync-lint --config FILE
  *       Lint one model.
  *
+ *   uvmasync-lint --inject FILE
+ *       Lint a fault-injection plan (inject.* keys): malformed
+ *       parameters (UAL016), unknown/shadowed keys (UAL013/014) and
+ *       plans that cannot perturb anything (UAL017).
+ *
  *   uvmasync-lint --list-codes / --list-passes
  *       Document the UAL diagnostic codes / analysis passes.
  *
@@ -47,6 +52,7 @@ struct Options
     std::string workload;
     std::string jobfile;
     std::string configFile;
+    std::string injectFile;
     bool configOnly = false;
     std::string size = "super";
     bool listCodes = false;
@@ -76,6 +82,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.jobfile = value("--jobfile");
         else if (arg == "--config")
             opt.configFile = value("--config");
+        else if (arg == "--inject")
+            opt.injectFile = value("--inject");
         else if (arg == "--size")
             opt.size = value("--size");
         else if (arg == "--list-codes")
@@ -188,11 +196,12 @@ main(int argc, char **argv)
     if (opt.listPasses)
         return listPasses();
     if (!opt.allWorkloads && opt.workload.empty() &&
-        opt.jobfile.empty() && opt.configFile.empty()) {
+        opt.jobfile.empty() && opt.configFile.empty() &&
+        opt.injectFile.empty()) {
         std::fprintf(
             stderr,
             "usage: uvmasync-lint --all-workloads | --workload NAME "
-            "| --jobfile FILE | --config FILE\n"
+            "| --jobfile FILE | --config FILE | --inject FILE\n"
             "                     [--size CLASS|all] [--config FILE] "
             "[--pass NAME[,NAME]] [--Werror] [--quiet]\n"
             "                     [--list-codes] [--list-passes]\n");
@@ -221,6 +230,11 @@ main(int argc, char **argv)
     if (opt.configOnly) {
         errors += emit(
             lintSystemConfig(system, systemKvPtr, opt.lint), opt);
+    }
+
+    if (!opt.injectFile.empty()) {
+        KvConfig injectKv = KvConfig::fromFile(opt.injectFile);
+        errors += emit(lintInjectPlan(injectKv, opt.lint), opt);
     }
 
     if (!opt.jobfile.empty()) {
