@@ -2,10 +2,12 @@
 # CI gate: tier-1 verify (full build + ctest), the static model
 # linter over the whole workload registry, the source-level
 # determinism lint, a trace-export smoke run, a chaos stage (the
-# fault-injection suite plus an injected smoke run), a
-# ThreadSanitizer pass over the parallel experiment engine, the
-# tracer suite and the injection suite, and an ASan+UBSan build of
-# the full test suite (which includes the injection suite).
+# fault-injection suite plus an injected smoke run), a resume stage
+# (journal byte-determinism across job counts, kill-and-resume CSV
+# identity, watchdog quarantine), a ThreadSanitizer pass over the
+# parallel experiment engine, the tracer suite and the injection
+# suite, and an ASan+UBSan build of the full test suite (which
+# includes the injection suite).
 #
 #   scripts/check.sh             # all stages
 #   scripts/check.sh --no-tsan   # skip the TSan stage
@@ -64,6 +66,36 @@ if [ "$run_chaos" = 1 ]; then
     grep -q '"cat": "inject"' "$trace_out/inject.json"
     ! grep -q 'inject' "$trace_out/trace.json"
 fi
+
+echo "== resume: crash-safe journal + watchdog quarantine =="
+# Journal and merged CSV are byte-deterministic across job counts.
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 1 --journal "$trace_out/j1.jsonl" \
+    --out "$trace_out/ref.csv" > /dev/null
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 4 --journal "$trace_out/j4.jsonl" \
+    --out "$trace_out/par.csv" > /dev/null
+cmp "$trace_out/j1.jsonl" "$trace_out/j4.jsonl"
+cmp "$trace_out/ref.csv" "$trace_out/par.csv"
+# Kill at a record boundary (keep the header + 2 records) and resume
+# at --jobs 4: the completed journal and the merged CSV must be
+# byte-identical to the uninterrupted serial run.
+head -n 3 "$trace_out/j1.jsonl" > "$trace_out/partial.jsonl"
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 4 --resume "$trace_out/partial.jsonl" \
+    --out "$trace_out/res.csv" > /dev/null
+cmp "$trace_out/partial.jsonl" "$trace_out/j1.jsonl"
+cmp "$trace_out/res.csv" "$trace_out/ref.csv"
+# A watchdog-tripped run retries, quarantines, reports the damage on
+# stderr, and exits non-zero instead of wedging the whole batch.
+if ./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 4 --watchdog-max-events 1 --retries 1 \
+    > /dev/null 2> "$trace_out/wd.log"; then
+    echo "resume: watchdog-tripped run unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q 'DEGRADED RUN' "$trace_out/wd.log"
+grep -q 'quarantined' "$trace_out/wd.log"
 
 if [ "$run_tsan" = 1 ]; then
     echo "== TSan: parallel engine + tracer + injection suite =="

@@ -94,6 +94,11 @@ constexpr std::array<DiagSpec, diagIdCount> specs = {{
      "fault-injection plan is valid but perturbs nothing",
      "every rate is 0 and every factor is 1; raise at least one "
      "inject.* knob, or drop --inject for a clean run"},
+    {DiagId::EventVolumeOverCeiling, "UAL018", Severity::Note,
+     "estimated event volume exceeds the default watchdog ceiling",
+     "the run would be killed as a runaway before it finishes; "
+     "raise watchdog.max_events (or shrink the job) if the volume "
+     "is intentional"},
 }};
 
 } // namespace

@@ -52,9 +52,10 @@ enum class DiagId
     BadSystemParam,        //!< UAL015
     BadInjectParam,        //!< UAL016
     InertInjectPlan,       //!< UAL017
+    EventVolumeOverCeiling, //!< UAL018
 };
 
-inline constexpr std::size_t diagIdCount = 17;
+inline constexpr std::size_t diagIdCount = 18;
 
 /** Static description of one diagnostic code. */
 struct DiagSpec

@@ -573,6 +573,58 @@ class PatternConsistencyPass : public AnalysisPass
     }
 };
 
+// --- event-volume: UAL018 runaway-run pre-estimate -------------------
+
+class EventVolumePass : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "event-volume"; }
+    const char *
+    description() const override
+    {
+        return "estimated simulation event volume vs the watchdog "
+               "ceiling (UAL018)";
+    }
+
+    void
+    run(const LintContext &ctx, DiagnosticEngine &diags) const override
+    {
+        if (!ctx.job || !ctx.system)
+            return;
+        const Job &job = *ctx.job;
+        Bytes chunkBytes = ctx.system->uvm.chunkBytes;
+        if (chunkBytes == 0 || job.footprint() == 0)
+            return;
+
+        // Worst-case UVM fault volume: every chunk of the footprint
+        // faults once per sequence repeat (thrash re-faults resident
+        // data on each pass). This is the dominant event producer —
+        // explicit copies are O(buffers), not O(chunks).
+        std::uint64_t chunks =
+            (job.footprint() + chunkBytes - 1) / chunkBytes;
+        std::uint64_t repeats =
+            job.sequenceRepeats ? job.sequenceRepeats : 1;
+        std::uint64_t estimate = chunks * repeats;
+
+        std::uint64_t ceiling = ctx.system->watchdog.maxEvents
+                                    ? ctx.system->watchdog.maxEvents
+                                    : defaultWatchdogMaxEvents;
+        if (estimate <= ceiling)
+            return;
+        std::string subj = ctx.subject.empty() ? "job" : ctx.subject;
+        diags.report(
+            DiagId::EventVolumeOverCeiling, subj,
+            "estimated event volume " + std::to_string(estimate) +
+                " (" + std::to_string(chunks) + " chunks x " +
+                std::to_string(repeats) +
+                " repeats) exceeds the watchdog ceiling " +
+                std::to_string(ceiling) +
+                "; the watchdog would kill the run as a runaway — "
+                "raise watchdog.max_events if this volume is "
+                "intentional");
+    }
+};
+
 // --- kv-keys: UAL013/UAL014 over the model's KV sources --------------
 
 class KvKeysPass : public AnalysisPass
@@ -640,6 +692,7 @@ PassManager::standardPipeline()
     pm.add(std::make_unique<KernelGraphPass>());
     pm.add(std::make_unique<ResourceLimitsPass>());
     pm.add(std::make_unique<PatternConsistencyPass>());
+    pm.add(std::make_unique<EventVolumePass>());
     return pm;
 }
 

@@ -113,7 +113,33 @@ Experiment::runAllModes(const std::string &workloadName,
     for (TransferMode mode : allTransferModes)
         points.push_back(ExperimentPoint{workloadName, mode, opts});
     ParallelRunner runner(system_);
-    return runner.run(points);
+    BatchResult batch = runner.runPoints(points);
+
+    // A failed mode degrades the set instead of killing it: its cell
+    // keeps a zeroed placeholder and the caller sees a banner.
+    if (batch.degraded()) {
+        warn("DEGRADED RUN: %zu of %zu modes of '%s' quarantined; "
+             "their cells hold zeroed placeholder results",
+             batch.quarantined(), points.size(),
+             workloadName.c_str());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const PointOutcome &out = batch.points[i];
+            if (!out.ok)
+                warn("  %s/%s %s after %u attempt(s): %s",
+                     points[i].workload.c_str(),
+                     transferModeName(points[i].mode),
+                     pointStatusName(out.status), out.attempts,
+                     out.error.c_str());
+        }
+    }
+    std::vector<ExperimentResult> results;
+    results.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointOutcome &out = batch.points[i];
+        results.push_back(out.ok ? out.result
+                                 : quarantinedPlaceholder(points[i]));
+    }
+    return results;
 }
 
 } // namespace uvmasync

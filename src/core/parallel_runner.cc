@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "inject/injector.hh"
+#include "sim/event_queue.hh"
 #include "workloads/registry.hh"
 
 namespace uvmasync
@@ -142,6 +144,19 @@ setGlobalJobs(unsigned jobs)
     gGlobalJobs.store(jobs, std::memory_order_relaxed);
 }
 
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok: return "ok";
+      case PointStatus::Aborted: return "aborted";
+      case PointStatus::Timeout: return "timeout";
+      case PointStatus::Failed: return "failed";
+      case PointStatus::Quarantined: return "quarantined";
+    }
+    panic("unknown point status %d", static_cast<int>(status));
+}
+
 bool
 BatchResult::allOk() const
 {
@@ -150,6 +165,25 @@ BatchResult::allOk() const
             return false;
     }
     return true;
+}
+
+std::size_t
+BatchResult::quarantined() const
+{
+    std::size_t n = 0;
+    for (const PointOutcome &point : points)
+        n += point.ok ? 0 : 1;
+    return n;
+}
+
+ExperimentResult
+quarantinedPlaceholder(const ExperimentPoint &point)
+{
+    ExperimentResult res;
+    res.workload = point.workload;
+    res.mode = point.mode;
+    res.size = point.opts.size;
+    return res;
 }
 
 std::vector<ExperimentResult>
@@ -217,6 +251,13 @@ ParallelRunner::expandGrid(const std::vector<std::string> &workloads,
 BatchResult
 ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
 {
+    return runPoints(points, RunPolicy{});
+}
+
+BatchResult
+ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
+                          const RunPolicy &policy)
+{
     BatchResult batch;
     batch.points.resize(points.size());
     batch.metrics.points = points.size();
@@ -225,9 +266,50 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
         return batch;
     }
 
-    // Never spin up more workers than there are points.
-    unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, points.size()));
+    // Restore journaled outcomes up front (before any worker spawns)
+    // so the queues only ever hold live points.
+    std::vector<char> live(points.size(), 1);
+    if (policy.journal) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (policy.journal->restore(i, batch.points[i])) {
+                batch.points[i].restored = true;
+                live[i] = 0;
+                ++batch.metrics.restored;
+            }
+        }
+    }
+
+    // Submission-order journal merge: a point's terminal record is
+    // appended only once every earlier point has completed, so the
+    // journal is byte-deterministic at any job count AND every
+    // record on disk is a durable prefix of the batch — a crash
+    // loses at most the in-flight suffix.
+    std::mutex commitMutex;
+    std::size_t frontier = 0;
+    std::vector<char> done(points.size(), 0);
+    auto completePoint = [&](std::size_t index) {
+        if (!policy.journal)
+            return;
+        std::lock_guard<std::mutex> lock(commitMutex);
+        done[index] = 1;
+        while (frontier < points.size() && done[frontier]) {
+            PointOutcome &out = batch.points[frontier];
+            if (!out.restored)
+                policy.journal->commit(frontier, out);
+            ++frontier;
+        }
+    };
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!live[i])
+            completePoint(i);
+    }
+
+    // Never spin up more workers than there are live points.
+    std::size_t liveCount = 0;
+    for (char flag : live)
+        liveCount += flag ? 1 : 0;
+    unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, std::max<std::size_t>(liveCount, 1)));
     batch.metrics.jobs = workers;
 
     Clock::time_point submit = Clock::now();
@@ -245,33 +327,69 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
         outcome.metrics.worker = worker;
         outcome.metrics.stolen = stolen;
         Clock::time_point start = Clock::now();
-        try {
-            // A configuration that fatals (bad geometry, malformed
-            // inject plan, ...) or aborts an injected transfer fails
-            // only this point; siblings are untouched.
-            FatalThrowScope fatalGuard;
-            if (!WorkloadRegistry::instance().find(point.workload))
-                throw std::runtime_error("unknown workload '" +
-                                         point.workload + "'");
-            outcome.result =
-                experiment.run(point.workload, point.mode, point.opts);
-            outcome.ok = true;
-        } catch (const std::exception &e) {
-            outcome.error = e.what();
-        } catch (...) {
-            outcome.error = "unknown error";
+        // Retries reuse the point's own seed: a deterministic
+        // failure (poisoned config, doomed inject plan, watchdog
+        // trip) fails identically every time and ends quarantined;
+        // only host-side transients are actually saved.
+        std::uint32_t maxAttempts = 1 + policy.retries;
+        for (std::uint32_t attempt = 1; attempt <= maxAttempts;
+             ++attempt) {
+            outcome.attempts = attempt;
+            try {
+                // A configuration that fatals (bad geometry,
+                // malformed inject plan, ...), aborts an injected
+                // transfer or trips a watchdog ceiling fails only
+                // this point; siblings are untouched.
+                FatalThrowScope fatalGuard;
+                if (!WorkloadRegistry::instance().find(point.workload))
+                    throw std::runtime_error("unknown workload '" +
+                                             point.workload + "'");
+                outcome.result = experiment.run(point.workload,
+                                                point.mode,
+                                                point.opts);
+                outcome.ok = true;
+                outcome.status = PointStatus::Ok;
+                outcome.error.clear();
+                break;
+            } catch (const PointTimeout &e) {
+                outcome.status = PointStatus::Timeout;
+                outcome.error = e.what();
+            } catch (const TransferAborted &e) {
+                outcome.status = PointStatus::Aborted;
+                outcome.error = e.what();
+            } catch (const std::exception &e) {
+                outcome.status = PointStatus::Failed;
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.status = PointStatus::Failed;
+                outcome.error = "unknown error";
+            }
+            outcome.attemptTrail.push_back(
+                PointAttempt{outcome.status, outcome.error});
         }
+        if (!outcome.ok)
+            outcome.status = PointStatus::Quarantined;
         outcome.metrics.wallMs = msSince(start);
     };
 
     if (workers <= 1) {
         Experiment experiment(system_);
-        for (std::size_t i = 0; i < points.size(); ++i)
-            runPoint(experiment, points[i], batch.points[i], 0, false);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!live[i])
+                continue;
+            runPoint(experiment, points[i], batch.points[i], 0,
+                     false);
+            completePoint(i);
+        }
     } else {
         StealingQueues queues(workers);
-        for (std::size_t i = 0; i < points.size(); ++i)
-            queues.push(static_cast<unsigned>(i % workers), i);
+        unsigned nextQueue = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!live[i])
+                continue;
+            queues.push(nextQueue, i);
+            nextQueue = (nextQueue + 1) % workers;
+        }
 
         auto workerLoop = [&](unsigned worker) {
             Experiment experiment(system_);
@@ -286,6 +404,7 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points)
                 }
                 runPoint(experiment, points[index],
                          batch.points[index], worker, stolen);
+                completePoint(index);
             }
         };
 

@@ -45,13 +45,84 @@ struct PointMetrics
     bool stolen = false;      //!< ran on a worker it was not queued on
 };
 
+/** Terminal (or per-attempt) classification of a point. */
+enum class PointStatus
+{
+    Ok,          //!< produced a result
+    Aborted,     //!< TransferAborted (injected retry budget)
+    Timeout,     //!< PointTimeout (watchdog ceiling)
+    Failed,      //!< any other captured error
+    Quarantined, //!< still failing after the retry budget
+};
+
+/** Stable status slug ("ok", "aborted", "timeout", ...). */
+const char *pointStatusName(PointStatus status);
+
+/** One failed attempt of a point (the quarantine trail). */
+struct PointAttempt
+{
+    PointStatus status = PointStatus::Failed;
+    std::string error;
+};
+
 /** Outcome of one point: a result or a captured error. */
 struct PointOutcome
 {
     bool ok = false;
+    PointStatus status = PointStatus::Failed;
     std::string error; //!< what() of the captured exception, if !ok
+
+    /** Attempts consumed (1 on first-try success). */
+    std::uint32_t attempts = 0;
+
+    /** Skipped because a resume journal already had the result. */
+    bool restored = false;
+
+    /** Every failed attempt, in order (empty on first-try success). */
+    std::vector<PointAttempt> attemptTrail;
+
     ExperimentResult result;
     PointMetrics metrics;
+};
+
+class PointJournal;
+
+/** Retry/quarantine policy of a batch. */
+struct RunPolicy
+{
+    /**
+     * Re-runs granted to a failed point, always with the point's own
+     * seed — a deterministic failure fails identically, so retries
+     * only save points hit by host-side transients (and never change
+     * what a successful point computes).
+     */
+    std::uint32_t retries = 1;
+
+    /** Write-ahead journal for checkpoint/resume; null = none. */
+    PointJournal *journal = nullptr;
+};
+
+/**
+ * Write-ahead log of per-point outcomes. The engine calls commit()
+ * in submission order (never concurrently), so an implementation can
+ * append records to a file and the file stays byte-deterministic at
+ * any job count. Implemented by journal/journal.hh's RunJournal; the
+ * interface lives here so core does not depend on the journal
+ * library.
+ */
+class PointJournal
+{
+  public:
+    virtual ~PointJournal() = default;
+
+    /**
+     * Restore the completed outcome of point @p index from a prior
+     * run; returns false when the point must (re)run.
+     */
+    virtual bool restore(std::size_t index, PointOutcome &out) = 0;
+
+    /** Record the terminal outcome of point @p index. */
+    virtual void commit(std::size_t index, PointOutcome &out) = 0;
 };
 
 /** Host-side metrics of one batch. */
@@ -63,6 +134,7 @@ struct BatchMetrics
     unsigned jobs = 1;         //!< worker count used
     std::size_t points = 0;    //!< points submitted
     std::size_t steals = 0;    //!< cross-worker steals
+    std::size_t restored = 0;  //!< points skipped via --resume
 };
 
 /** Batch outcome, point outcomes in submission order. */
@@ -73,6 +145,12 @@ struct BatchResult
 
     /** True when every point produced a result. */
     bool allOk() const;
+
+    /** Points that exhausted their retry budget. */
+    std::size_t quarantined() const;
+
+    /** True when any point was quarantined (partial results). */
+    bool degraded() const { return quarantined() > 0; }
 
     /**
      * Results in submission order; throws std::runtime_error naming
@@ -102,6 +180,17 @@ class ParallelRunner
 
     /** Run a batch; per-point errors are captured, never thrown. */
     BatchResult runPoints(const std::vector<ExperimentPoint> &points);
+
+    /**
+     * Run a batch under an explicit retry/quarantine policy. Failed
+     * points are re-run with the same seed up to policy.retries
+     * extra attempts, then quarantined (status + attempt trail in
+     * the outcome). With policy.journal set, completed outcomes are
+     * committed in submission order and already-journaled points are
+     * restored instead of re-run.
+     */
+    BatchResult runPoints(const std::vector<ExperimentPoint> &points,
+                          const RunPolicy &policy);
 
     /** Run a batch; throws on the first failed point. */
     std::vector<ExperimentResult>
@@ -133,6 +222,14 @@ class ParallelRunner
     SystemConfig system_;
     unsigned jobs_;
 };
+
+/**
+ * Zeroed stand-in result for a quarantined point, carrying only the
+ * point's identity (workload/mode/size). Keeps partial batches
+ * report-shaped — findMode() still resolves — while the degraded-run
+ * banner and robustness table flag the gap.
+ */
+ExperimentResult quarantinedPlaceholder(const ExperimentPoint &point);
 
 /**
  * Process-wide default parallelism: the last setGlobalJobs() value,

@@ -126,6 +126,25 @@ parallelMetricsTable(const BatchMetrics &metrics)
 }
 
 TextTable
+robustnessTable(const std::vector<ExperimentPoint> &points,
+                const BatchResult &batch)
+{
+    TextTable table(
+        {"workload", "mode", "status", "attempts", "error"});
+    for (std::size_t i = 0;
+         i < points.size() && i < batch.points.size(); ++i) {
+        const PointOutcome &out = batch.points[i];
+        if (out.ok)
+            continue;
+        table.addRow({points[i].workload,
+                      transferModeName(points[i].mode),
+                      pointStatusName(out.status),
+                      std::to_string(out.attempts), out.error});
+    }
+    return table;
+}
+
+TextTable
 traceUtilizationTable(const std::vector<ModeSet> &workloads)
 {
     TextTable table({"workload", "mode", "wall", "pcie busy",

@@ -72,6 +72,15 @@ void printTable(std::ostream &os, const std::string &title,
 TextTable parallelMetricsTable(const BatchMetrics &metrics);
 
 /**
+ * Robustness summary of a degraded batch: one row per point that did
+ * not produce a result (status, attempts consumed, last error), so a
+ * partial sweep states exactly which cells are placeholders and why.
+ * Empty (header only) when every point is ok.
+ */
+TextTable robustnessTable(const std::vector<ExperimentPoint> &points,
+                          const BatchResult &batch);
+
+/**
  * Per-resource utilization summary folded out of traced results: one
  * row per workload x mode with PCIe busy/queueing, fault batching,
  * prefetch accuracy and kernel/transfer overlap (see trace/metrics.hh

@@ -1,7 +1,6 @@
 #include "core/sweep.hh"
 
 #include "common/logging.hh"
-#include "core/parallel_runner.hh"
 
 namespace uvmasync
 {
@@ -10,49 +9,56 @@ namespace
 {
 
 /**
- * Run a sweep grid — every (value, mode) cell — as one parallel
- * batch and reassemble per-value ModeSets in sweep order. The merge
- * is submission-ordered, so the result is identical to the serial
- * per-value loop this replaces.
+ * Run a sweep grid as one parallel batch and reassemble per-value
+ * ModeSets in sweep order. The merge is submission-ordered, so the
+ * result is identical to the serial per-value loop this replaces. A
+ * quarantined cell degrades the sweep (placeholder + banner) instead
+ * of killing it.
  */
 std::vector<SweepPoint>
-runSweepGrid(Experiment &experiment,
-             const std::string &workload,
-             const std::vector<std::uint64_t> &values,
-             const std::vector<ExperimentOptions> &optsPerValue)
+runSweepGrid(Experiment &experiment, const SweepGrid &grid)
 {
-    std::vector<ExperimentPoint> points;
-    points.reserve(values.size() * allTransferModes.size());
+    ParallelRunner runner(experiment.system());
+    BatchResult batch = runner.runPoints(grid.points);
+    if (batch.degraded()) {
+        warn("DEGRADED RUN: %zu of %zu sweep cells quarantined; "
+             "their cells hold zeroed placeholder results",
+             batch.quarantined(), grid.points.size());
+        for (std::size_t i = 0; i < grid.points.size(); ++i) {
+            const PointOutcome &out = batch.points[i];
+            if (!out.ok)
+                warn("  %s/%s %s after %u attempt(s): %s",
+                     grid.points[i].workload.c_str(),
+                     transferModeName(grid.points[i].mode),
+                     pointStatusName(out.status), out.attempts,
+                     out.error.c_str());
+        }
+    }
+    return assembleSweepPoints(grid, batch);
+}
+
+SweepGrid
+makeGrid(const std::string &workload,
+         const std::vector<std::uint64_t> &values,
+         const std::vector<ExperimentOptions> &optsPerValue)
+{
+    SweepGrid grid;
+    grid.values = values;
+    grid.points.reserve(values.size() * allTransferModes.size());
     for (const ExperimentOptions &opts : optsPerValue) {
         for (TransferMode mode : allTransferModes)
-            points.push_back(ExperimentPoint{workload, mode, opts});
+            grid.points.push_back(
+                ExperimentPoint{workload, mode, opts});
     }
-
-    ParallelRunner runner(experiment.system());
-    std::vector<ExperimentResult> results = runner.run(points);
-
-    std::vector<SweepPoint> out;
-    out.reserve(values.size());
-    std::size_t cursor = 0;
-    for (std::uint64_t value : values) {
-        SweepPoint point;
-        point.value = value;
-        point.modes.assign(
-            results.begin() + static_cast<std::ptrdiff_t>(cursor),
-            results.begin() + static_cast<std::ptrdiff_t>(
-                                  cursor + allTransferModes.size()));
-        cursor += allTransferModes.size();
-        out.push_back(std::move(point));
-    }
-    return out;
+    return grid;
 }
 
 } // namespace
 
-std::vector<SweepPoint>
-Sweep::blockSweep(const std::string &workload,
-                  const std::vector<std::uint64_t> &blockCounts,
-                  const ExperimentOptions &base)
+SweepGrid
+blockSweepGrid(const std::string &workload,
+               const std::vector<std::uint64_t> &blockCounts,
+               const ExperimentOptions &base)
 {
     UVMASYNC_ASSERT(!blockCounts.empty(),
                     "blockSweep needs at least one block count");
@@ -65,15 +71,14 @@ Sweep::blockSweep(const std::string &workload,
             opts.geometry.threadsPerBlock = 256;
         optsPerValue.push_back(opts);
     }
-    return runSweepGrid(experiment_, workload, blockCounts,
-                        optsPerValue);
+    return makeGrid(workload, blockCounts, optsPerValue);
 }
 
-std::vector<SweepPoint>
-Sweep::threadSweep(const std::string &workload,
-                   const std::vector<std::uint32_t> &threadCounts,
-                   std::uint64_t fixedBlocks,
-                   const ExperimentOptions &base)
+SweepGrid
+threadSweepGrid(const std::string &workload,
+                const std::vector<std::uint32_t> &threadCounts,
+                std::uint64_t fixedBlocks,
+                const ExperimentOptions &base)
 {
     UVMASYNC_ASSERT(!threadCounts.empty(),
                     "threadSweep needs at least one thread count");
@@ -88,13 +93,13 @@ Sweep::threadSweep(const std::string &workload,
         values.push_back(threads);
         optsPerValue.push_back(opts);
     }
-    return runSweepGrid(experiment_, workload, values, optsPerValue);
+    return makeGrid(workload, values, optsPerValue);
 }
 
-std::vector<SweepPoint>
-Sweep::sharedMemSweep(const std::string &workload,
-                      const std::vector<Bytes> &carveouts,
-                      const ExperimentOptions &base)
+SweepGrid
+sharedMemSweepGrid(const std::string &workload,
+                   const std::vector<Bytes> &carveouts,
+                   const ExperimentOptions &base)
 {
     UVMASYNC_ASSERT(!carveouts.empty(),
                     "sharedMemSweep needs at least one carveout");
@@ -108,7 +113,60 @@ Sweep::sharedMemSweep(const std::string &workload,
         values.push_back(carveout);
         optsPerValue.push_back(opts);
     }
-    return runSweepGrid(experiment_, workload, values, optsPerValue);
+    return makeGrid(workload, values, optsPerValue);
+}
+
+std::vector<SweepPoint>
+assembleSweepPoints(const SweepGrid &grid, const BatchResult &batch)
+{
+    UVMASYNC_ASSERT(batch.points.size() == grid.points.size(),
+                    "batch does not match the sweep grid");
+    std::vector<SweepPoint> out;
+    out.reserve(grid.values.size());
+    std::size_t cursor = 0;
+    for (std::uint64_t value : grid.values) {
+        SweepPoint point;
+        point.value = value;
+        for (std::size_t m = 0; m < allTransferModes.size(); ++m) {
+            const PointOutcome &outcome = batch.points[cursor + m];
+            point.modes.push_back(
+                outcome.ok
+                    ? outcome.result
+                    : quarantinedPlaceholder(grid.points[cursor + m]));
+        }
+        cursor += allTransferModes.size();
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+Sweep::blockSweep(const std::string &workload,
+                  const std::vector<std::uint64_t> &blockCounts,
+                  const ExperimentOptions &base)
+{
+    return runSweepGrid(experiment_,
+                        blockSweepGrid(workload, blockCounts, base));
+}
+
+std::vector<SweepPoint>
+Sweep::threadSweep(const std::string &workload,
+                   const std::vector<std::uint32_t> &threadCounts,
+                   std::uint64_t fixedBlocks,
+                   const ExperimentOptions &base)
+{
+    return runSweepGrid(experiment_,
+                        threadSweepGrid(workload, threadCounts,
+                                        fixedBlocks, base));
+}
+
+std::vector<SweepPoint>
+Sweep::sharedMemSweep(const std::string &workload,
+                      const std::vector<Bytes> &carveouts,
+                      const ExperimentOptions &base)
+{
+    return runSweepGrid(experiment_,
+                        sharedMemSweepGrid(workload, carveouts, base));
 }
 
 } // namespace uvmasync

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "core/report.hh"
 
 namespace uvmasync
@@ -23,6 +24,40 @@ struct SweepPoint
     std::uint64_t value = 0; //!< blocks, threads, or carveout bytes
     ModeSet modes;
 };
+
+/**
+ * A sweep's (value x mode) grid before execution: one ExperimentPoint
+ * per cell, value-major then mode — the canonical submission order.
+ * Exposed so callers that need batch-level control (journaling,
+ * retry policy, resume) can run the grid through ParallelRunner
+ * themselves and reassemble with assembleSweepPoints().
+ */
+struct SweepGrid
+{
+    std::vector<std::uint64_t> values;
+    std::vector<ExperimentPoint> points;
+};
+
+/** @{ Grid builders matching the Sweep methods below. */
+SweepGrid blockSweepGrid(const std::string &workload,
+                         const std::vector<std::uint64_t> &blockCounts,
+                         const ExperimentOptions &base = {});
+SweepGrid threadSweepGrid(const std::string &workload,
+                          const std::vector<std::uint32_t> &threadCounts,
+                          std::uint64_t fixedBlocks,
+                          const ExperimentOptions &base = {});
+SweepGrid sharedMemSweepGrid(const std::string &workload,
+                             const std::vector<Bytes> &carveouts,
+                             const ExperimentOptions &base = {});
+/** @} */
+
+/**
+ * Fold a grid's batch outcome back into sweep order. Quarantined
+ * cells carry quarantinedPlaceholder() results, so a degraded sweep
+ * still has its full shape; check batch.degraded() to report it.
+ */
+std::vector<SweepPoint> assembleSweepPoints(const SweepGrid &grid,
+                                            const BatchResult &batch);
 
 /**
  * Runs the paper's three sensitivity studies on one workload

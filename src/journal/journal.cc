@@ -1,0 +1,599 @@
+#include "journal/journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "journal/json.hh"
+#include "workloads/size_class.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+constexpr int journalVersion = 1;
+
+// Same FNV-1a / splitmix64 combination the ParallelRunner uses for
+// point seeds: stable across platforms, no std::hash.
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Accumulates configuration fields into one FNV-1a state. */
+class ConfigHasher
+{
+  public:
+    void
+    str(const std::string &s)
+    {
+        h_ = fnv1a(h_, s.data(), s.size());
+        h_ = fnv1a(h_, "\0", 1); // unambiguous field boundary
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        h_ = fnv1a(h_, &v, sizeof(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    std::uint64_t hash() const { return mix64(h_); }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+bool
+parsePointStatus(const std::string &text, PointStatus &out)
+{
+    for (PointStatus s :
+         {PointStatus::Ok, PointStatus::Aborted, PointStatus::Timeout,
+          PointStatus::Failed, PointStatus::Quarantined}) {
+        if (text == pointStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    return strfmt("%016" PRIx64, v);
+}
+
+bool
+parseHex16(const std::string &text, std::uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 16);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+void
+writeBreakdown(JsonWriter &w, const TimeBreakdown &b)
+{
+    w.beginArray().hex(b.allocPs).hex(b.transferPs).hex(b.kernelPs)
+        .endArray();
+}
+
+bool
+readBreakdown(const JsonValue &v, TimeBreakdown &out)
+{
+    if (!v.isArray() || v.items.size() != 3)
+        return false;
+    return v.items[0].asHex(out.allocPs) &&
+           v.items[1].asHex(out.transferPs) &&
+           v.items[2].asHex(out.kernelPs);
+}
+
+// InjectCounters as a flat array — field order is part of the
+// journal format (version-gated), keep it in sync with injector.hh.
+void
+writeInjectCounters(JsonWriter &w, const InjectCounters &c)
+{
+    w.beginArray();
+    for (std::uint64_t v :
+         {c.degradedTransfers, c.degradedBusyPs, c.transientFailures,
+          c.retries, c.aborts, c.backoffPs, c.overflowBatches,
+          c.delayedBatches, c.faultDelayPs, c.backpressureEvents,
+          c.backpressurePs, c.stormEvictions, c.slowPageTransfers,
+          c.jitteredLaunches, c.jitterPs})
+        w.value(v);
+    w.endArray();
+}
+
+bool
+readInjectCounters(const JsonValue &v, InjectCounters &out)
+{
+    if (!v.isArray() || v.items.size() != 15)
+        return false;
+    std::uint64_t *fields[15] = {
+        &out.degradedTransfers, &out.degradedBusyPs,
+        &out.transientFailures, &out.retries, &out.aborts,
+        &out.backoffPs, &out.overflowBatches, &out.delayedBatches,
+        &out.faultDelayPs, &out.backpressureEvents,
+        &out.backpressurePs, &out.stormEvictions,
+        &out.slowPageTransfers, &out.jitteredLaunches, &out.jitterPs};
+    for (std::size_t i = 0; i < 15; ++i) {
+        if (!v.items[i].asUint(*fields[i]))
+            return false;
+    }
+    return true;
+}
+
+void
+writeResult(JsonWriter &w, const ExperimentResult &r)
+{
+    w.beginObject();
+    w.key("workload").value(r.workload);
+    w.key("mode").value(transferModeName(r.mode));
+    w.key("size").value(sizeClassName(r.size));
+    w.key("clean");
+    writeBreakdown(w, r.clean);
+    w.key("runs").beginArray();
+    for (const TimeBreakdown &b : r.runs)
+        writeBreakdown(w, b);
+    w.endArray();
+    const RunCounters &c = r.counters;
+    w.key("counters").beginObject();
+    w.key("instrs")
+        .beginArray()
+        .hex(c.instrs.memory)
+        .hex(c.instrs.fp)
+        .hex(c.instrs.integer)
+        .hex(c.instrs.control)
+        .endArray();
+    w.key("faults").value(c.faults);
+    w.key("l1_load").hex(c.l1LoadMissRate);
+    w.key("l1_store").hex(c.l1StoreMissRate);
+    w.key("occupancy").hex(c.occupancy);
+    w.key("stall").value(c.stallTime);
+    w.key("bytes_h2d").value(c.bytesH2d);
+    w.key("bytes_d2h").value(c.bytesD2h);
+    w.key("launches").value(c.launches);
+    w.endObject();
+    w.key("inject");
+    writeInjectCounters(w, r.injectCounters);
+    w.endObject();
+}
+
+bool
+readResult(const JsonValue &v, ExperimentResult &out)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *workload = v.find("workload");
+    const JsonValue *mode = v.find("mode");
+    const JsonValue *size = v.find("size");
+    const JsonValue *clean = v.find("clean");
+    const JsonValue *runs = v.find("runs");
+    const JsonValue *counters = v.find("counters");
+    const JsonValue *inject = v.find("inject");
+    if (!workload || !workload->isString() || !mode ||
+        !mode->isString() || !size || !size->isString() || !clean ||
+        !runs || !runs->isArray() || !counters ||
+        !counters->isObject() || !inject)
+        return false;
+    out.workload = workload->text;
+    if (!parseTransferMode(mode->text, out.mode))
+        return false;
+    if (!parseSizeClass(size->text, out.size))
+        return false;
+    if (!readBreakdown(*clean, out.clean))
+        return false;
+    out.runs.clear();
+    out.runs.reserve(runs->items.size());
+    for (const JsonValue &item : runs->items) {
+        TimeBreakdown b;
+        if (!readBreakdown(item, b))
+            return false;
+        out.runs.push_back(b);
+    }
+    RunCounters &c = out.counters;
+    const JsonValue *instrs = counters->find("instrs");
+    if (!instrs || !instrs->isArray() || instrs->items.size() != 4 ||
+        !instrs->items[0].asHex(c.instrs.memory) ||
+        !instrs->items[1].asHex(c.instrs.fp) ||
+        !instrs->items[2].asHex(c.instrs.integer) ||
+        !instrs->items[3].asHex(c.instrs.control))
+        return false;
+    const JsonValue *faults = counters->find("faults");
+    const JsonValue *l1Load = counters->find("l1_load");
+    const JsonValue *l1Store = counters->find("l1_store");
+    const JsonValue *occupancy = counters->find("occupancy");
+    const JsonValue *stall = counters->find("stall");
+    const JsonValue *bytesH2d = counters->find("bytes_h2d");
+    const JsonValue *bytesD2h = counters->find("bytes_d2h");
+    const JsonValue *launches = counters->find("launches");
+    if (!faults || !faults->asUint(c.faults) || !l1Load ||
+        !l1Load->asHex(c.l1LoadMissRate) || !l1Store ||
+        !l1Store->asHex(c.l1StoreMissRate) || !occupancy ||
+        !occupancy->asHex(c.occupancy) || !stall ||
+        !stall->asUint(c.stallTime) || !bytesH2d ||
+        !bytesH2d->asUint(c.bytesH2d) || !bytesD2h ||
+        !bytesD2h->asUint(c.bytesD2h) || !launches ||
+        !launches->asUint(c.launches))
+        return false;
+    return readInjectCounters(*inject, out.injectCounters);
+}
+
+} // namespace
+
+std::uint64_t
+pointConfigHash(const ExperimentPoint &point)
+{
+    ConfigHasher h;
+    h.str(point.workload);
+    h.str(transferModeName(point.mode));
+    const ExperimentOptions &o = point.opts;
+    h.str(sizeClassName(o.size));
+    h.u64(o.runs);
+    h.u64(o.baseSeed);
+    h.u64(o.sharedCarveout);
+    h.u64(o.geometry.gridBlocks);
+    h.u64(o.geometry.threadsPerBlock);
+    h.u64(static_cast<std::uint64_t>(o.lint));
+    h.u64(o.trace ? 1 : 0);
+    h.u64(o.traceCategories);
+    h.u64(o.injectSeed);
+    const InjectPlan &p = o.inject;
+    h.u64(p.seed);
+    h.f64(p.pcie.degradeFactor);
+    h.u64(p.pcie.window.startPs);
+    h.u64(p.pcie.window.endPs);
+    h.u64(p.pcie.stutterPeriodPs);
+    h.f64(p.pcie.stutterDuty);
+    h.f64(p.pcie.failRate);
+    h.u64(p.pcie.maxRetries);
+    h.u64(p.pcie.backoffBasePs);
+    h.u64(p.fault.batchOverflow);
+    h.u64(p.fault.overflowPenaltyPs);
+    h.f64(p.fault.delayRate);
+    h.u64(p.fault.delayPs);
+    h.f64(p.migrate.backpressureRate);
+    h.u64(p.migrate.backpressurePs);
+    h.f64(p.migrate.stormRate);
+    h.u64(p.migrate.stormChunks);
+    h.f64(p.host.slowRate);
+    h.f64(p.host.slowFactor);
+    h.u64(p.host.window.startPs);
+    h.u64(p.host.window.endPs);
+    h.f64(p.kernel.jitterRate);
+    h.u64(p.kernel.jitterPs);
+    return h.hash();
+}
+
+std::uint64_t
+campaignHash(const std::vector<ExperimentPoint> &points)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const ExperimentPoint &point : points) {
+        std::uint64_t ph = pointConfigHash(point);
+        h = fnv1a(h, &ph, sizeof(ph));
+    }
+    return mix64(h);
+}
+
+std::string
+journalHeaderLine(const std::vector<ExperimentPoint> &points)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("journal").value("uvmasync");
+    w.key("version").value(
+        static_cast<std::uint64_t>(journalVersion));
+    w.key("campaign").value(hex16(campaignHash(points)));
+    w.key("points").value(static_cast<std::uint64_t>(points.size()));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+journalRecordLine(std::size_t index, std::uint64_t configHash,
+                  const ExperimentPoint &point,
+                  const PointOutcome &outcome)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("point").value(static_cast<std::uint64_t>(index));
+    w.key("config").value(hex16(configHash));
+    w.key("key").value(point.workload + "/" +
+                       transferModeName(point.mode));
+    w.key("status").value(pointStatusName(outcome.status));
+    w.key("attempts").value(
+        static_cast<std::uint64_t>(outcome.attempts));
+    if (!outcome.attemptTrail.empty()) {
+        w.key("trail").beginArray();
+        for (const PointAttempt &attempt : outcome.attemptTrail) {
+            w.beginObject();
+            w.key("status").value(pointStatusName(attempt.status));
+            w.key("error").value(attempt.error);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    if (outcome.ok) {
+        w.key("result");
+        writeResult(w, outcome.result);
+    } else {
+        w.key("error").value(outcome.error);
+    }
+    w.endObject();
+    return w.str();
+}
+
+bool
+parseJournalRecord(const std::string &line, std::size_t &index,
+                   std::uint64_t &configHash, PointOutcome &outcome,
+                   std::string &error)
+{
+    JsonValue v;
+    if (!parseJson(line, v, error))
+        return false;
+    if (!v.isObject()) {
+        error = "record is not an object";
+        return false;
+    }
+    const JsonValue *point = v.find("point");
+    const JsonValue *config = v.find("config");
+    const JsonValue *status = v.find("status");
+    const JsonValue *attempts = v.find("attempts");
+    std::uint64_t idx = 0;
+    if (!point || !point->asUint(idx)) {
+        error = "missing/invalid 'point'";
+        return false;
+    }
+    index = static_cast<std::size_t>(idx);
+    if (!config || !config->isString() ||
+        !parseHex16(config->text, configHash)) {
+        error = "missing/invalid 'config'";
+        return false;
+    }
+    outcome = PointOutcome{};
+    if (!status || !status->isString() ||
+        !parsePointStatus(status->text, outcome.status)) {
+        error = "missing/invalid 'status'";
+        return false;
+    }
+    std::uint64_t att = 0;
+    if (!attempts || !attempts->asUint(att)) {
+        error = "missing/invalid 'attempts'";
+        return false;
+    }
+    outcome.attempts = static_cast<std::uint32_t>(att);
+    if (const JsonValue *trail = v.find("trail")) {
+        if (!trail->isArray()) {
+            error = "invalid 'trail'";
+            return false;
+        }
+        for (const JsonValue &item : trail->items) {
+            const JsonValue *st = item.find("status");
+            const JsonValue *err = item.find("error");
+            PointAttempt attempt;
+            if (!st || !st->isString() ||
+                !parsePointStatus(st->text, attempt.status) || !err ||
+                !err->isString()) {
+                error = "invalid 'trail' entry";
+                return false;
+            }
+            attempt.error = err->text;
+            outcome.attemptTrail.push_back(std::move(attempt));
+        }
+    }
+    if (outcome.status == PointStatus::Ok) {
+        const JsonValue *result = v.find("result");
+        if (!result || !readResult(*result, outcome.result)) {
+            error = "missing/invalid 'result'";
+            return false;
+        }
+        outcome.ok = true;
+    } else {
+        const JsonValue *err = v.find("error");
+        if (!err || !err->isString()) {
+            error = "missing/invalid 'error'";
+            return false;
+        }
+        outcome.error = err->text;
+    }
+    return true;
+}
+
+std::unique_ptr<RunJournal>
+RunJournal::create(const std::string &path,
+                   const std::vector<ExperimentPoint> &points)
+{
+    std::unique_ptr<RunJournal> journal(new RunJournal());
+    journal->path_ = path;
+    journal->points_ = points;
+    journal->configHashes_.reserve(points.size());
+    for (const ExperimentPoint &point : points)
+        journal->configHashes_.push_back(pointConfigHash(point));
+    journal->restored_.resize(points.size());
+
+    journal->file_ = std::fopen(path.c_str(), "wb");
+    if (!journal->file_)
+        fatal("journal: cannot open '%s' for writing: %s",
+              path.c_str(), std::strerror(errno));
+    journal->appendLine(journalHeaderLine(points));
+    return journal;
+}
+
+std::unique_ptr<RunJournal>
+RunJournal::resume(const std::string &path,
+                   const std::vector<ExperimentPoint> &points)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        fatal("journal: cannot open '%s' for resume: %s",
+              path.c_str(), std::strerror(errno));
+    std::string contents;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        contents.append(buf, n);
+    std::fclose(in);
+
+    // Split into lines; a final line without '\n' was cut mid-append
+    // by a crash and is re-run rather than trusted.
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < contents.size()) {
+        std::size_t nl = contents.find('\n', start);
+        if (nl == std::string::npos)
+            break; // truncated trailing record — drop it
+        lines.push_back(contents.substr(start, nl - start));
+        start = nl + 1;
+    }
+    if (lines.empty())
+        fatal("journal: '%s' has no intact header line; delete it "
+              "and rerun without --resume",
+              path.c_str());
+
+    std::string expectHeader = journalHeaderLine(points);
+    if (lines[0] != expectHeader) {
+        // Distinguish "not a journal" from "different campaign" for
+        // a usable error message.
+        JsonValue header;
+        std::string jsonError;
+        std::string campaign = "?";
+        if (parseJson(lines[0], header, jsonError)) {
+            if (const JsonValue *c = header.find("campaign"))
+                campaign = c->text;
+        }
+        fatal("journal: '%s' was written for a different campaign "
+              "(journal campaign %s, current grid %s over %zu "
+              "points); the workload grid, options, or inject plan "
+              "changed. Rerun without --resume (or delete the "
+              "journal) to start fresh.",
+              path.c_str(), campaign.c_str(),
+              hex16(campaignHash(points)).c_str(), points.size());
+    }
+
+    std::unique_ptr<RunJournal> journal(new RunJournal());
+    journal->path_ = path;
+    journal->points_ = points;
+    journal->configHashes_.reserve(points.size());
+    for (const ExperimentPoint &point : points)
+        journal->configHashes_.push_back(pointConfigHash(point));
+    journal->restored_.resize(points.size());
+
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::size_t index = 0;
+        std::uint64_t configHash = 0;
+        auto outcome = std::make_unique<PointOutcome>();
+        std::string error;
+        if (!parseJournalRecord(lines[i], index, configHash, *outcome,
+                                error))
+            fatal("journal: '%s' line %zu is corrupt (%s); delete "
+                  "the journal and rerun without --resume",
+                  path.c_str(), i + 1, error.c_str());
+        if (index >= points.size() ||
+            configHash != journal->configHashes_[index])
+            fatal("journal: '%s' line %zu records point %zu with a "
+                  "different configuration than the current grid; "
+                  "rerun without --resume to start fresh",
+                  path.c_str(), i + 1, index);
+        if (!journal->restored_[index])
+            ++journal->restoredCount_;
+        journal->restored_[index] = std::move(outcome);
+    }
+
+    // Reopen for appending the not-yet-journaled remainder. The file
+    // is NOT rewritten: intact records keep their exact bytes, so an
+    // interrupted-then-resumed journal is byte-identical to an
+    // uninterrupted one up to the dropped partial line.
+    journal->file_ = std::fopen(path.c_str(), "r+b");
+    if (!journal->file_)
+        fatal("journal: cannot reopen '%s' for appending: %s",
+              path.c_str(), std::strerror(errno));
+    // Truncate any partial trailing line, then append after the last
+    // intact record.
+    long intactEnd = static_cast<long>(start);
+    if (::ftruncate(fileno(journal->file_), intactEnd) != 0)
+        fatal("journal: cannot truncate '%s': %s", path.c_str(),
+              std::strerror(errno));
+    if (std::fseek(journal->file_, intactEnd, SEEK_SET) != 0)
+        fatal("journal: cannot seek in '%s': %s", path.c_str(),
+              std::strerror(errno));
+    return journal;
+}
+
+RunJournal::~RunJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+RunJournal::appendLine(const std::string &line)
+{
+    UVMASYNC_ASSERT(file_, "journal file not open");
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fputc('\n', file_) == EOF)
+        fatal("journal: write to '%s' failed: %s", path_.c_str(),
+              std::strerror(errno));
+    // Flush + fsync per record: the journal is the crash-safety
+    // contract, so a committed point must survive a kill -9.
+    if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0)
+        fatal("journal: fsync of '%s' failed: %s", path_.c_str(),
+              std::strerror(errno));
+}
+
+bool
+RunJournal::restore(std::size_t index, PointOutcome &out)
+{
+    UVMASYNC_ASSERT(index < restored_.size(), "point index out of range");
+    if (!restored_[index])
+        return false;
+    out = std::move(*restored_[index]);
+    restored_[index].reset();
+    UVMASYNC_ASSERT(restoredCount_ > 0, "restore underflow");
+    --restoredCount_;
+    return true;
+}
+
+void
+RunJournal::commit(std::size_t index, PointOutcome &out)
+{
+    UVMASYNC_ASSERT(index < points_.size(), "point index out of range");
+    appendLine(journalRecordLine(index, configHashes_[index],
+                                 points_[index], out));
+}
+
+} // namespace uvmasync

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Crash-safe run journal: an append-only, fsync'd JSONL write-ahead
+ * log of per-point experiment outcomes.
+ *
+ * The ParallelRunner commits outcomes in submission order (the same
+ * merge that makes `--jobs N` output byte-identical to `--jobs 1`),
+ * so the journal file is byte-deterministic at any job count and
+ * every record on disk is a durable prefix of the batch: a crash —
+ * or a kill at an arbitrary line boundary — loses at most the
+ * in-flight suffix, and `--resume` replays the rest.
+ *
+ * Every record carries the point's configuration hash; resume
+ * validates each restored record (and the header's campaign hash)
+ * against the live point grid and refuses a stale journal with an
+ * actionable fatal instead of silently mixing results from two
+ * different campaigns. Simulated results round-trip exactly: doubles
+ * are stored as %a hexfloat strings, so a resumed sweep's merged CSV
+ * is byte-identical to an uninterrupted run.
+ */
+
+#ifndef UVMASYNC_JOURNAL_JOURNAL_HH
+#define UVMASYNC_JOURNAL_JOURNAL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel_runner.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Stable 64-bit hash of one point's full configuration: workload,
+ * mode, and every ExperimentOptions knob including the inject plan.
+ * Machine-independent (FNV-1a over the field values, doubles by bit
+ * pattern, finalized with splitmix64).
+ */
+std::uint64_t pointConfigHash(const ExperimentPoint &point);
+
+/** Campaign identity: FNV-1a over the per-point config hashes. */
+std::uint64_t campaignHash(const std::vector<ExperimentPoint> &points);
+
+/**
+ * The journal file. Create one per batch with create() (fresh run)
+ * or resume() (continue an interrupted run), then hand it to the
+ * ParallelRunner via RunPolicy::journal.
+ */
+class RunJournal : public PointJournal
+{
+  public:
+    /**
+     * Start a fresh journal at @p path for @p points: truncates,
+     * writes the fsync'd header line, and keeps the file open for
+     * appending. fatal() if the path is unwritable.
+     */
+    static std::unique_ptr<RunJournal>
+    create(const std::string &path,
+           const std::vector<ExperimentPoint> &points);
+
+    /**
+     * Reopen an interrupted journal: validates the header against
+     * @p points (campaign hash and point count), loads every intact
+     * terminal record (a truncated trailing line is tolerated and
+     * dropped), and reopens the file for appending the remainder.
+     * fatal() with an actionable message when the journal belongs to
+     * a different campaign or is unreadable.
+     */
+    static std::unique_ptr<RunJournal>
+    resume(const std::string &path,
+           const std::vector<ExperimentPoint> &points);
+
+    ~RunJournal() override;
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** PointJournal: hand back a restored outcome, if any. */
+    bool restore(std::size_t index, PointOutcome &out) override;
+
+    /** PointJournal: append + fsync one terminal record. */
+    void commit(std::size_t index, PointOutcome &out) override;
+
+    /** Points loaded by resume() and not yet handed out. */
+    std::size_t restoredCount() const { return restoredCount_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    RunJournal() = default;
+
+    void appendLine(const std::string &line);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::vector<ExperimentPoint> points_;
+    std::vector<std::uint64_t> configHashes_;
+
+    /** Restored outcomes by point index (kind Null = must run). */
+    std::vector<std::unique_ptr<PointOutcome>> restored_;
+    std::size_t restoredCount_ = 0;
+};
+
+/** @{ Record serialization (exposed for tests). */
+std::string journalHeaderLine(const std::vector<ExperimentPoint> &points);
+std::string journalRecordLine(std::size_t index, std::uint64_t configHash,
+                              const ExperimentPoint &point,
+                              const PointOutcome &outcome);
+bool parseJournalRecord(const std::string &line, std::size_t &index,
+                        std::uint64_t &configHash, PointOutcome &outcome,
+                        std::string &error);
+/** @} */
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_JOURNAL_JOURNAL_HH

@@ -32,6 +32,8 @@ knownSystemConfigKeys()
         "alloc.device_alloc_ms_per_gib",
         "alloc.managed_free_ms_per_gib", "hbm.capacity_gib",
         "noise.system_overhead_ms", "noise.transfer_cv",
+        "watchdog.max_sim_ms", "watchdog.max_events",
+        "watchdog.max_stall_events",
     };
     return known;
 }
@@ -130,6 +132,17 @@ applyConfig(const SystemConfig &base, const KvConfig &kv)
             msToTick(kv.getDouble("noise.system_overhead_ms", 0));
     cfg.noise.transferCv =
         kv.getDouble("noise.transfer_cv", cfg.noise.transferCv);
+
+    if (kv.has("watchdog.max_sim_ms"))
+        cfg.watchdog.maxSimTime =
+            msToTick(kv.getDouble("watchdog.max_sim_ms", 0));
+    cfg.watchdog.maxEvents = static_cast<std::uint64_t>(kv.getInt(
+        "watchdog.max_events",
+        static_cast<std::int64_t>(cfg.watchdog.maxEvents)));
+    cfg.watchdog.maxStallEvents = static_cast<std::uint64_t>(
+        kv.getInt("watchdog.max_stall_events",
+                  static_cast<std::int64_t>(
+                      cfg.watchdog.maxStallEvents)));
 
     return cfg;
 }

@@ -76,6 +76,16 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
     engine_.setInjector(inj);
     host_.setInjector(inj);
 
+    // Arm the runaway-run watchdog for this job. The analytic model
+    // has no central dispatch loop, so the components that generate
+    // "events" (link transfers, evictions) report to it directly;
+    // checkSimTime() below covers phases that move time without
+    // touching either.
+    watchdog_.arm(cfg_.watchdog);
+    watchdog_.setTrace(tr);
+    link_.setWatchdog(&watchdog_);
+    engine_.setWatchdog(&watchdog_);
+
     // ---- Reset the testbed for this job -------------------------
     link_.reset();
     pageTable_.clearRanges();
@@ -99,6 +109,7 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
         t += cost;
     }
     res.timeline.add(PhaseKind::Alloc, "alloc", 0, t, 0);
+    watchdog_.checkSimTime(t);
 
     // Register managed ranges and reset the engine.
     std::vector<std::size_t> rangeIds(job.buffers.size(), 0);
@@ -198,6 +209,7 @@ Device::run(const Job &job, TransferMode mode, const RunOptions &opts)
                     std::min(kr.endTick, kr.startTick + busy), 1);
             }
             t = kr.endTick;
+            watchdog_.checkSimTime(t);
 
             double w = static_cast<double>(kr.kernelTime());
             missLoadAcc += kr.l1LoadMissRate * w;

@@ -149,6 +149,13 @@ class Device
     PcieLink link_;
     MigrationEngine engine_;
     Allocator allocator_;
+
+    /**
+     * Re-armed at the start of every run from cfg_.watchdog and fed
+     * by the link and migration engine; a ceiling violation throws
+     * PointTimeout out of run().
+     */
+    Watchdog watchdog_;
 };
 
 } // namespace uvmasync

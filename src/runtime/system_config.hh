@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "gpu/gpu_config.hh"
 #include "mem/host_memory.hh"
+#include "sim/event_queue.hh"
 #include "xfer/migration_engine.hh"
 #include "xfer/pcie_link.hh"
 
@@ -63,6 +64,12 @@ struct SystemConfig
     UvmConfig uvm;
     AllocatorConfig alloc;
     NoiseConfig noise;
+
+    /**
+     * Runaway-run ceilings (simulated time, event count, livelock);
+     * a trip fails only the offending point with a PointTimeout.
+     */
+    WatchdogConfig watchdog;
 
     /** Usable HBM capacity (Table 1: 40 GB). */
     Bytes deviceMemoryBytes = gib(40);

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -21,6 +23,137 @@
 
 namespace uvmasync
 {
+
+/**
+ * Default ceiling on dispatched events per point. Generous: the
+ * largest registry job moves a few million chunks; only a genuinely
+ * runaway simulation (or a pathological inject plan) gets here.
+ */
+inline constexpr std::uint64_t defaultWatchdogMaxEvents =
+    1000000000ull;
+
+/**
+ * Default livelock threshold: consecutive dispatches with no
+ * simulated-time advance. Legitimate same-tick runs exist — evicting
+ * a full 40 GiB device of clean chunks is ~160k zero-cost events —
+ * so the default sits far above the worst honest case.
+ */
+inline constexpr std::uint64_t defaultWatchdogMaxStallEvents =
+    2000000ull;
+
+/** Ceilings enforced by the Watchdog; 0 disables a ceiling. */
+struct WatchdogConfig
+{
+    /** Ceiling on simulated time; 0 = unlimited. */
+    Tick maxSimTime = 0;
+
+    /** Ceiling on dispatched-event count; 0 = unlimited. */
+    std::uint64_t maxEvents = defaultWatchdogMaxEvents;
+
+    /**
+     * Consecutive dispatches without simulated-time advance before
+     * the run is declared livelocked; 0 = unlimited.
+     */
+    std::uint64_t maxStallEvents = defaultWatchdogMaxStallEvents;
+};
+
+/** Which ceiling a PointTimeout tripped. */
+enum class WatchdogTrip
+{
+    SimTime,    //!< simulated time exceeded maxSimTime
+    EventCount, //!< dispatched events exceeded maxEvents
+    Livelock,   //!< maxStallEvents dispatches with no time advance
+};
+
+/** Stable trip-kind slug ("sim_time", "event_count", "livelock"). */
+const char *watchdogTripName(WatchdogTrip kind);
+
+/**
+ * Structured failure of one simulated point: a watchdog ceiling was
+ * exceeded. Like TransferAborted, this fails only the point that
+ * raised it — the parallel engine catches it per point (under its
+ * FatalThrowScope) and quarantines the point after its retry budget.
+ */
+class PointTimeout : public std::runtime_error
+{
+  public:
+    PointTimeout(const std::string &what, WatchdogTrip kind,
+                 Tick when, std::uint64_t events)
+        : std::runtime_error(what), kind_(kind), when_(when),
+          events_(events)
+    {
+    }
+
+    WatchdogTrip kind() const { return kind_; }
+
+    /** Simulated time at the trip. */
+    Tick when() const { return when_; }
+
+    /** Events observed up to the trip. */
+    std::uint64_t events() const { return events_; }
+
+  private:
+    WatchdogTrip kind_;
+    Tick when_;
+    std::uint64_t events_;
+};
+
+/**
+ * Progress monitor over one simulated execution.
+ *
+ * Both simulation styles feed it: the EventQueue calls onEvent() per
+ * dispatched event, and the analytic busy-until components (PCIe
+ * link transfers, migration-engine evictions) call it per modelled
+ * completion. A ceiling violation throws PointTimeout; the watchdog
+ * never recovers the run, it only bounds the damage to one point.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+
+    /** Arm with @p cfg and reset all counters (start of a run). */
+    void arm(const WatchdogConfig &cfg);
+
+    /** Detach; onEvent()/checkSimTime() become no-ops. */
+    void disarm() { armed_ = false; }
+
+    bool armed() const { return armed_; }
+
+    const WatchdogConfig &config() const { return cfg_; }
+
+    /** Events observed since arm(). */
+    std::uint64_t events() const { return events_; }
+
+    /** Current run of events with no simulated-time advance. */
+    std::uint64_t stallRun() const { return stallRun_; }
+
+    /**
+     * Emit a WatchdogTrip instant into @p tracer when a ceiling
+     * trips (lane "watchdog", created lazily so clean traced runs
+     * stay byte-identical). Pass nullptr to detach.
+     */
+    void setTrace(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Observe one simulated event completing at @p now. Throws
+     * PointTimeout when a ceiling is exceeded.
+     */
+    void onEvent(Tick now);
+
+    /** Check only the simulated-time ceiling (phase boundaries). */
+    void checkSimTime(Tick now);
+
+  private:
+    [[noreturn]] void trip(WatchdogTrip kind, Tick now);
+
+    WatchdogConfig cfg_;
+    bool armed_ = false;
+    std::uint64_t events_ = 0;
+    std::uint64_t stallRun_ = 0;
+    Tick lastAdvance_ = 0;
+    Tracer *tracer_ = nullptr;
+};
 
 /**
  * Ordering priority for events scheduled at the same tick; lower
@@ -56,15 +189,19 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
 
     /**
-     * Schedule @p cb to run at absolute time @p when. Scheduling in
-     * the past is a simulator bug.
+     * Schedule @p cb to run at absolute time @p when. Scheduling
+     * before now() is a structured fatal naming the offending event
+     * (@p what) and the backwards delta — a FatalError under a
+     * FatalThrowScope, a process exit otherwise.
      */
     void schedule(Tick when, Callback cb,
-                  EventPriority prio = EventPriority::Default);
+                  EventPriority prio = EventPriority::Default,
+                  const char *what = "event");
 
     /** Schedule @p cb @p delay ticks from now. */
     void scheduleIn(Tick delay, Callback cb,
-                    EventPriority prio = EventPriority::Default);
+                    EventPriority prio = EventPriority::Default,
+                    const char *what = "event");
 
     /**
      * Run events until the queue is empty; returns the tick of the
@@ -95,6 +232,12 @@ class EventQueue
         traceLane_ = lane;
     }
 
+    /**
+     * Report every dispatched event to @p watchdog (ceilings +
+     * livelock detection). Pass nullptr to detach.
+     */
+    void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
+
   private:
     struct Entry
     {
@@ -123,6 +266,7 @@ class EventQueue
     std::uint64_t executed_ = 0;
     Tracer *tracer_ = nullptr;
     std::uint32_t traceLane_ = 0;
+    Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace uvmasync

@@ -62,6 +62,8 @@ traceNameStr(TraceName n)
       case TraceName::InjectSlowPage: return "inject_slow_page";
       case TraceName::InjectLaunchJitter:
         return "inject_launch_jitter";
+      case TraceName::WatchdogTrip: return "watchdog_trip";
+      case TraceName::JournalCommit: return "journal_commit";
     }
     panic("unknown trace name %d", static_cast<int>(n));
 }

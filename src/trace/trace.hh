@@ -113,6 +113,9 @@ enum class TraceName : std::uint16_t
     InjectEvictStorm = 76,
     InjectSlowPage = 77,
     InjectLaunchJitter = 78,
+    // Robustness (watchdog trips, journal commits)
+    WatchdogTrip = 80,
+    JournalCommit = 81,
 };
 
 /** Stable name slug ("fault_batch", "tile_compute", ...). */

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "inject/injector.hh"
+#include "sim/event_queue.hh"
 
 namespace uvmasync
 {
@@ -119,6 +120,11 @@ MigrationEngine::evictOne(Tick freeAt)
     UVMASYNC_ASSERT(state.residentChunks > 0,
                     "resident chunk accounting underflow");
     --state.residentChunks;
+    // Clean evictions cost no simulated time, so a storm of them is
+    // invisible to every time-based bound; report each one so the
+    // watchdog's stall detector can see the livelock.
+    if (watchdog_)
+        watchdog_->onEvent(freeAt);
     return freeAt;
 }
 

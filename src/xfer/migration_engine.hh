@@ -157,6 +157,14 @@ class MigrationEngine : public SimObject
     void setInjector(Injector *inject);
 
     /**
+     * Report every eviction to @p watchdog (null detaches). Clean
+     * evictions free memory without advancing simulated time, which
+     * is exactly the shape of an eviction-storm livelock — the
+     * watchdog's stall detector is the only bound on it.
+     */
+    void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
+
+    /**
      * Total link time consumed on behalf of this job so far
      * (demand + prefetch + writeback + wasted speculation).
      */
@@ -214,6 +222,7 @@ class MigrationEngine : public SimObject
     std::uint32_t prefetchLane_ = 0;
     std::uint32_t migrateLane_ = 0;
     Injector *inject_ = nullptr;
+    Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace uvmasync

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "inject/injector.hh"
 #include "mem/host_memory.hh"
+#include "sim/event_queue.hh"
 
 namespace uvmasync
 {
@@ -83,6 +84,8 @@ PcieLink::transfer(Tick now, Bytes bytes, Direction dir,
     }
     if (inject_ && degrade > 1.0)
         inject_->noteDegradedTransfer(occ.start, occ.end, degrade, h2d);
+    if (watchdog_)
+        watchdog_->onEvent(occ.end);
     return occ;
 }
 

@@ -29,6 +29,7 @@ namespace uvmasync
 
 class HostMemory;
 class Injector;
+class Watchdog;
 
 /** Transfer direction over the link. */
 enum class Direction
@@ -146,6 +147,14 @@ class PcieLink : public SimObject
      */
     void setHostPath(HostMemory *host) { hostPath_ = host; }
 
+    /**
+     * Report every modelled transfer completion to @p watchdog, so a
+     * run whose transfer count explodes (an injected eviction storm
+     * thrashing the same chunks forever) trips the event ceiling
+     * instead of running unbounded. Pass nullptr to detach.
+     */
+    void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
+
     void exportStats(StatMap &out) const override;
     void resetStats() override;
 
@@ -161,6 +170,7 @@ class PcieLink : public SimObject
     std::uint32_t d2hLane_ = 0;
     Injector *inject_ = nullptr;
     HostMemory *hostPath_ = nullptr;
+    Watchdog *watchdog_ = nullptr;
 };
 
 } // namespace uvmasync

@@ -463,11 +463,29 @@ TEST(Lint, WarnAndOffModesDoNotRefuse)
     EXPECT_TRUE(off.empty());
 }
 
+// --- UAL018 estimated event volume over the watchdog ceiling ---------
+
+TEST(Lint, Ual018EventVolumeOverCeiling)
+{
+    // 30 GiB / 256 KiB chunks = 122880 chunks; 10000 repeats puts
+    // the worst-case fault volume past the 1e9 default ceiling.
+    Job job = makeCleanJob();
+    job.buffers[0].bytes = gib(30);
+    job.sequenceRepeats = 10000;
+    DiagnosticEngine diags = lint(job);
+    EXPECT_EQ(diags.count(DiagId::EventVolumeOverCeiling), 1u)
+        << diags.formatAll();
+
+    EXPECT_EQ(lint(makeCleanJob()).count(
+                  DiagId::EventVolumeOverCeiling),
+              0u);
+}
+
 TEST(Lint, StandardPipelineListsItsPasses)
 {
     PassManager pipeline = PassManager::standardPipeline();
     std::vector<std::string> names = pipeline.names();
-    ASSERT_EQ(names.size(), 5u);
+    ASSERT_EQ(names.size(), 6u);
     EXPECT_EQ(names.front(), "system-config");
     for (const auto &pass : pipeline.passes()) {
         EXPECT_STRNE(pass->name(), "");

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -122,6 +125,110 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     q.schedule(nanoseconds(10), [] {});
     q.run();
     EXPECT_DEATH(q.schedule(nanoseconds(5), [] {}), "past");
+}
+
+TEST(EventQueueDeathTest, TimeTravelNamesTheOffendingEvent)
+{
+    // The structured fatal carries the event name and the backwards
+    // delta so a time-travel bug is attributable from the message
+    // alone.
+    EventQueue q;
+    q.schedule(nanoseconds(10), [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(nanoseconds(7), [] {},
+                            EventPriority::Default, "pcie-completion"),
+                 "pcie-completion.*3000 ticks in the past");
+}
+
+TEST(Watchdog, DisarmedIsANoOp)
+{
+    Watchdog wd;
+    for (int i = 0; i < 100; ++i)
+        wd.onEvent(nanoseconds(1));
+    EXPECT_EQ(wd.events(), 0u);
+    wd.checkSimTime(seconds(3600));
+}
+
+TEST(Watchdog, EventCountCeilingTrips)
+{
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxEvents = 3;
+    cfg.maxStallEvents = 0;
+    wd.arm(cfg);
+    for (std::uint64_t i = 1; i <= 3; ++i)
+        wd.onEvent(nanoseconds(i));
+    try {
+        wd.onEvent(nanoseconds(4));
+        FAIL() << "ceiling did not trip";
+    } catch (const PointTimeout &e) {
+        EXPECT_EQ(e.kind(), WatchdogTrip::EventCount);
+        EXPECT_EQ(e.events(), 4u);
+        EXPECT_NE(std::string(e.what()).find("watchdog.max_events"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, SimTimeCeilingTrips)
+{
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxSimTime = microseconds(10);
+    cfg.maxEvents = 0;
+    cfg.maxStallEvents = 0;
+    wd.arm(cfg);
+    wd.checkSimTime(microseconds(10)); // at the ceiling: fine
+    try {
+        wd.checkSimTime(microseconds(10) + 1);
+        FAIL() << "ceiling did not trip";
+    } catch (const PointTimeout &e) {
+        EXPECT_EQ(e.kind(), WatchdogTrip::SimTime);
+        EXPECT_NE(std::string(e.what()).find("watchdog.max_sim_ms"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, LivelockTripsOnSelfReschedulingEvent)
+{
+    // A callback that reschedules itself at the current tick would
+    // spin the queue forever; the stall detector bounds the damage.
+    EventQueue q;
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxEvents = 0;
+    cfg.maxStallEvents = 16;
+    wd.arm(cfg);
+    q.setWatchdog(&wd);
+    std::function<void()> spin = [&] { q.scheduleIn(0, spin); };
+    q.schedule(nanoseconds(1), spin);
+    try {
+        q.run();
+        FAIL() << "livelock did not trip";
+    } catch (const PointTimeout &e) {
+        EXPECT_EQ(e.kind(), WatchdogTrip::Livelock);
+        EXPECT_EQ(e.when(), nanoseconds(1));
+        EXPECT_NE(
+            std::string(e.what()).find("watchdog.max_stall_events"),
+            std::string::npos);
+    }
+}
+
+TEST(Watchdog, TimeAdvanceResetsTheStallRun)
+{
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxEvents = 0;
+    cfg.maxStallEvents = 4;
+    wd.arm(cfg);
+    // Three same-tick events, then an advance, repeatedly: the run
+    // never reaches the ceiling.
+    for (std::uint64_t t = 1; t <= 50; ++t) {
+        wd.onEvent(nanoseconds(t));
+        wd.onEvent(nanoseconds(t));
+        wd.onEvent(nanoseconds(t));
+        EXPECT_EQ(wd.stallRun(), 2u);
+    }
+    EXPECT_EQ(wd.events(), 150u);
 }
 
 /** Property: any random schedule executes in non-decreasing time. */

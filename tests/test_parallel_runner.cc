@@ -380,6 +380,64 @@ TEST(ParallelRunner, InjectedAbortIsAStructuredPerPointError)
     EXPECT_FALSE(batch.allOk());
 }
 
+TEST(ParallelRunner, LivelockedPointIsQuarantinedSiblingsIntact)
+{
+    // An eviction-storm inject plan thrashes prefetched chunks out
+    // at zero simulated cost: a long same-tick run of clean
+    // evictions that no time-based bound can see, which the stall
+    // detector flags as livelock. The doomed point is retried with
+    // the same seed (fails identically), quarantined, and reported;
+    // its siblings come out bit-identical to a batch that never
+    // contained it.
+    SystemConfig system = SystemConfig::a100Epyc();
+    system.watchdog.maxStallEvents = 48;
+
+    ExperimentOptions good;
+    good.size = SizeClass::Medium;
+    good.runs = 1;
+    ExperimentOptions doomed = good;
+    doomed.injectSeed = 7;
+    doomed.inject = InjectPlan::fromKv(KvConfig::fromString(
+        "inject.migrate.storm_rate = 0.01\n"
+        "inject.migrate.storm_chunks = 100000\n"));
+
+    std::vector<ExperimentPoint> withDoom = {
+        {"vector_seq", TransferMode::Standard, good},
+        {"saxpy", TransferMode::Uvm, doomed},
+        {"saxpy", TransferMode::Uvm, good},
+    };
+    std::vector<ExperimentPoint> clean = {withDoom[0], withDoom[2]};
+
+    ParallelRunner runner(system, 2);
+    RunPolicy policy;
+    policy.retries = 1;
+    BatchResult batch = runner.runPoints(withDoom, policy);
+
+    ASSERT_EQ(batch.points.size(), 3u);
+    const PointOutcome &out = batch.points[1];
+    ASSERT_FALSE(out.ok);
+    EXPECT_EQ(out.status, PointStatus::Quarantined);
+    EXPECT_EQ(out.attempts, 2u);
+    EXPECT_NE(out.error.find("livelock"), std::string::npos)
+        << out.error;
+    ASSERT_EQ(out.attemptTrail.size(), 2u);
+    EXPECT_EQ(out.attemptTrail[0].status, PointStatus::Timeout);
+    // Retries reuse the point's seed, so a deterministic failure
+    // fails identically on every attempt.
+    EXPECT_EQ(out.attemptTrail[0].error, out.attemptTrail[1].error);
+
+    EXPECT_TRUE(batch.points[0].ok);
+    EXPECT_TRUE(batch.points[2].ok);
+    EXPECT_EQ(batch.quarantined(), 1u);
+    EXPECT_TRUE(batch.degraded());
+
+    std::vector<ExperimentResult> reference = runner.run(clean);
+    EXPECT_EQ(fingerprint(batch.points[0].result),
+              fingerprint(reference[0]));
+    EXPECT_EQ(fingerprint(batch.points[2].result),
+              fingerprint(reference[1]));
+}
+
 TEST(ParallelRunner, GlobalJobsOverrideAndRestore)
 {
     setGlobalJobs(3);

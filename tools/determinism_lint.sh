@@ -76,6 +76,21 @@ if [ -n "$hits" ]; then
     fail=1
 fi
 
+# --- journal: no wall-clock reads -----------------------------------
+# The run journal is a byte-deterministic artifact (same grid + seed
+# => same bytes at any --jobs count, across interrupt/resume). A
+# timestamp — any wall-clock read — in src/journal would silently
+# break the cmp-based resume gates in check.sh and the golden tests.
+hits=$(grep -rnE \
+    'std::chrono|clock_gettime|gettimeofday|\bstrftime\s*\(|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\(|std::time\s*\(|[^a-zA-Z_]time\s*\(\s*(NULL|nullptr|0|&)' \
+    src/journal --include='*.cc' --include='*.hh' || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: wall-clock read in src/journal (the" \
+         "journal must stay byte-deterministic):"
+    note "$hits"
+    fail=1
+fi
+
 # --- unordered iteration feeding output -----------------------------
 # Files that produce user-visible artifacts must not range-for over
 # unordered containers; the iteration order is ABI/hash-seed soup.

@@ -22,14 +22,28 @@
  *   uvmasync sweep --kind blocks|threads|sharedmem
  *                  [--workload NAME] [--size CLASS] [--csv]
  *       Run one of the paper's Section 5 sensitivity sweeps.
+ *
+ * Crash safety: `--journal FILE` writes an append-only, fsync'd
+ * JSONL write-ahead log of per-point outcomes in submission order
+ * (byte-deterministic at any --jobs count); `--resume FILE` skips
+ * the points the journal already holds — after a crash or kill the
+ * merged output is byte-identical to an uninterrupted run. Failed
+ * points are retried with the same seed (--retries, default 1) and
+ * then quarantined: the run completes with partial results, an
+ * explicit degraded-run banner, and a robustness table on stderr.
+ * Output paths (--trace, --out, --journal) are opened before the
+ * first simulated tick, so a bad path fails fast.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,7 @@
 #include "core/parallel_runner.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
+#include "journal/journal.hh"
 #include "runtime/config_loader.hh"
 #include "runtime/device.hh"
 #include "trace/chrome_export.hh"
@@ -144,6 +159,113 @@ loadInjectFlags(const Args &args, InjectPlan &plan,
     plan = InjectPlan::fromKv(kv);
 }
 
+/**
+ * Open an output destination before any simulation starts, so a bad
+ * path fails in milliseconds instead of after an hours-long sweep.
+ */
+std::ofstream
+openOutputOrDie(const std::string &path, const char *what)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open %s file '%s' for writing", what,
+              path.c_str());
+    return out;
+}
+
+/** Resolve --out FILE (preflight-opened) or stick with stdout. */
+class OutSink
+{
+  public:
+    explicit OutSink(const Args &args)
+    {
+        if (args.has("out")) {
+            file_ = openOutputOrDie(args.get("out"), "--out");
+            os_ = &file_;
+        }
+    }
+
+    std::ostream &os() { return os_ ? *os_ : std::cout; }
+
+  private:
+    std::ofstream file_;
+    std::ostream *os_ = nullptr;
+};
+
+/** --watchdog-max-ms / -events / -stall override the system config. */
+void
+applyWatchdogFlags(const Args &args, SystemConfig &system)
+{
+    if (args.has("watchdog-max-ms"))
+        system.watchdog.maxSimTime = static_cast<Tick>(std::llround(
+            std::stod(args.get("watchdog-max-ms")) * 1e9));
+    if (args.has("watchdog-max-events"))
+        system.watchdog.maxEvents =
+            std::stoull(args.get("watchdog-max-events"));
+    if (args.has("watchdog-max-stall"))
+        system.watchdog.maxStallEvents =
+            std::stoull(args.get("watchdog-max-stall"));
+}
+
+/**
+ * Resolve --journal/--resume into an open RunJournal (or null). The
+ * journal is opened before any simulation (fail-fast on bad paths);
+ * --resume refuses traced runs because traces are not journaled, so
+ * restored points could not reproduce their exports.
+ */
+std::unique_ptr<RunJournal>
+setupJournal(const Args &args,
+             const std::vector<ExperimentPoint> &points, bool traced)
+{
+    if (args.has("journal") && args.has("resume"))
+        fatal("--journal and --resume are mutually exclusive; "
+              "--resume appends to the journal it resumes from");
+    if (args.has("resume")) {
+        if (traced)
+            fatal("--resume cannot be combined with --trace or "
+                  "--metrics: traces are not journaled, so restored "
+                  "points would export empty traces; rerun without "
+                  "--resume for a traced run");
+        std::unique_ptr<RunJournal> journal =
+            RunJournal::resume(args.get("resume"), points);
+        inform("resuming from '%s': %zu of %zu points already "
+               "complete",
+               journal->path().c_str(), journal->restoredCount(),
+               points.size());
+        return journal;
+    }
+    if (args.has("journal"))
+        return RunJournal::create(args.get("journal"), points);
+    return nullptr;
+}
+
+/** --retries N (default 1): extra same-seed attempts per point. */
+std::uint32_t
+parseRetriesFlag(const Args &args)
+{
+    return static_cast<std::uint32_t>(
+        std::stoul(args.get("retries", "1")));
+}
+
+/**
+ * Degraded-run reporting: a banner plus a robustness table (to
+ * stderr, so CSV output stays clean) naming every quarantined point.
+ * Returns the process exit code contribution (1 when degraded).
+ */
+int
+reportRobustness(const std::vector<ExperimentPoint> &points,
+                 const BatchResult &batch)
+{
+    if (!batch.degraded())
+        return 0;
+    warn("DEGRADED RUN: %zu of %zu points quarantined after "
+         "retries; results are partial",
+         batch.quarantined(), batch.points.size());
+    printTable(std::cerr, "robustness (quarantined points)",
+               robustnessTable(points, batch));
+    return 1;
+}
+
 /** --lint off|warn|enforce (default enforce); --no-lint = off. */
 bool
 parseLintFlag(const Args &args, LintMode &out)
@@ -222,21 +344,43 @@ emitCsvRow(CsvWriter &csv, const ExperimentResult &res,
 }
 
 /**
- * Export per-mode traces as one merged Chrome trace file. Returns
- * false if the file cannot be written.
+ * Export per-mode traces as one merged Chrome trace file into a
+ * stream that was preflight-opened before the sweep started.
  */
-bool
-exportTraceFile(const std::string &path,
+void
+exportTraceFile(std::ofstream &out,
                 const std::vector<ChromeTraceJob> &jobs)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write trace file '%s'\n",
-                     path.c_str());
-        return false;
-    }
     writeChromeTrace(out, jobs);
-    return true;
+}
+
+/**
+ * The journal identity of a job file's five-mode run: one synthetic
+ * point per mode. The job file's *content* hash rides in baseSeed so
+ * editing the file invalidates a stale journal even though the job
+ * is not a registry workload.
+ */
+std::vector<ExperimentPoint>
+jobFilePoints(const std::string &jobName, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read job file '%s'", path.c_str());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    char c = 0;
+    while (in.get(c)) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    std::vector<ExperimentPoint> points;
+    points.reserve(allTransferModes.size());
+    for (TransferMode mode : allTransferModes) {
+        ExperimentOptions opts;
+        opts.runs = 0;
+        opts.baseSeed = h;
+        points.push_back(ExperimentPoint{jobName, mode, opts});
+    }
+    return points;
 }
 
 /** Run a job description file through the five modes directly. */
@@ -253,6 +397,7 @@ cmdRunJobFile(const Args &args)
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
+    applyWatchdogFlags(args, system);
     enforceLint(system, job, args.get("jobfile"), lint, nullptr,
                 &jobKv);
     Device device(system);
@@ -271,60 +416,91 @@ cmdRunJobFile(const Args &args)
     std::vector<Tracer> traces;
     traces.reserve(allTransferModes.size());
 
+    // Preflight every output before the first simulated tick.
+    OutSink out(args);
+    std::optional<std::ofstream> traceOut;
+    if (!tracePath.empty())
+        traceOut.emplace(openOutputOrDie(tracePath, "--trace"));
+    std::vector<ExperimentPoint> points =
+        jobFilePoints(job.name, args.get("jobfile"));
+    std::unique_ptr<RunJournal> journal =
+        setupJournal(args, points, traced);
+
     bool anyFailed = false;
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
                      "overall", "faults"});
-    for (TransferMode mode : allTransferModes) {
-        Tracer tracer;
-        runOpts.tracer = traced ? &tracer : nullptr;
-        // A fresh injector per mode: every mode sees the same
-        // deterministic perturbation schedule from the same streams.
-        Injector injector(injectPlan, injectSalt(injectSeed, 0));
-        runOpts.injector = &injector;
-        try {
-            RunResult run = device.run(job, mode, runOpts);
+    for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
+        TransferMode mode = allTransferModes[i];
+        PointOutcome outcome;
+        if (journal && journal->restore(i, outcome)) {
+            outcome.restored = true;
+        } else {
+            Tracer tracer;
+            runOpts.tracer = traced ? &tracer : nullptr;
+            // A fresh injector per mode: every mode sees the same
+            // deterministic perturbation schedule from the same
+            // streams.
+            Injector injector(injectPlan, injectSalt(injectSeed, 0));
+            runOpts.injector = &injector;
+            outcome.attempts = 1;
+            try {
+                RunResult run = device.run(job, mode, runOpts);
+                outcome.ok = true;
+                outcome.status = PointStatus::Ok;
+                outcome.result.workload = job.name;
+                outcome.result.mode = mode;
+                outcome.result.clean = run.breakdown;
+                outcome.result.counters = run.counters;
+            } catch (const PointTimeout &e) {
+                outcome.status = PointStatus::Timeout;
+                outcome.error = e.what();
+            } catch (const TransferAborted &e) {
+                outcome.status = PointStatus::Aborted;
+                outcome.error = e.what();
+            }
+            traces.push_back(std::move(tracer));
+            if (journal)
+                journal->commit(i, outcome);
+        }
+        if (outcome.ok) {
+            const TimeBreakdown &b = outcome.result.clean;
             table.addRow({transferModeName(mode),
-                          fmtTime(run.breakdown.kernelPs),
-                          fmtTime(run.breakdown.transferPs),
-                          fmtTime(run.breakdown.allocPs),
-                          fmtTime(run.breakdown.overallPs()),
+                          fmtTime(b.kernelPs), fmtTime(b.transferPs),
+                          fmtTime(b.allocPs), fmtTime(b.overallPs()),
                           fmtCount(static_cast<double>(
-                              run.counters.faults))});
-        } catch (const TransferAborted &e) {
+                              outcome.result.counters.faults))});
+        } else {
             anyFailed = true;
             table.addRow({transferModeName(mode), "-", "-", "-",
                           "failed", "-"});
             std::fprintf(stderr, "%s under %s failed: %s\n",
                          job.name.c_str(), transferModeName(mode),
-                         e.what());
+                         outcome.error.c_str());
         }
-        traces.push_back(std::move(tracer));
     }
-    std::cout << job.name << " ("
-              << fmtBytes(static_cast<double>(job.footprint()))
-              << " footprint, from " << args.get("jobfile")
-              << ")\n";
-    table.print(std::cout);
+    out.os() << job.name << " ("
+             << fmtBytes(static_cast<double>(job.footprint()))
+             << " footprint, from " << args.get("jobfile") << ")\n";
+    table.print(out.os());
 
-    if (!tracePath.empty()) {
+    if (traceOut) {
         std::vector<ChromeTraceJob> jobs;
-        for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
+        for (std::size_t i = 0; i < traces.size(); ++i) {
             jobs.push_back(ChromeTraceJob{
                 job.name + "/" +
                     transferModeName(allTransferModes[i]),
                 &traces[i]});
         }
-        if (!exportTraceFile(tracePath, jobs))
-            return 1;
+        exportTraceFile(*traceOut, jobs);
     }
     if (wantMetrics) {
-        for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
-            std::cout << "\n"
-                      << job.name << " under "
-                      << transferModeName(allTransferModes[i])
-                      << " — resource metrics:\n"
-                      << traceMetricsTable(
-                             computeTraceMetrics(traces[i]));
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            out.os() << "\n"
+                     << job.name << " under "
+                     << transferModeName(allTransferModes[i])
+                     << " — resource metrics:\n"
+                     << traceMetricsTable(
+                            computeTraceMetrics(traces[i]));
         }
     }
     return anyFailed ? 1 : 0;
@@ -388,17 +564,31 @@ cmdRun(const Args &args)
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
+    applyWatchdogFlags(args, system);
     std::vector<ExperimentPoint> points;
     points.reserve(modes.size());
     for (TransferMode m : modes)
         points.push_back(ExperimentPoint{workload, m, opts});
+
+    // Preflight every output before the first simulated tick.
+    OutSink out(args);
+    std::optional<std::ofstream> traceOut;
+    if (!tracePath.empty())
+        traceOut.emplace(openOutputOrDie(tracePath, "--trace"));
+    std::unique_ptr<RunJournal> journal =
+        setupJournal(args, points, opts.trace);
+
+    RunPolicy policy;
+    policy.retries = parseRetriesFlag(args);
+    policy.journal = journal.get();
     ParallelRunner runner(system);
-    BatchResult batch = runner.runPoints(points);
+    BatchResult batch = runner.runPoints(points, policy);
 
     // Failed points (a poisoned configuration, an injected transfer
-    // that exhausted its retries) are reported individually; the
-    // surviving points still print and export normally.
-    bool anyFailed = false;
+    // that exhausted its retries, a watchdog trip) are retried, then
+    // quarantined and reported individually; the surviving points
+    // still print and export normally.
+    bool anyFailed = reportRobustness(points, batch) != 0;
     std::vector<ExperimentResult> results;
     results.reserve(batch.points.size());
     for (std::size_t i = 0; i < batch.points.size(); ++i) {
@@ -406,35 +596,33 @@ cmdRun(const Args &args)
             results.push_back(std::move(batch.points[i].result));
             continue;
         }
-        anyFailed = true;
         std::fprintf(stderr, "%s/%s failed: %s\n",
                      points[i].workload.c_str(),
                      transferModeName(points[i].mode),
                      batch.points[i].error.c_str());
     }
 
-    if (!tracePath.empty()) {
+    if (traceOut) {
         std::vector<ChromeTraceJob> jobs;
         for (const ExperimentResult &res : results) {
             jobs.push_back(ChromeTraceJob{
                 res.workload + "/" + transferModeName(res.mode),
                 &res.trace});
         }
-        if (!exportTraceFile(tracePath, jobs))
-            return 1;
+        exportTraceFile(*traceOut, jobs);
     }
 
     if (args.has("csv")) {
-        CsvWriter csv(std::cout);
+        CsvWriter csv(out.os());
         emitCsvHeader(csv);
         for (const ExperimentResult &res : results)
             emitCsvRow(csv, res, opts.runs);
         if (wantMetrics) {
             for (const ExperimentResult &res : results) {
-                std::cout << "\n";
+                out.os() << "\n";
                 csv.writeRow({"trace_metrics", res.workload,
                               transferModeName(res.mode)});
-                writeTraceMetricsCsv(std::cout,
+                writeTraceMetricsCsv(out.os(),
                                      computeTraceMetrics(res.trace));
             }
         }
@@ -455,11 +643,11 @@ cmdRun(const Args &args)
                           res.counters.faults)),
                       fmtDouble(res.counters.l1LoadMissRate, 3)});
     }
-    std::cout << workload << " @ " << sizeClassName(opts.size)
-              << " (" << opts.runs << " runs)\n";
-    table.print(std::cout);
+    out.os() << workload << " @ " << sizeClassName(opts.size) << " ("
+             << opts.runs << " runs)\n";
+    table.print(out.os());
     if (wantMetrics) {
-        printTable(std::cout, "per-resource trace metrics",
+        printTable(out.os(), "per-resource trace metrics",
                    traceUtilizationTable({results}));
     }
     return anyFailed ? 1 : 0;
@@ -605,25 +793,26 @@ cmdSweep(const Args &args)
     if (!applyJobsFlag(args))
         return 1;
 
+    loadInjectFlags(args, opts.inject, opts.injectSeed);
+
     SystemConfig system = args.has("config")
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
-    Experiment experiment(system);
-    Sweep sweep(experiment);
-    std::vector<SweepPoint> points;
+    applyWatchdogFlags(args, system);
+    SweepGrid grid;
     std::string unit;
     if (kind == "blocks") {
-        points = sweep.blockSweep(
+        grid = blockSweepGrid(
             workload, {4096, 2048, 1024, 512, 256, 128, 64, 32, 16},
             opts);
         unit = "blocks";
     } else if (kind == "threads") {
-        points = sweep.threadSweep(workload,
-                                   {1024, 512, 256, 128, 64, 32}, 64,
-                                   opts);
+        grid = threadSweepGrid(workload,
+                               {1024, 512, 256, 128, 64, 32}, 64,
+                               opts);
         unit = "threads";
     } else if (kind == "sharedmem") {
-        points = sweep.sharedMemSweep(
+        grid = sharedMemSweepGrid(
             workload,
             {kib(2), kib(4), kib(8), kib(16), kib(32), kib(64),
              kib(128)},
@@ -636,8 +825,22 @@ cmdSweep(const Args &args)
         return 1;
     }
 
+    // Preflight every output before the first simulated tick.
+    OutSink out(args);
+    std::unique_ptr<RunJournal> journal =
+        setupJournal(args, grid.points, /*traced=*/false);
+
+    RunPolicy policy;
+    policy.retries = parseRetriesFlag(args);
+    policy.journal = journal.get();
+    ParallelRunner runner(system);
+    BatchResult batch = runner.runPoints(grid.points, policy);
+    bool anyFailed = reportRobustness(grid.points, batch) != 0;
+    std::vector<SweepPoint> points =
+        assembleSweepPoints(grid, batch);
+
     if (args.has("csv")) {
-        CsvWriter csv(std::cout);
+        CsvWriter csv(out.os());
         csv.writeRow({unit, "mode", "overall_ms"});
         for (const SweepPoint &p : points) {
             for (const ExperimentResult &res : p.modes) {
@@ -648,7 +851,7 @@ cmdSweep(const Args &args)
                                4)});
             }
         }
-        return 0;
+        return anyFailed ? 1 : 0;
     }
 
     TextTable table({unit, "standard", "async", "uvm",
@@ -661,10 +864,10 @@ cmdSweep(const Args &args)
         }
         table.addRow(row);
     }
-    std::cout << workload << " " << kind << " sweep @ "
-              << sizeClassName(opts.size) << "\n";
-    table.print(std::cout);
-    return 0;
+    out.os() << workload << " " << kind << " sweep @ "
+             << sizeClassName(opts.size) << "\n";
+    table.print(out.os());
+    return anyFailed ? 1 : 0;
 }
 
 void
@@ -679,14 +882,31 @@ usage()
         "               [--blocks N] [--threads N] [--carveout KIB] "
         "[--seed N] [--config FILE] [--csv] [--jobs N]\n"
         "               [--lint off|warn|enforce] [--no-lint]\n"
-        "               [--trace FILE.json] [--metrics]\n"
+        "               [--trace FILE.json] [--metrics] "
+        "[--out FILE]\n"
         "               [--inject PLAN.kv] [--inject-seed N]\n"
+        "               [--journal FILE.jsonl | --resume "
+        "FILE.jsonl] [--retries N]\n"
+        "               [--watchdog-max-ms MS] "
+        "[--watchdog-max-events N] [--watchdog-max-stall N]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
         "[--workload NAME] [--size CLASS] [--csv] [--jobs N]\n"
+        "               [--out FILE] [--inject PLAN.kv] "
+        "[--journal FILE.jsonl | --resume FILE.jsonl] "
+        "[--retries N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "
         "[--mode MODE] [--size CLASS]\n"
         "  uvmasync timeline --workload NAME|--jobfile FILE "
-        "[--mode MODE|all] [--size CLASS]\n");
+        "[--mode MODE|all] [--size CLASS]\n"
+        "\n"
+        "crash safety: --journal FILE writes an fsync'd JSONL "
+        "write-ahead log of per-point\n"
+        "outcomes; --resume FILE skips the points it already holds "
+        "and appends the rest.\n"
+        "Failed points are retried --retries times with the same "
+        "seed, then quarantined;\n"
+        "the run completes with partial results and a robustness "
+        "report on stderr.\n");
 }
 
 } // namespace
