@@ -4,15 +4,17 @@
 # determinism lint, a trace-export smoke run, a chaos stage (the
 # fault-injection suite plus an injected smoke run), a resume stage
 # (journal byte-determinism across job counts, kill-and-resume CSV
-# identity, watchdog quarantine), a ThreadSanitizer pass over the
-# parallel experiment engine, the tracer suite and the injection
-# suite, and an ASan+UBSan build of the full test suite (which
-# includes the injection suite).
+# identity, watchdog quarantine), a bench stage (perf-trajectory
+# harness gated against the committed BENCH_6.json), a
+# ThreadSanitizer pass over the parallel experiment engine, the
+# tracer suite and the injection suite, and an ASan+UBSan build of
+# the full test suite (which includes the injection suite).
 #
 #   scripts/check.sh             # all stages
 #   scripts/check.sh --no-tsan   # skip the TSan stage
 #   scripts/check.sh --no-asan   # skip the ASan+UBSan stage
 #   scripts/check.sh --no-chaos  # skip the chaos smoke stage
+#   scripts/check.sh --no-bench  # skip the perf-trajectory gate
 #
 # The sanitizer stages configure separate build trees (build-tsan/,
 # build-asan/) so the instrumented objects never mix with the
@@ -24,11 +26,13 @@ cd "$(dirname "$0")/.."
 run_tsan=1
 run_asan=1
 run_chaos=1
+run_bench=1
 for arg in "$@"; do
     case "$arg" in
         --no-tsan) run_tsan=0 ;;
         --no-asan) run_asan=0 ;;
         --no-chaos) run_chaos=0 ;;
+        --no-bench) run_bench=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -96,6 +100,31 @@ if ./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
 fi
 grep -q 'DEGRADED RUN' "$trace_out/wd.log"
 grep -q 'quarantined' "$trace_out/wd.log"
+
+if [ "$run_bench" = 1 ]; then
+    echo "== bench: perf trajectory vs committed BENCH_6.json =="
+    # Self-timing harness: regenerate the measurement and gate it
+    # against the committed artifact with a +-15% tolerance band on
+    # every phase rate (and derived speedups); the calendar-vs-heap
+    # speedup floor and the null-sink overhead ceiling are absolute
+    # gates re-checked at generation time. Wall-clock rates on a
+    # shared machine are noisy (background-load bursts can halve a
+    # phase's rate for a few seconds), so the gate gets three
+    # attempts; a real regression is reproducible and fails all
+    # three, printing the per-phase delta table each time.
+    bench_cmd=(./build/tools/uvmasync-bench --reps 5 --warmup 2
+        --require-speedup 1.5 --max-null-overhead 1.0
+        --compare BENCH_6.json --tolerance 0.15)
+    bench_ok=0
+    for attempt in 1 2 3; do
+        if "${bench_cmd[@]}"; then
+            bench_ok=1
+            break
+        fi
+        echo "bench: attempt $attempt failed (transient load?)" >&2
+    done
+    [ "$bench_ok" = 1 ]
+fi
 
 if [ "$run_tsan" = 1 ]; then
     echo "== TSan: parallel engine + tracer + injection suite =="

@@ -1,0 +1,346 @@
+#include "perf/bench_report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "journal/json.hh"
+
+namespace uvmasync
+{
+
+double
+medianOf(std::vector<double> samples)
+{
+    UVMASYNC_ASSERT(!samples.empty(), "median of an empty sample set");
+    std::sort(samples.begin(), samples.end());
+    std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+const BenchPhase *
+BenchReport::findPhase(const std::string &name) const
+{
+    for (const BenchPhase &p : phases) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+BenchReport::findDerived(const std::string &name, double &out) const
+{
+    for (const auto &[key, value] : derived) {
+        if (key == name) {
+            out = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+BenchPhase
+finishPhase(std::string name, std::string unit,
+            std::uint64_t itemsPerRep, std::uint32_t warmup,
+            std::vector<double> allSamplesNs)
+{
+    UVMASYNC_ASSERT(allSamplesNs.size() > warmup,
+                    "phase '%s': %zu samples cannot cover %u warmups",
+                    name.c_str(), allSamplesNs.size(), warmup);
+    BenchPhase phase;
+    phase.name = std::move(name);
+    phase.unit = std::move(unit);
+    phase.itemsPerRep = itemsPerRep;
+    phase.warmup = warmup;
+    phase.samplesNs.assign(allSamplesNs.begin() + warmup,
+                           allSamplesNs.end());
+    phase.reps = static_cast<std::uint32_t>(phase.samplesNs.size());
+    phase.medianNs = medianOf(phase.samplesNs);
+    phase.rate = phase.medianNs > 0.0
+                     ? static_cast<double>(itemsPerRep) /
+                           (phase.medianNs * 1e-9)
+                     : 0.0;
+    return phase;
+}
+
+std::string
+writeBenchReport(const BenchReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(static_cast<std::uint64_t>(report.schema));
+    w.key("label").value(report.label);
+
+    w.key("machine").beginObject();
+    w.key("os").value(report.machine.os);
+    w.key("arch").value(report.machine.arch);
+    w.key("compiler").value(report.machine.compiler);
+    w.key("build_type").value(report.machine.buildType);
+    w.key("hardware_threads").value(report.machine.hardwareThreads);
+    w.endObject();
+
+    w.key("peak_rss_bytes").value(report.peakRssBytes);
+
+    w.key("phases").beginArray();
+    for (const BenchPhase &p : report.phases) {
+        w.beginObject();
+        w.key("name").value(p.name);
+        w.key("unit").value(p.unit);
+        w.key("items_per_rep").value(p.itemsPerRep);
+        w.key("reps").value(static_cast<std::uint64_t>(p.reps));
+        w.key("warmup").value(static_cast<std::uint64_t>(p.warmup));
+        w.key("samples_ns").beginArray();
+        for (double s : p.samplesNs)
+            w.hex(s);
+        w.endArray();
+        w.key("median_ns").hex(p.medianNs);
+        w.key("rate").hex(p.rate);
+        w.key("breakdown").beginObject();
+        for (const auto &[key, value] : p.breakdown)
+            w.key(key).hex(value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("derived").beginObject();
+    for (const auto &[key, value] : report.derived)
+        w.key(key).hex(value);
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+namespace
+{
+
+bool
+memberString(const JsonValue &obj, const char *name, std::string &out,
+             std::string &error)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->isString()) {
+        error = std::string("missing string member '") + name + "'";
+        return false;
+    }
+    out = v->text;
+    return true;
+}
+
+bool
+memberUint(const JsonValue &obj, const char *name, std::uint64_t &out,
+           std::string &error)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->asUint(out)) {
+        error = std::string("missing uint member '") + name + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+memberHex(const JsonValue &obj, const char *name, double &out,
+          std::string &error)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->asHex(out)) {
+        error = std::string("missing hexfloat member '") + name + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+hexPairs(const JsonValue &obj,
+         std::vector<std::pair<std::string, double>> &out,
+         std::string &error)
+{
+    for (const auto &[key, value] : obj.members) {
+        double d = 0.0;
+        if (!value.asHex(d)) {
+            error = "member '" + key + "' is not a hexfloat";
+            return false;
+        }
+        out.emplace_back(key, d);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseBenchReport(const std::string &text, BenchReport &out,
+                 std::string &error)
+{
+    JsonValue root;
+    if (!parseJson(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        error = "report is not a JSON object";
+        return false;
+    }
+
+    std::uint64_t schema = 0;
+    if (!memberUint(root, "schema", schema, error))
+        return false;
+    if (schema != benchSchemaVersion) {
+        error = strfmt("unsupported bench schema %llu (want %u)",
+                       static_cast<unsigned long long>(schema),
+                       benchSchemaVersion);
+        return false;
+    }
+    out.schema = static_cast<std::uint32_t>(schema);
+    if (!memberString(root, "label", out.label, error))
+        return false;
+
+    const JsonValue *machine = root.find("machine");
+    if (!machine || !machine->isObject()) {
+        error = "missing 'machine' object";
+        return false;
+    }
+    if (!memberString(*machine, "os", out.machine.os, error) ||
+        !memberString(*machine, "arch", out.machine.arch, error) ||
+        !memberString(*machine, "compiler", out.machine.compiler,
+                      error) ||
+        !memberString(*machine, "build_type", out.machine.buildType,
+                      error) ||
+        !memberUint(*machine, "hardware_threads",
+                    out.machine.hardwareThreads, error))
+        return false;
+
+    if (!memberUint(root, "peak_rss_bytes", out.peakRssBytes, error))
+        return false;
+
+    const JsonValue *phases = root.find("phases");
+    if (!phases || !phases->isArray()) {
+        error = "missing 'phases' array";
+        return false;
+    }
+    out.phases.clear();
+    for (const JsonValue &pv : phases->items) {
+        if (!pv.isObject()) {
+            error = "phase entry is not an object";
+            return false;
+        }
+        BenchPhase p;
+        std::uint64_t reps = 0, warmup = 0;
+        if (!memberString(pv, "name", p.name, error) ||
+            !memberString(pv, "unit", p.unit, error) ||
+            !memberUint(pv, "items_per_rep", p.itemsPerRep, error) ||
+            !memberUint(pv, "reps", reps, error) ||
+            !memberUint(pv, "warmup", warmup, error) ||
+            !memberHex(pv, "median_ns", p.medianNs, error) ||
+            !memberHex(pv, "rate", p.rate, error))
+            return false;
+        p.reps = static_cast<std::uint32_t>(reps);
+        p.warmup = static_cast<std::uint32_t>(warmup);
+        const JsonValue *samples = pv.find("samples_ns");
+        if (!samples || !samples->isArray()) {
+            error = "phase '" + p.name + "': missing samples_ns";
+            return false;
+        }
+        for (const JsonValue &sv : samples->items) {
+            double d = 0.0;
+            if (!sv.asHex(d)) {
+                error = "phase '" + p.name + "': bad sample";
+                return false;
+            }
+            p.samplesNs.push_back(d);
+        }
+        const JsonValue *breakdown = pv.find("breakdown");
+        if (!breakdown || !breakdown->isObject()) {
+            error = "phase '" + p.name + "': missing breakdown";
+            return false;
+        }
+        if (!hexPairs(*breakdown, p.breakdown, error))
+            return false;
+        out.phases.push_back(std::move(p));
+    }
+
+    const JsonValue *derived = root.find("derived");
+    if (!derived || !derived->isObject()) {
+        error = "missing 'derived' object";
+        return false;
+    }
+    out.derived.clear();
+    return hexPairs(*derived, out.derived, error);
+}
+
+namespace
+{
+
+PhaseDelta
+deltaRow(const std::string &name, double base, double cur,
+         bool present, double tolerance)
+{
+    PhaseDelta d;
+    d.name = name;
+    d.baselineRate = base;
+    d.currentRate = cur;
+    d.missing = !present;
+    d.ratio = (present && base > 0.0) ? cur / base : 0.0;
+    d.regressed = d.missing || d.ratio < 1.0 - tolerance;
+    return d;
+}
+
+} // namespace
+
+BenchComparison
+compareBenchReports(const BenchReport &baseline,
+                    const BenchReport &current, double tolerance)
+{
+    BenchComparison cmp;
+    for (const BenchPhase &base : baseline.phases) {
+        const BenchPhase *cur = current.findPhase(base.name);
+        PhaseDelta d = deltaRow(base.name, base.rate,
+                                cur ? cur->rate : 0.0,
+                                cur != nullptr, tolerance);
+        cmp.pass = cmp.pass && !d.regressed;
+        cmp.phases.push_back(std::move(d));
+    }
+    for (const auto &[name, base] : baseline.derived) {
+        // Overhead percentages are lower-is-better and hover near
+        // zero, where ratios are meaningless (0.3% vs 0.5% is not a
+        // regression); they are gated absolutely at generation time
+        // (--max-null-overhead), not diffed against a baseline.
+        if (name.size() > 13 &&
+            name.compare(name.size() - 13, 13, "_overhead_pct") == 0)
+            continue;
+        double cur = 0.0;
+        bool present = current.findDerived(name, cur);
+        PhaseDelta d = deltaRow(name, base, cur, present, tolerance);
+        cmp.pass = cmp.pass && !d.regressed;
+        cmp.derived.push_back(std::move(d));
+    }
+    return cmp;
+}
+
+std::string
+formatComparison(const BenchComparison &cmp, double tolerance)
+{
+    std::string out = strfmt(
+        "%-28s %14s %14s %7s  %s\n", "phase", "baseline", "current",
+        "ratio", "verdict");
+    auto row = [&](const PhaseDelta &d) {
+        const char *verdict =
+            d.missing ? "MISSING"
+            : d.regressed ? "REGRESSED"
+            : d.ratio > 1.0 + tolerance ? "improved"
+            : "ok";
+        out += strfmt("%-28s %14.0f %14.0f %7.3f  %s\n",
+                      d.name.c_str(), d.baselineRate, d.currentRate,
+                      d.ratio, verdict);
+    };
+    for (const PhaseDelta &d : cmp.phases)
+        row(d);
+    for (const PhaseDelta &d : cmp.derived)
+        row(d);
+    return out;
+}
+
+} // namespace uvmasync

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Schema of the perf-trajectory artifact (BENCH_*.json).
+ *
+ * A BenchReport is the committed record of one harness run: a list of
+ * timed phases (median-of-N after warmup discard, work-rate per
+ * phase, optional per-step breakdown), derived machine-independent
+ * metrics (speedup ratios, overhead percentages), a machine
+ * fingerprint, and the run's peak RSS. The JSON encoding rides on the
+ * journal's strict writer/parser (journal/json.hh): doubles travel as
+ * exact %a hexfloat strings, so a report round-trips bit-for-bit and
+ * an external diff of two artifacts is meaningful.
+ *
+ * Comparison semantics (compareBenchReports): the machine fingerprint
+ * and peak RSS are recorded for provenance but NEVER compared — only
+ * per-phase rates and derived metrics gate. A phase regresses when
+ * its rate falls below (1 - tolerance) x baseline; being faster than
+ * the band is reported but never fails. A baseline phase missing from
+ * the current report is a failure (the harness lost coverage).
+ */
+
+#ifndef UVMASYNC_PERF_BENCH_REPORT_HH
+#define UVMASYNC_PERF_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uvmasync
+{
+
+/** Bump when the JSON layout changes shape (append-only fields ok). */
+inline constexpr std::uint32_t benchSchemaVersion = 1;
+
+/**
+ * Exact median: odd count takes the middle element, even count the
+ * arithmetic mean of the two middle elements. Fatal on empty input.
+ */
+double medianOf(std::vector<double> samples);
+
+/** Host identity; provenance only, excluded from comparisons. */
+struct MachineFingerprint
+{
+    std::string os;       //!< uname sysname+release ("Linux 6.1.0")
+    std::string arch;     //!< uname machine ("x86_64")
+    std::string compiler; //!< "gcc 13.2.0" / "clang 17.0.1"
+    std::string buildType; //!< CMAKE_BUILD_TYPE baked into the build
+    std::uint64_t hardwareThreads = 0;
+};
+
+/** One timed phase of the harness. */
+struct BenchPhase
+{
+    std::string name; //!< stable id ("event_loop_calendar", ...)
+    std::string unit; //!< what rate counts ("events/sec", ...)
+
+    /** Work items executed per measured repetition. */
+    std::uint64_t itemsPerRep = 0;
+
+    /** Measured repetitions (after warmup) and discarded warmups. */
+    std::uint32_t reps = 0;
+    std::uint32_t warmup = 0;
+
+    /** Wall time of each measured rep, ns (warmups not included). */
+    std::vector<double> samplesNs;
+
+    /** medianOf(samplesNs). */
+    double medianNs = 0.0;
+
+    /** itemsPerRep / median seconds — the phase's headline. */
+    double rate = 0.0;
+
+    /** Optional per-step breakdown, ns (name order is stable). */
+    std::vector<std::pair<std::string, double>> breakdown;
+};
+
+/** One harness run: the unit the repo commits and diffs. */
+struct BenchReport
+{
+    std::uint32_t schema = benchSchemaVersion;
+    std::string label; //!< artifact id ("BENCH_6")
+    MachineFingerprint machine;
+    std::uint64_t peakRssBytes = 0;
+    std::vector<BenchPhase> phases;
+
+    /** Machine-independent derived metrics (speedups, overheads). */
+    std::vector<std::pair<std::string, double>> derived;
+
+    /** Phase by name; nullptr when absent. */
+    const BenchPhase *findPhase(const std::string &name) const;
+
+    /** Derived metric by name; false when absent. */
+    bool findDerived(const std::string &name, double &out) const;
+};
+
+/**
+ * Assemble a phase from raw consecutive rep timings: the first
+ * @p warmup samples are discarded, the rest become samplesNs, and
+ * medianNs/rate are computed from them. Fatal when @p allSamplesNs
+ * does not outnumber the warmups.
+ */
+BenchPhase finishPhase(std::string name, std::string unit,
+                       std::uint64_t itemsPerRep, std::uint32_t warmup,
+                       std::vector<double> allSamplesNs);
+
+/** Serialize to one strict-JSON document (journal/json.hh writer). */
+std::string writeBenchReport(const BenchReport &report);
+
+/**
+ * Parse a writeBenchReport() document. Returns false with a short
+ * reason in @p error on malformed JSON, schema mismatch, or missing
+ * fields.
+ */
+bool parseBenchReport(const std::string &text, BenchReport &out,
+                      std::string &error);
+
+/** One row of a comparison: current phase vs its baseline. */
+struct PhaseDelta
+{
+    std::string name;
+    double baselineRate = 0.0;
+    double currentRate = 0.0;
+
+    /** current / baseline (0 when the phase is missing). */
+    double ratio = 0.0;
+
+    /** Phase present in the baseline but absent from current. */
+    bool missing = false;
+
+    /** ratio < 1 - tolerance (or missing): this row fails the gate. */
+    bool regressed = false;
+};
+
+/** Outcome of compareBenchReports(). */
+struct BenchComparison
+{
+    std::vector<PhaseDelta> phases; //!< baseline order
+    std::vector<PhaseDelta> derived;
+    bool pass = true; //!< no row regressed
+};
+
+/**
+ * Gate @p current against @p baseline with a relative tolerance band
+ * (0.15 = +-15%). Only rates and derived metrics are compared — the
+ * fingerprint and RSS never affect the outcome. Phases that exist
+ * only in @p current are ignored (new coverage is not a regression),
+ * and `*_overhead_pct` derived metrics are exempt (lower-is-better
+ * and near zero, where ratios are meaningless; the harness gates
+ * them absolutely at generation time instead).
+ */
+BenchComparison compareBenchReports(const BenchReport &baseline,
+                                    const BenchReport &current,
+                                    double tolerance);
+
+/**
+ * Render a comparison as a fixed-width per-phase delta table
+ * (baseline rate, current rate, ratio, verdict) for check.sh logs.
+ */
+std::string formatComparison(const BenchComparison &cmp,
+                             double tolerance);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_PERF_BENCH_REPORT_HH

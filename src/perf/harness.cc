@@ -1,0 +1,97 @@
+#include "perf/harness.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+double
+timeOnceNs(const std::function<void()> &body)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+BenchPhase
+runBenchPhase(std::string name, std::string unit,
+              std::uint64_t itemsPerRep, std::uint32_t reps,
+              std::uint32_t warmup, const std::function<void()> &body)
+{
+    UVMASYNC_ASSERT(reps > 0, "phase '%s' needs at least one rep",
+                    name.c_str());
+    std::vector<double> samples;
+    samples.reserve(warmup + reps);
+    for (std::uint32_t i = 0; i < warmup + reps; ++i)
+        samples.push_back(timeOnceNs(body));
+    return finishPhase(std::move(name), std::move(unit), itemsPerRep,
+                       warmup, std::move(samples));
+}
+
+MachineFingerprint
+localFingerprint()
+{
+    MachineFingerprint fp;
+    struct utsname un{};
+    if (uname(&un) == 0) {
+        fp.os = std::string(un.sysname) + " " + un.release;
+        fp.arch = un.machine;
+    } else {
+        fp.os = "unknown";
+        fp.arch = "unknown";
+    }
+#if defined(__clang__)
+    fp.compiler = strfmt("clang %d.%d.%d", __clang_major__,
+                         __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+    fp.compiler = strfmt("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                         __GNUC_PATCHLEVEL__);
+#else
+    fp.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+    fp.buildType = "optimized";
+#else
+    fp.buildType = "assert-enabled";
+#endif
+    fp.hardwareThreads = std::thread::hardware_concurrency();
+    return fp;
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    // VmHWM is the kernel's high-water mark for the resident set.
+    if (FILE *f = std::fopen("/proc/self/status", "r")) {
+        char line[256];
+        std::uint64_t kb = 0;
+        while (std::fgets(line, sizeof(line), f)) {
+            if (std::sscanf(line, "VmHWM: %llu kB",
+                            reinterpret_cast<unsigned long long *>(
+                                &kb)) == 1) {
+                std::fclose(f);
+                return kb * 1024;
+            }
+        }
+        std::fclose(f);
+    }
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0)
+        return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+    return 0;
+}
+
+} // namespace uvmasync

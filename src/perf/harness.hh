@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Self-timing side of the perf-trajectory harness.
+ *
+ * This is HOST-side measurement code: it reads std::chrono's
+ * steady_clock (allowlisted in tools/determinism_lint.sh for
+ * src/perf) and /proc, and none of it ever feeds simulation state —
+ * the simulator's determinism guarantees are untouched. The pure
+ * schema/median/compare logic lives in perf/bench_report.hh so it
+ * stays testable with synthetic timings.
+ */
+
+#ifndef UVMASYNC_PERF_HARNESS_HH
+#define UVMASYNC_PERF_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "perf/bench_report.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Time @p body warmup+reps times, discard the warmups, and return
+ * the finished phase (median-of-N, rate = itemsPerRep/median). The
+ * body runs identically every rep; per-rep state reset belongs
+ * inside it.
+ */
+BenchPhase runBenchPhase(std::string name, std::string unit,
+                         std::uint64_t itemsPerRep,
+                         std::uint32_t reps, std::uint32_t warmup,
+                         const std::function<void()> &body);
+
+/** Wall-clock one call of @p body, in ns. */
+double timeOnceNs(const std::function<void()> &body);
+
+/** Fingerprint of the running host (provenance, never compared). */
+MachineFingerprint localFingerprint();
+
+/**
+ * Peak resident set of this process so far, bytes (VmHWM via
+ * /proc/self/status, getrusage fallback; 0 when unavailable).
+ */
+std::uint64_t peakRssBytes();
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_PERF_HARNESS_HH

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -92,6 +93,40 @@ Watchdog::trip(WatchdogTrip kind, Tick now)
     throw PointTimeout(msg, kind, now, events_);
 }
 
+namespace
+{
+
+/** Initial calendar geometry: 64 slices of 1024 ticks (~1 ns). */
+constexpr std::size_t initialBuckets = 64;
+constexpr std::uint32_t initialWidthShift = 10;
+
+/** Hard bounds keeping slot arithmetic overflow-free. */
+constexpr std::uint32_t maxWidthShift = 52;
+constexpr std::size_t minBucketCount = 64;
+constexpr std::size_t maxBucketCount = 65536;
+
+std::size_t
+pow2AtLeast(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+EventQueue::EventQueue()
+    : buckets_(initialBuckets), bucketMask_(initialBuckets - 1),
+      widthShift_(initialWidthShift)
+{
+}
+
+EventQueue::~EventQueue()
+{
+    dropAll();
+}
+
 void
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
                      const char *what)
@@ -104,8 +139,9 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick_));
     }
-    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
-                     std::move(cb)});
+    EventNode *node = arena_.make(when, static_cast<std::int32_t>(prio),
+                                  nextSeq_++, std::move(cb));
+    insertNode(node);
 }
 
 void
@@ -113,6 +149,157 @@ EventQueue::scheduleIn(Tick delay, Callback cb, EventPriority prio,
                        const char *what)
 {
     schedule(curTick_ + delay, std::move(cb), prio, what);
+}
+
+void
+EventQueue::insertNode(EventNode *node)
+{
+    if (pending_ == 0) {
+        // Empty queue: re-anchor the day at the current tick so a
+        // long-running simulation's calendar follows simulated time
+        // instead of overflowing everything after the first day.
+        daySlotBase_ = slotOf(curTick_);
+        scanSlot_ = daySlotBase_;
+    }
+    routeNode(node);
+}
+
+void
+EventQueue::routeNode(EventNode *node)
+{
+    std::uint64_t slot = slotOf(node->when);
+    // Unsigned wrap routes behind-day slots (possible after a day
+    // rollover jumped ahead of curTick_) into overflow; peekMin()
+    // repairs the calendar before dispatching past them.
+    if (slot - daySlotBase_ < buckets_.size()) {
+        bucketInsert(buckets_[slot & bucketMask_], node);
+        if (slot < scanSlot_)
+            scanSlot_ = slot;
+    } else {
+        overflow_.push_back(node);
+        overflowMin_ = std::min(overflowMin_, node->when);
+    }
+    ++pending_;
+}
+
+void
+EventQueue::bucketInsert(Bucket &b, EventNode *node)
+{
+    node->next = nullptr;
+    if (!b.head) {
+        b.head = b.tail = node;
+        return;
+    }
+    // FIFO fast path: same-timestamp bursts (and generally any
+    // in-order schedule) append at the tail in O(1) because a fresh
+    // node's sequence number exceeds every pending one's.
+    if (!before(*node, *b.tail)) {
+        b.tail->next = node;
+        b.tail = node;
+        return;
+    }
+    EventNode **link = &b.head;
+    while (*link && !before(*node, **link))
+        link = &(*link)->next;
+    node->next = *link;
+    *link = node;
+}
+
+EventQueue::EventNode *
+EventQueue::firstInDay()
+{
+    if (scanSlot_ < daySlotBase_)
+        scanSlot_ = daySlotBase_;
+    std::uint64_t dayEnd = daySlotBase_ + buckets_.size();
+    while (scanSlot_ < dayEnd) {
+        Bucket &b = buckets_[scanSlot_ & bucketMask_];
+        if (b.head)
+            return b.head;
+        ++scanSlot_;
+    }
+    return nullptr;
+}
+
+EventQueue::EventNode *
+EventQueue::peekMin()
+{
+    for (;;) {
+        EventNode *candidate = firstInDay();
+        if (candidate &&
+            (overflow_.empty() || candidate->when < overflowMin_))
+            return candidate;
+        if (!candidate && overflow_.empty())
+            return nullptr;
+        // Day exhausted, or overflow holds an event at/before the
+        // day's earliest (a behind-day insert): re-bucket around the
+        // pending set.
+        rebuild();
+    }
+}
+
+void
+EventQueue::rebuild()
+{
+    ++rebuilds_;
+
+    // Collect every pending node.
+    std::vector<EventNode *> all;
+    all.reserve(pending_);
+    for (Bucket &b : buckets_) {
+        for (EventNode *n = b.head; n;) {
+            EventNode *next = n->next;
+            all.push_back(n);
+            n = next;
+        }
+        b.head = b.tail = nullptr;
+    }
+    for (EventNode *n : overflow_)
+        all.push_back(n);
+    overflow_.clear();
+    overflowMin_ = maxTick;
+    UVMASYNC_ASSERT(all.size() == pending_,
+                    "calendar rebuild lost events (%zu != %zu)",
+                    all.size(), pending_);
+
+    // Sorting makes every redistribution insert hit the O(1) tail
+    // fast path, and the dense-front width below only needs the
+    // k-th smallest timestamp.
+    std::sort(all.begin(), all.end(),
+              [](const EventNode *a, const EventNode *b) {
+                  return before(*a, *b);
+              });
+
+    std::size_t nb = std::min(
+        maxBucketCount,
+        std::max(minBucketCount, pow2AtLeast(all.size())));
+    if (nb != buckets_.size()) {
+        buckets_.assign(nb, Bucket{});
+        bucketMask_ = nb - 1;
+    }
+
+    // Size the day to the dense front (ladder-style): cover the
+    // nearest `nb` events at the finest width that fits, leaving any
+    // far outliers in overflow for a later rollover. This keeps a
+    // cluster of near events from collapsing into one bucket just
+    // because an end-of-run timeout sits far in the future.
+    Tick minWhen = all.front()->when;
+    std::size_t frontIndex = std::min(all.size(), nb) - 1;
+    Tick frontWhen = all[frontIndex]->when;
+    Tick span = frontWhen - minWhen + 1;
+    std::uint32_t shift = 0;
+    while (shift < maxWidthShift &&
+           (span >> shift) > static_cast<Tick>(nb))
+        ++shift;
+    widthShift_ = shift;
+    daySlotBase_ = slotOf(minWhen);
+    scanSlot_ = daySlotBase_;
+
+    std::size_t wasPending = pending_;
+    pending_ = 0;
+    for (EventNode *n : all)
+        routeNode(n); // not insertNode: keep the rebuilt anchor
+    UVMASYNC_ASSERT(pending_ == wasPending,
+                    "calendar rebuild dropped events");
 }
 
 Tick
@@ -124,21 +311,37 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        // Copy out before pop: the callback may schedule new events
-        // and invalidate the reference returned by top().
-        Entry entry = heap_.top();
-        heap_.pop();
-        curTick_ = entry.when;
+    while (pending_) {
+        EventNode *node = peekMin();
+        if (node->when > limit)
+            break;
+        // peekMin() leaves scanSlot_ on the node's bucket; unlink the
+        // head in O(1).
+        Bucket &b = buckets_[scanSlot_ & bucketMask_];
+        UVMASYNC_ASSERT(b.head == node, "dispatch lost its bucket");
+        b.head = node->next;
+        if (!b.head)
+            b.tail = nullptr;
+        --pending_;
+
+        curTick_ = node->when;
         ++executed_;
         if (tracer_) {
             tracer_->instant(TraceCategory::Sim,
                              TraceName::EventDispatch, traceLane_,
-                             entry.when, entry.seq);
+                             node->when, node->seq);
         }
-        if (watchdog_)
-            watchdog_->onEvent(entry.when);
-        entry.cb();
+        // Move the callback out before recycling so the node's slot
+        // is free for events the callback itself schedules.
+        Callback cb = std::move(node->cb);
+        if (watchdog_) {
+            Tick when = node->when;
+            arena_.recycle(node);
+            watchdog_->onEvent(when);
+        } else {
+            arena_.recycle(node);
+        }
+        cb();
     }
     if (limit != maxTick && curTick_ < limit)
         curTick_ = limit;
@@ -146,12 +349,35 @@ EventQueue::runUntil(Tick limit)
 }
 
 void
+EventQueue::dropAll()
+{
+    for (Bucket &b : buckets_) {
+        for (EventNode *n = b.head; n;) {
+            EventNode *next = n->next;
+            arena_.recycle(n);
+            n = next;
+        }
+        b.head = b.tail = nullptr;
+    }
+    for (EventNode *n : overflow_)
+        arena_.recycle(n);
+    overflow_.clear();
+    overflowMin_ = maxTick;
+    pending_ = 0;
+    UVMASYNC_ASSERT(arena_.liveCount() == 0,
+                    "event arena leaked %zu nodes",
+                    arena_.liveCount());
+}
+
+void
 EventQueue::reset()
 {
-    heap_ = {};
+    dropAll();
     curTick_ = 0;
     nextSeq_ = 0;
     executed_ = 0;
+    daySlotBase_ = 0;
+    scanSlot_ = 0;
 }
 
 } // namespace uvmasync

@@ -6,6 +6,17 @@
  * callbacks at absolute ticks; run() drains the queue in (tick,
  * priority, sequence) order so simultaneous events execute
  * deterministically.
+ *
+ * Internally the queue is a two-level calendar (gem5/ladder-queue
+ * style) rather than a comparison-based binary heap: near-future
+ * events hash into per-time-slice FIFO buckets, far-future events
+ * wait in an overflow level that is re-bucketed when the calendar
+ * day rolls over. Event nodes live in an arena with freelist reuse
+ * (sim/event_arena.hh), so steady-state scheduling touches no
+ * allocator and dispatch never copies a callback. The dispatch order
+ * is the same strict (tick, priority, sequence) total order as the
+ * reference heap queue (sim/heap_event_queue.hh) — the equivalence
+ * property suite pins the two to identical sequences.
  */
 
 #ifndef UVMASYNC_SIM_EVENT_QUEUE_HH
@@ -13,12 +24,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/event_arena.hh"
 #include "trace/trace.hh"
 
 namespace uvmasync
@@ -168,25 +179,27 @@ enum class EventPriority : int
 };
 
 /**
- * Deterministic discrete-event queue.
+ * Deterministic discrete-event queue (two-level calendar).
  */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
 
     /** Number of events not yet executed. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /**
      * Schedule @p cb to run at absolute time @p when. Scheduling
@@ -238,29 +251,86 @@ class EventQueue
      */
     void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
 
+    /**
+     * Calendar re-initializations so far (day rollovers and
+     * behind-day repairs). Observability for tests and the bench;
+     * has no bearing on dispatch order.
+     */
+    std::uint64_t rebuilds() const { return rebuilds_; }
+
   private:
-    struct Entry
+    /** Arena-allocated event; next links its FIFO bucket chain. */
+    struct EventNode
     {
+        EventNode(Tick w, std::int32_t p, SeqNum s, Callback c)
+            : when(w), prio(p), seq(s), cb(std::move(c))
+        {
+        }
+
         Tick when;
-        int prio;
+        std::int32_t prio;
         SeqNum seq;
+        EventNode *next = nullptr;
         Callback cb;
     };
 
-    struct Later
+    /** One calendar slice: (when, prio, seq)-sorted singly linked. */
+    struct Bucket
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Strict total dispatch order. */
+    static bool
+    before(const EventNode &a, const EventNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
+        return a.seq < b.seq;
+    }
+
+    /** Absolute calendar slot of @p when under the current width. */
+    std::uint64_t slotOf(Tick when) const { return when >> widthShift_; }
+
+    /** Re-anchor an empty calendar, then route @p node. */
+    void insertNode(EventNode *node);
+
+    /** Route @p node into its day bucket or the overflow level. */
+    void routeNode(EventNode *node);
+
+    /** Stable sorted insert into @p b (tail fast path for FIFO). */
+    void bucketInsert(Bucket &b, EventNode *node);
+
+    /** Head of the earliest nonempty bucket of the current day. */
+    EventNode *firstInDay();
+
+    /**
+     * Earliest pending event, re-bucketing overflow (and repairing a
+     * behind-day insert) as needed; null when the queue is empty.
+     */
+    EventNode *peekMin();
+
+    /** Re-initialize the calendar around the pending event set. */
+    void rebuild();
+
+    /** Recycle every pending node (reset / destruction). */
+    void dropAll();
+
+    std::vector<Bucket> buckets_;
+    std::uint64_t bucketMask_ = 0;   //!< buckets_.size() - 1
+    std::uint32_t widthShift_ = 10;  //!< bucket width = 2^shift ticks
+    std::uint64_t daySlotBase_ = 0;  //!< first absolute slot of the day
+    std::uint64_t scanSlot_ = 0;     //!< dispatch scan position (abs)
+    std::vector<EventNode *> overflow_; //!< beyond the current day
+    Tick overflowMin_ = maxTick;
+    std::size_t pending_ = 0;
+    std::uint64_t rebuilds_ = 0;
+
+    ObjectArena<EventNode> arena_;
+
     Tick curTick_ = 0;
     SeqNum nextSeq_ = 0;
     std::uint64_t executed_ = 0;

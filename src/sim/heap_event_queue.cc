@@ -1,0 +1,73 @@
+#include "sim/heap_event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+void
+HeapEventQueue::schedule(Tick when, Callback cb, EventPriority prio,
+                         const char *what)
+{
+    if (when < curTick_) {
+        fatal("EventQueue: '%s' scheduled %llu ticks in the past "
+              "(when=%llu < now=%llu)",
+              what,
+              static_cast<unsigned long long>(curTick_ - when),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    }
+    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
+                     std::move(cb)});
+}
+
+void
+HeapEventQueue::scheduleIn(Tick delay, Callback cb, EventPriority prio,
+                           const char *what)
+{
+    schedule(curTick_ + delay, std::move(cb), prio, what);
+}
+
+Tick
+HeapEventQueue::run()
+{
+    return runUntil(maxTick);
+}
+
+Tick
+HeapEventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events
+        // and invalidate the reference returned by top(). (This copy
+        // is one of the costs the calendar queue removes.)
+        Entry entry = heap_.top();
+        heap_.pop();
+        curTick_ = entry.when;
+        ++executed_;
+        if (tracer_) {
+            tracer_->instant(TraceCategory::Sim,
+                             TraceName::EventDispatch, traceLane_,
+                             entry.when, entry.seq);
+        }
+        if (watchdog_)
+            watchdog_->onEvent(entry.when);
+        entry.cb();
+    }
+    if (limit != maxTick && curTick_ < limit)
+        curTick_ = limit;
+    return curTick_;
+}
+
+void
+HeapEventQueue::reset()
+{
+    heap_ = {};
+    curTick_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace uvmasync

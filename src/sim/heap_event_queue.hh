@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reference binary-heap event queue.
+ *
+ * This is the original comparison-based EventQueue implementation,
+ * kept verbatim after the calendar-queue rewrite for two jobs:
+ *
+ *  - the equivalence property suite (tests/test_calendar_queue.cc)
+ *    replays randomized schedules through both queues and requires
+ *    identical (tick, priority, sequence) dispatch order;
+ *  - the perf harness (src/perf) times the same event-loop workload
+ *    on both, so BENCH_*.json carries the measured calendar-vs-heap
+ *    speedup as a machine-independent ratio.
+ *
+ * It is NOT used by the simulator itself; everything hot runs on the
+ * calendar queue in sim/event_queue.hh.
+ */
+
+#ifndef UVMASYNC_SIM_HEAP_EVENT_QUEUE_HH
+#define UVMASYNC_SIM_HEAP_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Comparison-ordered reference queue with the EventQueue contract:
+ * dispatch in strict (tick, priority, sequence) order, same
+ * past-scheduling fatal, same tracer/watchdog hooks.
+ */
+class HeapEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    HeapEventQueue() = default;
+
+    HeapEventQueue(const HeapEventQueue &) = delete;
+    HeapEventQueue &operator=(const HeapEventQueue &) = delete;
+
+    Tick curTick() const { return curTick_; }
+    std::size_t pending() const { return heap_.size(); }
+    bool empty() const { return heap_.empty(); }
+
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default,
+                  const char *what = "event");
+
+    void scheduleIn(Tick delay, Callback cb,
+                    EventPriority prio = EventPriority::Default,
+                    const char *what = "event");
+
+    Tick run();
+    Tick runUntil(Tick limit);
+    void reset();
+
+    std::uint64_t executedCount() const { return executed_; }
+
+    void
+    setTracer(Tracer *tracer, std::uint32_t lane = 0)
+    {
+        tracer_ = tracer;
+        traceLane_ = lane;
+    }
+
+    void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        SeqNum seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    SeqNum nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    Tracer *tracer_ = nullptr;
+    std::uint32_t traceLane_ = 0;
+    Watchdog *watchdog_ = nullptr;
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SIM_HEAP_EVENT_QUEUE_HH

@@ -18,8 +18,62 @@ MigrationEngine::MigrationEngine(std::string name, UvmConfig cfg,
       devMem_(devMem), link_(link),
       faultHandler_(this->name() + ".faults", cfg.fault),
       prefetcher_(makePrefetcher(cfg.demandPrefetcher,
-                                 this->name() + ".prefetcher"))
+                                 this->name() + ".prefetcher")),
+      pfKind_(prefetcher_->kind())
 {
+    // Seal the concrete view once; the hot hooks below dispatch on
+    // pfKind_ without touching the vtable again.
+    switch (pfKind_) {
+      case PrefetcherKind::None:
+        pfNone_ = static_cast<NonePrefetcher *>(prefetcher_.get());
+        break;
+      case PrefetcherKind::Stream:
+        pfStream_ = static_cast<StreamPrefetcher *>(prefetcher_.get());
+        break;
+      case PrefetcherKind::Tree:
+        pfTree_ = static_cast<TreePrefetcher *>(prefetcher_.get());
+        break;
+    }
+}
+
+void
+MigrationEngine::prefetchUseful(std::size_t rangeId)
+{
+    switch (pfKind_) {
+      case PrefetcherKind::None: pfNone_->noteUseful(); break;
+      case PrefetcherKind::Stream: pfStream_->noteUseful(); break;
+      case PrefetcherKind::Tree: pfTree_->noteUseful(rangeId); break;
+    }
+}
+
+void
+MigrationEngine::prefetchWasted(std::size_t rangeId)
+{
+    switch (pfKind_) {
+      case PrefetcherKind::None: pfNone_->noteWasted(); break;
+      case PrefetcherKind::Stream: pfStream_->noteWasted(); break;
+      case PrefetcherKind::Tree: pfTree_->noteWasted(rangeId); break;
+    }
+}
+
+const std::vector<PrefetchCandidate> &
+MigrationEngine::prefetchOnMiss(std::size_t rangeId, std::uint64_t chunk,
+                                std::uint64_t chunkCount)
+{
+    candidateBuf_.clear();
+    switch (pfKind_) {
+      case PrefetcherKind::None:
+        break;
+      case PrefetcherKind::Stream:
+        pfStream_->appendCandidates(rangeId, chunk, chunkCount,
+                                    candidateBuf_);
+        break;
+      case PrefetcherKind::Tree:
+        pfTree_->appendCandidates(rangeId, chunk, chunkCount,
+                                  candidateBuf_);
+        break;
+    }
+    return candidateBuf_;
 }
 
 void
@@ -100,7 +154,7 @@ MigrationEngine::evictOne(Tick freeAt)
     }
     if (state.prefetched[victim.chunkIndex] &&
         !state.demanded[victim.chunkIndex]) {
-        prefetcher_->onWastedPrefetch(victim.rangeId);
+        prefetchWasted(victim.rangeId);
         if (state.outstandingPrefetches > 0)
             --state.outstandingPrefetches;
         if (tracer_) {
@@ -203,7 +257,7 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
         devMem_.touch(rangeId, chunk);
         Tick ready = state.readyAt[chunk];
         if (!state.demanded[chunk] && state.prefetched[chunk]) {
-            prefetcher_->onUsefulPrefetch(rangeId);
+            prefetchUseful(rangeId);
             if (state.outstandingPrefetches > 0)
                 --state.outstandingPrefetches;
             if (tracer_) {
@@ -225,7 +279,7 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
     }
     if (state.outstandingPrefetches > 0) {
         // The speculation failed to cover this demand; cool down.
-        prefetcher_->onWastedPrefetch(rangeId);
+        prefetchWasted(rangeId);
         --state.outstandingPrefetches;
         if (tracer_) {
             tracer_->instant(TraceCategory::Prefetch,
@@ -239,10 +293,14 @@ MigrationEngine::requestChunk(std::size_t rangeId, std::uint64_t chunk,
                               /*speculative=*/false);
     state.demanded[chunk] = true;
 
-    // Let the driver prefetcher ride along on the fault.
-    auto candidates = prefetcher_->onDemandMiss(rangeId, chunk,
-                                                range.chunkCount());
-    for (const PrefetchCandidate &cand : candidates) {
+    // Let the driver prefetcher ride along on the fault. Index loop:
+    // candidateBuf_ is stable during the migrations (see
+    // prefetchOnMiss), but an index keeps that independent of any
+    // future reallocation.
+    const std::vector<PrefetchCandidate> &candidates =
+        prefetchOnMiss(rangeId, chunk, range.chunkCount());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const PrefetchCandidate &cand = candidates[i];
         ManagedRange &crange = table_.range(cand.rangeId);
         if (crange.state(cand.chunkIndex) == ChunkState::DeviceResident)
             continue;

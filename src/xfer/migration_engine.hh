@@ -205,12 +205,43 @@ class MigrationEngine : public SimObject
     Tick migrateChunk(std::size_t rangeId, std::uint64_t chunk, Tick when,
                       TransferKind kind, bool speculative);
 
+    /**
+     * @{ Sealed-variant prefetcher dispatch. The model set is closed
+     * (PrefetcherKind), so the per-access feedback and miss hooks
+     * switch on the tag sealed at construction and call the concrete
+     * classes' non-virtual methods directly — no vtable hop, and the
+     * miss path fills a reused candidate buffer instead of returning
+     * a fresh vector per fault.
+     */
+    void prefetchUseful(std::size_t rangeId);
+    void prefetchWasted(std::size_t rangeId);
+
+    /**
+     * Candidates for a demand miss; valid until the next call. Only
+     * prefetchOnMiss() writes candidateBuf_, and nothing downstream
+     * of a candidate migration (evictOne's waste feedback included)
+     * re-enters it, so callers may iterate the reference in place.
+     */
+    const std::vector<PrefetchCandidate> &
+    prefetchOnMiss(std::size_t rangeId, std::uint64_t chunk,
+                   std::uint64_t chunkCount);
+    /** @} */
+
     UvmConfig cfg_;
     PageTable &table_;
     DeviceMemory &devMem_;
     PcieLink &link_;
     FaultHandler faultHandler_;
     std::unique_ptr<Prefetcher> prefetcher_;
+
+    /** Sealed at construction: tag + concrete view of prefetcher_. */
+    PrefetcherKind pfKind_;
+    NonePrefetcher *pfNone_ = nullptr;
+    StreamPrefetcher *pfStream_ = nullptr;
+    TreePrefetcher *pfTree_ = nullptr;
+
+    /** Reused by prefetchOnMiss(); never shrinks across faults. */
+    std::vector<PrefetchCandidate> candidateBuf_;
 
     std::vector<RangeState> rangeState_;
     Tick jobTransferBusy_ = 0;

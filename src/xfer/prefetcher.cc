@@ -37,9 +37,26 @@ Prefetcher::resetStats()
 
 StreamPrefetcher::StreamPrefetcher(std::string name,
                                    std::uint32_t distance)
-    : Prefetcher(std::move(name)), distance_(distance)
+    : Prefetcher(std::move(name), PrefetcherKind::Stream),
+      distance_(distance)
 {
     UVMASYNC_ASSERT(distance_ > 0, "stream prefetcher needs distance > 0");
+}
+
+void
+StreamPrefetcher::appendCandidates(std::size_t rangeId,
+                                   std::uint64_t chunkIndex,
+                                   std::uint64_t chunkCount,
+                                   std::vector<PrefetchCandidate> &out)
+{
+    std::size_t before = out.size();
+    for (std::uint32_t i = 1; i <= distance_; ++i) {
+        std::uint64_t next = chunkIndex + i;
+        if (next >= chunkCount)
+            break;
+        out.push_back(PrefetchCandidate{rangeId, next});
+    }
+    recordIssued(out.size() - before);
 }
 
 std::vector<PrefetchCandidate>
@@ -48,24 +65,36 @@ StreamPrefetcher::onDemandMiss(std::size_t rangeId,
                                std::uint64_t chunkCount)
 {
     std::vector<PrefetchCandidate> out;
-    for (std::uint32_t i = 1; i <= distance_; ++i) {
-        std::uint64_t next = chunkIndex + i;
-        if (next >= chunkCount)
-            break;
-        out.push_back(PrefetchCandidate{rangeId, next});
-    }
-    recordIssued(out.size());
+    appendCandidates(rangeId, chunkIndex, chunkCount, out);
     return out;
 }
 
 TreePrefetcher::TreePrefetcher(std::string name, std::uint32_t minDistance,
                                std::uint32_t maxDistance)
-    : Prefetcher(std::move(name)), minDistance_(minDistance),
-      maxDistance_(maxDistance)
+    : Prefetcher(std::move(name), PrefetcherKind::Tree),
+      minDistance_(minDistance), maxDistance_(maxDistance)
 {
     UVMASYNC_ASSERT(minDistance_ > 0 && maxDistance_ >= minDistance_,
                     "bad tree prefetcher distances [%u, %u]",
                     minDistance_, maxDistance_);
+}
+
+void
+TreePrefetcher::appendCandidates(std::size_t rangeId,
+                                 std::uint64_t chunkIndex,
+                                 std::uint64_t chunkCount,
+                                 std::vector<PrefetchCandidate> &out)
+{
+    auto [it, inserted] = distance_.try_emplace(rangeId, minDistance_);
+    std::uint32_t dist = it->second;
+    std::size_t before = out.size();
+    for (std::uint32_t i = 1; i <= dist; ++i) {
+        std::uint64_t next = chunkIndex + i;
+        if (next >= chunkCount)
+            break;
+        out.push_back(PrefetchCandidate{rangeId, next});
+    }
+    recordIssued(out.size() - before);
 }
 
 std::vector<PrefetchCandidate>
@@ -73,21 +102,13 @@ TreePrefetcher::onDemandMiss(std::size_t rangeId,
                              std::uint64_t chunkIndex,
                              std::uint64_t chunkCount)
 {
-    auto [it, inserted] = distance_.try_emplace(rangeId, minDistance_);
-    std::uint32_t dist = it->second;
     std::vector<PrefetchCandidate> out;
-    for (std::uint32_t i = 1; i <= dist; ++i) {
-        std::uint64_t next = chunkIndex + i;
-        if (next >= chunkCount)
-            break;
-        out.push_back(PrefetchCandidate{rangeId, next});
-    }
-    recordIssued(out.size());
+    appendCandidates(rangeId, chunkIndex, chunkCount, out);
     return out;
 }
 
 void
-TreePrefetcher::onUsefulPrefetch(std::size_t rangeId)
+TreePrefetcher::noteUseful(std::size_t rangeId)
 {
     recordUseful();
     auto [it, inserted] = distance_.try_emplace(rangeId, minDistance_);
@@ -95,11 +116,23 @@ TreePrefetcher::onUsefulPrefetch(std::size_t rangeId)
 }
 
 void
-TreePrefetcher::onWastedPrefetch(std::size_t rangeId)
+TreePrefetcher::noteWasted(std::size_t rangeId)
 {
     recordWasted();
     auto [it, inserted] = distance_.try_emplace(rangeId, minDistance_);
     it->second = minDistance_;
+}
+
+void
+TreePrefetcher::onUsefulPrefetch(std::size_t rangeId)
+{
+    noteUseful(rangeId);
+}
+
+void
+TreePrefetcher::onWastedPrefetch(std::size_t rangeId)
+{
+    noteWasted(rangeId);
 }
 
 std::unique_ptr<Prefetcher>

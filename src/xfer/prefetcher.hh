@@ -36,14 +36,36 @@ struct PrefetchCandidate
     std::uint64_t chunkIndex;
 };
 
+/** Factory/sealed-variant tag for the three models. */
+enum class PrefetcherKind
+{
+    None,
+    Stream,
+    Tree,
+};
+
 /**
  * Prefetcher interface. Implementations are stateful per managed
  * range (tracked by rangeId) and must be reset between runs.
+ *
+ * The model set is sealed: every implementation is one of the three
+ * `final` classes below and carries its PrefetcherKind tag. Hot
+ * per-access callers (MigrationEngine) dispatch on the tag to the
+ * concrete classes' non-virtual `note*`/`appendCandidates` methods —
+ * inlineable calls with no vtable hop and no per-miss vector
+ * allocation — while the virtual interface stays for tests and
+ * ablation drivers that want polymorphism on a cold path.
  */
 class Prefetcher : public SimObject
 {
   public:
-    explicit Prefetcher(std::string name) : SimObject(std::move(name)) {}
+    Prefetcher(std::string name, PrefetcherKind kind)
+        : SimObject(std::move(name)), kind_(kind)
+    {
+    }
+
+    /** Sealed-variant tag of the concrete model. */
+    PrefetcherKind kind() const { return kind_; }
 
     /**
      * React to a demand miss on (@p rangeId, @p chunkIndex) of a range
@@ -80,18 +102,24 @@ class Prefetcher : public SimObject
     void recordWasted() { ++wasted_; }
 
   private:
+    PrefetcherKind kind_;
     std::uint64_t issued_ = 0;
     std::uint64_t useful_ = 0;
     std::uint64_t wasted_ = 0;
 };
 
 /** No speculation: plain demand paging. */
-class NonePrefetcher : public Prefetcher
+class NonePrefetcher final : public Prefetcher
 {
   public:
     explicit NonePrefetcher(std::string name)
-        : Prefetcher(std::move(name))
+        : Prefetcher(std::move(name), PrefetcherKind::None)
     {}
+
+    /** @{ Non-virtual fast path (counters only; no speculation). */
+    void noteUseful() { recordUseful(); }
+    void noteWasted() { recordWasted(); }
+    /** @} */
 
     std::vector<PrefetchCandidate>
     onDemandMiss(std::size_t, std::uint64_t, std::uint64_t) override
@@ -99,23 +127,38 @@ class NonePrefetcher : public Prefetcher
         return {};
     }
 
-    void onUsefulPrefetch(std::size_t) override { recordUseful(); }
-    void onWastedPrefetch(std::size_t) override { recordWasted(); }
+    void onUsefulPrefetch(std::size_t) override { noteUseful(); }
+    void onWastedPrefetch(std::size_t) override { noteWasted(); }
     void resetState() override {}
 };
 
 /** Fixed-distance sequential prefetcher. */
-class StreamPrefetcher : public Prefetcher
+class StreamPrefetcher final : public Prefetcher
 {
   public:
     StreamPrefetcher(std::string name, std::uint32_t distance);
+
+    /** @{ Non-virtual fast path (same behaviour as the overrides). */
+    void noteUseful() { recordUseful(); }
+    void noteWasted() { recordWasted(); }
+
+    /**
+     * Append this miss's candidates to @p out (not cleared) and
+     * record them issued — the allocation-free form of
+     * onDemandMiss(), sharing its exact candidate order.
+     */
+    void appendCandidates(std::size_t rangeId,
+                          std::uint64_t chunkIndex,
+                          std::uint64_t chunkCount,
+                          std::vector<PrefetchCandidate> &out);
+    /** @} */
 
     std::vector<PrefetchCandidate>
     onDemandMiss(std::size_t rangeId, std::uint64_t chunkIndex,
                  std::uint64_t chunkCount) override;
 
-    void onUsefulPrefetch(std::size_t) override { recordUseful(); }
-    void onWastedPrefetch(std::size_t) override { recordWasted(); }
+    void onUsefulPrefetch(std::size_t) override { noteUseful(); }
+    void onWastedPrefetch(std::size_t) override { noteWasted(); }
     void resetState() override {}
 
   private:
@@ -127,11 +170,20 @@ class StreamPrefetcher : public Prefetcher
  * predictions prove useful and collapses to the minimum on waste,
  * approximating the UVM driver's 64K->2M block promotion behaviour.
  */
-class TreePrefetcher : public Prefetcher
+class TreePrefetcher final : public Prefetcher
 {
   public:
     TreePrefetcher(std::string name, std::uint32_t minDistance = 2,
                    std::uint32_t maxDistance = 32);
+
+    /** @{ Non-virtual fast path (same behaviour as the overrides). */
+    void noteUseful(std::size_t rangeId);
+    void noteWasted(std::size_t rangeId);
+    void appendCandidates(std::size_t rangeId,
+                          std::uint64_t chunkIndex,
+                          std::uint64_t chunkCount,
+                          std::vector<PrefetchCandidate> &out);
+    /** @} */
 
     std::vector<PrefetchCandidate>
     onDemandMiss(std::size_t rangeId, std::uint64_t chunkIndex,
@@ -145,14 +197,6 @@ class TreePrefetcher : public Prefetcher
     std::uint32_t minDistance_;
     std::uint32_t maxDistance_;
     std::unordered_map<std::size_t, std::uint32_t> distance_;
-};
-
-/** Factory helper for the three models. */
-enum class PrefetcherKind
-{
-    None,
-    Stream,
-    Tree,
 };
 
 std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Equivalence suite: the production two-level calendar EventQueue
+ * against the reference binary-heap HeapEventQueue. Both promise the
+ * same strict (tick, priority, sequence) total dispatch order, so any
+ * schedule — including same-timestamp bursts, callback-driven
+ * rescheduling, day rollovers, behind-day inserts and far-future
+ * outliers — must produce identical (event, time) sequences. The
+ * randomized half drives 10,000 generated schedules through both
+ * queues; the targeted half pins each calendar mechanism (bucket
+ * FIFO, overflow re-bucketing, dense-front width, repair rebuilds)
+ * plus the shared death and watchdog contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/event_queue.hh"
+#include "sim/heap_event_queue.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+/** One observed dispatch: which event ran and when. */
+struct Dispatch
+{
+    std::uint64_t id;
+    Tick when;
+
+    bool
+    operator==(const Dispatch &o) const
+    {
+        return id == o.id && when == o.when;
+    }
+};
+
+/** A generated schedule step: seed event + optional chain reaction. */
+struct SeedEvent
+{
+    Tick when;
+    int prio;        //!< 0 = Default, 1 = Late
+    std::uint32_t children;  //!< events scheduled from the callback
+    Tick childDelta; //!< delay of each chained child
+};
+
+/**
+ * Drive one schedule through @p q, recording every dispatch. The
+ * callback body is queue-agnostic, so both queues observe the exact
+ * same scheduling decisions.
+ */
+template <typename Queue>
+std::vector<Dispatch>
+drive(Queue &q, const std::vector<SeedEvent> &seeds)
+{
+    std::vector<Dispatch> log;
+    std::uint64_t nextId = 0;
+
+    struct Chain
+    {
+        Queue &q;
+        std::vector<Dispatch> &log;
+        std::uint64_t &nextId;
+
+        void
+        fire(std::uint64_t id, std::uint32_t children,
+             Tick childDelta)
+        {
+            log.push_back(Dispatch{id, q.curTick()});
+            for (std::uint32_t c = 0; c < children; ++c) {
+                std::uint64_t childId = nextId++;
+                // Children re-chain with a decayed fan-out so every
+                // schedule terminates.
+                std::uint32_t grand = children / 2;
+                Chain self = *this;
+                q.scheduleIn(childDelta * (c + 1),
+                             [self, childId, grand, childDelta]() mutable {
+                                 self.fire(childId, grand,
+                                           childDelta);
+                             });
+            }
+        }
+    };
+
+    Chain chain{q, log, nextId};
+    for (const SeedEvent &s : seeds) {
+        std::uint64_t id = nextId++;
+        std::uint32_t children = s.children;
+        Tick childDelta = s.childDelta;
+        EventPriority prio = s.prio ? EventPriority::Late
+                                    : EventPriority::Default;
+        q.schedule(s.when,
+                   [chain, id, children, childDelta]() mutable {
+                       chain.fire(id, children, childDelta);
+                   },
+                   prio);
+    }
+    q.run();
+    return log;
+}
+
+/** Run @p seeds through both queues and require identical logs. */
+void
+expectEquivalent(const std::vector<SeedEvent> &seeds)
+{
+    EventQueue calendar;
+    HeapEventQueue heap;
+    std::vector<Dispatch> a = drive(calendar, seeds);
+    std::vector<Dispatch> b = drive(heap, seeds);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i] == b[i])
+            << "divergence at dispatch " << i << ": calendar ran #"
+            << a[i].id << "@" << a[i].when << ", heap ran #"
+            << b[i].id << "@" << b[i].when;
+    }
+    EXPECT_EQ(calendar.curTick(), heap.curTick());
+    EXPECT_EQ(calendar.executedCount(), heap.executedCount());
+    EXPECT_TRUE(calendar.empty());
+}
+
+// --- Randomized equivalence --------------------------------------------
+
+TEST(CalendarEquivalence, TenThousandRandomSchedules)
+{
+    Rng rng(0xC0FFEEull);
+    for (int schedule = 0; schedule < 10000; ++schedule) {
+        std::vector<SeedEvent> seeds;
+        std::uint64_t n = 1 + rng.uniformInt(std::uint64_t(24));
+        // A third of the schedules are burst-heavy: many seeds share
+        // one of a handful of timestamps.
+        bool bursty = rng.uniformInt(std::uint64_t(3)) == 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            SeedEvent s;
+            s.when = bursty ? rng.uniformInt(std::uint64_t(4)) * 1000
+                            : rng.uniformInt(std::uint64_t(2000000));
+            s.prio = rng.uniformInt(std::uint64_t(4)) == 0 ? 1 : 0;
+            s.children =
+                rng.uniformInt(std::uint64_t(6)) == 0
+                    ? static_cast<std::uint32_t>(
+                          rng.uniformInt(std::uint64_t(4)))
+                    : 0;
+            s.childDelta = rng.uniformInt(std::uint64_t(3)) == 0
+                               ? 0
+                               : rng.uniformInt(std::uint64_t(90000));
+            seeds.push_back(s);
+        }
+        expectEquivalent(seeds);
+    }
+}
+
+// --- Targeted calendar mechanisms --------------------------------------
+
+TEST(CalendarEquivalence, SameTimestampBurstKeepsFifo)
+{
+    // 5000 events on one tick: pure tail-append FIFO in one bucket.
+    std::vector<SeedEvent> seeds(5000,
+                                 SeedEvent{ microseconds(1), 0, 0, 0 });
+    expectEquivalent(seeds);
+}
+
+TEST(CalendarEquivalence, PriorityBreaksTiesBeforeSequence)
+{
+    std::vector<SeedEvent> seeds;
+    for (int i = 0; i < 64; ++i)
+        seeds.push_back(SeedEvent{1000, i % 2, 0, 0});
+    expectEquivalent(seeds);
+}
+
+TEST(CalendarEquivalence, FarFutureOutlierDoesNotCollapseTheDay)
+{
+    // A dense near cluster plus one event weeks of simulated time
+    // out: the dense-front width heuristic must keep the cluster
+    // spread over many buckets (and dispatch order must not care).
+    std::vector<SeedEvent> seeds;
+    for (Tick t = 0; t < 512; ++t)
+        seeds.push_back(SeedEvent{t * 17, 0, 0, 0});
+    seeds.push_back(SeedEvent{seconds(1000), 0, 0, 0});
+    expectEquivalent(seeds);
+}
+
+TEST(CalendarEquivalence, DayRolloverReBucketsOverflow)
+{
+    // Chains whose deltas exceed the initial day span force events
+    // through the overflow level and multiple rebuilds.
+    std::vector<SeedEvent> seeds;
+    for (int i = 0; i < 16; ++i)
+        seeds.push_back(
+            SeedEvent{static_cast<Tick>(i) * 100, 0, 3,
+                      milliseconds(3) + static_cast<Tick>(i)});
+    EventQueue calendar;
+    drive(calendar, seeds);
+    EXPECT_GT(calendar.rebuilds(), 0u);
+    expectEquivalent(seeds);
+}
+
+TEST(CalendarEquivalence, BehindDayInsertIsRepaired)
+{
+    // After runUntil() leaves curTick_ below a rebuilt day, a fresh
+    // event can land behind the day's base slot; the unsigned-wrap
+    // route sends it to overflow and peekMin() must repair before
+    // dispatching past it.
+    EventQueue calendar;
+    HeapEventQueue heap;
+    auto scenario = [](auto &q) {
+        std::vector<Dispatch> log;
+        q.schedule(1000, [&] { log.push_back({0, q.curTick()}); });
+        q.schedule(seconds(2), [&] { log.push_back({1, q.curTick()}); });
+        q.runUntil(2000); // dispatches #0; day may now sit at ~2 s
+        q.schedule(5000, [&] { log.push_back({2, q.curTick()}); });
+        q.schedule(3000, [&] { log.push_back({3, q.curTick()}); });
+        q.run();
+        return log;
+    };
+    std::vector<Dispatch> a = scenario(calendar);
+    std::vector<Dispatch> b = scenario(heap);
+    ASSERT_EQ(a.size(), 4u);
+    ASSERT_EQ(b.size(), 4u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i] == b[i]) << "index " << i;
+}
+
+TEST(CalendarEquivalence, RunUntilAdvancesIdenticallyAcrossQueues)
+{
+    auto scenario = [](auto &q) {
+        std::vector<Tick> ticks;
+        for (Tick t : {Tick(100), Tick(250), Tick(900)})
+            q.schedule(t, [&q, &ticks] { ticks.push_back(q.curTick()); });
+        q.runUntil(500);
+        ticks.push_back(q.curTick()); // clamped to the limit
+        q.run();
+        ticks.push_back(q.curTick());
+        return ticks;
+    };
+    EventQueue calendar;
+    HeapEventQueue heap;
+    EXPECT_EQ(scenario(calendar), scenario(heap));
+}
+
+// --- Shared failure contracts ------------------------------------------
+
+TEST(CalendarEquivalenceDeathTest, BothQueuesRefuseThePast)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.schedule(nanoseconds(10), [] {});
+            q.run();
+            q.schedule(nanoseconds(5), [] {}, EventPriority::Default,
+                       "late-event");
+        },
+        "late-event.*5000 ticks in the past");
+    EXPECT_DEATH(
+        {
+            HeapEventQueue q;
+            q.schedule(nanoseconds(10), [] {});
+            q.run();
+            q.schedule(nanoseconds(5), [] {}, EventPriority::Default,
+                       "late-event");
+        },
+        "late-event.*5000 ticks in the past");
+}
+
+template <typename Queue>
+PointTimeout
+tripEventCeiling()
+{
+    Queue q;
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxEvents = 10;
+    cfg.maxStallEvents = 0;
+    wd.arm(cfg);
+    q.setWatchdog(&wd);
+    // A self-rescheduling chain that would run forever.
+    std::function<void()> again = [&] { q.scheduleIn(10, again); };
+    q.schedule(0, again);
+    try {
+        q.run();
+    } catch (const PointTimeout &timeout) {
+        return timeout;
+    }
+    ADD_FAILURE() << "watchdog never tripped";
+    return PointTimeout("unreachable", WatchdogTrip::EventCount, 0, 0);
+}
+
+TEST(CalendarEquivalence, WatchdogTripsAtTheSameEventOnBothQueues)
+{
+    PointTimeout a = tripEventCeiling<EventQueue>();
+    PointTimeout b = tripEventCeiling<HeapEventQueue>();
+    EXPECT_EQ(a.kind(), WatchdogTrip::EventCount);
+    EXPECT_EQ(a.kind(), b.kind());
+    EXPECT_EQ(a.when(), b.when());
+    EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(CalendarQueue, ResetRestoresAFreshCalendar)
+{
+    EventQueue q;
+    int ran = 0;
+    for (int round = 0; round < 3; ++round) {
+        // Mix in far events so reset() also drains the overflow
+        // level, not just the day's buckets.
+        q.schedule(500, [&] { ++ran; });
+        q.schedule(seconds(5), [&] { ++ran; });
+        q.runUntil(1000);
+        q.reset();
+        EXPECT_TRUE(q.empty());
+        EXPECT_EQ(q.curTick(), 0u);
+    }
+    EXPECT_EQ(ran, 3); // only the near event of each round ran
+}
+
+} // namespace
+} // namespace uvmasync

@@ -231,6 +231,83 @@ TEST(Watchdog, TimeAdvanceResetsTheStallRun)
     EXPECT_EQ(wd.events(), 150u);
 }
 
+TEST(Watchdog, StallCounterIsFedByQueueDispatch)
+{
+    // The stall counter must be driven by the queue's dispatch loop
+    // itself, not by ad-hoc onEvent() calls: same-tick dispatches
+    // grow the run, the first time-advancing dispatch resets it.
+    EventQueue q;
+    Watchdog wd;
+    WatchdogConfig cfg;
+    cfg.maxEvents = 0;
+    // A disabled stall ceiling (0) short-circuits the counter, so
+    // observe under a ceiling far beyond this test instead.
+    cfg.maxStallEvents = 1u << 20;
+    wd.arm(cfg);
+    q.setWatchdog(&wd);
+
+    for (int i = 0; i < 8; ++i)
+        q.schedule(nanoseconds(5), [] {});
+    q.schedule(nanoseconds(9), [] {});
+    q.run();
+
+    // Eight dispatches at tick 5: the first advances time (0 -> 5),
+    // the next seven stall. The tick-9 dispatch resets the run.
+    EXPECT_EQ(wd.events(), 9u);
+    EXPECT_EQ(wd.stallRun(), 0u);
+
+    for (int i = 0; i < 4; ++i)
+        q.schedule(nanoseconds(9), [] {});
+    q.run();
+    EXPECT_EQ(wd.events(), 13u);
+    EXPECT_EQ(wd.stallRun(), 4u); // tick never advanced past 9
+}
+
+TEST(Watchdog, CleanEvictionBurstsAreInvisibleToTimeCeilings)
+{
+    // Evicting clean chunks costs no simulated time, so a large
+    // eviction burst is a legitimate same-tick run: it must sail
+    // under a tight maxSimTime ceiling untouched...
+    constexpr int kBurst = 4096;
+    {
+        EventQueue q;
+        Watchdog wd;
+        WatchdogConfig cfg;
+        cfg.maxSimTime = microseconds(1);
+        cfg.maxEvents = 0;
+        cfg.maxStallEvents = 1u << 20; // far beyond the burst
+        wd.arm(cfg);
+        q.setWatchdog(&wd);
+        int evicted = 0;
+        for (int i = 0; i < kBurst; ++i)
+            q.schedule(nanoseconds(100), [&evicted] { ++evicted; });
+        EXPECT_NO_THROW(q.run());
+        EXPECT_EQ(evicted, kBurst);
+        EXPECT_EQ(wd.stallRun(), kBurst - 1u);
+    }
+    // ...while only the livelock ceiling — the one sized for honest
+    // same-tick work — can declare the burst pathological.
+    {
+        EventQueue q;
+        Watchdog wd;
+        WatchdogConfig cfg;
+        cfg.maxSimTime = microseconds(1);
+        cfg.maxEvents = 0;
+        cfg.maxStallEvents = 256;
+        wd.arm(cfg);
+        q.setWatchdog(&wd);
+        for (int i = 0; i < kBurst; ++i)
+            q.schedule(nanoseconds(100), [] {});
+        try {
+            q.run();
+            FAIL() << "livelock ceiling did not trip";
+        } catch (const PointTimeout &e) {
+            EXPECT_EQ(e.kind(), WatchdogTrip::Livelock);
+            EXPECT_EQ(e.when(), nanoseconds(100));
+        }
+    }
+}
+
 /** Property: any random schedule executes in non-decreasing time. */
 class EventOrderTest : public ::testing::TestWithParam<std::uint64_t>
 {

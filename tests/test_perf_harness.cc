@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the perf-trajectory harness schema (perf/bench_report.hh):
+ * exact median/warmup arithmetic on synthetic timings, bit-exact JSON
+ * round-trips under the journal's strict parser, fingerprint
+ * exclusion from comparisons, the tolerance-band gate, and that the
+ * committed BENCH_*.json artifact still parses and records the
+ * campaign's pinned speedup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "journal/json.hh"
+#include "perf/bench_report.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+// --- Median & warmup arithmetic ----------------------------------------
+
+TEST(BenchMedian, OddCountTakesMiddle)
+{
+    EXPECT_DOUBLE_EQ(medianOf({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(medianOf({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(medianOf({5.0, 5.0, 1.0, 9.0, 5.0}), 5.0);
+}
+
+TEST(BenchMedian, EvenCountAveragesMiddlePair)
+{
+    EXPECT_DOUBLE_EQ(medianOf({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(medianOf({10.0, 20.0}), 15.0);
+}
+
+TEST(BenchPhaseAssembly, WarmupSamplesAreDiscarded)
+{
+    // The slow first rep (cold caches) must not pollute the stats.
+    BenchPhase p = finishPhase("x", "items/sec", 1000, 1,
+                               {100.0, 10.0, 30.0, 20.0});
+    ASSERT_EQ(p.samplesNs.size(), 3u);
+    EXPECT_DOUBLE_EQ(p.samplesNs[0], 10.0);
+    EXPECT_DOUBLE_EQ(p.samplesNs[1], 30.0);
+    EXPECT_DOUBLE_EQ(p.samplesNs[2], 20.0);
+    EXPECT_EQ(p.reps, 3u);
+    EXPECT_EQ(p.warmup, 1u);
+    EXPECT_DOUBLE_EQ(p.medianNs, 20.0);
+    // 1000 items / 20 ns = 5e10 items/sec, exactly.
+    EXPECT_DOUBLE_EQ(p.rate, 5e10);
+}
+
+TEST(BenchPhaseAssembly, ZeroWarmupKeepsEverySample)
+{
+    BenchPhase p =
+        finishPhase("x", "items/sec", 10, 0, {2.0, 4.0});
+    EXPECT_EQ(p.reps, 2u);
+    EXPECT_DOUBLE_EQ(p.medianNs, 3.0);
+}
+
+TEST(BenchPhaseAssemblyDeathTest, WarmupSwallowingAllSamplesPanics)
+{
+    EXPECT_DEATH(finishPhase("x", "u", 1, 2, {1.0, 2.0}), "warmup");
+}
+
+// --- Round-trip ---------------------------------------------------------
+
+BenchReport
+sampleReport()
+{
+    BenchReport r;
+    r.label = "BENCH_TEST";
+    r.machine = {"Linux 6.1", "x86_64", "gcc 13.2.0", "optimized", 8};
+    r.peakRssBytes = 123456789;
+    r.phases.push_back(finishPhase(
+        "event_loop", "events/sec", 300000, 1,
+        {1e7, 0.1, 1.0 / 3.0, 12345678.875}));
+    r.phases.back().breakdown.emplace_back("burst_events", 37421.0);
+    r.phases.back().breakdown.emplace_back("calendar_rebuilds", 12.0);
+    r.derived.emplace_back("calendar_vs_heap_speedup", 1.75);
+    r.derived.emplace_back("null_sink_overhead_pct", 0.0625);
+    return r;
+}
+
+bool
+bitEqual(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(BenchReportJson, RoundTripIsBitExact)
+{
+    BenchReport original = sampleReport();
+    std::string text = writeBenchReport(original);
+
+    BenchReport back;
+    std::string error;
+    ASSERT_TRUE(parseBenchReport(text, back, error)) << error;
+
+    EXPECT_EQ(back.schema, benchSchemaVersion);
+    EXPECT_EQ(back.label, original.label);
+    EXPECT_EQ(back.machine.os, original.machine.os);
+    EXPECT_EQ(back.machine.arch, original.machine.arch);
+    EXPECT_EQ(back.machine.compiler, original.machine.compiler);
+    EXPECT_EQ(back.machine.buildType, original.machine.buildType);
+    EXPECT_EQ(back.machine.hardwareThreads,
+              original.machine.hardwareThreads);
+    EXPECT_EQ(back.peakRssBytes, original.peakRssBytes);
+
+    ASSERT_EQ(back.phases.size(), original.phases.size());
+    const BenchPhase &a = original.phases[0];
+    const BenchPhase &b = back.phases[0];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.unit, a.unit);
+    EXPECT_EQ(b.itemsPerRep, a.itemsPerRep);
+    EXPECT_EQ(b.reps, a.reps);
+    EXPECT_EQ(b.warmup, a.warmup);
+    ASSERT_EQ(b.samplesNs.size(), a.samplesNs.size());
+    for (std::size_t i = 0; i < a.samplesNs.size(); ++i) {
+        // Hexfloat carriage: the awkward doubles (0.1, 1/3) come
+        // back bit-for-bit, not shortest-representation-rounded.
+        EXPECT_TRUE(bitEqual(b.samplesNs[i], a.samplesNs[i]));
+    }
+    EXPECT_TRUE(bitEqual(b.medianNs, a.medianNs));
+    EXPECT_TRUE(bitEqual(b.rate, a.rate));
+    ASSERT_EQ(b.breakdown.size(), a.breakdown.size());
+    for (std::size_t i = 0; i < a.breakdown.size(); ++i) {
+        EXPECT_EQ(b.breakdown[i].first, a.breakdown[i].first);
+        EXPECT_TRUE(
+            bitEqual(b.breakdown[i].second, a.breakdown[i].second));
+    }
+    ASSERT_EQ(back.derived.size(), original.derived.size());
+    for (std::size_t i = 0; i < original.derived.size(); ++i) {
+        EXPECT_EQ(back.derived[i].first, original.derived[i].first);
+        EXPECT_TRUE(bitEqual(back.derived[i].second,
+                             original.derived[i].second));
+    }
+}
+
+TEST(BenchReportJson, WriterOutputSatisfiesTheStrictParser)
+{
+    std::string text = writeBenchReport(sampleReport());
+    JsonValue root;
+    std::string error;
+    // The raw journal parser accepts it (one strict document)...
+    EXPECT_TRUE(parseJson(text, root, error)) << error;
+    // ...including with benign trailing whitespace...
+    EXPECT_TRUE(parseJson(text + "\n  \n", root, error));
+    // ...but trailing garbage is rejected, exactly like a journal
+    // record.
+    EXPECT_FALSE(parseJson(text + "x", root, error));
+    BenchReport r;
+    EXPECT_FALSE(parseBenchReport(text + "{}", r, error));
+}
+
+TEST(BenchReportJson, SchemaAndFieldViolationsAreRejected)
+{
+    BenchReport r;
+    std::string error;
+    EXPECT_FALSE(parseBenchReport("[]", r, error));
+    EXPECT_FALSE(parseBenchReport("{\"schema\":999}", r, error));
+    EXPECT_FALSE(parseBenchReport("not json", r, error));
+
+    // A report missing its phases array is structurally invalid.
+    std::string text = writeBenchReport(sampleReport());
+    std::string::size_type at = text.find("\"phases\"");
+    ASSERT_NE(at, std::string::npos);
+    std::string mutilated = text.substr(0, at) + "\"ph\"" +
+                            text.substr(at + 8);
+    EXPECT_FALSE(parseBenchReport(mutilated, r, error));
+}
+
+// --- Comparison semantics ----------------------------------------------
+
+BenchReport
+withRates(double eventRate, double speedup)
+{
+    BenchReport r;
+    r.label = "BENCH_TEST";
+    r.phases.push_back(
+        finishPhase("event_loop", "events/sec", 100, 0, {1.0}));
+    r.phases.back().rate = eventRate;
+    r.derived.emplace_back("calendar_vs_heap_speedup", speedup);
+    return r;
+}
+
+TEST(BenchComparisonGate, FingerprintAndRssNeverAffectTheOutcome)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    base.machine = {"Linux 5.0", "x86_64", "gcc 12", "optimized", 64};
+    base.peakRssBytes = 1 << 30;
+    BenchReport cur = withRates(100.0, 2.0);
+    cur.machine = {"Darwin 23", "arm64", "clang 17", "assert-enabled",
+                   10};
+    cur.peakRssBytes = 42;
+
+    BenchComparison cmp = compareBenchReports(base, cur, 0.15);
+    EXPECT_TRUE(cmp.pass);
+    // The provenance still lands in the serialized artifacts, so the
+    // two reports do differ as documents.
+    EXPECT_NE(writeBenchReport(base), writeBenchReport(cur));
+}
+
+TEST(BenchComparisonGate, RegressionBeyondTheBandFails)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    EXPECT_TRUE(
+        compareBenchReports(base, withRates(86.0, 2.0), 0.15).pass);
+    EXPECT_FALSE(
+        compareBenchReports(base, withRates(84.0, 2.0), 0.15).pass);
+    // Faster than the band is reported but never fails.
+    BenchComparison up =
+        compareBenchReports(base, withRates(130.0, 2.0), 0.15);
+    EXPECT_TRUE(up.pass);
+    ASSERT_FALSE(up.phases.empty());
+    EXPECT_GT(up.phases[0].ratio, 1.15);
+}
+
+TEST(BenchComparisonGate, DerivedSpeedupGatesLikeARate)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    EXPECT_TRUE(
+        compareBenchReports(base, withRates(100.0, 1.8), 0.15).pass);
+    EXPECT_FALSE(
+        compareBenchReports(base, withRates(100.0, 1.5), 0.15).pass);
+}
+
+TEST(BenchComparisonGate, MissingBaselinePhaseFails)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    BenchReport cur;
+    cur.derived.emplace_back("calendar_vs_heap_speedup", 2.0);
+    BenchComparison cmp = compareBenchReports(base, cur, 0.15);
+    EXPECT_FALSE(cmp.pass);
+    ASSERT_FALSE(cmp.phases.empty());
+    EXPECT_TRUE(cmp.phases[0].missing);
+}
+
+TEST(BenchComparisonGate, ExtraCurrentPhaseIsNotARegression)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    BenchReport cur = withRates(100.0, 2.0);
+    cur.phases.push_back(
+        finishPhase("brand_new_phase", "x/sec", 1, 0, {1.0}));
+    EXPECT_TRUE(compareBenchReports(base, cur, 0.15).pass);
+}
+
+TEST(BenchComparisonGate, OverheadPercentagesAreExemptFromRatios)
+{
+    // 0.3% vs 0.5% "overhead" is noise around zero, not a 40%
+    // regression; the harness gates overheads absolutely instead.
+    BenchReport base = withRates(100.0, 2.0);
+    base.derived.emplace_back("null_sink_overhead_pct", 0.5);
+    BenchReport cur = withRates(100.0, 2.0);
+    cur.derived.emplace_back("null_sink_overhead_pct", 5.0);
+    BenchComparison cmp = compareBenchReports(base, cur, 0.15);
+    EXPECT_TRUE(cmp.pass);
+    for (const PhaseDelta &d : cmp.derived)
+        EXPECT_NE(d.name, "null_sink_overhead_pct");
+}
+
+TEST(BenchComparisonGate, DeltaTableNamesEveryVerdict)
+{
+    BenchReport base = withRates(100.0, 2.0);
+    std::string table = formatComparison(
+        compareBenchReports(base, withRates(50.0, 2.0), 0.15), 0.15);
+    EXPECT_NE(table.find("event_loop"), std::string::npos);
+    EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(table.find("calendar_vs_heap_speedup"),
+              std::string::npos);
+}
+
+// --- The committed artifact --------------------------------------------
+
+TEST(CommittedBench, ArtifactParsesAndPinsTheCampaignSpeedup)
+{
+    std::ifstream in(UVMASYNC_BENCH_JSON, std::ios::binary);
+    ASSERT_TRUE(in.is_open())
+        << "missing committed artifact " << UVMASYNC_BENCH_JSON;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    BenchReport report;
+    std::string error;
+    ASSERT_TRUE(parseBenchReport(buf.str(), report, error)) << error;
+    EXPECT_EQ(report.schema, benchSchemaVersion);
+
+    // The pinned slice must stay covered.
+    for (const char *phase :
+         {"event_loop_calendar", "event_loop_heap",
+          "migration_hotpath", "registry_slice",
+          "null_sink_probe_plain", "null_sink_probe_instrumented"}) {
+        EXPECT_NE(report.findPhase(phase), nullptr)
+            << "committed artifact lost phase " << phase;
+    }
+    for (const BenchPhase &p : report.phases) {
+        EXPECT_GT(p.rate, 0.0) << p.name;
+        EXPECT_GT(p.reps, 0u) << p.name;
+        EXPECT_FALSE(p.samplesNs.empty()) << p.name;
+        EXPECT_TRUE(bitEqual(p.medianNs, medianOf(p.samplesNs)))
+            << p.name << ": committed median is not the median of "
+            << "its committed samples";
+    }
+
+    // The hot-path campaign's acceptance floor, pinned by the
+    // committed record: the calendar queue beats the reference heap
+    // by at least 1.5x on the identical schedule.
+    double speedup = 0.0;
+    ASSERT_TRUE(
+        report.findDerived("calendar_vs_heap_speedup", speedup));
+    EXPECT_GE(speedup, 1.5);
+
+    // The zero-cost tracing claim, as measured by the same run.
+    double overhead = 0.0;
+    ASSERT_TRUE(
+        report.findDerived("null_sink_overhead_pct", overhead));
+    EXPECT_LT(overhead, 1.0);
+}
+
+} // namespace
+} // namespace uvmasync

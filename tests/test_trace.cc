@@ -234,6 +234,48 @@ TEST(NullSink, CompilesAwayAtConstexprTime)
     EXPECT_TRUE(nullSinkFoldsAway());
 }
 
+/**
+ * The bench harness's probe kernel in miniature: a serial xorshift
+ * chain, optionally instrumented with a span + instant per step.
+ * Constant-evaluating both variants and asserting bit-identical
+ * results proves the sink's hooks have no observable side effects on
+ * the surrounding computation — the runtime <1% overhead gate in
+ * tools/uvmasync_bench.cc then bounds what codegen adds on top.
+ */
+template <bool WithSink>
+constexpr std::uint64_t
+probeChain(std::uint64_t steps)
+{
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if constexpr (WithSink) {
+            if (NullTraceSink::enabled(TraceCategory::Kernel)) {
+                NullTraceSink::span(TraceCategory::Kernel,
+                                    TraceName::TileCompute, 0, i,
+                                    i + 1, x);
+            }
+            NullTraceSink::instant(TraceCategory::Kernel,
+                                   TraceName::KernelLaunch, 0, i, x);
+        }
+    }
+    return x;
+}
+
+// Bit-identical results at compile time: span/instant emission over
+// the null sink cannot perturb the instrumented computation.
+static_assert(probeChain<true>(257) == probeChain<false>(257));
+static_assert(probeChain<true>(1) == probeChain<false>(1));
+
+TEST(NullSink, InstrumentedProbeMatchesPlainProbe)
+{
+    // Same property at runtime, over a longer chain than the
+    // constant evaluator comfortably unrolls.
+    EXPECT_EQ(probeChain<true>(100000), probeChain<false>(100000));
+}
+
 // --- Exporter units ----------------------------------------------------
 
 Tracer
