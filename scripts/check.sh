@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + ctest), the static model
-# linter over the whole workload registry, the source-level
-# determinism lint, a trace-export smoke run, a chaos stage (the
+# linter over the whole workload registry, the cost-model analyze
+# stage (error advisories fail it; output byte-identical at any
+# --jobs), the source-level determinism lint (with its --self-test
+# fixtures), an advisory clang-tidy pass over src/analysis,
+# a trace-export smoke run, a chaos stage (the
 # fault-injection suite plus an injected smoke run), a resume stage
 # (journal byte-determinism across job counts, kill-and-resume CSV
 # identity, watchdog quarantine), a bench stage (perf-trajectory
@@ -45,8 +48,33 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== lint: static analysis of the workload registry =="
 ./build/tools/uvmasync-lint --all-workloads --size all
 
+echo "== analyze: static cost model over the workload registry =="
+# The campaign advisor prices every registry point without
+# simulating. Error-severity advisories fail the stage (the tool
+# exits non-zero on errors), and the output must be byte-identical
+# at any --jobs count — the analyzer is pure and deterministic. The
+# prediction-accuracy band itself is gated by test_cost_model in
+# tier-1, which diffs tests/golden/cost_model_accuracy.csv.
+analyze_out=$(mktemp -d)
+./build/tools/uvmasync-lint --analyze --all-workloads --size all \
+    --jobs 1 > "$analyze_out/analyze-j1.txt"
+./build/tools/uvmasync-lint --analyze --all-workloads --size all \
+    --jobs 8 > "$analyze_out/analyze-j8.txt"
+cmp "$analyze_out/analyze-j1.txt" "$analyze_out/analyze-j8.txt"
+rm -rf "$analyze_out"
+
 echo "== lint: source-level determinism gate =="
+./tools/determinism_lint.sh --self-test
 ./tools/determinism_lint.sh
+
+echo "== tidy: clang-tidy over src/analysis (non-blocking) =="
+if command -v clang-tidy > /dev/null 2>&1; then
+    # Advisory only: findings are printed but never fail the gate.
+    clang-tidy -p build --quiet src/analysis/*.cc || \
+        echo "tidy: findings above are advisory" >&2
+else
+    echo "tidy: clang-tidy not installed; skipping" >&2
+fi
 
 echo "== trace: smoke export of an explicit and a UVM run =="
 trace_out=$(mktemp -d)

@@ -1,0 +1,320 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uvmasync
+{
+
+namespace
+{
+
+/** Knuth multiplicative hash onto [0, n) — must stay identical to
+ * the executor's block/chunk mapping (gpu/kernel_executor.cc). */
+std::uint64_t
+permuteIndex(std::uint64_t i, std::uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    return (i * 2654435761ull + 0x9e3779b9ull) % n;
+}
+
+/** Beyond this many per-use block iterations the hashed patterns
+ * fall back to a closed-form coverage estimate instead of exact
+ * replication (mega 1D grids run to tens of millions of blocks). */
+constexpr std::uint64_t exactMappingBudget = 1ull << 22;
+
+Bytes
+chunkSize(Bytes bufferBytes, Bytes chunkBytes, std::uint64_t c,
+          std::uint64_t chunks)
+{
+    if (c + 1 < chunks)
+        return chunkBytes;
+    return bufferBytes - (chunks - 1) * chunkBytes;
+}
+
+std::uint64_t
+touchedChunksOf(const KernelBufferUse &use, std::uint64_t chunks)
+{
+    double tf = std::clamp(use.touchedFraction, 0.0, 1.0);
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(chunks) * tf));
+}
+
+/**
+ * Mark the chunks one launch of @p kd demands through @p use into
+ * @p bits, replicating KernelExecutor::requestGroup's block-to-chunk
+ * mapping: sequential walks demand the touched prefix, irregular
+ * walks permute the block-to-span assignment, random walks permute
+ * chunk indices inside the touched prefix.
+ */
+void
+markDemanded(std::vector<std::uint8_t> &bits,
+             const KernelBufferUse &use, std::uint64_t gridBlocks,
+             std::uint64_t chunks)
+{
+    std::uint64_t touched = touchedChunksOf(use, chunks);
+    if (touched == 0)
+        return;
+    std::uint64_t blocks = std::max<std::uint64_t>(1, gridBlocks);
+
+    auto markPrefix = [&](std::uint64_t n) {
+        n = std::min(n, touched);
+        std::fill(bits.begin(),
+                  bits.begin() + static_cast<std::ptrdiff_t>(n), 1);
+    };
+
+    if (use.pattern == AccessPattern::Sequential) {
+        // Block spans partition [0, touched); union is the prefix.
+        markPrefix(touched);
+        return;
+    }
+
+    if (std::max(blocks, touched) <= exactMappingBudget) {
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+            std::uint64_t pos = b;
+            if (use.pattern == AccessPattern::Irregular)
+                pos = permuteIndex(b, blocks);
+            std::uint64_t lo = pos * touched / blocks;
+            std::uint64_t hi = (pos + 1) * touched / blocks;
+            if (hi <= lo)
+                hi = lo + 1;
+            for (std::uint64_t c = lo; c < hi && c < chunks; ++c) {
+                std::uint64_t chunk = c;
+                if (use.pattern == AccessPattern::Random)
+                    chunk = permuteIndex(c * blocks + b, touched);
+                bits[chunk] = 1;
+            }
+        }
+        return;
+    }
+
+    // Closed-form coverage for giant grids; both estimates stay pure
+    // functions of the descriptor, so the analysis is deterministic.
+    double t = static_cast<double>(touched);
+    double bl = static_cast<double>(blocks);
+    double covered = t;
+    if (use.pattern == AccessPattern::Random) {
+        // R requests hash-distributed over the touched prefix.
+        double requests = std::max(t, bl);
+        covered = t * (1.0 - std::exp(-requests / t));
+    } else {
+        // Irregular: distinct block positions under the same hash,
+        // each owning a span of the prefix.
+        double distinctPos = bl * (1.0 - std::exp(-1.0));
+        if (blocks <= touched)
+            covered = t * distinctPos / bl;
+        else
+            covered = t * (1.0 - std::exp(-distinctPos / t));
+    }
+    markPrefix(static_cast<std::uint64_t>(std::ceil(covered)));
+}
+
+Bytes
+markedBytes(const std::vector<std::uint8_t> &bits, Bytes bufferBytes,
+            Bytes chunkBytes)
+{
+    std::uint64_t chunks = bits.size();
+    Bytes total = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        if (!bits[c])
+            continue;
+        total += chunkSize(bufferBytes, chunkBytes, c, chunks);
+    }
+    return total;
+}
+
+} // namespace
+
+DataflowSummary
+analyzeDataflow(const SystemConfig &system, const Job &job)
+{
+    DataflowSummary out;
+    out.repeats = job.sequenceRepeats ? job.sequenceRepeats : 1;
+    out.launchesPerPass = job.kernels.size();
+    out.footprint = job.footprint();
+    out.hostInitBytes = job.hostInitBytes();
+    out.hostConsumedBytes = job.hostConsumedBytes();
+    out.deviceCapacity = system.deviceMemoryBytes;
+    out.chunkBytes = system.uvm.chunkBytes ? system.uvm.chunkBytes
+                                           : kib(256);
+
+    out.buffers.resize(job.buffers.size());
+    for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+        BufferFlow &bf = out.buffers[i];
+        bf.id = i;
+        bf.name = job.buffers[i].name;
+        bf.bytes = job.buffers[i].bytes;
+        bf.hostInit = job.buffers[i].hostInit;
+        bf.hostConsumed = job.buffers[i].hostConsumed;
+        bf.chunkCount =
+            bf.bytes ? (bf.bytes + out.chunkBytes - 1) / out.chunkBytes
+                     : 0;
+        if (!bf.hostInit)
+            out.populateBytes += bf.bytes;
+    }
+
+    // Union-of-demanded bitmap per buffer, built kernel by kernel in
+    // launch order so first-demand attribution falls out of the walk.
+    std::vector<std::vector<std::uint8_t>> unionBits(
+        job.buffers.size());
+    for (std::size_t i = 0; i < job.buffers.size(); ++i)
+        unionBits[i].assign(out.buffers[i].chunkCount, 0);
+
+    out.kernels.resize(job.kernels.size());
+    std::vector<std::uint8_t> scratch;
+    for (std::size_t ki = 0; ki < job.kernels.size(); ++ki) {
+        const KernelDescriptor &kd = job.kernels[ki];
+        KernelFlow &kf = out.kernels[ki];
+        kf.name = kd.name;
+        kf.chunksByBuffer.assign(job.buffers.size(), 0);
+        kf.newChunksByBuffer.assign(job.buffers.size(), 0);
+        kf.newBytesByBuffer.assign(job.buffers.size(), 0);
+
+        // Distinct chunks this kernel demands, per buffer (several
+        // uses of one buffer share residency within a launch).
+        std::vector<std::vector<std::size_t>> usesByBuffer(
+            job.buffers.size());
+        for (std::size_t ui = 0; ui < kd.buffers.size(); ++ui) {
+            const KernelBufferUse &use = kd.buffers[ui];
+            if (use.bufferId >= job.buffers.size())
+                continue; // UAL001 territory; dataflow stays total
+            BufferFlow &bf = out.buffers[use.bufferId];
+            double tf = std::clamp(use.touchedFraction, 0.0, 1.0);
+            bf.usesPerPass += 1;
+            bf.read = bf.read || use.read;
+            bf.written = bf.written || use.written;
+            int k = static_cast<int>(ki);
+            if (bf.firstUseKernel < 0)
+                bf.firstUseKernel = k;
+            bf.lastUseKernel = k;
+            if (use.read)
+                bf.lastReadKernel = k;
+            if (use.written)
+                bf.lastWriteKernel = k;
+            bf.maxTouchedFraction =
+                std::max(bf.maxTouchedFraction, tf);
+            kf.workingSetBytes += static_cast<Bytes>(
+                static_cast<double>(bf.bytes) * tf);
+            if (tf > 0.0)
+                usesByBuffer[use.bufferId].push_back(ui);
+        }
+
+        for (std::size_t bi = 0; bi < job.buffers.size(); ++bi) {
+            if (usesByBuffer[bi].empty())
+                continue;
+            BufferFlow &bf = out.buffers[bi];
+            if (bf.chunkCount == 0)
+                continue;
+            scratch.assign(bf.chunkCount, 0);
+            for (std::size_t ui : usesByBuffer[bi]) {
+                markDemanded(scratch, kd.buffers[ui], kd.gridBlocks,
+                             bf.chunkCount);
+            }
+            for (std::uint64_t c = 0; c < bf.chunkCount; ++c) {
+                if (!scratch[c])
+                    continue;
+                ++kf.demandRequests;
+                ++kf.chunksByBuffer[bi];
+                ++bf.requestChunksPerPass;
+                Bytes csz = chunkSize(bf.bytes, out.chunkBytes, c,
+                                      bf.chunkCount);
+                kf.demandChunkBytes += csz;
+                bf.requestBytesPerPass += csz;
+                if (!unionBits[bi][c]) {
+                    unionBits[bi][c] = 1;
+                    ++kf.newDemandChunks;
+                    kf.newDemandBytes += csz;
+                    ++kf.newChunksByBuffer[bi];
+                    kf.newBytesByBuffer[bi] += csz;
+                    if (bf.hostInit) {
+                        ++kf.newDemandChunksHostInit;
+                        kf.newDemandBytesHostInit += csz;
+                    }
+                }
+            }
+        }
+        out.peakWorkingSetBytes =
+            std::max(out.peakWorkingSetBytes, kf.workingSetBytes);
+    }
+
+    for (std::size_t i = 0; i < job.buffers.size(); ++i) {
+        BufferFlow &bf = out.buffers[i];
+        for (std::uint64_t c = 0; c < bf.chunkCount; ++c) {
+            if (!unionBits[i][c])
+                continue;
+            ++bf.demandedChunks;
+        }
+        bf.demandedBytes =
+            markedBytes(unionBits[i], bf.bytes, out.chunkBytes);
+        bf.touchedBytes = static_cast<Bytes>(
+            static_cast<double>(bf.bytes) * bf.maxTouchedFraction);
+        out.touchedFootprintBytes += bf.demandedBytes;
+        if (bf.hostInit)
+            out.demandFootprintBytes += bf.demandedBytes;
+
+        // Reuse distance: widest gap of other launches' working
+        // sets between consecutive uses (wrapping across passes).
+        std::vector<std::size_t> useKernels;
+        for (std::size_t ki = 0; ki < job.kernels.size(); ++ki) {
+            for (const KernelBufferUse &use :
+                 job.kernels[ki].buffers) {
+                if (use.bufferId == i) {
+                    useKernels.push_back(ki);
+                    break;
+                }
+            }
+        }
+        bool reused = useKernels.size() > 1 ||
+                      (!useKernels.empty() && out.repeats > 1);
+        if (reused) {
+            Bytes maxGap = 0;
+            for (std::size_t u = 0; u + 1 < useKernels.size(); ++u) {
+                Bytes gap = 0;
+                for (std::size_t ki = useKernels[u] + 1;
+                     ki < useKernels[u + 1]; ++ki)
+                    gap += out.kernels[ki].workingSetBytes;
+                maxGap = std::max(maxGap, gap);
+            }
+            if (out.repeats > 1 && !useKernels.empty()) {
+                Bytes wrap = 0;
+                for (std::size_t ki = useKernels.back() + 1;
+                     ki < job.kernels.size(); ++ki)
+                    wrap += out.kernels[ki].workingSetBytes;
+                for (std::size_t ki = 0; ki < useKernels.front();
+                     ++ki)
+                    wrap += out.kernels[ki].workingSetBytes;
+                maxGap = std::max(maxGap, wrap);
+            }
+            bf.reuseDistanceBytes = maxGap;
+        }
+
+        // Dead store: the written data is never observed — no host
+        // consumption and no later read (a repeat of the sequence
+        // re-reads every buffer the sequence reads at all).
+        if (bf.written && !bf.hostConsumed) {
+            bool readAfterWrite =
+                bf.read && (out.repeats > 1 ||
+                            bf.lastReadKernel > bf.lastWriteKernel);
+            bf.deadAfterLastWrite = !readAfterWrite;
+        }
+    }
+
+    if (out.deviceCapacity > 0) {
+        out.oversubscription =
+            static_cast<double>(out.footprint) /
+            static_cast<double>(out.deviceCapacity);
+        out.touchedOversubscription =
+            static_cast<double>(out.touchedFootprintBytes) /
+            static_cast<double>(out.deviceCapacity);
+    }
+    if (out.footprint > 0) {
+        double ws = 0.0;
+        for (const KernelFlow &kf : out.kernels)
+            ws += static_cast<double>(kf.workingSetBytes);
+        out.accessDensity = ws / static_cast<double>(out.footprint);
+    }
+    return out;
+}
+
+} // namespace uvmasync

@@ -99,6 +99,37 @@ constexpr std::array<DiagSpec, diagIdCount> specs = {{
      "the run would be killed as a runaway before it finishes; "
      "raise watchdog.max_events (or shrink the job) if the volume "
      "is intentional"},
+    {DiagId::PredictedThrash, "UAL019", Severity::Warn,
+     "predicted oversubscription thrash: the demanded working set "
+     "exceeds device memory",
+     "the cost model predicts cyclic re-faulting under every uvm "
+     "mode; shrink the size class, raise device_memory_gib, or "
+     "accept the slowdown knowingly"},
+    {DiagId::DominatedModeSelection, "UAL020", Severity::Note,
+     "selected transfer mode is predicted to be dominated",
+     "another mode is predicted materially faster for this job; see "
+     "`uvmasync-lint --analyze` for the per-mode cost table"},
+    {DiagId::DeadBufferWrite, "UAL021", Severity::Warn,
+     "buffer is written but the data is never observed",
+     "no later kernel reads the buffer and the host never consumes "
+     "it; set host_consumed = true, read it downstream, or drop the "
+     "write to save transfer and writeback traffic"},
+    {DiagId::ChunkGeometryWaste, "UAL022", Severity::Note,
+     "sparse accesses migrate far more bytes than they touch",
+     "the touched fraction rounds up to whole migration chunks; "
+     "shrink uvm.chunk_kib, densify the access pattern, or use an "
+     "explicit-copy mode that moves the buffer once"},
+    {DiagId::PrefetchReuseMismatch, "UAL023", Severity::Note,
+     "prefetch policy contradicts the computed reuse distance",
+     "re-prefetching data whose reuse distance fits device memory "
+     "is pure churn (disable prefetch_each_launch); prefetching "
+     "data evicted before reuse wastes bandwidth (drop the "
+     "prefetcher or shrink the working set)"},
+    {DiagId::PredictedEventVolume, "UAL024", Severity::Warn,
+     "predicted event volume risks the watchdog ceiling",
+     "the cost model predicts this run's event count lands within "
+     "2x of watchdog.max_events; raise the ceiling or shrink the "
+     "job before a mid-sweep PointTimeout wastes the campaign"},
 }};
 
 } // namespace

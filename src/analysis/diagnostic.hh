@@ -53,9 +53,15 @@ enum class DiagId
     BadInjectParam,        //!< UAL016
     InertInjectPlan,       //!< UAL017
     EventVolumeOverCeiling, //!< UAL018
+    PredictedThrash,        //!< UAL019
+    DominatedModeSelection, //!< UAL020
+    DeadBufferWrite,        //!< UAL021
+    ChunkGeometryWaste,     //!< UAL022
+    PrefetchReuseMismatch,  //!< UAL023
+    PredictedEventVolume,   //!< UAL024
 };
 
-inline constexpr std::size_t diagIdCount = 18;
+inline constexpr std::size_t diagIdCount = 24;
 
 /** Static description of one diagnostic code. */
 struct DiagSpec

@@ -1,6 +1,8 @@
 #include "analysis/lint.hh"
 
 #include <algorithm>
+#include <mutex>
+#include <set>
 
 #include "common/logging.hh"
 #include "inject/inject_plan.hh"
@@ -10,6 +12,23 @@ namespace uvmasync
 
 namespace
 {
+
+/** Findings enforceLint has already printed this process: a jobfile
+ * swept over many points lints identically every time, and repeating
+ * the same diagnostic per point buries the signal. Keyed on the full
+ * rendered identity so distinct findings always print. */
+std::mutex printedLintMutex;
+std::set<std::string> printedLintFindings;
+
+bool
+firstPrint(const Diagnostic &d)
+{
+    std::string key = std::string(d.code()) + "|" +
+                      d.loc.toString() + "|" + d.subject + "|" +
+                      d.message;
+    std::lock_guard<std::mutex> lock(printedLintMutex);
+    return printedLintFindings.insert(std::move(key)).second;
+}
 
 DiagnosticEngine
 runPipeline(const LintContext &ctx, const LintOptions &opts)
@@ -43,13 +62,15 @@ lintSystemConfig(const SystemConfig &system, const KvConfig *systemKv,
 DiagnosticEngine
 lintJob(const SystemConfig &system, const Job &job,
         const std::string &subject, const KvConfig *systemKv,
-        const KvConfig *jobKv, const LintOptions &opts)
+        const KvConfig *jobKv, const LintOptions &opts,
+        const TransferMode *transferMode)
 {
     LintContext ctx;
     ctx.system = &system;
     ctx.job = &job;
     ctx.systemKv = systemKv;
     ctx.jobKv = jobKv;
+    ctx.mode = transferMode;
     ctx.subject = subject.empty() ? job.name : subject;
     return runPipeline(ctx, opts);
 }
@@ -57,23 +78,28 @@ lintJob(const SystemConfig &system, const Job &job,
 DiagnosticEngine
 enforceLint(const SystemConfig &system, const Job &job,
             const std::string &subject, LintMode mode,
-            const KvConfig *systemKv, const KvConfig *jobKv)
+            const KvConfig *systemKv, const KvConfig *jobKv,
+            const TransferMode *transferMode)
 {
     if (mode == LintMode::Off)
         return DiagnosticEngine{};
 
-    DiagnosticEngine diags =
-        lintJob(system, job, subject, systemKv, jobKv);
+    DiagnosticEngine diags = lintJob(system, job, subject, systemKv,
+                                     jobKv, {}, transferMode);
     if (diags.empty())
         return diags;
 
     for (const Diagnostic &d : diags.all()) {
+        if (d.severity == Severity::Note &&
+            logLevel() < LogLevel::Inform)
+            continue;
+        if (!firstPrint(d))
+            continue;
         if (d.severity == Severity::Error && mode != LintMode::Enforce)
             warn("%s", d.format().c_str());
         else if (d.severity == Severity::Warn)
             warn("%s", d.format().c_str());
-        else if (d.severity == Severity::Note &&
-                 logLevel() >= LogLevel::Inform)
+        else if (d.severity == Severity::Note)
             inform("%s", d.format().c_str());
     }
 
@@ -155,6 +181,13 @@ lintInjectPlan(const KvConfig &kv, const LintOptions &opts)
         }
     }
     return diags;
+}
+
+void
+resetLintPrintDedup()
+{
+    std::lock_guard<std::mutex> lock(printedLintMutex);
+    printedLintFindings.clear();
 }
 
 bool

@@ -48,18 +48,28 @@ DiagnosticEngine lintJob(const SystemConfig &system, const Job &job,
                          const std::string &subject,
                          const KvConfig *systemKv = nullptr,
                          const KvConfig *jobKv = nullptr,
-                         const LintOptions &opts = {});
+                         const LintOptions &opts = {},
+                         const TransferMode *transferMode = nullptr);
 
 /**
  * Pre-run gate used by Experiment and the CLI jobfile path: lint the
  * model under @p mode; print findings via warn(); fatal() listing the
  * errors when @p mode is Enforce and any error-severity finding
  * exists. Returns the engine so callers can inspect findings.
+ *
+ * Printing is deduplicated process-wide on (code, location, subject,
+ * message): a jobfile linted once per sweep point prints each unique
+ * finding once. The returned engine always carries every finding, so
+ * enforce-gate semantics are unchanged.
  */
 DiagnosticEngine enforceLint(const SystemConfig &system, const Job &job,
                              const std::string &subject, LintMode mode,
                              const KvConfig *systemKv = nullptr,
-                             const KvConfig *jobKv = nullptr);
+                             const KvConfig *jobKv = nullptr,
+                             const TransferMode *transferMode = nullptr);
+
+/** Forget which findings enforceLint has printed (tests). */
+void resetLintPrintDedup();
 
 /** Parse off/warn/enforce; returns false (out untouched) if unknown. */
 bool parseLintMode(const std::string &name, LintMode &out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/cost_model.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "gpu/instruction_mix.hh"
@@ -652,6 +653,196 @@ class KvKeysPass : public AnalysisPass
     }
 };
 
+// --- cost-advisor: UAL019..UAL024 from the static cost model ---------
+
+/** The kernel timing model asserts on geometry the structural passes
+ * flag as errors; the advisor only runs on models it can price. */
+bool
+costModelApplicable(const Job &job, const SystemConfig &sys)
+{
+    if (job.buffers.empty() || job.kernels.empty())
+        return false;
+    for (const KernelDescriptor &kd : job.kernels) {
+        if (kd.gridBlocks == 0 || kd.threadsPerBlock == 0 ||
+            kd.threadsPerBlock > sys.gpu.maxThreadsPerSm ||
+            kd.warpsToSaturate <= 0.0 || kd.asyncComputePenalty <= 0.0)
+            return false;
+        for (const KernelBufferUse &use : kd.buffers) {
+            if (use.bufferId >= job.buffers.size())
+                return false;
+        }
+    }
+    return true;
+}
+
+class CostAdvisorPass : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "cost-advisor"; }
+    const char *
+    description() const override
+    {
+        return "static cost-model advisories: thrash, dominated "
+               "mode, dead writes, chunk waste, prefetch mismatch, "
+               "event volume (UAL019-UAL024)";
+    }
+
+    void
+    run(const LintContext &ctx, DiagnosticEngine &diags) const override
+    {
+        // The advisor runs last in the pipeline: a model the
+        // structural passes already rejected (or one the guard below
+        // cannot price) gets no advisories — the timing model would
+        // assert on it.
+        if (!ctx.job || !ctx.system || diags.hasErrors() ||
+            !costModelApplicable(*ctx.job, *ctx.system))
+            return;
+        const SystemConfig &sys = *ctx.system;
+        const Job &job = *ctx.job;
+        CostReport rep = analyzeCost(sys, job);
+        const DataflowSummary &flow = rep.flow;
+        std::string subj = ctx.subject.empty() ? "job" : ctx.subject;
+
+        // UAL019: the demanded working set cannot stay resident.
+        if (flow.touchedOversubscription > 1.0) {
+            const ModeCost &uvm = rep.mode(TransferMode::Uvm);
+            diags.report(
+                DiagId::PredictedThrash, subj,
+                "demanded working set " +
+                    bytesStr(flow.touchedFootprintBytes) + " is " +
+                    fmtDouble(flow.touchedOversubscription, 2) +
+                    "x device memory (" +
+                    bytesStr(flow.deviceCapacity) +
+                    "); the cost model predicts " +
+                    std::to_string(uvm.faults) +
+                    " demand faults of cyclic re-migration under "
+                    "uvm");
+        }
+
+        // UAL020: the mode about to run is predicted dominated.
+        if (ctx.mode) {
+            constexpr double dominatedRatio = 1.25;
+            const ModeCost &sel = rep.mode(*ctx.mode);
+            const ModeCost &best = rep.mode(rep.bestMode);
+            if (best.overallPs() > 0.0 &&
+                sel.overallPs() >
+                    best.overallPs() * dominatedRatio) {
+                diags.report(
+                    DiagId::DominatedModeSelection, subj,
+                    std::string("mode ") +
+                        transferModeName(*ctx.mode) +
+                        " is predicted " +
+                        fmtTime(sel.overallPs()) + " overall, but " +
+                        transferModeName(rep.bestMode) +
+                        " is predicted " +
+                        fmtTime(best.overallPs()) + " (" +
+                        fmtDouble(sel.overallPs() /
+                                      best.overallPs(), 2) +
+                        "x faster)");
+            }
+        }
+
+        for (const BufferFlow &bf : flow.buffers) {
+            // UAL021: written data nothing ever observes.
+            if (bf.deadAfterLastWrite) {
+                diags.report(
+                    DiagId::DeadBufferWrite, subj + "/" + bf.name,
+                    "buffer is written by kernel " +
+                        std::to_string(bf.lastWriteKernel) +
+                        " but is neither host-consumed nor read "
+                        "afterwards; the writes (and any writeback "
+                        "of " + bytesStr(bf.bytes) +
+                        ") are dead traffic");
+            }
+
+            // UAL022: chunk rounding migrates far more than touched.
+            constexpr double wasteRatio = 2.0;
+            const Bytes wasteFloor = mib(16);
+            if (bf.demandedBytes >
+                    static_cast<Bytes>(
+                        static_cast<double>(bf.touchedBytes) *
+                        wasteRatio) &&
+                bf.demandedBytes - bf.touchedBytes >= wasteFloor) {
+                diags.report(
+                    DiagId::ChunkGeometryWaste,
+                    subj + "/" + bf.name,
+                    "accesses touch " + bytesStr(bf.touchedBytes) +
+                        " but demand-migrate " +
+                        bytesStr(bf.demandedBytes) + " (" +
+                        bytesStr(static_cast<double>(
+                            flow.chunkBytes)) +
+                        " chunks round sparse touches up " +
+                        fmtDouble(static_cast<double>(
+                                      bf.demandedBytes) /
+                                      std::max<double>(
+                                          1.0,
+                                          static_cast<double>(
+                                              bf.touchedBytes)),
+                                  1) +
+                        "x)");
+            }
+        }
+
+        // UAL023: prefetch policy vs computed reuse distance.
+        if (job.prefetchEachLaunch &&
+            flow.footprint <= flow.deviceCapacity &&
+            flow.repeats * flow.launchesPerPass > 1) {
+            Bytes churn =
+                rep.mode(TransferMode::UvmPrefetch).migrationBytes;
+            diags.report(
+                DiagId::PrefetchReuseMismatch, subj,
+                "prefetch_each_launch re-prefetches data whose "
+                "reuse distance fits device memory; under "
+                "uvm_prefetch the cost model predicts " +
+                    bytesStr(churn) +
+                    " of migration traffic where one upfront "
+                    "prefetch would settle for " +
+                    bytesStr(flow.hostInitBytes));
+        }
+        if (sys.uvm.demandPrefetcher != PrefetcherKind::None) {
+            for (const BufferFlow &bf : flow.buffers) {
+                if (bf.reuseDistanceBytes <= flow.deviceCapacity ||
+                    bf.usesPerPass == 0)
+                    continue;
+                diags.report(
+                    DiagId::PrefetchReuseMismatch,
+                    subj + "/" + bf.name,
+                    "the demand prefetcher speculatively migrates "
+                    "this buffer, but its reuse distance " +
+                        bytesStr(bf.reuseDistanceBytes) +
+                        " exceeds device memory — prefetched "
+                        "chunks are evicted before reuse");
+            }
+        }
+
+        // UAL024: predicted (not worst-case) event volume vs the
+        // watchdog ceiling; UAL018 covers the over-ceiling case.
+        std::uint64_t ceiling = sys.watchdog.maxEvents
+                                    ? sys.watchdog.maxEvents
+                                    : defaultWatchdogMaxEvents;
+        std::uint64_t maxEvents = 0;
+        TransferMode maxMode = TransferMode::Standard;
+        for (TransferMode m : allTransferModes) {
+            if (rep.mode(m).predictedEvents > maxEvents) {
+                maxEvents = rep.mode(m).predictedEvents;
+                maxMode = m;
+            }
+        }
+        if (maxEvents * 2 > ceiling && maxEvents <= ceiling) {
+            diags.report(
+                DiagId::PredictedEventVolume, subj,
+                std::string("the cost model predicts ") +
+                    std::to_string(maxEvents) +
+                    " watchdog-visible events under " +
+                    transferModeName(maxMode) +
+                    ", within 2x of the ceiling " +
+                    std::to_string(ceiling) +
+                    "; headroom this thin risks a mid-sweep "
+                    "PointTimeout");
+        }
+    }
+};
+
 } // namespace
 
 void
@@ -693,6 +884,7 @@ PassManager::standardPipeline()
     pm.add(std::make_unique<ResourceLimitsPass>());
     pm.add(std::make_unique<PatternConsistencyPass>());
     pm.add(std::make_unique<EventVolumePass>());
+    pm.add(std::make_unique<CostAdvisorPass>());
     return pm;
 }
 

@@ -19,6 +19,7 @@
 
 #include "analysis/diagnostic.hh"
 #include "common/kv_config.hh"
+#include "gpu/transfer_mode.hh"
 #include "runtime/job.hh"
 #include "runtime/system_config.hh"
 
@@ -38,6 +39,11 @@ struct LintContext
 
     /** KV source of the job (jobfile path), for source locations. */
     const KvConfig *jobKv = nullptr;
+
+    /** Transfer mode the caller is about to run under, when known;
+     * enables mode-aware advisories (UAL020). Null when the lint is
+     * mode-agnostic (jobfile lint, --all-workloads sweeps). */
+    const TransferMode *mode = nullptr;
 
     /** Human-readable model name ("gemm @ super", "file.ini"). */
     std::string subject;

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for the linter, so CI systems and editors that
+ * ingest static-analysis results (GitHub code scanning, VS Code
+ * SARIF viewers) can consume uvmasync-lint findings directly. The
+ * text renderer stays the default; this is an opt-in format.
+ */
+
+#ifndef UVMASYNC_ANALYSIS_SARIF_HH
+#define UVMASYNC_ANALYSIS_SARIF_HH
+
+#include <string>
+
+#include "analysis/diagnostic.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Render every finding in @p diags as one SARIF 2.1.0 run. The rule
+ * table always lists all UAL codes (stable rule indices); results
+ * appear in report order. Output is deterministic: same findings,
+ * same bytes.
+ */
+std::string renderSarif(const DiagnosticEngine &diags);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_ANALYSIS_SARIF_HH

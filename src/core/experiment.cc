@@ -48,7 +48,7 @@ Experiment::run(const std::string &workloadName, TransferMode mode,
     enforceLint(system_, job,
                 workloadName + " @ " +
                     std::string(sizeClassName(opts.size)),
-                opts.lint);
+                opts.lint, nullptr, nullptr, &mode);
 
     Device device(system_);
     Tracer tracer;

@@ -28,13 +28,9 @@ permuteIndex(std::uint64_t i, std::uint64_t n)
 KernelExecutor::KernelExecutor(KernelExecConfig cfg)
     : cfg_(std::move(cfg))
 {
-    if (usesUvm(cfg_.mode)) {
-        UVMASYNC_ASSERT(cfg_.uvm != nullptr,
-                        "UVM mode requires a MigrationEngine");
-        UVMASYNC_ASSERT(cfg_.bufferRangeIds.size() ==
-                            cfg_.bufferBytes.size(),
-                        "range-id map must cover every buffer");
-    }
+    // UVM-mode executors need a MigrationEngine to *run*, but not to
+    // derive timings; run() checks so the static cost model can use
+    // estimateResident() on an engine-less executor.
 }
 
 double
@@ -341,11 +337,42 @@ KernelExecutor::derivedFor(const KernelDescriptor &kd)
     return it->second;
 }
 
+KernelStaticEstimate
+KernelExecutor::estimateResident(const KernelDescriptor &kd)
+{
+    const Derived &d = derivedFor(kd);
+
+    std::uint64_t slots = static_cast<std::uint64_t>(d.activeSms) *
+                          d.residentBlocks;
+    slots = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(slots, kd.gridBlocks));
+    auto blockTime = static_cast<Tick>(
+        std::ceil(d.tileTimePs * static_cast<double>(d.tilesPerBlock) +
+                  d.fillTimePs));
+    blockTime = std::max<Tick>(blockTime, 1);
+
+    KernelStaticEstimate est;
+    est.waves = (kd.gridBlocks + slots - 1) / slots;
+    est.blockTimePs = blockTime;
+    est.launchPs = cfg_.gpu.kernelLaunchOverhead +
+                   static_cast<Tick>(est.waves) * blockTime;
+    est.occupancy = d.occ.occupancy;
+    est.blocksPerSm = d.occ.blocksPerSm;
+    return est;
+}
+
 KernelResult
 KernelExecutor::run(const KernelDescriptor &kd, Tick start)
 {
     const Derived &d = derivedFor(kd);
     bool uvm = usesUvm(cfg_.mode);
+    if (uvm) {
+        UVMASYNC_ASSERT(cfg_.uvm != nullptr,
+                        "UVM mode requires a MigrationEngine");
+        UVMASYNC_ASSERT(cfg_.bufferRangeIds.size() ==
+                            cfg_.bufferBytes.size(),
+                        "range-id map must cover every buffer");
+    }
 
     KernelResult res;
     res.startTick = start;

@@ -95,6 +95,25 @@ struct KernelExecConfig
     Injector *inject = nullptr;
 };
 
+/**
+ * Closed-form launch estimate with all data device-resident — the
+ * static-analysis view of a launch (analysis/cost_model.cc). Derived
+ * from the same tile-timing derivation run() uses, so the estimate
+ * and the simulation can only drift if run() itself changes.
+ */
+struct KernelStaticEstimate
+{
+    /** Launch wall time (overhead + waves x block time). */
+    Tick launchPs = 0;
+
+    double occupancy = 0.0;
+    std::uint32_t blocksPerSm = 0;
+
+    /** Wave-schedule geometry. */
+    std::uint64_t waves = 0;
+    Tick blockTimePs = 0;
+};
+
 /** Outcome of one kernel launch. */
 struct KernelResult
 {
@@ -136,6 +155,14 @@ class KernelExecutor
      * Simulate one launch of @p kd starting at @p start.
      */
     KernelResult run(const KernelDescriptor &kd, Tick start);
+
+    /**
+     * Closed-form resident-data estimate of one launch of @p kd.
+     * Usable without a MigrationEngine even in UVM modes (the
+     * derivation never touches migration state), which is what lets
+     * the static cost model price kernels it will never run.
+     */
+    KernelStaticEstimate estimateResident(const KernelDescriptor &kd);
 
   private:
     /** Per-launch derived quantities shared by the helpers. */

@@ -1,0 +1,51 @@
+// Self-test fixture for tools/determinism_lint.sh. Every rule in the
+// lint must flag this file: each banned construction below sits in
+// real (non-comment, non-string) code. Never compiled.
+#include <chrono>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+int badUnseeded()
+{
+    std::random_device rd;
+    srand(42);
+    return rand() + static_cast<int>(rd());
+}
+
+long badWallClock()
+{
+    auto sys = std::chrono::system_clock::now();
+    auto hi = std::chrono::high_resolution_clock::now();
+    auto mono = std::chrono::steady_clock::now();
+    return (sys.time_since_epoch() + hi.time_since_epoch() +
+            mono.time_since_epoch())
+        .count();
+}
+
+long badJournalClock()
+{
+    return static_cast<long>(std::time(nullptr));
+}
+
+struct Rng {
+    explicit Rng(unsigned long s = 0) { (void)s; }
+};
+
+Rng badInjectRng()
+{
+    Rng a;
+    Rng b(12345);
+    (void)b;
+    return Rng();
+}
+
+struct CsvWriter {
+    void writeRow(int) {}
+};
+
+void badUnorderedIteration(CsvWriter &csv)
+{
+    for (const auto &kv : std::unordered_map<int, int>{{1, 2}})
+        csv.writeRow(kv.second);
+}

@@ -1,0 +1,39 @@
+// Self-test fixture for tools/determinism_lint.sh. Every banned token
+// appears ONLY inside comments or string literals, plus identifiers
+// that merely contain a banned word — a token-aware lint must report
+// nothing here. Never compiled.
+//
+// Prose that used to false-positive: never call rand() or srand()
+// here; std::random_device is banned; system_clock and
+// high_resolution_clock and steady_clock are wall-clock soup.
+/* Block-comment variants: rand( srand( std::random_device
+   system_clock high_resolution_clock steady_clock
+   std::time(nullptr) clock_gettime gettimeofday
+   for (auto &kv : unordered_map) */
+
+static const char *kDoc =
+    "rand() srand(7) std::random_device system_clock "
+    "high_resolution_clock steady_clock std::chrono "
+    "clock_gettime(CLOCK_MONOTONIC) Rng() Rng(42) "
+    "for (auto &kv : unordered_map<int, int>)";
+
+static const char kQuote = '"'; // lone double-quote char literal
+static const char kEsc = '\''; // escaped single quote
+
+// Identifiers containing banned words must not match: "operand(",
+// "strand(" and "mytime(" carry rand(/time( as substrings only.
+int operand(int strandCount) { return strandCount; }
+int strand(int x) { return operand(x); }
+int mytime(int x) { return x; } // [^a-zA-Z_]time\( must not fire
+
+const char *
+docString()
+{
+    return kDoc; // the string above stays data, not code
+}
+
+char
+quoteChar()
+{
+    return kQuote ? kQuote : kEsc;
+}

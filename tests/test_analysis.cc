@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
+#include "analysis/cost_model.hh"
 #include "analysis/diagnostic.hh"
 #include "analysis/lint.hh"
 #include "analysis/passes.hh"
@@ -485,12 +489,216 @@ TEST(Lint, StandardPipelineListsItsPasses)
 {
     PassManager pipeline = PassManager::standardPipeline();
     std::vector<std::string> names = pipeline.names();
-    ASSERT_EQ(names.size(), 6u);
+    ASSERT_EQ(names.size(), 7u);
     EXPECT_EQ(names.front(), "system-config");
+    EXPECT_EQ(names.back(), "cost-advisor");
     for (const auto &pass : pipeline.passes()) {
         EXPECT_STRNE(pass->name(), "");
         EXPECT_STRNE(pass->description(), "");
     }
+}
+
+// --- UAL019 predicted oversubscription thrash ------------------------
+
+TEST(Lint, Ual019PredictedThrash)
+{
+    Job job = makeCleanJob();
+    job.buffers[0].bytes = gib(48); // touched set > 40 GiB HBM
+    DiagnosticEngine diags = lint(job);
+    EXPECT_EQ(diags.count(DiagId::PredictedThrash), 1u)
+        << diags.formatAll();
+
+    EXPECT_EQ(lint(makeCleanJob()).count(DiagId::PredictedThrash),
+              0u);
+}
+
+// --- UAL020 dominated transfer-mode selection ------------------------
+
+TEST(Lint, Ual020DominatedModeSelection)
+{
+    // Self-consistent with the cost model: the analyzer's own worst
+    // mode must be flagged, its best mode must not. The fixture's
+    // demand-fault path is far slower than one bulk copy, so the
+    // best/worst spread comfortably exceeds the 1.25x threshold.
+    Job job = makeCleanJob();
+    job.buffers[0].bytes = gib(4);
+    job.buffers[1].bytes = gib(4);
+    CostReport rep = analyzeCost(SystemConfig::a100Epyc(), job);
+    TransferMode worst = TransferMode::Standard;
+    for (TransferMode m : allTransferModes) {
+        if (rep.mode(m).overallPs() >
+            rep.mode(worst).overallPs())
+            worst = m;
+    }
+    ASSERT_GT(rep.mode(worst).overallPs(),
+              rep.mode(rep.bestMode).overallPs() * 1.25)
+        << "fixture no longer spreads the modes";
+
+    DiagnosticEngine flagged = lintJob(
+        SystemConfig::a100Epyc(), job, "fixture", nullptr, nullptr,
+        {}, &worst);
+    EXPECT_EQ(flagged.count(DiagId::DominatedModeSelection), 1u)
+        << flagged.formatAll();
+
+    DiagnosticEngine best = lintJob(
+        SystemConfig::a100Epyc(), job, "fixture", nullptr, nullptr,
+        {}, &rep.bestMode);
+    EXPECT_EQ(best.count(DiagId::DominatedModeSelection), 0u)
+        << best.formatAll();
+
+    // Mode-agnostic lints (no mode pointer) never see UAL020.
+    EXPECT_EQ(lint(job).count(DiagId::DominatedModeSelection), 0u);
+}
+
+// --- UAL021 dead buffer write ----------------------------------------
+
+TEST(Lint, Ual021DeadBufferWrite)
+{
+    Job job = makeCleanJob();
+    job.buffers.push_back(JobBuffer{"tmp", mib(64), false, false});
+    job.kernels[0].buffers.push_back(KernelBufferUse{
+        2, AccessPattern::Sequential, false, true, 1.0, true});
+    DiagnosticEngine diags = lint(job);
+    EXPECT_EQ(diags.count(DiagId::DeadBufferWrite), 1u)
+        << diags.formatAll();
+
+    // Host-consuming the buffer makes the writes observable.
+    job.buffers[2].hostConsumed = true;
+    EXPECT_EQ(lint(job).count(DiagId::DeadBufferWrite), 0u);
+}
+
+// --- UAL022 chunk-geometry bandwidth waste ---------------------------
+
+TEST(Lint, Ual022ChunkGeometryWaste)
+{
+    // 64 MiB chunks over a 1% touch: one demanded chunk carries
+    // ~10.7 MiB of useful data and ~53 MiB of rounding waste.
+    SystemConfig sys = SystemConfig::a100Epyc();
+    sys.uvm.chunkBytes = mib(64);
+    Job job = makeCleanJob();
+    job.buffers[0].bytes = gib(1);
+    job.kernels[0].buffers[0].touchedFraction = 0.01;
+    DiagnosticEngine diags = lintJob(sys, job, "fixture");
+    EXPECT_EQ(diags.count(DiagId::ChunkGeometryWaste), 1u)
+        << diags.formatAll();
+
+    // The default 256 KiB chunks round the same touch up by at most
+    // one chunk — far under the waste floor.
+    EXPECT_EQ(lint(job).count(DiagId::ChunkGeometryWaste), 0u);
+    EXPECT_EQ(lint(makeCleanJob()).count(
+                  DiagId::ChunkGeometryWaste),
+              0u);
+}
+
+// --- UAL023 prefetch policy vs computed reuse distance ---------------
+
+TEST(Lint, Ual023RedundantPerLaunchPrefetch)
+{
+    Job job = makeCleanJob();
+    job.prefetchEachLaunch = true;
+    job.sequenceRepeats = 16;
+    DiagnosticEngine diags = lint(job);
+    EXPECT_EQ(diags.count(DiagId::PrefetchReuseMismatch), 1u)
+        << diags.formatAll();
+
+    // A single launch has nothing to re-prefetch.
+    Job once = makeCleanJob();
+    once.prefetchEachLaunch = true;
+    EXPECT_EQ(lint(once).count(DiagId::PrefetchReuseMismatch), 0u);
+}
+
+TEST(Lint, Ual023PrefetcherBeyondReuseDistance)
+{
+    // k0 reuses "in" every pass, but k1 streams a 48 GiB buffer in
+    // between: the reuse distance exceeds device memory, so a demand
+    // prefetcher only migrates chunks that die before reuse.
+    SystemConfig sys = SystemConfig::a100Epyc();
+    sys.uvm.demandPrefetcher = PrefetcherKind::Stream;
+    Job job = makeCleanJob();
+    job.buffers.push_back(JobBuffer{"huge", gib(48), true, false});
+    KernelDescriptor kd = job.kernels[0];
+    kd.name = "k1";
+    kd.buffers = {KernelBufferUse{
+        2, AccessPattern::Sequential, true, false, 1.0, true}};
+    job.kernels.push_back(kd);
+    job.sequenceRepeats = 4;
+    DiagnosticEngine diags = lintJob(sys, job, "fixture");
+    EXPECT_GE(diags.count(DiagId::PrefetchReuseMismatch), 1u)
+        << diags.formatAll();
+}
+
+// --- UAL024 predicted event volume near the watchdog ceiling ---------
+
+TEST(Lint, Ual024EventVolumeInsideRiskBand)
+{
+    // A streaming 48 GiB walk re-faulted every one of 2000 passes
+    // predicts event volume inside (ceiling/2, ceiling]: high enough
+    // to be one config tweak away from a PointTimeout, low enough
+    // that UAL018's over-the-ceiling error stays silent.
+    Job job = makeCleanJob();
+    job.buffers[0].bytes = gib(48);
+    job.sequenceRepeats = 2000;
+    CostReport rep = analyzeCost(SystemConfig::a100Epyc(), job);
+    std::uint64_t maxEvents = 0;
+    for (TransferMode m : allTransferModes)
+        maxEvents = std::max(maxEvents,
+                             rep.mode(m).predictedEvents);
+    ASSERT_GT(maxEvents * 2, defaultWatchdogMaxEvents)
+        << "fixture fell below the risk band";
+    ASSERT_LE(maxEvents, defaultWatchdogMaxEvents)
+        << "fixture overshot into UAL018 territory";
+
+    DiagnosticEngine diags = lint(job);
+    EXPECT_EQ(diags.count(DiagId::PredictedEventVolume), 1u)
+        << diags.formatAll();
+    EXPECT_EQ(lint(makeCleanJob()).count(
+                  DiagId::PredictedEventVolume),
+              0u);
+}
+
+// --- lint print dedup (jobfile sweeps) -------------------------------
+
+TEST(Lint, WarnModePrintsEachFindingOnceAcrossSweepPoints)
+{
+    // A jobfile sweep lints the same model once per point; the
+    // printed diagnostics must not repeat per point, while the
+    // returned engines keep every finding (gate semantics intact).
+    Job job = makeCleanJob();
+    job.buffers.push_back(JobBuffer{"scratch", mib(8), true, false});
+    resetLintPrintDedup();
+    ::testing::internal::CaptureStderr();
+    DiagnosticEngine first = enforceLint(
+        SystemConfig::a100Epyc(), job, "sweep", LintMode::Warn);
+    DiagnosticEngine second = enforceLint(
+        SystemConfig::a100Epyc(), job, "sweep", LintMode::Warn);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    resetLintPrintDedup();
+
+    std::size_t prints = 0;
+    for (std::size_t pos = err.find("UAL004");
+         pos != std::string::npos;
+         pos = err.find("UAL004", pos + 1))
+        ++prints;
+    EXPECT_EQ(prints, 1u) << err;
+    EXPECT_EQ(first.count(DiagId::UnusedBuffer), 1u);
+    EXPECT_EQ(second.count(DiagId::UnusedBuffer), 1u);
+}
+
+TEST(Lint, DistinctSubjectsStillPrint)
+{
+    Job job = makeCleanJob();
+    job.buffers.push_back(JobBuffer{"scratch", mib(8), true, false});
+    resetLintPrintDedup();
+    ::testing::internal::CaptureStderr();
+    enforceLint(SystemConfig::a100Epyc(), job, "point-a",
+                LintMode::Warn);
+    enforceLint(SystemConfig::a100Epyc(), job, "point-b",
+                LintMode::Warn);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    resetLintPrintDedup();
+
+    EXPECT_NE(err.find("point-a"), std::string::npos) << err;
+    EXPECT_NE(err.find("point-b"), std::string::npos) << err;
 }
 
 TEST(Lint, ParseLintModeRoundTrip)

@@ -241,10 +241,14 @@ TEST_F(UvmExecFixture, TouchedFractionLimitsMigration)
 
 TEST(KernelExecutorDeathTest, UvmModeNeedsEngine)
 {
+    // Construction without an engine is legal (the static cost model
+    // builds engine-less executors to derive timings); *running* a
+    // UVM kernel without one is not.
     KernelExecConfig cfg;
     cfg.mode = TransferMode::Uvm;
-    cfg.bufferBytes = {gib(1)};
-    EXPECT_DEATH(KernelExecutor{cfg}, "MigrationEngine");
+    cfg.bufferBytes = {gib(1), gib(1)};
+    KernelExecutor exec{cfg};
+    EXPECT_DEATH(exec.run(streamingKernel(), 0), "MigrationEngine");
 }
 
 } // namespace

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Golden-output suite for the linter's rendered diagnostics.
+ *
+ * One triggering fixture per UAL code (UAL001-UAL024); the exact
+ * rendered text — location, severity, code, subject, message and
+ * fix-it hint — is pinned in tests/golden/lint_hints.txt, and the
+ * same findings rendered as SARIF are pinned in
+ * tests/golden/lint_findings.sarif.json. Any wording change to a
+ * diagnostic or to either renderer shows up as a reviewable diff:
+ *
+ *     ./build/tests/test_lint_golden --update-golden
+ *     git diff tests/golden/
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/cost_model.hh"
+#include "analysis/diagnostic.hh"
+#include "analysis/lint.hh"
+#include "analysis/sarif.hh"
+#include "gpu/instruction_mix.hh"
+#include "runtime/config_loader.hh"
+#include "workloads/registry.hh"
+
+namespace uvmasync
+{
+namespace
+{
+
+bool gUpdateGolden = false;
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(UVMASYNC_GOLDEN_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+compareOrUpdate(const std::string &name, const std::string &actual)
+{
+    std::string path = goldenPath(name);
+    if (gUpdateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        out << actual;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "golden " << path << " is missing or empty; regenerate "
+        << "with: test_lint_golden --update-golden";
+    EXPECT_EQ(expected, actual)
+        << "rendered diagnostics changed. If the wording change is "
+        << "intentional, regenerate with --update-golden and review "
+        << "the diff.";
+}
+
+/** The shared clean baseline (mirrors test_analysis.cc). */
+Job
+makeCleanJob()
+{
+    Job job;
+    job.name = "fixture";
+    job.buffers = {JobBuffer{"in", mib(64), true, false},
+                   JobBuffer{"out", mib(64), false, true}};
+    KernelDescriptor kd = makeStreamKernel(
+        "k0", /*gridBlocks=*/4096, /*threadsPerBlock=*/256,
+        /*totalLoadBytes=*/mib(64), /*sharedBytesPerBlock=*/kib(16),
+        /*elementBytes=*/4, /*flopsPerElement=*/4.0,
+        /*intsPerElement=*/4.0, /*ctrlPerElement=*/1.0,
+        /*storeRatio=*/0.5);
+    kd.buffers = {
+        KernelBufferUse{0, AccessPattern::Sequential, true, false,
+                        1.0, true},
+        KernelBufferUse{1, AccessPattern::Sequential, false, true,
+                        1.0, true},
+    };
+    job.kernels = {kd};
+    return job;
+}
+
+/**
+ * Lint the canonical triggering fixture for @p id and return the
+ * engine holding (at least) one finding of that code.
+ */
+DiagnosticEngine
+findingsFor(DiagId id)
+{
+    SystemConfig sys = SystemConfig::a100Epyc();
+    Job job = makeCleanJob();
+    switch (id) {
+    case DiagId::DanglingBufferRef:
+        job.kernels[0].buffers[0].bufferId = 5;
+        return lintJob(sys, job, "fixture");
+    case DiagId::KernelDepCycle:
+        job.kernels[0].dependsOn = {0};
+        return lintJob(sys, job, "fixture");
+    case DiagId::DanglingKernelDep:
+        job.kernels[0].dependsOn = {7};
+        return lintJob(sys, job, "fixture");
+    case DiagId::UnusedBuffer:
+        job.buffers.push_back(
+            JobBuffer{"scratch", mib(8), true, false});
+        return lintJob(sys, job, "fixture");
+    case DiagId::ReadUninitialized:
+        job.buffers[0].hostInit = false;
+        return lintJob(sys, job, "fixture");
+    case DiagId::SharedOverflow:
+        job.kernels[0].sharedBytesPerBlock = kib(200);
+        return lintJob(sys, job, "fixture");
+    case DiagId::BadLaunchGeometry:
+        job.kernels[0].threadsPerBlock = 0;
+        return lintJob(sys, job, "fixture");
+    case DiagId::FootprintOverCapacity:
+        job.buffers[0].bytes = gib(2000);
+        return lintJob(sys, job, "fixture");
+    case DiagId::BadPageGeometry:
+        sys.uvm.chunkBytes = kib(6);
+        return lintJob(sys, job, "fixture");
+    case DiagId::PrefetchMismatch:
+        sys.uvm.demandPrefetcher = PrefetcherKind::Stream;
+        job.kernels[0].buffers[0].pattern = AccessPattern::Random;
+        return lintJob(sys, job, "fixture");
+    case DiagId::BadInstructionMix:
+        job.kernels[0].fpPerTile = -3.0;
+        return lintJob(sys, job, "fixture");
+    case DiagId::BadTouchedFraction:
+        job.kernels[0].buffers[0].touchedFraction = 1.5;
+        return lintJob(sys, job, "fixture");
+    case DiagId::UnknownConfigKey: {
+        KvConfig kv = KvConfig::fromString("[gpu]\nsm_cout = 80\n",
+                                           "testbed.ini");
+        return lintSystemConfig(sys, &kv);
+    }
+    case DiagId::ShadowedConfigKey: {
+        KvConfig kv = KvConfig::fromString(
+            "[gpu]\nsm_count = 80\nsm_count = 108\n", "testbed.ini");
+        return lintSystemConfig(sys, &kv);
+    }
+    case DiagId::BadSystemParam:
+        sys.gpu.smCount = 0;
+        return lintSystemConfig(sys);
+    case DiagId::BadInjectParam:
+        return lintInjectPlan(KvConfig::fromString(
+            "[inject.pcie]\nfail_rate = 1.5\n", "plan.ini"));
+    case DiagId::InertInjectPlan:
+        return lintInjectPlan(KvConfig::fromString(
+            "[inject]\nseed = 9\n", "plan.ini"));
+    case DiagId::EventVolumeOverCeiling:
+        job.buffers[0].bytes = gib(30);
+        job.sequenceRepeats = 10000;
+        return lintJob(sys, job, "fixture");
+    case DiagId::PredictedThrash:
+        job.buffers[0].bytes = gib(48);
+        return lintJob(sys, job, "fixture");
+    case DiagId::DominatedModeSelection: {
+        job.buffers[0].bytes = gib(4);
+        job.buffers[1].bytes = gib(4);
+        CostReport rep = analyzeCost(sys, job);
+        TransferMode worst = TransferMode::Standard;
+        for (TransferMode m : allTransferModes) {
+            if (rep.mode(m).overallPs() >
+                rep.mode(worst).overallPs())
+                worst = m;
+        }
+        return lintJob(sys, job, "fixture", nullptr, nullptr, {},
+                       &worst);
+    }
+    case DiagId::DeadBufferWrite:
+        job.buffers.push_back(
+            JobBuffer{"tmp", mib(64), false, false});
+        job.kernels[0].buffers.push_back(KernelBufferUse{
+            2, AccessPattern::Sequential, false, true, 1.0, true});
+        return lintJob(sys, job, "fixture");
+    case DiagId::ChunkGeometryWaste:
+        sys.uvm.chunkBytes = mib(64);
+        job.buffers[0].bytes = gib(1);
+        job.kernels[0].buffers[0].touchedFraction = 0.01;
+        return lintJob(sys, job, "fixture");
+    case DiagId::PrefetchReuseMismatch:
+        job.prefetchEachLaunch = true;
+        job.sequenceRepeats = 16;
+        return lintJob(sys, job, "fixture");
+    case DiagId::PredictedEventVolume:
+        job.buffers[0].bytes = gib(48);
+        job.sequenceRepeats = 2000;
+        return lintJob(sys, job, "fixture");
+    }
+    return {};
+}
+
+/**
+ * One representative finding per code, in code order, copied into a
+ * single engine so both renderers see the identical finding set.
+ */
+DiagnosticEngine
+representativeFindings()
+{
+    DiagnosticEngine combined;
+    for (std::size_t i = 0; i < diagIdCount; ++i) {
+        DiagId id = static_cast<DiagId>(i);
+        DiagnosticEngine diags = findingsFor(id);
+        const Diagnostic *found = nullptr;
+        for (const Diagnostic &d : diags.all()) {
+            if (d.id == id) {
+                found = &d;
+                break;
+            }
+        }
+        EXPECT_NE(found, nullptr)
+            << "fixture for " << diagSpec(id).code
+            << " no longer triggers it:\n"
+            << diags.formatAll();
+        if (!found)
+            continue;
+        Diagnostic &copy = combined.report(
+            found->id, found->severity, found->subject,
+            found->message);
+        copy.hint = found->hint;
+        copy.loc = found->loc;
+    }
+    return combined;
+}
+
+TEST(LintGolden, RenderedHintTextPerCode)
+{
+    registerAllWorkloads();
+    DiagnosticEngine findings = representativeFindings();
+    std::string text;
+    for (const Diagnostic &d : findings.all())
+        text += d.format() + "\n";
+    compareOrUpdate("lint_hints.txt", text);
+}
+
+TEST(LintGolden, SarifRendering)
+{
+    registerAllWorkloads();
+    DiagnosticEngine findings = representativeFindings();
+    compareOrUpdate("lint_findings.sarif.json",
+                    renderSarif(findings));
+}
+
+} // namespace
+} // namespace uvmasync
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            uvmasync::gUpdateGolden = true;
+    }
+    return RUN_ALL_TESTS();
+}

@@ -4,8 +4,8 @@
 # The simulator promises bit-identical results for a given seed at any
 # --jobs count; that promise dies the day somebody reaches for a
 # wall-clock or an unseeded RNG inside the model, or iterates an
-# unordered container straight into a report. This grep-level gate
-# bans those constructions in simulation code:
+# unordered container straight into a report. This gate bans those
+# constructions in simulation code:
 #
 #   - rand()/srand()/std::random_device: unseeded randomness (the
 #     deterministic Rng in common/rng.hh is the only legal source)
@@ -18,6 +18,14 @@
 #     injector stream must be derived from the plan salt, or injected
 #     runs stop replaying identically across --jobs counts
 #
+# The checks are token-aware: comments and string literals are blanked
+# (line numbers preserved) before any pattern runs, so prose saying
+# "never call rand() here" or a log string naming system_clock cannot
+# trip the gate. `--self-test` runs the rules against the fixtures in
+# tests/fixtures/determinism/ (one file every rule must flag, one
+# where every banned token hides in comments/strings and the lint
+# must stay silent).
+#
 # Exit 0 when clean, 1 with findings. Run from anywhere.
 
 set -u
@@ -26,14 +34,106 @@ cd "$(dirname "$0")/.."
 fail=0
 note() { printf '%s\n' "$*"; }
 
-# Simulation sources: everything under src/ and tools/.
-SIM_PATHS=(src tools)
+# --- the rule patterns ----------------------------------------------
+# \b keeps e.g. "srand48_r" or identifiers like "operand(" matching.
+RE_RAND='\b(rand|srand)[[:space:]]*\(|std::random_device'
+RE_WALLCLOCK='system_clock|high_resolution_clock'
+RE_STEADY='steady_clock'
+RE_INJECT_RNG='Rng[[:space:]]*\([[:space:]]*\)|Rng\{[[:space:]]*\}|Rng[[:space:]]*\([[:space:]]*[0-9]'
+RE_JOURNAL_CLOCK='std::chrono|clock_gettime|gettimeofday|\bstrftime[[:space:]]*\(|\blocaltime(_r)?[[:space:]]*\(|\bgmtime(_r)?[[:space:]]*\(|std::time[[:space:]]*\(|[^a-zA-Z_]time[[:space:]]*\([[:space:]]*(NULL|nullptr|0|&)'
+RE_UNORDERED_ITER='for[[:space:]]*\(.*:[[:space:]]*[^)]*unordered_(map|set)'
+RE_OUTPUT_TOKENS='CsvWriter|writeRow|TextTable|writeChromeTrace|writeTraceMetricsCsv'
+
+# Blank comments and string/char literals while preserving the line
+# structure, so grep line numbers still point at the real source.
+# Block comments span lines; string state resets per line (a C++
+# string literal cannot).
+strip_src() {
+    awk '
+    {
+        line = $0; out = ""; i = 1; n = length(line); instr = 0; q = ""
+        while (i <= n) {
+            c = substr(line, i, 1)
+            d = (i < n) ? substr(line, i + 1, 1) : ""
+            if (inblock) {
+                if (c == "*" && d == "/") { inblock = 0; i += 2 }
+                else i++
+                out = out " "
+                continue
+            }
+            if (instr) {
+                if (c == "\\") { i += 2; out = out " " }
+                else if (c == q) { instr = 0; i++; out = out " " }
+                else { i++; out = out " " }
+                continue
+            }
+            if (c == "/" && d == "/") break
+            if (c == "/" && d == "*") {
+                inblock = 1; i += 2; out = out "  "; continue
+            }
+            if (c == "\"" || c == "\x27") {
+                instr = 1; q = c; i++; out = out " "; continue
+            }
+            out = out c; i++
+        }
+        print out
+    }' "$1"
+}
+
+# scan PATTERN FILE... -> "file:line:stripped-line" per match.
+scan() {
+    local pattern=$1 f
+    shift
+    for f in "$@"; do
+        strip_src "$f" | grep -nE "$pattern" | sed "s|^|$f:|"
+    done
+    true
+}
+
+# --- self-test ------------------------------------------------------
+if [ "${1:-}" = "--self-test" ]; then
+    bad=tests/fixtures/determinism/lint_bad.cc
+    clean=tests/fixtures/determinism/lint_clean.cc
+    st_fail=0
+    must_hit() {
+        if [ -z "$(scan "$2" "$3")" ]; then
+            note "determinism lint self-test FAIL: rule '$1' did not flag $3"
+            st_fail=1
+        fi
+    }
+    must_miss() {
+        local hits
+        hits=$(scan "$2" "$3")
+        if [ -n "$hits" ]; then
+            note "determinism lint self-test FAIL: rule '$1' false-positived on $3:"
+            note "$hits"
+            st_fail=1
+        fi
+    }
+    must_hit "unseeded randomness" "$RE_RAND" "$bad"
+    must_hit "wall-clock" "$RE_WALLCLOCK" "$bad"
+    must_hit "steady_clock" "$RE_STEADY" "$bad"
+    must_hit "inject rng" "$RE_INJECT_RNG" "$bad"
+    must_hit "journal clock" "$RE_JOURNAL_CLOCK" "$bad"
+    must_hit "unordered iteration" "$RE_UNORDERED_ITER" "$bad"
+    must_miss "unseeded randomness" "$RE_RAND" "$clean"
+    must_miss "wall-clock" "$RE_WALLCLOCK" "$clean"
+    must_miss "steady_clock" "$RE_STEADY" "$clean"
+    must_miss "inject rng" "$RE_INJECT_RNG" "$clean"
+    must_miss "journal clock" "$RE_JOURNAL_CLOCK" "$clean"
+    must_miss "unordered iteration" "$RE_UNORDERED_ITER" "$clean"
+    if [ "$st_fail" -eq 0 ]; then
+        note "determinism lint self-test: ok"
+    fi
+    exit "$st_fail"
+fi
+
+# Simulation sources: everything under src/ and tools/. Sorted so
+# findings print in a stable order.
+SIM_FILES=$(find src tools \( -name '*.cc' -o -name '*.hh' \) | sort)
 
 # --- unseeded randomness --------------------------------------------
-# \b keeps e.g. "srand48_r" or identifiers like "strand" from matching.
-hits=$(grep -rnE '\b(rand|srand)\s*\(|std::random_device' \
-    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh' \
-    | grep -v 'determinism' || true)
+hits=$(scan "$RE_RAND" $SIM_FILES)
 if [ -n "$hits" ]; then
     note "determinism lint: unseeded randomness (use common/rng.hh):"
     note "$hits"
@@ -41,8 +141,7 @@ if [ -n "$hits" ]; then
 fi
 
 # --- wall-clock time ------------------------------------------------
-hits=$(grep -rnE 'system_clock|high_resolution_clock' \
-    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh' || true)
+hits=$(scan "$RE_WALLCLOCK" $SIM_FILES)
 if [ -n "$hits" ]; then
     note "determinism lint: wall-clock source in simulation code:"
     note "$hits"
@@ -55,8 +154,7 @@ fi
 # harness: pure host-side self-timing that never feeds simulation
 # state, exactly like the parallel runner's wall-time metrics.
 ALLOW_STEADY='src/core/parallel_runner.cc src/perf/harness.cc src/perf/harness.hh tools/uvmasync_bench.cc'
-hits=$(grep -rnE 'steady_clock' \
-    "${SIM_PATHS[@]}" --include='*.cc' --include='*.hh')
+hits=$(scan "$RE_STEADY" $SIM_FILES)
 for allowed in $ALLOW_STEADY; do
     hits=$(printf '%s\n' "$hits" | grep -v -F "$allowed" || true)
 done
@@ -72,8 +170,8 @@ fi
 # being a pure function of the plan salt (Injector::streamRng). A
 # default-constructed or literal-seeded Rng in src/inject would pass
 # every functional test and still break --jobs replay identity.
-hits=$(grep -rnE 'Rng\s*\(\s*\)|Rng\{\s*\}|Rng\s*\(\s*[0-9]' \
-    src/inject --include='*.cc' --include='*.hh' || true)
+INJECT_FILES=$(find src/inject \( -name '*.cc' -o -name '*.hh' \) | sort)
+hits=$(scan "$RE_INJECT_RNG" $INJECT_FILES)
 if [ -n "$hits" ]; then
     note "determinism lint: src/inject RNG stream not derived from" \
          "the plan salt (use Injector::streamRng):"
@@ -86,9 +184,8 @@ fi
 # => same bytes at any --jobs count, across interrupt/resume). A
 # timestamp — any wall-clock read — in src/journal would silently
 # break the cmp-based resume gates in check.sh and the golden tests.
-hits=$(grep -rnE \
-    'std::chrono|clock_gettime|gettimeofday|\bstrftime\s*\(|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\(|std::time\s*\(|[^a-zA-Z_]time\s*\(\s*(NULL|nullptr|0|&)' \
-    src/journal --include='*.cc' --include='*.hh' || true)
+JOURNAL_FILES=$(find src/journal \( -name '*.cc' -o -name '*.hh' \) | sort)
+hits=$(scan "$RE_JOURNAL_CLOCK" $JOURNAL_FILES)
 if [ -n "$hits" ]; then
     note "determinism lint: wall-clock read in src/journal (the" \
          "journal must stay byte-deterministic):"
@@ -99,12 +196,17 @@ fi
 # --- unordered iteration feeding output -----------------------------
 # Files that produce user-visible artifacts must not range-for over
 # unordered containers; the iteration order is ABI/hash-seed soup.
-OUTPUT_FILES=$(grep -rlE \
-    'CsvWriter|writeRow|TextTable|writeChromeTrace|writeTraceMetricsCsv' \
-    src tools --include='*.cc' || true)
-for f in $OUTPUT_FILES; do
-    hits=$(grep -nE \
-        'for\s*\(.*:\s*[^)]*unordered_(map|set)' "$f" || true)
+# Output-producing files are detected on stripped sources too, so a
+# doc comment mentioning CsvWriter does not pull a file into scope.
+for f in $SIM_FILES; do
+    case "$f" in
+      *.cc) ;;
+      *) continue ;;
+    esac
+    if ! strip_src "$f" | grep -qE "$RE_OUTPUT_TOKENS"; then
+        continue
+    fi
+    hits=$(scan "$RE_UNORDERED_ITER" "$f")
     if [ -n "$hits" ]; then
         note "determinism lint: $f iterates an unordered container" \
              "while producing report/CSV output:"

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.hh"
 #include "analysis/lint.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
@@ -565,6 +566,28 @@ cmdRun(const Args &args)
                               ? loadSystemConfig(args.get("config"))
                               : SystemConfig::a100Epyc();
     applyWatchdogFlags(args, system);
+
+    // Campaign advisor: the static cost model's verdict before any
+    // simulated tick. Goes through inform() (stderr at the default
+    // log level), so CSV/stdout streams stay byte-identical.
+    if (opts.lint != LintMode::Off) {
+        Job advisorJob = WorkloadRegistry::instance()
+                             .get(workload)
+                             .makeJob(opts.size, opts.geometry);
+        CostReport rep = analyzeCost(system, advisorJob);
+        inform("advisor: %s @ %s — predicted winner %s, async/uvm "
+               "= %s (%s); run `uvmasync-lint --analyze --workload "
+               "%s --size %s` for the full cost table",
+               workload.c_str(),
+               sizeClassName(opts.size),
+               transferModeName(rep.bestMode),
+               fmtDouble(rep.asyncOverUvm, 2).c_str(),
+               rep.asyncOverUvm > 1.0 ? "uvm family predicted ahead"
+                                      : "explicit family predicted "
+                                        "ahead",
+               workload.c_str(), sizeClassName(opts.size));
+    }
+
     std::vector<ExperimentPoint> points;
     points.reserve(modes.size());
     for (TransferMode m : modes)

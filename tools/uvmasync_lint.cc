@@ -11,6 +11,11 @@
  *   uvmasync-lint --config FILE
  *       Lint one model.
  *
+ *   uvmasync-lint --analyze ...
+ *       Additionally run the static cost model on every linted job:
+ *       per-mode predicted traffic/time table plus the advisor
+ *       verdict (which transfer mode should win, before simulating).
+ *
  *   uvmasync-lint --inject FILE
  *       Lint a fault-injection plan (inject.* keys): malformed
  *       parameters (UAL016), unknown/shadowed keys (UAL013/014) and
@@ -21,21 +26,29 @@
  *
  * Common flags: --config FILE (system overlay for job lints),
  * --Werror (warnings fail the run), --pass NAME (restrict passes,
- * repeatable via comma list), --quiet (findings only, no summary).
+ * repeatable via comma list), --quiet (findings only, no summary),
+ * --format text|sarif (finding output format; text is the default),
+ * --jobs N (parallel workload analysis; output order and bytes are
+ * identical at any N).
  *
  * Exit status: 0 clean (notes/warnings allowed unless --Werror),
  * 1 error-severity findings, 2 usage/IO error.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "analysis/cost_model.hh"
 #include "analysis/lint.hh"
+#include "analysis/sarif.hh"
 #include "common/table.hh"
 #include "runtime/config_loader.hh"
 #include "workloads/job_loader.hh"
@@ -59,6 +72,9 @@ struct Options
     bool listPasses = false;
     bool werror = false;
     bool quiet = false;
+    bool analyze = false;
+    bool sarif = false;
+    unsigned jobs = 1;
     LintOptions lint;
 };
 
@@ -73,6 +89,17 @@ parseArgs(int argc, char **argv, Options &opt)
                 std::exit(2);
             }
             return argv[++i];
+        };
+        auto setFormat = [&](const std::string &fmt) {
+            if (fmt == "sarif")
+                opt.sarif = true;
+            else if (fmt == "text")
+                opt.sarif = false;
+            else {
+                std::fprintf(stderr, "unknown format '%s'\n",
+                             fmt.c_str());
+                std::exit(2);
+            }
         };
         if (arg == "--all-workloads")
             opt.allWorkloads = true;
@@ -94,6 +121,15 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.werror = true;
         else if (arg == "--quiet")
             opt.quiet = true;
+        else if (arg == "--analyze")
+            opt.analyze = true;
+        else if (arg == "--format")
+            setFormat(value("--format"));
+        else if (arg.rfind("--format=", 0) == 0)
+            setFormat(arg.substr(std::strlen("--format=")));
+        else if (arg == "--jobs")
+            opt.jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(value("--jobs").c_str())));
         else if (arg == "--pass") {
             std::istringstream iss(value("--pass"));
             std::string name;
@@ -137,15 +173,54 @@ listPasses()
     return 0;
 }
 
-/** Print findings; returns the number of error-severity ones. */
-std::size_t
-emit(const DiagnosticEngine &diags, const Options &opt)
+/** One linted (and optionally cost-analyzed) model. */
+struct UnitResult
 {
-    if (!diags.empty())
-        std::cout << diags.formatAll();
-    if (!opt.quiet && !diags.empty())
-        std::cout << diags.summary() << "\n";
-    return diags.count(Severity::Error);
+    DiagnosticEngine diags;
+    std::string analysis; //!< rendered cost table (--analyze)
+};
+
+UnitResult
+lintUnit(const SystemConfig &system, const Job &job,
+         const std::string &subject, const KvConfig *systemKv,
+         const KvConfig *jobKv, const Options &opt)
+{
+    UnitResult r;
+    r.diags = lintJob(system, job, subject, systemKv, jobKv, opt.lint);
+    if (opt.analyze && !r.diags.hasErrors())
+        r.analysis = renderCostReport(analyzeCost(system, job),
+                                      subject);
+    return r;
+}
+
+/**
+ * Print one unit's findings (or stash them for the SARIF document)
+ * and its cost table; returns the number of error findings.
+ */
+std::size_t
+emit(const UnitResult &r, const Options &opt,
+     DiagnosticEngine &sarifAcc)
+{
+    if (opt.sarif) {
+        sarifAcc.merge(r.diags);
+    } else {
+        if (!r.diags.empty())
+            std::cout << r.diags.formatAll();
+        if (!opt.quiet && !r.diags.empty())
+            std::cout << r.diags.summary() << "\n";
+    }
+    if (!r.analysis.empty())
+        std::cout << r.analysis;
+    return r.diags.count(Severity::Error);
+}
+
+std::size_t
+emit(const DiagnosticEngine &diags, const Options &opt,
+     DiagnosticEngine &sarifAcc)
+{
+    UnitResult r;
+    r.diags = diags;
+    return emit(r, opt, sarifAcc);
 }
 
 std::vector<SizeClass>
@@ -162,24 +237,65 @@ sizesFor(const Options &opt)
     return {s};
 }
 
+/**
+ * Lint (and analyze) a batch of workload x size points. Points are
+ * processed by --jobs worker threads but emitted strictly in task
+ * order, so the output bytes do not depend on the thread count.
+ */
 std::size_t
-lintOneWorkload(const std::string &name, const SystemConfig &system,
-                const KvConfig *systemKv, const Options &opt)
+lintWorkloadBatch(const std::vector<std::string> &names,
+                  const SystemConfig &system,
+                  const KvConfig *systemKv, const Options &opt,
+                  DiagnosticEngine &sarifAcc)
 {
-    const Workload *w = WorkloadRegistry::instance().find(name);
-    if (!w) {
-        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
-        std::exit(2);
+    struct Task
+    {
+        std::string name;
+        SizeClass size;
+    };
+    std::vector<Task> tasks;
+    for (const std::string &name : names) {
+        if (!WorkloadRegistry::instance().find(name)) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        for (SizeClass size : sizesFor(opt))
+            tasks.push_back({name, size});
     }
+
+    std::vector<UnitResult> results(tasks.size());
+    unsigned workers = std::max(1u, opt.jobs);
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, tasks.size() ? tasks.size()
+                                                    : 1));
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+            const Workload *w =
+                WorkloadRegistry::instance().find(tasks[i].name);
+            Job job = w->makeJob(tasks[i].size);
+            std::string subject =
+                tasks[i].name + " @ " +
+                std::string(sizeClassName(tasks[i].size));
+            results[i] = lintUnit(system, job, subject, systemKv,
+                                  nullptr, opt);
+        }
+    };
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
     std::size_t errors = 0;
-    for (SizeClass size : sizesFor(opt)) {
-        Job job = w->makeJob(size);
-        std::string subject =
-            name + " @ " + std::string(sizeClassName(size));
-        errors += emit(lintJob(system, job, subject, systemKv,
-                               nullptr, opt.lint),
-                       opt);
-    }
+    for (const UnitResult &r : results)
+        errors += emit(r, opt, sarifAcc);
     return errors;
 }
 
@@ -204,7 +320,8 @@ main(int argc, char **argv)
             "| --jobfile FILE | --config FILE | --inject FILE\n"
             "                     [--size CLASS|all] [--config FILE] "
             "[--pass NAME[,NAME]] [--Werror] [--quiet]\n"
-            "                     [--list-codes] [--list-passes]\n");
+            "                     [--analyze] [--format text|sarif] "
+            "[--jobs N] [--list-codes] [--list-passes]\n");
         return 2;
     }
 
@@ -226,46 +343,51 @@ main(int argc, char **argv)
     }
 
     std::size_t errors = 0;
+    DiagnosticEngine sarifAcc;
 
     if (opt.configOnly) {
-        errors += emit(
-            lintSystemConfig(system, systemKvPtr, opt.lint), opt);
+        errors += emit(lintSystemConfig(system, systemKvPtr, opt.lint),
+                       opt, sarifAcc);
     }
 
     if (!opt.injectFile.empty()) {
         KvConfig injectKv = KvConfig::fromFile(opt.injectFile);
-        errors += emit(lintInjectPlan(injectKv, opt.lint), opt);
+        errors += emit(lintInjectPlan(injectKv, opt.lint), opt,
+                       sarifAcc);
     }
 
     if (!opt.jobfile.empty()) {
         KvConfig jobKv = KvConfig::fromFile(opt.jobfile);
         DiagnosticEngine loadDiags;
         Job job = jobFromConfig(jobKv, &loadDiags);
-        errors += emit(lintJob(system, job, opt.jobfile, systemKvPtr,
-                               &jobKv, opt.lint),
-                       opt);
+        errors += emit(lintUnit(system, job, opt.jobfile, systemKvPtr,
+                                &jobKv, opt),
+                       opt, sarifAcc);
     }
 
+    std::vector<std::string> names;
     if (!opt.workload.empty())
-        errors +=
-            lintOneWorkload(opt.workload, system, systemKvPtr, opt);
-
-    if (opt.allWorkloads) {
-        std::size_t linted = 0;
+        names.push_back(opt.workload);
+    if (opt.allWorkloads)
         for (const std::string &name :
-             WorkloadRegistry::instance().names()) {
-            errors += lintOneWorkload(name, system, systemKvPtr, opt);
-            ++linted;
-        }
-        if (!opt.quiet) {
-            std::cout << "linted " << linted << " workload(s) x "
-                      << sizesFor(opt).size() << " size(s): "
+             WorkloadRegistry::instance().names())
+            names.push_back(name);
+    if (!names.empty()) {
+        errors += lintWorkloadBatch(names, system, systemKvPtr, opt,
+                                    sarifAcc);
+        if (opt.allWorkloads && !opt.quiet && !opt.sarif) {
+            std::cout << "linted " << names.size()
+                      << " workload(s) x " << sizesFor(opt).size()
+                      << " size(s): "
                       << (errors == 0 ? "clean"
                                       : std::to_string(errors) +
                                             " error(s)")
                       << "\n";
         }
     }
+
+    if (opt.sarif)
+        std::cout << renderSarif(sarifAcc);
 
     return errors == 0 ? 0 : 1;
 }
