@@ -7,11 +7,13 @@
 # a trace-export smoke run, a chaos stage (the
 # fault-injection suite plus an injected smoke run), a resume stage
 # (journal byte-determinism across job counts, kill-and-resume CSV
-# identity, watchdog quarantine), a bench stage (perf-trajectory
-# harness gated against the committed BENCH_6.json), a
-# ThreadSanitizer pass over the parallel experiment engine, the
-# tracer suite and the injection suite, and an ASan+UBSan build of
-# the full test suite (which includes the injection suite).
+# identity, watchdog quarantine), a store stage (cold-vs-warm CSV
+# identity through the result store, hit-rate accounting, eviction
+# under a byte budget), a bench stage (perf-trajectory harness gated
+# against the committed BENCH_7.json), a ThreadSanitizer pass over
+# the parallel experiment engine, the result store, the tracer suite
+# and the injection suite, and an ASan+UBSan build of the full test
+# suite (which includes the injection and store suites).
 #
 #   scripts/check.sh             # all stages
 #   scripts/check.sh --no-tsan   # skip the TSan stage
@@ -129,8 +131,40 @@ fi
 grep -q 'DEGRADED RUN' "$trace_out/wd.log"
 grep -q 'quarantined' "$trace_out/wd.log"
 
+echo "== store: incremental sweeps through the result store =="
+# A cold run populates the store; the warm rerun must simulate
+# nothing (100% hit rate) and still emit a byte-identical CSV at a
+# different --jobs count. Store stats go to stderr so the data
+# artifacts stay byte-comparable.
+store_dir="$trace_out/store"
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 1 --store "$store_dir" \
+    --out "$trace_out/cold.csv" > /dev/null 2> /dev/null
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 4 --store "$store_dir" \
+    --out "$trace_out/warm.csv" > /dev/null 2> "$trace_out/warm.log"
+cmp "$trace_out/cold.csv" "$trace_out/warm.csv"
+grep -q 'hit_rate.*+100\.00%' "$trace_out/warm.log"
+# A store-less run of the same grid must also match: attaching the
+# store can never change the science.
+cmp "$trace_out/cold.csv" "$trace_out/ref.csv"
+# store stats / verify on the populated store.
+./build/tools/uvmasync store stats --store "$store_dir" \
+    | grep -q 'last_run_hit_rate'
+./build/tools/uvmasync store verify --store "$store_dir" > /dev/null
+# Eviction smoke: eviction triggers on insert, so run a workload the
+# store has not seen under a one-byte budget — its inserts must evict
+# the saxpy segments, and the run still completes correctly.
+./build/tools/uvmasync run --workload gemv --size tiny --runs 2 \
+    --jobs 1 --out "$trace_out/gemv_ref.csv" > /dev/null
+./build/tools/uvmasync run --workload gemv --size tiny --runs 2 \
+    --jobs 1 --store "$store_dir" --store-max-bytes 1 \
+    --out "$trace_out/evict.csv" > /dev/null 2> "$trace_out/evict.log"
+cmp "$trace_out/evict.csv" "$trace_out/gemv_ref.csv"
+grep -Eq 'evicted_segments *\| *[1-9]' "$trace_out/evict.log"
+
 if [ "$run_bench" = 1 ]; then
-    echo "== bench: perf trajectory vs committed BENCH_6.json =="
+    echo "== bench: perf trajectory vs committed BENCH_7.json =="
     # Self-timing harness: regenerate the measurement and gate it
     # against the committed artifact with a +-15% tolerance band on
     # every phase rate (and derived speedups); the calendar-vs-heap
@@ -142,7 +176,7 @@ if [ "$run_bench" = 1 ]; then
     # three, printing the per-phase delta table each time.
     bench_cmd=(./build/tools/uvmasync-bench --reps 5 --warmup 2
         --require-speedup 1.5 --max-null-overhead 1.0
-        --compare BENCH_6.json --tolerance 0.15)
+        --compare BENCH_7.json --tolerance 0.15)
     bench_ok=0
     for attempt in 1 2 3; do
         if "${bench_cmd[@]}"; then
@@ -155,17 +189,19 @@ if [ "$run_bench" = 1 ]; then
 fi
 
 if [ "$run_tsan" = 1 ]; then
-    echo "== TSan: parallel engine + tracer + injection suite =="
+    echo "== TSan: parallel engine + store + tracer + injection =="
     cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
     cmake --build build-tsan -j"$(nproc)" \
         --target test_parallel_runner --target test_trace \
-        --target test_inject
+        --target test_inject --target test_store
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_parallel_runner
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_trace
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_inject
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_store
 fi
 
 if [ "$run_asan" = 1 ]; then

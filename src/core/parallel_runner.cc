@@ -279,6 +279,23 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
         }
     }
 
+    // Consult the cross-run result store for the remaining points,
+    // in submission order on the calling thread: the cache's
+    // hit/miss sequence (and any LRU bookkeeping it keeps) is a pure
+    // function of the batch, never of worker scheduling. A journal
+    // restore wins over a cache hit — it is this run's own record.
+    if (policy.cache) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!live[i])
+                continue;
+            if (policy.cache->lookup(i, batch.points[i])) {
+                batch.points[i].cached = true;
+                live[i] = 0;
+                ++batch.metrics.cacheHits;
+            }
+        }
+    }
+
     // Submission-order journal merge: a point's terminal record is
     // appended only once every earlier point has completed, so the
     // journal is byte-deterministic at any job count AND every
@@ -288,14 +305,23 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
     std::size_t frontier = 0;
     std::vector<char> done(points.size(), 0);
     auto completePoint = [&](std::size_t index) {
-        if (!policy.journal)
+        if (!policy.journal && !policy.cache)
             return;
         std::lock_guard<std::mutex> lock(commitMutex);
         done[index] = 1;
         while (frontier < points.size() && done[frontier]) {
             PointOutcome &out = batch.points[frontier];
-            if (!out.restored)
+            // A cache hit is journaled like a fresh result (it is
+            // one, replayed), so warm and cold runs write identical
+            // journals; a journal-restored point is not re-committed.
+            if (policy.journal && !out.restored)
                 policy.journal->commit(frontier, out);
+            // Populate the store from the same submission-order
+            // merge: segment append order is deterministic at any
+            // job count. Only successful outcomes are cacheable —
+            // aborted/timeout/quarantined points must re-run.
+            if (policy.cache && out.ok && !out.cached)
+                policy.cache->store(frontier, out);
             ++frontier;
         }
     };

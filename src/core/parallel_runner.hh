@@ -78,6 +78,9 @@ struct PointOutcome
     /** Skipped because a resume journal already had the result. */
     bool restored = false;
 
+    /** Served from the cross-run result store (never simulated). */
+    bool cached = false;
+
     /** Every failed attempt, in order (empty on first-try success). */
     std::vector<PointAttempt> attemptTrail;
 
@@ -86,6 +89,7 @@ struct PointOutcome
 };
 
 class PointJournal;
+class PointCache;
 
 /** Retry/quarantine policy of a batch. */
 struct RunPolicy
@@ -100,6 +104,16 @@ struct RunPolicy
 
     /** Write-ahead journal for checkpoint/resume; null = none. */
     PointJournal *journal = nullptr;
+
+    /**
+     * Cross-run content-addressed result cache; null = none. Looked
+     * up before any point simulates and populated from the
+     * submission-order merge, so cached and uncached batches produce
+     * byte-identical output at any job count. Composes with journal:
+     * the journal is the per-run durability layer, the cache the
+     * cross-run memoization layer.
+     */
+    PointCache *cache = nullptr;
 };
 
 /**
@@ -125,6 +139,40 @@ class PointJournal
     virtual void commit(std::size_t index, PointOutcome &out) = 0;
 };
 
+/**
+ * Cross-run memoization of per-point results, keyed on content (the
+ * point's full configuration), not on position in a batch. The
+ * engine calls lookup() for every live point in submission order on
+ * the calling thread before any worker spawns — hit/miss sequences
+ * (and an implementation's LRU state) are therefore deterministic at
+ * any job count — and store() from the submission-order merge (never
+ * concurrently), so an append-only backing file stays
+ * byte-deterministic too. Implemented by store/result_store.hh's
+ * StorePointCache; the interface lives here so core does not depend
+ * on the store library.
+ */
+class PointCache
+{
+  public:
+    virtual ~PointCache() = default;
+
+    /**
+     * Serve the outcome of point @p index from the cache; returns
+     * false when the point must simulate. A served outcome must be
+     * indistinguishable from a fresh first-try success (ok, one
+     * attempt, empty trail) so journals and reports stay
+     * byte-identical between warm and cold batches.
+     */
+    virtual bool lookup(std::size_t index, PointOutcome &out) = 0;
+
+    /**
+     * Offer a completed outcome for caching. Called for successful
+     * outcomes only; implementations may decline (e.g. traced
+     * points) and must dedup re-offered entries.
+     */
+    virtual void store(std::size_t index, const PointOutcome &out) = 0;
+};
+
 /** Host-side metrics of one batch. */
 struct BatchMetrics
 {
@@ -135,6 +183,7 @@ struct BatchMetrics
     std::size_t points = 0;    //!< points submitted
     std::size_t steals = 0;    //!< cross-worker steals
     std::size_t restored = 0;  //!< points skipped via --resume
+    std::size_t cacheHits = 0; //!< points served by the result store
 };
 
 /** Batch outcome, point outcomes in submission order. */

@@ -111,7 +111,8 @@ parallelMetricsTable(const BatchMetrics &metrics)
     // bound on the speedup actually realised (they coincide when the
     // machine has at least `jobs` free cores).
     TextTable table({"jobs", "points", "wall_ms", "busy_ms",
-                     "points_per_sec", "concurrency", "steals"});
+                     "points_per_sec", "concurrency", "steals",
+                     "cache_hits"});
     double concurrency = metrics.wallMs > 0.0
                              ? metrics.busyMs / metrics.wallMs
                              : 0.0;
@@ -121,7 +122,8 @@ parallelMetricsTable(const BatchMetrics &metrics)
                   fmtDouble(metrics.busyMs, 1),
                   fmtDouble(metrics.pointsPerSec, 1),
                   fmtDouble(concurrency, 2),
-                  std::to_string(metrics.steals)});
+                  std::to_string(metrics.steals),
+                  std::to_string(metrics.cacheHits)});
     return table;
 }
 

@@ -16,10 +16,11 @@ namespace
  * of killing it.
  */
 std::vector<SweepPoint>
-runSweepGrid(Experiment &experiment, const SweepGrid &grid)
+runSweepGrid(Experiment &experiment, const SweepGrid &grid,
+             const RunPolicy &policy)
 {
     ParallelRunner runner(experiment.system());
-    BatchResult batch = runner.runPoints(grid.points);
+    BatchResult batch = runner.runPoints(grid.points, policy);
     if (batch.degraded()) {
         warn("DEGRADED RUN: %zu of %zu sweep cells quarantined; "
              "their cells hold zeroed placeholder results",
@@ -143,30 +144,36 @@ assembleSweepPoints(const SweepGrid &grid, const BatchResult &batch)
 std::vector<SweepPoint>
 Sweep::blockSweep(const std::string &workload,
                   const std::vector<std::uint64_t> &blockCounts,
-                  const ExperimentOptions &base)
+                  const ExperimentOptions &base,
+                  const RunPolicy &policy)
 {
     return runSweepGrid(experiment_,
-                        blockSweepGrid(workload, blockCounts, base));
+                        blockSweepGrid(workload, blockCounts, base),
+                        policy);
 }
 
 std::vector<SweepPoint>
 Sweep::threadSweep(const std::string &workload,
                    const std::vector<std::uint32_t> &threadCounts,
                    std::uint64_t fixedBlocks,
-                   const ExperimentOptions &base)
+                   const ExperimentOptions &base,
+                   const RunPolicy &policy)
 {
     return runSweepGrid(experiment_,
                         threadSweepGrid(workload, threadCounts,
-                                        fixedBlocks, base));
+                                        fixedBlocks, base),
+                        policy);
 }
 
 std::vector<SweepPoint>
 Sweep::sharedMemSweep(const std::string &workload,
                       const std::vector<Bytes> &carveouts,
-                      const ExperimentOptions &base)
+                      const ExperimentOptions &base,
+                      const RunPolicy &policy)
 {
     return runSweepGrid(experiment_,
-                        sharedMemSweepGrid(workload, carveouts, base));
+                        sharedMemSweepGrid(workload, carveouts, base),
+                        policy);
 }
 
 } // namespace uvmasync

@@ -74,24 +74,32 @@ class Sweep
   public:
     explicit Sweep(Experiment &experiment) : experiment_(experiment) {}
 
-    /** Figure 11: blocks 4096 -> 16 at 256 threads/block. */
+    /**
+     * Figure 11: blocks 4096 -> 16 at 256 threads/block.
+     * @p policy forwards batch-level control (retries, journal,
+     * result-store cache) to the underlying ParallelRunner, so an
+     * incremental sweep re-simulates only never-seen cells.
+     */
     std::vector<SweepPoint>
     blockSweep(const std::string &workload,
                const std::vector<std::uint64_t> &blockCounts,
-               const ExperimentOptions &base = {});
+               const ExperimentOptions &base = {},
+               const RunPolicy &policy = {});
 
     /** Figure 12: threads 1024 -> 32 at a fixed 64-block grid. */
     std::vector<SweepPoint>
     threadSweep(const std::string &workload,
                 const std::vector<std::uint32_t> &threadCounts,
                 std::uint64_t fixedBlocks,
-                const ExperimentOptions &base = {});
+                const ExperimentOptions &base = {},
+                const RunPolicy &policy = {});
 
     /** Figure 13: shared-memory carveout 2 KiB -> 128 KiB. */
     std::vector<SweepPoint>
     sharedMemSweep(const std::string &workload,
                    const std::vector<Bytes> &carveouts,
-                   const ExperimentOptions &base = {});
+                   const ExperimentOptions &base = {},
+                   const RunPolicy &policy = {});
 
   private:
     Experiment &experiment_;

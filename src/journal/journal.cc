@@ -84,26 +84,6 @@ parsePointStatus(const std::string &text, PointStatus &out)
     return false;
 }
 
-std::string
-hex16(std::uint64_t v)
-{
-    return strfmt("%016" PRIx64, v);
-}
-
-bool
-parseHex16(const std::string &text, std::uint64_t &out)
-{
-    if (text.size() != 16)
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(text.c_str(), &end, 16);
-    if (errno != 0 || end != text.c_str() + text.size())
-        return false;
-    out = v;
-    return true;
-}
-
 void
 writeBreakdown(JsonWriter &w, const TimeBreakdown &b)
 {
@@ -156,8 +136,10 @@ readInjectCounters(const JsonValue &v, InjectCounters &out)
     return true;
 }
 
+} // namespace
+
 void
-writeResult(JsonWriter &w, const ExperimentResult &r)
+writeResultJson(JsonWriter &w, const ExperimentResult &r)
 {
     w.beginObject();
     w.key("workload").value(r.workload);
@@ -193,7 +175,7 @@ writeResult(JsonWriter &w, const ExperimentResult &r)
 }
 
 bool
-readResult(const JsonValue &v, ExperimentResult &out)
+readResultJson(const JsonValue &v, ExperimentResult &out)
 {
     if (!v.isObject())
         return false;
@@ -251,8 +233,6 @@ readResult(const JsonValue &v, ExperimentResult &out)
         return false;
     return readInjectCounters(*inject, out.injectCounters);
 }
-
-} // namespace
 
 std::uint64_t
 pointConfigHash(const ExperimentPoint &point)
@@ -317,7 +297,7 @@ journalHeaderLine(const std::vector<ExperimentPoint> &points)
     w.key("journal").value("uvmasync");
     w.key("version").value(
         static_cast<std::uint64_t>(journalVersion));
-    w.key("campaign").value(hex16(campaignHash(points)));
+    w.key("campaign").value(hexU64(campaignHash(points)));
     w.key("points").value(static_cast<std::uint64_t>(points.size()));
     w.endObject();
     return w.str();
@@ -331,7 +311,7 @@ journalRecordLine(std::size_t index, std::uint64_t configHash,
     JsonWriter w;
     w.beginObject();
     w.key("point").value(static_cast<std::uint64_t>(index));
-    w.key("config").value(hex16(configHash));
+    w.key("config").value(hexU64(configHash));
     w.key("key").value(point.workload + "/" +
                        transferModeName(point.mode));
     w.key("status").value(pointStatusName(outcome.status));
@@ -349,7 +329,7 @@ journalRecordLine(std::size_t index, std::uint64_t configHash,
     }
     if (outcome.ok) {
         w.key("result");
-        writeResult(w, outcome.result);
+        writeResultJson(w, outcome.result);
     } else {
         w.key("error").value(outcome.error);
     }
@@ -380,7 +360,7 @@ parseJournalRecord(const std::string &line, std::size_t &index,
     }
     index = static_cast<std::size_t>(idx);
     if (!config || !config->isString() ||
-        !parseHex16(config->text, configHash)) {
+        !parseHexU64(config->text, configHash)) {
         error = "missing/invalid 'config'";
         return false;
     }
@@ -417,7 +397,7 @@ parseJournalRecord(const std::string &line, std::size_t &index,
     }
     if (outcome.status == PointStatus::Ok) {
         const JsonValue *result = v.find("result");
-        if (!result || !readResult(*result, outcome.result)) {
+        if (!result || !readResultJson(*result, outcome.result)) {
             error = "missing/invalid 'result'";
             return false;
         }
@@ -501,7 +481,7 @@ RunJournal::resume(const std::string &path,
               "changed. Rerun without --resume (or delete the "
               "journal) to start fresh.",
               path.c_str(), campaign.c_str(),
-              hex16(campaignHash(points)).c_str(), points.size());
+              hexU64(campaignHash(points)).c_str(), points.size());
     }
 
     std::unique_ptr<RunJournal> journal(new RunJournal());

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/parallel_runner.hh"
+#include "journal/json.hh"
 
 namespace uvmasync
 {
@@ -102,6 +103,16 @@ class RunJournal : public PointJournal
     std::vector<std::unique_ptr<PointOutcome>> restored_;
     std::size_t restoredCount_ = 0;
 };
+
+/** @{
+ * ExperimentResult (de)serialization in the journal's exact hexfloat
+ * JSON layout. Shared with the content-addressed result store
+ * (src/store), so a result round-trips bit-identically through either
+ * layer. Field order is part of the on-disk format (version-gated).
+ */
+void writeResultJson(JsonWriter &w, const ExperimentResult &r);
+bool readResultJson(const JsonValue &v, ExperimentResult &out);
+/** @} */
 
 /** @{ Record serialization (exposed for tests). */
 std::string journalHeaderLine(const std::vector<ExperimentPoint> &points);

@@ -51,6 +51,32 @@ parseHexDouble(const std::string &text, double &out)
     return true;
 }
 
+std::string
+hexU64(std::uint64_t value)
+{
+    return strfmt("%016" PRIx64, value);
+}
+
+bool
+parseHexU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = v;
+    return true;
+}
+
 // --- writer -------------------------------------------------------
 
 void
@@ -148,6 +174,14 @@ JsonWriter &
 JsonWriter::hex(double v)
 {
     return value(hexDouble(v));
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    comma();
+    out_ += json;
+    return *this;
 }
 
 // --- reader -------------------------------------------------------

@@ -34,6 +34,16 @@ std::string hexDouble(double value);
  */
 bool parseHexDouble(const std::string &text, double &out);
 
+/** @{
+ * Fixed-width (16 lowercase hex digits) encoding of a 64-bit value —
+ * the journal's and the result store's wire form for config hashes,
+ * fingerprints and record checksums. parseHexU64 rejects any string
+ * that hexU64 could not have produced.
+ */
+std::string hexU64(std::uint64_t value);
+bool parseHexU64(const std::string &text, std::uint64_t &out);
+/** @} */
+
 /**
  * Streaming writer of one compact JSON value. Scopes are tracked so
  * commas are inserted automatically; keys only inside objects.
@@ -56,6 +66,14 @@ class JsonWriter
 
     /** A double, encoded as an exact hexfloat string. */
     JsonWriter &hex(double v);
+
+    /**
+     * Splice an already-serialized JSON value verbatim (the result
+     * store embeds the exact byte string its record checksum was
+     * computed over). The caller vouches that @p json is one
+     * well-formed value.
+     */
+    JsonWriter &raw(const std::string &json);
 
     const std::string &str() const { return out_; }
 

@@ -79,7 +79,7 @@ struct BenchPhase
 struct BenchReport
 {
     std::uint32_t schema = benchSchemaVersion;
-    std::string label; //!< artifact id ("BENCH_6")
+    std::string label; //!< artifact id ("BENCH_7")
     MachineFingerprint machine;
     std::uint64_t peakRssBytes = 0;
     std::vector<BenchPhase> phases;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model-semantics fingerprint: the version half of the result store's
+ * (fingerprint, configHash) key.
+ *
+ * pointConfigHash() covers everything a *caller* chooses — workload,
+ * mode, every ExperimentOptions knob including the inject plan — but
+ * nothing the *simulator* defines: the testbed description
+ * (SystemConfig) and the behaviour baked into the code itself. The
+ * fingerprint covers that other half, so a cached record is only ever
+ * served when both the question (config hash) and the machine that
+ * answers it (fingerprint) are unchanged.
+ *
+ * Two inputs:
+ *
+ *   - modelSemanticsVersion, a hand-bumped constant. Bump it in the
+ *     same commit as any change that alters what a simulation
+ *     computes (cost-model formulas, event ordering, RNG stream
+ *     derivation, default constants) — every prior store entry then
+ *     misses cleanly instead of leaking stale results into new runs.
+ *
+ *   - every field of the SystemConfig the run actually uses, hashed
+ *     explicitly field by field (doubles by bit pattern) with the
+ *     same FNV-1a/splitmix64 idiom as pointConfigHash. A custom
+ *     --config testbed therefore never shares entries with the
+ *     default one. The watchdog ceilings are deliberately excluded:
+ *     they decide whether a point *fails*, never what a successful
+ *     point computes, and failed points are never cached — so
+ *     loosening a ceiling does not orphan an entire store.
+ */
+
+#ifndef UVMASYNC_STORE_FINGERPRINT_HH
+#define UVMASYNC_STORE_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "runtime/system_config.hh"
+
+namespace uvmasync
+{
+
+/**
+ * Bump on any behaviour-defining code change (see file comment).
+ * History: 1 = first store-enabled release.
+ */
+constexpr std::uint32_t modelSemanticsVersion = 1;
+
+/**
+ * Stable 64-bit fingerprint of the simulator semantics under
+ * @p system. Machine-independent; equal configs give equal
+ * fingerprints on every platform.
+ */
+std::uint64_t modelSemanticsFingerprint(const SystemConfig &system);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_STORE_FINGERPRINT_HH

@@ -1,0 +1,1014 @@
+#include "store/result_store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "journal/journal.hh"
+#include "journal/json.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+constexpr const char *storeMagic = "uvmasync-store";
+constexpr const char *shardMagic = "uvmasync-shard";
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Checksum of one record's addressed content + serialized result. */
+std::uint64_t
+recordChecksum(std::uint64_t fingerprint, std::uint64_t key,
+               const std::string &resultJson)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, &fingerprint, sizeof(fingerprint));
+    h = fnv1a(h, &key, sizeof(key));
+    h = fnv1a(h, resultJson.data(), resultJson.size());
+    return mix64(h);
+}
+
+std::string
+metaPath(const std::string &dir)
+{
+    return dir + "/meta.json";
+}
+
+std::string
+shardDir(const std::string &dir)
+{
+    return dir + "/shards";
+}
+
+std::string
+shardPath(const std::string &dir, std::size_t shard)
+{
+    return shardDir(dir) + "/s" + hexU64(shard).substr(14);
+}
+
+/** mkdir -p for exactly one level; EEXIST is success. */
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** Whole-file read; false when the file does not exist/open. */
+bool
+readFileContents(const std::string &path, std::string &out)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        return false;
+    char buf[4096];
+    std::size_t n = 0;
+    out.clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        out.append(buf, n);
+    std::fclose(in);
+    return true;
+}
+
+/**
+ * Split @p contents into complete lines. A trailing fragment without
+ * '\n' (a torn append) is NOT returned; @p tornTail reports it and
+ * @p intactEnd is the offset the file should be truncated to.
+ */
+std::vector<std::string>
+splitLines(const std::string &contents, bool &tornTail,
+           std::size_t &intactEnd)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < contents.size()) {
+        std::size_t nl = contents.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        lines.push_back(contents.substr(start, nl - start));
+        start = nl + 1;
+    }
+    tornTail = start < contents.size();
+    intactEnd = start;
+    return lines;
+}
+
+struct MetaData
+{
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> fingerprints;
+    std::vector<std::uint64_t> lastUse; //!< size shardCount when ok
+    std::uint64_t lifetimeLookups = 0;
+    std::uint64_t lifetimeHits = 0;
+    std::uint64_t lifetimeStored = 0;
+    std::uint64_t lastRunLookups = 0;
+    std::uint64_t lastRunHits = 0;
+};
+
+std::string
+metaLine(const MetaData &meta)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("store").value(storeMagic);
+    w.key("version").value(
+        static_cast<std::uint64_t>(ResultStore::formatVersion));
+    w.key("clock").value(meta.clock);
+    w.key("fingerprints").beginArray();
+    for (std::uint64_t fp : meta.fingerprints)
+        w.value(hexU64(fp));
+    w.endArray();
+    w.key("last_use").beginArray();
+    for (std::uint64_t use : meta.lastUse)
+        w.value(use);
+    w.endArray();
+    w.key("lookups").value(meta.lifetimeLookups);
+    w.key("hits").value(meta.lifetimeHits);
+    w.key("stored").value(meta.lifetimeStored);
+    w.key("last_run_lookups").value(meta.lastRunLookups);
+    w.key("last_run_hits").value(meta.lastRunHits);
+    w.endObject();
+    return w.str();
+}
+
+bool
+parseMetaLine(const std::string &line, MetaData &out,
+              std::string &error)
+{
+    JsonValue v;
+    if (!parseJson(line, v, error))
+        return false;
+    const JsonValue *magic = v.find("store");
+    if (!v.isObject() || !magic || !magic->isString() ||
+        magic->text != storeMagic) {
+        error = "not a result-store meta file";
+        return false;
+    }
+    const JsonValue *version = v.find("version");
+    std::uint64_t ver = 0;
+    if (!version || !version->asUint(ver)) {
+        error = "missing/invalid 'version'";
+        return false;
+    }
+    if (ver != static_cast<std::uint64_t>(ResultStore::formatVersion)) {
+        error = strfmt("format version %llu, this build reads %d",
+                       static_cast<unsigned long long>(ver),
+                       ResultStore::formatVersion);
+        return false;
+    }
+    const JsonValue *clock = v.find("clock");
+    const JsonValue *fps = v.find("fingerprints");
+    const JsonValue *lastUse = v.find("last_use");
+    if (!clock || !clock->asUint(out.clock) || !fps ||
+        !fps->isArray() || !lastUse || !lastUse->isArray() ||
+        lastUse->items.size() != ResultStore::shardCount) {
+        error = "missing/invalid 'clock'/'fingerprints'/'last_use'";
+        return false;
+    }
+    out.fingerprints.clear();
+    for (const JsonValue &item : fps->items) {
+        std::uint64_t fp = 0;
+        if (!item.isString() || !parseHexU64(item.text, fp)) {
+            error = "invalid fingerprint entry";
+            return false;
+        }
+        out.fingerprints.push_back(fp);
+    }
+    out.lastUse.clear();
+    out.lastUse.reserve(ResultStore::shardCount);
+    for (const JsonValue &item : lastUse->items) {
+        std::uint64_t use = 0;
+        if (!item.asUint(use)) {
+            error = "invalid 'last_use' entry";
+            return false;
+        }
+        out.lastUse.push_back(use);
+    }
+    const JsonValue *lookups = v.find("lookups");
+    const JsonValue *hits = v.find("hits");
+    const JsonValue *stored = v.find("stored");
+    const JsonValue *lrLookups = v.find("last_run_lookups");
+    const JsonValue *lrHits = v.find("last_run_hits");
+    if (!lookups || !lookups->asUint(out.lifetimeLookups) || !hits ||
+        !hits->asUint(out.lifetimeHits) || !stored ||
+        !stored->asUint(out.lifetimeStored) || !lrLookups ||
+        !lrLookups->asUint(out.lastRunLookups) || !lrHits ||
+        !lrHits->asUint(out.lastRunHits)) {
+        error = "missing/invalid counters";
+        return false;
+    }
+    return true;
+}
+
+/** Atomic meta rewrite: temp file + rename. */
+bool
+tryWriteMetaFile(const std::string &dir, const MetaData &meta)
+{
+    std::string path = metaPath(dir);
+    std::string tmp = path + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (!out)
+        return false;
+    std::string line = metaLine(meta) + "\n";
+    bool ok = std::fwrite(line.data(), 1, line.size(), out) ==
+              line.size();
+    ok = (std::fclose(out) == 0) && ok;
+    return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void
+writeMetaFile(const std::string &dir, const MetaData &meta)
+{
+    if (!tryWriteMetaFile(dir, meta))
+        fatal("store: cannot write '%s': %s",
+              metaPath(dir).c_str(), std::strerror(errno));
+}
+
+bool
+parseShardHeader(const std::string &line, std::size_t shard)
+{
+    JsonValue v;
+    std::string error;
+    if (!parseJson(line, v, error) || !v.isObject())
+        return false;
+    const JsonValue *magic = v.find("store");
+    const JsonValue *version = v.find("version");
+    const JsonValue *idx = v.find("shard");
+    std::uint64_t ver = 0;
+    std::uint64_t i = 0;
+    return magic && magic->isString() && magic->text == shardMagic &&
+           version && version->asUint(ver) &&
+           ver == static_cast<std::uint64_t>(
+                      ResultStore::formatVersion) &&
+           idx && idx->asUint(i) && i == shard;
+}
+
+} // namespace
+
+std::string
+storeSegmentHeaderLine(std::size_t shard)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("store").value(shardMagic);
+    w.key("version").value(
+        static_cast<std::uint64_t>(ResultStore::formatVersion));
+    w.key("shard").value(static_cast<std::uint64_t>(shard));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+storeRecordLine(std::uint64_t fingerprint, std::uint64_t key,
+                const ExperimentResult &result)
+{
+    JsonWriter payload;
+    writeResultJson(payload, result);
+    JsonWriter w;
+    w.beginObject();
+    w.key("fp").value(hexU64(fingerprint));
+    w.key("key").value(hexU64(key));
+    w.key("crc").value(
+        hexU64(recordChecksum(fingerprint, key, payload.str())));
+    w.key("result").raw(payload.str());
+    w.endObject();
+    return w.str();
+}
+
+bool
+parseStoreRecord(const std::string &line, std::uint64_t &fingerprint,
+                 std::uint64_t &key, ExperimentResult &result,
+                 std::string &error)
+{
+    JsonValue v;
+    if (!parseJson(line, v, error))
+        return false;
+    if (!v.isObject()) {
+        error = "record is not an object";
+        return false;
+    }
+    const JsonValue *fp = v.find("fp");
+    const JsonValue *k = v.find("key");
+    const JsonValue *crc = v.find("crc");
+    const JsonValue *res = v.find("result");
+    std::uint64_t wantCrc = 0;
+    if (!fp || !fp->isString() || !parseHexU64(fp->text, fingerprint) ||
+        !k || !k->isString() || !parseHexU64(k->text, key) || !crc ||
+        !crc->isString() || !parseHexU64(crc->text, wantCrc) || !res) {
+        error = "missing/invalid 'fp'/'key'/'crc'/'result'";
+        return false;
+    }
+    if (!readResultJson(*res, result)) {
+        error = "missing/invalid 'result'";
+        return false;
+    }
+    // Verify the checksum against the *re-serialized* result: the
+    // writer embedded exactly these bytes, so any flipped byte that
+    // survives parsing (a digit in a hexfloat, a counter value, a
+    // name) changes the round-tripped serialization and is caught.
+    JsonWriter payload;
+    writeResultJson(payload, result);
+    if (recordChecksum(fingerprint, key, payload.str()) != wantCrc) {
+        error = "checksum mismatch";
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+ResultStore::shardOf(std::uint64_t key) const
+{
+    // Config hashes are splitmix64-finalized, so the low byte is
+    // already uniform; the shard choice must not depend on the
+    // fingerprint or the CLI maintenance ops could not place records.
+    return static_cast<std::size_t>(key & 0xff);
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::open(const std::string &dir, std::uint64_t fingerprint,
+                  const StoreOptions &opt)
+{
+    std::unique_ptr<ResultStore> store(new ResultStore());
+    store->dir_ = dir;
+    store->fingerprint_ = fingerprint;
+    store->opt_ = opt;
+
+    if (!opt.readonly) {
+        if (!ensureDir(dir) || !ensureDir(shardDir(dir)))
+            fatal("store: cannot create store directory '%s': %s",
+                  dir.c_str(), std::strerror(errno));
+    }
+
+    bool haveMeta = fileExists(metaPath(dir));
+    if (!haveMeta && opt.readonly)
+        fatal("store: '%s' is not a result store (no meta.json); "
+              "open it writable once to initialise it",
+              dir.c_str());
+
+    MetaData meta;
+    meta.lastUse.assign(shardCount, 0);
+    if (haveMeta) {
+        std::string contents;
+        if (!readFileContents(metaPath(dir), contents))
+            fatal("store: cannot read '%s': %s",
+                  metaPath(dir).c_str(), std::strerror(errno));
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        std::vector<std::string> lines =
+            splitLines(contents, torn, intactEnd);
+        std::string error;
+        if (lines.empty() ||
+            !parseMetaLine(lines[0], meta, error))
+            fatal("store: '%s' is not a usable result store (%s); "
+                  "delete the directory or run `uvmasync store "
+                  "invalidate --store %s` to start fresh",
+                  metaPath(dir).c_str(),
+                  lines.empty() ? "empty meta.json" : error.c_str(),
+                  dir.c_str());
+    }
+
+    store->clock_ = meta.clock;
+    store->knownFingerprints_ = meta.fingerprints;
+    for (std::size_t s = 0; s < shardCount; ++s)
+        store->lastUse_[s] = meta.lastUse[s];
+    store->stats_.lifetimeLookups = meta.lifetimeLookups;
+    store->stats_.lifetimeHits = meta.lifetimeHits;
+    store->stats_.lifetimeStored = meta.lifetimeStored;
+
+    bool known =
+        std::binary_search(store->knownFingerprints_.begin(),
+                           store->knownFingerprints_.end(),
+                           fingerprint);
+    if (opt.readonly && !known)
+        fatal("store: '%s' has no entries for the current "
+              "model-semantics fingerprint %s — the simulator "
+              "semantics (code version or system config) changed "
+              "since the store was written. Open it writable (drop "
+              "--store-readonly) to repopulate, or run `uvmasync "
+              "store invalidate --store %s` to drop the stale "
+              "entries.",
+              dir.c_str(), hexU64(fingerprint).c_str(), dir.c_str());
+    if (!known) {
+        store->knownFingerprints_.insert(
+            std::upper_bound(store->knownFingerprints_.begin(),
+                             store->knownFingerprints_.end(),
+                             fingerprint),
+            fingerprint);
+    }
+
+    for (std::size_t s = 0; s < shardCount; ++s)
+        store->loadShard(s, shardPath(dir, s));
+    store->loaded_ = true;
+    return store;
+}
+
+void
+ResultStore::loadShard(std::size_t shard, const std::string &path)
+{
+    std::string contents;
+    if (!readFileContents(path, contents))
+        return; // absent segment = empty shard
+    bool torn = false;
+    std::size_t intactEnd = 0;
+    std::vector<std::string> lines =
+        splitLines(contents, torn, intactEnd);
+
+    Shard &sh = shards_[shard];
+    if (lines.empty() || !parseShardHeader(lines[0], shard)) {
+        // Unusable header: quarantine the whole segment. Writable
+        // stores rewrite it from scratch on the next insert.
+        stats_.corruptRecords += lines.size();
+        if (!opt_.readonly)
+            ::unlink(path.c_str());
+        return;
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::uint64_t fp = 0;
+        std::uint64_t key = 0;
+        ExperimentResult result;
+        std::string error;
+        if (!parseStoreRecord(lines[i], fp, key, result, error)) {
+            // A flipped byte (or any malformed line) is counted and
+            // treated as a miss — the record is never served.
+            ++stats_.corruptRecords;
+            continue;
+        }
+        sh.entries.emplace(std::make_pair(key, fp),
+                           std::move(result));
+    }
+    sh.bytes = intactEnd;
+    if (torn) {
+        ++stats_.tornTails;
+        if (!opt_.readonly) {
+            // Drop the torn append so the segment is clean again.
+            std::FILE *f = std::fopen(path.c_str(), "r+b");
+            if (f) {
+                if (::ftruncate(fileno(f),
+                                static_cast<long>(intactEnd)) != 0)
+                    warn("store: cannot truncate torn tail of '%s': "
+                         "%s",
+                         path.c_str(), std::strerror(errno));
+                std::fclose(f);
+            }
+        }
+    }
+}
+
+ResultStore::~ResultStore()
+{
+    for (Shard &sh : shards_) {
+        if (sh.file)
+            std::fclose(sh.file);
+    }
+    // Best-effort: a destructor must never fatal (it may run during
+    // exception unwinding, and a cache that cannot persist its meta
+    // has lost recency/stats, not results). Skipped when open()
+    // never completed — there is nothing meaningful to persist.
+    if (!opt_.readonly && loaded_)
+        persistMeta();
+}
+
+void
+ResultStore::persistMeta()
+{
+    MetaData meta;
+    meta.clock = clock_;
+    meta.fingerprints = knownFingerprints_;
+    meta.lastUse.assign(lastUse_.begin(), lastUse_.end());
+    meta.lifetimeLookups = stats_.lifetimeLookups;
+    meta.lifetimeHits = stats_.lifetimeHits;
+    meta.lifetimeStored = stats_.lifetimeStored;
+    meta.lastRunLookups = lastRunLookups_;
+    meta.lastRunHits = lastRunHits_;
+    if (!tryWriteMetaFile(dir_, meta))
+        warn("store: cannot persist '%s' (%s); hit-rate history and "
+             "eviction recency were lost, stored results are intact",
+             metaPath(dir_).c_str(), std::strerror(errno));
+}
+
+void
+ResultStore::touch(std::size_t shard)
+{
+    lastUse_[shard] = ++clock_;
+}
+
+std::uint64_t
+ResultStore::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.bytes;
+    return total;
+}
+
+std::size_t
+ResultStore::recordCount() const
+{
+    std::size_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.entries.size();
+    return n;
+}
+
+bool
+ResultStore::lookup(std::uint64_t key, ExperimentResult &out)
+{
+    ++stats_.lookups;
+    ++stats_.lifetimeLookups;
+    ++lastRunLookups_;
+    Shard &sh = shards_[shardOf(key)];
+    auto it = sh.entries.find(std::make_pair(key, fingerprint_));
+    if (it != sh.entries.end()) {
+        out = it->second;
+        ++stats_.hits;
+        ++stats_.lifetimeHits;
+        ++lastRunHits_;
+        touch(shardOf(key));
+        return true;
+    }
+    // Same question answered by a different simulator: the miss is a
+    // fingerprint invalidation, not a never-seen point.
+    auto lo = sh.entries.lower_bound(std::make_pair(key, 0));
+    if (lo != sh.entries.end() && lo->first.first == key)
+        ++stats_.staleMisses;
+    return false;
+}
+
+void
+ResultStore::insert(std::uint64_t key, const ExperimentResult &result)
+{
+    if (opt_.readonly)
+        return;
+    std::size_t shard = shardOf(key);
+    Shard &sh = shards_[shard];
+    auto mapKey = std::make_pair(key, fingerprint_);
+    if (sh.entries.count(mapKey))
+        return; // dedup keeps segment bytes deterministic
+
+    std::string path = shardPath(dir_, shard);
+    if (!sh.file) {
+        bool fresh = sh.bytes == 0;
+        sh.file = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+        if (!sh.file)
+            fatal("store: cannot open segment '%s' for append: %s",
+                  path.c_str(), std::strerror(errno));
+        if (fresh) {
+            std::string header = storeSegmentHeaderLine(shard) + "\n";
+            if (std::fwrite(header.data(), 1, header.size(),
+                            sh.file) != header.size())
+                fatal("store: write to '%s' failed: %s", path.c_str(),
+                      std::strerror(errno));
+            sh.bytes += header.size();
+        }
+    }
+    std::string line = storeRecordLine(fingerprint_, key, result);
+    line += "\n";
+    if (std::fwrite(line.data(), 1, line.size(), sh.file) !=
+            line.size() ||
+        std::fflush(sh.file) != 0)
+        fatal("store: write to '%s' failed: %s", path.c_str(),
+              std::strerror(errno));
+    // No fsync: the store is a cache, not the crash-safety contract
+    // (that is the journal); a torn tail costs one re-simulation.
+    sh.bytes += line.size();
+    sh.entries.emplace(mapKey, result);
+    ++stats_.stored;
+    ++stats_.lifetimeStored;
+    touch(shard);
+    enforceBudget(shard);
+}
+
+void
+ResultStore::enforceBudget(std::size_t protectedShard)
+{
+    if (opt_.maxBytes == 0)
+        return;
+    while (totalBytes() > opt_.maxBytes) {
+        // Evict the least-recently-used non-empty segment, never the
+        // one just appended (the budget cannot starve fresh work).
+        std::size_t victim = shardCount;
+        for (std::size_t s = 0; s < shardCount; ++s) {
+            if (s == protectedShard || shards_[s].bytes == 0)
+                continue;
+            if (victim == shardCount ||
+                lastUse_[s] < lastUse_[victim])
+                victim = s;
+        }
+        if (victim == shardCount)
+            return;
+        Shard &sh = shards_[victim];
+        if (sh.file) {
+            std::fclose(sh.file);
+            sh.file = nullptr;
+        }
+        ::unlink(shardPath(dir_, victim).c_str());
+        ++stats_.evictedSegments;
+        stats_.evictedBytes += sh.bytes;
+        sh.bytes = 0;
+        sh.entries.clear();
+        lastUse_[victim] = 0;
+    }
+}
+
+StorePointCache::StorePointCache(
+    ResultStore &store, const std::vector<ExperimentPoint> &points)
+    : store_(store), points_(points)
+{
+    keys_.reserve(points.size());
+    for (const ExperimentPoint &point : points)
+        keys_.push_back(pointConfigHash(point));
+}
+
+bool
+StorePointCache::lookup(std::size_t index, PointOutcome &out)
+{
+    UVMASYNC_ASSERT(index < points_.size(),
+                    "point index out of range");
+    const ExperimentPoint &point = points_[index];
+    if (point.opts.trace)
+        return false; // traces are not serialized; re-simulate
+    ExperimentResult result;
+    if (!store_.lookup(keys_[index], result))
+        return false;
+    if (result.workload != point.workload ||
+        result.mode != point.mode || result.size != point.opts.size) {
+        // Config-hash collision or corruption the checksum missed:
+        // never serve an entry whose identity disagrees.
+        store_.noteCorrupt();
+        return false;
+    }
+    out = PointOutcome{};
+    out.ok = true;
+    out.status = PointStatus::Ok;
+    out.attempts = 1;
+    out.result = std::move(result);
+    return true;
+}
+
+void
+StorePointCache::store(std::size_t index, const PointOutcome &out)
+{
+    UVMASYNC_ASSERT(index < points_.size(),
+                    "point index out of range");
+    if (!out.ok || points_[index].opts.trace)
+        return;
+    store_.insert(keys_[index], out.result);
+}
+
+StoreSurvey
+surveyStore(const std::string &dir)
+{
+    if (!fileExists(dir))
+        fatal("store: '%s' does not exist", dir.c_str());
+    StoreSurvey survey;
+    std::string contents;
+    if (!readFileContents(metaPath(dir), contents)) {
+        survey.metaError = "missing meta.json";
+    } else {
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        std::vector<std::string> lines =
+            splitLines(contents, torn, intactEnd);
+        MetaData meta;
+        std::string error;
+        if (lines.empty()) {
+            survey.metaError = "empty meta.json";
+        } else if (!parseMetaLine(lines[0], meta, error)) {
+            survey.metaError = error;
+        } else {
+            survey.metaOk = true;
+            survey.clock = meta.clock;
+            survey.fingerprints = meta.fingerprints;
+            survey.lifetimeLookups = meta.lifetimeLookups;
+            survey.lifetimeHits = meta.lifetimeHits;
+            survey.lifetimeStored = meta.lifetimeStored;
+            survey.lastRunLookups = meta.lastRunLookups;
+            survey.lastRunHits = meta.lastRunHits;
+        }
+    }
+
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        std::string contents2;
+        if (!readFileContents(shardPath(dir, s), contents2))
+            continue;
+        ++survey.segments;
+        survey.bytes += contents2.size();
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        std::vector<std::string> lines =
+            splitLines(contents2, torn, intactEnd);
+        if (torn)
+            ++survey.tornTails;
+        if (lines.empty() || !parseShardHeader(lines[0], s)) {
+            ++survey.badHeaders;
+            survey.corruptRecords +=
+                lines.empty() ? 0 : lines.size() - 1;
+            continue;
+        }
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            std::uint64_t fp = 0;
+            std::uint64_t key = 0;
+            ExperimentResult result;
+            std::string error;
+            if (parseStoreRecord(lines[i], fp, key, result, error))
+                ++survey.records;
+            else
+                ++survey.corruptRecords;
+        }
+    }
+    return survey;
+}
+
+StoreGcResult
+gcStore(const std::string &dir, std::uint64_t maxBytes)
+{
+    if (!fileExists(dir))
+        fatal("store: '%s' does not exist", dir.c_str());
+    StoreGcResult gc;
+
+    MetaData meta;
+    meta.lastUse.assign(ResultStore::shardCount, 0);
+    {
+        std::string contents;
+        std::string error;
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        if (readFileContents(metaPath(dir), contents)) {
+            std::vector<std::string> lines =
+                splitLines(contents, torn, intactEnd);
+            if (lines.empty() ||
+                !parseMetaLine(lines[0], meta, error)) {
+                meta = MetaData{};
+                meta.lastUse.assign(ResultStore::shardCount, 0);
+            }
+        }
+    }
+
+    // Pass 1: rewrite each segment keeping only intact records.
+    std::vector<std::uint64_t> shardBytes(ResultStore::shardCount, 0);
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        std::string path = shardPath(dir, s);
+        std::string contents;
+        if (!readFileContents(path, contents))
+            continue;
+        gc.bytesBefore += contents.size();
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        std::vector<std::string> lines =
+            splitLines(contents, torn, intactEnd);
+        std::string rewritten = storeSegmentHeaderLine(s) + "\n";
+        std::size_t kept = 0;
+        bool headerOk = !lines.empty() && parseShardHeader(lines[0], s);
+        for (std::size_t i = headerOk ? 1 : 0;
+             headerOk && i < lines.size(); ++i) {
+            std::uint64_t fp = 0;
+            std::uint64_t key = 0;
+            ExperimentResult result;
+            std::string error;
+            if (parseStoreRecord(lines[i], fp, key, result, error)) {
+                rewritten += lines[i];
+                rewritten += "\n";
+                ++kept;
+            } else {
+                ++gc.droppedRecords;
+            }
+        }
+        if (!headerOk)
+            gc.droppedRecords += lines.size();
+        if (torn)
+            ++gc.droppedRecords;
+        if (kept == 0) {
+            ::unlink(path.c_str());
+            meta.lastUse[s] = 0;
+            continue;
+        }
+        std::string tmp = path + ".tmp";
+        std::FILE *out = std::fopen(tmp.c_str(), "wb");
+        if (!out)
+            fatal("store: cannot write '%s': %s", tmp.c_str(),
+                  std::strerror(errno));
+        bool ok = std::fwrite(rewritten.data(), 1, rewritten.size(),
+                              out) == rewritten.size();
+        ok = (std::fclose(out) == 0) && ok;
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+            fatal("store: cannot replace '%s': %s", path.c_str(),
+                  std::strerror(errno));
+        shardBytes[s] = rewritten.size();
+    }
+
+    // Pass 2: enforce the byte budget by meta-clock LRU.
+    if (maxBytes > 0) {
+        auto total = [&]() {
+            std::uint64_t t = 0;
+            for (std::uint64_t b : shardBytes)
+                t += b;
+            return t;
+        };
+        while (total() > maxBytes) {
+            std::size_t victim = ResultStore::shardCount;
+            for (std::size_t s = 0; s < ResultStore::shardCount;
+                 ++s) {
+                if (shardBytes[s] == 0)
+                    continue;
+                if (victim == ResultStore::shardCount ||
+                    meta.lastUse[s] < meta.lastUse[victim])
+                    victim = s;
+            }
+            if (victim == ResultStore::shardCount)
+                break;
+            ::unlink(shardPath(dir, victim).c_str());
+            ++gc.evictedSegments;
+            gc.evictedBytes += shardBytes[victim];
+            shardBytes[victim] = 0;
+            meta.lastUse[victim] = 0;
+        }
+    }
+    for (std::uint64_t b : shardBytes)
+        gc.bytesAfter += b;
+    writeMetaFile(dir, meta);
+    return gc;
+}
+
+std::size_t
+invalidateStore(const std::string &dir,
+                const std::uint64_t *fingerprint)
+{
+    if (!fileExists(dir))
+        fatal("store: '%s' does not exist", dir.c_str());
+
+    MetaData meta;
+    meta.lastUse.assign(ResultStore::shardCount, 0);
+    {
+        std::string contents;
+        std::string error;
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        if (readFileContents(metaPath(dir), contents)) {
+            std::vector<std::string> lines =
+                splitLines(contents, torn, intactEnd);
+            if (lines.empty() ||
+                !parseMetaLine(lines[0], meta, error)) {
+                meta = MetaData{};
+                meta.lastUse.assign(ResultStore::shardCount, 0);
+            }
+        }
+    }
+
+    std::size_t dropped = 0;
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        std::string path = shardPath(dir, s);
+        std::string contents;
+        if (!readFileContents(path, contents))
+            continue;
+        if (!fingerprint) {
+            bool torn = false;
+            std::size_t intactEnd = 0;
+            std::vector<std::string> lines =
+                splitLines(contents, torn, intactEnd);
+            dropped += lines.empty() ? 0 : lines.size() - 1;
+            ::unlink(path.c_str());
+            meta.lastUse[s] = 0;
+            continue;
+        }
+        bool torn = false;
+        std::size_t intactEnd = 0;
+        std::vector<std::string> lines =
+            splitLines(contents, torn, intactEnd);
+        std::string rewritten = storeSegmentHeaderLine(s) + "\n";
+        std::size_t kept = 0;
+        bool headerOk = !lines.empty() && parseShardHeader(lines[0], s);
+        for (std::size_t i = 1; headerOk && i < lines.size(); ++i) {
+            std::uint64_t fp = 0;
+            std::uint64_t key = 0;
+            ExperimentResult result;
+            std::string error;
+            if (parseStoreRecord(lines[i], fp, key, result, error) &&
+                fp != *fingerprint) {
+                rewritten += lines[i];
+                rewritten += "\n";
+                ++kept;
+            } else {
+                ++dropped;
+            }
+        }
+        if (!headerOk)
+            dropped += lines.size();
+        if (kept == 0) {
+            ::unlink(path.c_str());
+            meta.lastUse[s] = 0;
+            continue;
+        }
+        std::string tmp = path + ".tmp";
+        std::FILE *out = std::fopen(tmp.c_str(), "wb");
+        if (!out)
+            fatal("store: cannot write '%s': %s", tmp.c_str(),
+                  std::strerror(errno));
+        bool ok = std::fwrite(rewritten.data(), 1, rewritten.size(),
+                              out) == rewritten.size();
+        ok = (std::fclose(out) == 0) && ok;
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+            fatal("store: cannot replace '%s': %s", path.c_str(),
+                  std::strerror(errno));
+    }
+
+    if (fingerprint) {
+        meta.fingerprints.erase(
+            std::remove(meta.fingerprints.begin(),
+                        meta.fingerprints.end(), *fingerprint),
+            meta.fingerprints.end());
+    } else {
+        meta = MetaData{};
+        meta.lastUse.assign(ResultStore::shardCount, 0);
+    }
+    writeMetaFile(dir, meta);
+    return dropped;
+}
+
+TextTable
+storeStatsTable(const StoreStats &stats)
+{
+    TextTable table({"counter", "value"});
+    table.setAlign(0, TextTable::Align::Left);
+    auto row = [&](const char *name, std::uint64_t value) {
+        table.addRow({name, std::to_string(value)});
+    };
+    row("lookups", stats.lookups);
+    row("hits", stats.hits);
+    row("misses", stats.lookups - stats.hits);
+    table.addRow({"hit_rate",
+                  stats.lookups
+                      ? fmtPercent(static_cast<double>(stats.hits) /
+                                   static_cast<double>(stats.lookups))
+                      : "-"});
+    row("stored", stats.stored);
+    row("stale_misses", stats.staleMisses);
+    row("corrupt_records", stats.corruptRecords);
+    row("torn_tails", stats.tornTails);
+    row("evicted_segments", stats.evictedSegments);
+    row("evicted_bytes", stats.evictedBytes);
+    return table;
+}
+
+TextTable
+storeSurveyTable(const StoreSurvey &survey)
+{
+    TextTable table({"counter", "value"});
+    table.setAlign(0, TextTable::Align::Left);
+    table.setAlign(1, TextTable::Align::Left);
+    auto row = [&](const char *name, const std::string &value) {
+        table.addRow({name, value});
+    };
+    row("meta", survey.metaOk ? "ok" : survey.metaError);
+    row("fingerprints",
+        std::to_string(survey.fingerprints.size()));
+    row("segments", std::to_string(survey.segments));
+    row("records", std::to_string(survey.records));
+    row("bytes", std::to_string(survey.bytes));
+    row("corrupt_records", std::to_string(survey.corruptRecords));
+    row("torn_tails", std::to_string(survey.tornTails));
+    row("bad_headers", std::to_string(survey.badHeaders));
+    row("lifetime_lookups", std::to_string(survey.lifetimeLookups));
+    row("lifetime_hits", std::to_string(survey.lifetimeHits));
+    row("lifetime_stored", std::to_string(survey.lifetimeStored));
+    row("last_run_lookups", std::to_string(survey.lastRunLookups));
+    row("last_run_hits", std::to_string(survey.lastRunHits));
+    row("last_run_hit_rate",
+        survey.lastRunLookups
+            ? fmtPercent(static_cast<double>(survey.lastRunHits) /
+                         static_cast<double>(survey.lastRunLookups))
+            : "-");
+    return table;
+}
+
+} // namespace uvmasync

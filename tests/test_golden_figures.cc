@@ -27,8 +27,12 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/batch_pipeline.hh"
 #include "core/parallel_runner.hh"
+#include "store/fingerprint.hh"
+#include "store/result_store.hh"
 #include "workloads/registry.hh"
 
 namespace uvmasync
@@ -176,6 +180,82 @@ TEST(GoldenFigures, Fig14InterJobPipeline)
                   sched.improvement());
     csv += buf;
     compareOrUpdate("fig14_interjob.csv", csv);
+}
+
+/**
+ * Golden regeneration *through the result store*: the Figure 7 CSV
+ * produced by a cold store-populating run and by a warm 100%-hit
+ * rerun must both equal the committed golden byte-for-byte. This is
+ * the end-to-end guarantee that incremental (store-served) figure
+ * regeneration can never drift from a from-scratch simulation.
+ */
+TEST(GoldenFigures, Fig7RegeneratedThroughStoreMatchesGolden)
+{
+    registerAllWorkloads();
+    std::vector<std::string> workloads =
+        WorkloadRegistry::instance().names(WorkloadSuite::Micro);
+    std::vector<TransferMode> modes(allTransferModes.begin(),
+                                    allTransferModes.end());
+    std::vector<ExperimentPoint> points = ParallelRunner::expandGrid(
+        workloads, modes, 1, goldenOpts(SizeClass::Large));
+    for (ExperimentPoint &point : points)
+        point.opts.baseSeed = 42;
+
+    std::string dir =
+        ::testing::TempDir() + "uvmasync_store_golden";
+    std::uint64_t fp =
+        modelSemanticsFingerprint(SystemConfig::a100Epyc());
+
+    auto renderCsv = [&](const BatchResult &batch) {
+        std::string csv =
+            "workload,mode,clean_alloc_ps,clean_transfer_ps,"
+            "clean_kernel_ps,mean_alloc_ps,mean_transfer_ps,"
+            "mean_kernel_ps,faults\n";
+        char buf[512];
+        for (const PointOutcome &out : batch.points) {
+            const ExperimentResult &res = out.result;
+            TimeBreakdown mean = res.meanBreakdown();
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%llu\n",
+                res.workload.c_str(), transferModeName(res.mode),
+                res.clean.allocPs, res.clean.transferPs,
+                res.clean.kernelPs, mean.allocPs, mean.transferPs,
+                mean.kernelPs,
+                static_cast<unsigned long long>(
+                    res.counters.faults));
+            csv += buf;
+        }
+        return csv;
+    };
+
+    std::string golden = readFile(goldenPath("fig7_micro_large.csv"));
+    ASSERT_FALSE(golden.empty());
+
+    for (int round = 0; round < 2; ++round) {
+        auto store = ResultStore::open(dir, fp);
+        StorePointCache cache(*store, points);
+        RunPolicy policy;
+        policy.cache = &cache;
+        ParallelRunner runner(SystemConfig::a100Epyc());
+        BatchResult batch = runner.runPoints(points, policy);
+        ASSERT_TRUE(batch.allOk());
+        EXPECT_EQ(batch.metrics.cacheHits,
+                  round == 0 ? 0u : points.size());
+        EXPECT_EQ(renderCsv(batch), golden)
+            << (round == 0 ? "cold" : "warm")
+            << " store-backed regeneration diverged from the "
+            << "committed golden";
+    }
+
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        char name[8];
+        std::snprintf(name, sizeof(name), "s%02zx", s);
+        std::remove((dir + "/shards/" + name).c_str());
+    }
+    std::remove((dir + "/meta.json").c_str());
+    ::rmdir((dir + "/shards").c_str());
+    ::rmdir(dir.c_str());
 }
 
 } // namespace

@@ -291,7 +291,7 @@ TEST(CommittedBench, ArtifactParsesAndPinsTheCampaignSpeedup)
     // The pinned slice must stay covered.
     for (const char *phase :
          {"event_loop_calendar", "event_loop_heap",
-          "migration_hotpath", "registry_slice",
+          "migration_hotpath", "registry_slice", "store_lookup",
           "null_sink_probe_plain", "null_sink_probe_instrumented"}) {
         EXPECT_NE(report.findPhase(phase), nullptr)
             << "committed artifact lost phase " << phase;

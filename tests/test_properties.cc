@@ -6,11 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "core/report.hh"
 #include "mem/device_memory.hh"
 #include "mem/page_table.hh"
 #include "runtime/device.hh"
+#include "store/fingerprint.hh"
+#include "store/result_store.hh"
 #include "trace/metrics.hh"
 #include "trace/trace_check.hh"
 #include "workloads/registry.hh"
@@ -326,6 +333,86 @@ TEST(NoiseProperties, MeanTracksClean)
         static_cast<double>(NoiseConfig{}.systemOverheadMean);
     EXPECT_NEAR(res.meanBreakdown().overallPs() / expected, 1.0,
                 0.05);
+}
+
+// --- Result-store equivalence ------------------------------------------
+
+/**
+ * Serving a sweep from the persistent store is an identity: a warm
+ * rerun hits on 100% of its points and every ExperimentResult field
+ * that feeds reports/CSV is bit-identical to the cold simulation.
+ */
+TEST(StoreEquivalence, WarmSweepIsBitIdenticalToCold)
+{
+    registerAllWorkloads();
+    ExperimentOptions base;
+    base.size = SizeClass::Tiny;
+    base.runs = 3;
+    std::vector<TransferMode> modes(allTransferModes.begin(),
+                                    allTransferModes.end());
+    std::vector<ExperimentPoint> grid = ParallelRunner::expandGrid(
+        {"saxpy", "gemv"}, modes, 1, base);
+
+    std::string dir =
+        ::testing::TempDir() + "uvmasync_store_props";
+    std::uint64_t fp =
+        modelSemanticsFingerprint(SystemConfig::a100Epyc());
+
+    BatchResult cold, warm;
+    {
+        auto store = ResultStore::open(dir, fp);
+        StorePointCache cache(*store, grid);
+        RunPolicy policy;
+        policy.cache = &cache;
+        ParallelRunner runner(SystemConfig::a100Epyc(), 2);
+        cold = runner.runPoints(grid, policy);
+        ASSERT_TRUE(cold.allOk());
+        EXPECT_EQ(cold.metrics.cacheHits, 0u);
+    }
+    {
+        auto store = ResultStore::open(dir, fp);
+        StorePointCache cache(*store, grid);
+        RunPolicy policy;
+        policy.cache = &cache;
+        ParallelRunner runner(SystemConfig::a100Epyc(), 4);
+        warm = runner.runPoints(grid, policy);
+        ASSERT_TRUE(warm.allOk());
+        // 100% hit rate: nothing simulated.
+        EXPECT_EQ(warm.metrics.cacheHits, grid.size());
+        EXPECT_EQ(store->stats().hits, store->stats().lookups);
+    }
+
+    ASSERT_EQ(warm.points.size(), cold.points.size());
+    for (std::size_t i = 0; i < warm.points.size(); ++i) {
+        const ExperimentResult &a = cold.points[i].result;
+        const ExperimentResult &b = warm.points[i].result;
+        EXPECT_EQ(b.workload, a.workload);
+        EXPECT_EQ(b.mode, a.mode);
+        EXPECT_EQ(b.size, a.size);
+        EXPECT_EQ(std::memcmp(&b.clean, &a.clean, sizeof(a.clean)),
+                  0);
+        ASSERT_EQ(b.runs.size(), a.runs.size());
+        for (std::size_t r = 0; r < a.runs.size(); ++r)
+            EXPECT_EQ(std::memcmp(&b.runs[r], &a.runs[r],
+                                  sizeof(a.runs[r])),
+                      0);
+        EXPECT_EQ(b.counters.faults, a.counters.faults);
+        EXPECT_EQ(b.counters.bytesH2d, a.counters.bytesH2d);
+        EXPECT_EQ(b.counters.bytesD2h, a.counters.bytesD2h);
+        EXPECT_TRUE(std::memcmp(&b.counters.occupancy,
+                                &a.counters.occupancy,
+                                sizeof(double)) == 0);
+    }
+
+    // Scratch cleanup.
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        char name[8];
+        std::snprintf(name, sizeof(name), "s%02zx", s);
+        std::remove((dir + "/shards/" + name).c_str());
+    }
+    std::remove((dir + "/meta.json").c_str());
+    ::rmdir((dir + "/shards").c_str());
+    ::rmdir(dir.c_str());
 }
 
 } // namespace

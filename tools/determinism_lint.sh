@@ -193,6 +193,21 @@ if [ -n "$hits" ]; then
     fail=1
 fi
 
+# --- result store: no wall-clock reads ------------------------------
+# The result store's eviction order runs on a logical LRU clock
+# persisted in meta.json, and its segments must be byte-identical
+# across cold/warm runs and --jobs counts. Any wall-clock read in
+# src/store would leak time into the artifact and break the
+# cold-vs-warm cmp gates, so the journal's clock ban applies here too.
+STORE_FILES=$(find src/store \( -name '*.cc' -o -name '*.hh' \) | sort)
+hits=$(scan "$RE_JOURNAL_CLOCK" $STORE_FILES)
+if [ -n "$hits" ]; then
+    note "determinism lint: wall-clock read in src/store (eviction" \
+         "must use the logical LRU clock, never real time):"
+    note "$hits"
+    fail=1
+fi
+
 # --- unordered iteration feeding output -----------------------------
 # Files that produce user-visible artifacts must not range-for over
 # unordered containers; the iteration order is ABI/hash-seed soup.

@@ -17,6 +17,9 @@
  *    hits over an oversubscription-free range).
  *  - registry_slice: points/sec over a pinned registry slice — all
  *    five transfer modes x {saxpy, gemv, 2DCONV} at Tiny size.
+ *  - store_lookup: lookups/sec against a populated on-disk result
+ *    store (the hot path a warm incremental sweep pays per point),
+ *    mixed hits and misses over a sharded key space.
  *  - null_sink_probe: the same arithmetic kernel with NullTraceSink
  *    span emission vs without; `null_sink_overhead_pct` must stay
  *    under the zero-cost gate.
@@ -36,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "core/experiment.hh"
 #include "gpu/transfer_mode.hh"
@@ -45,6 +50,7 @@
 #include "perf/harness.hh"
 #include "sim/event_queue.hh"
 #include "sim/heap_event_queue.hh"
+#include "store/result_store.hh"
 #include "workloads/registry.hh"
 #include "xfer/migration_engine.hh"
 #include "xfer/pcie_link.hh"
@@ -58,13 +64,14 @@ struct BenchOptions
 {
     std::string outPath;
     std::string comparePath;
-    std::string label = "BENCH_6";
+    std::string label = "BENCH_7";
     double tolerance = 0.15;
     std::uint32_t reps = 5;
     std::uint32_t warmup = 1;
     std::uint64_t events = 300000;
     std::uint64_t accesses = 200000;
     std::uint64_t probeIters = 8000000;
+    std::uint64_t storeLookups = 200000;
     double requireSpeedup = 0.0;
     double maxNullOverheadPct = 0.0;
     bool skipRegistry = false;
@@ -249,6 +256,81 @@ registrySlicePhase(const BenchOptions &opt)
 }
 
 /**
+ * The warm-sweep hot path: lookups against a populated on-disk
+ * store. The store is built once in a scratch directory (4096
+ * records, spread over all 256 shards by the splitmix-mixed key) and
+ * reopened so the timed reps exercise the loaded-map path exactly as
+ * ParallelRunner does; 3/4 of the probes hit, 1/4 miss.
+ */
+BenchPhase
+storeLookupPhase(const BenchOptions &opt)
+{
+    char tmpl[] = "/tmp/uvmasync-bench-store-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    if (!dir)
+        fatal("store_lookup: mkdtemp failed");
+    constexpr std::uint64_t fp = 0x5eedf00ddeadbeefull;
+    constexpr std::uint64_t records = 4096;
+    auto keyOf = [](std::uint64_t i) {
+        std::uint64_t x = i + 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    {
+        std::unique_ptr<ResultStore> store =
+            ResultStore::open(dir, fp);
+        ExperimentResult result;
+        result.workload = "bench";
+        result.mode = TransferMode::Async;
+        result.size = SizeClass::Tiny;
+        for (std::uint64_t i = 0; i < records; ++i) {
+            result.clean.kernelPs = static_cast<double>(i) * 1e6;
+            result.counters.faults = i;
+            store->insert(keyOf(i), result);
+        }
+    }
+
+    std::uint64_t hits = 0;
+    BenchPhase phase = runBenchPhase(
+        "store_lookup", "lookups/sec", opt.storeLookups, opt.reps,
+        opt.warmup, [&] {
+            std::unique_ptr<ResultStore> store =
+                ResultStore::open(dir, fp);
+            ExperimentResult out;
+            std::uint64_t rng = 0x2545f4914f6cdd1dull;
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < opt.storeLookups; ++i) {
+                // 3/4 of probes address stored records, 1/4 the key
+                // space past them (guaranteed misses).
+                std::uint64_t r = xorshift(rng);
+                std::uint64_t idx =
+                    (r & 3) ? r % records
+                            : records + (r >> 32) % records;
+                if (store->lookup(keyOf(idx), out))
+                    acc += out.counters.faults;
+            }
+            g_sink = acc;
+            hits = store->stats().hits;
+        });
+    phase.breakdown.emplace_back("hits", static_cast<double>(hits));
+    phase.breakdown.emplace_back(
+        "misses", static_cast<double>(opt.storeLookups - hits));
+
+    // Scratch cleanup: 256 shard files + meta + the two dirs.
+    std::string base = dir;
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        char name[8];
+        std::snprintf(name, sizeof(name), "s%02zx", s);
+        ::unlink((base + "/shards/" + name).c_str());
+    }
+    ::unlink((base + "/meta.json").c_str());
+    ::rmdir((base + "/shards").c_str());
+    ::rmdir(base.c_str());
+    return phase;
+}
+
+/**
  * The probe kernel: a serial data-dependency chain (latency-bound,
  * so code-placement noise between the two instantiations cannot
  * masquerade as overhead) plus, in the instrumented flavour, a span
@@ -357,6 +439,7 @@ benchMain(const BenchOptions &opt)
     report.phases.push_back(migrationHotpathPhase(opt));
     if (!opt.skipRegistry)
         report.phases.push_back(registrySlicePhase(opt));
+    report.phases.push_back(storeLookupPhase(opt));
     nullSinkProbe(opt, report);
 
     report.peakRssBytes = peakRssBytes();

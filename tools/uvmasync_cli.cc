@@ -23,6 +23,9 @@
  *                  [--workload NAME] [--size CLASS] [--csv]
  *       Run one of the paper's Section 5 sensitivity sweeps.
  *
+ *   uvmasync store stats|verify|gc|invalidate --store DIR
+ *       Inspect or maintain a persistent result store offline.
+ *
  * Crash safety: `--journal FILE` writes an append-only, fsync'd
  * JSONL write-ahead log of per-point outcomes in submission order
  * (byte-deterministic at any --jobs count); `--resume FILE` skips
@@ -33,6 +36,15 @@
  * explicit degraded-run banner, and a robustness table on stderr.
  * Output paths (--trace, --out, --journal) are opened before the
  * first simulated tick, so a bad path fails fast.
+ *
+ * Incremental sweeps: `--store DIR` (default: UVMASYNC_STORE env)
+ * consults a persistent content-addressed result store before any
+ * point simulates and appends never-seen results after — a warm
+ * rerun simulates nothing yet prints byte-identical output. The
+ * store composes with --journal/--resume (the journal is this run's
+ * crash-safety record; the store is the cross-run cache) and is
+ * keyed by both the full point configuration and a model-semantics
+ * fingerprint, so a code or testbed change invalidates cleanly.
  */
 
 #include <cmath>
@@ -59,7 +71,10 @@
 #include "core/report.hh"
 #include "core/sweep.hh"
 #include "journal/journal.hh"
+#include "journal/json.hh"
 #include "runtime/config_loader.hh"
+#include "store/fingerprint.hh"
+#include "store/result_store.hh"
 #include "runtime/device.hh"
 #include "trace/chrome_export.hh"
 #include "trace/metrics.hh"
@@ -248,6 +263,60 @@ parseRetriesFlag(const Args &args)
         std::stoul(args.get("retries", "1")));
 }
 
+/** --store DIR, falling back to the UVMASYNC_STORE environment. */
+std::string
+storeDirFlag(const Args &args)
+{
+    std::string dir = args.get("store");
+    if (dir.empty()) {
+        const char *env = std::getenv("UVMASYNC_STORE");
+        if (env && *env)
+            dir = env;
+    }
+    return dir;
+}
+
+/**
+ * Resolve --store DIR / UVMASYNC_STORE into an open ResultStore (or
+ * null when neither is set, or --no-store). The store is opened —
+ * and its refusals (not a store, newer format, stale fingerprint
+ * under --store-readonly) fire — before any simulation. The
+ * fingerprint comes from the *effective* SystemConfig, after
+ * --config and watchdog flags, so a custom testbed never shares
+ * entries with the default one.
+ */
+std::unique_ptr<ResultStore>
+setupStore(const Args &args, const SystemConfig &system)
+{
+    if (args.has("no-store"))
+        return nullptr;
+    std::string dir = storeDirFlag(args);
+    if (dir.empty())
+        return nullptr;
+    StoreOptions opt;
+    opt.readonly = args.has("store-readonly");
+    if (args.has("store-max-bytes"))
+        opt.maxBytes = std::strtoull(
+            args.get("store-max-bytes").c_str(), nullptr, 10);
+    return ResultStore::open(dir, modelSemanticsFingerprint(system),
+                             opt);
+}
+
+/**
+ * Session hit/miss/stored summary, to stderr so the run's stdout/CSV
+ * stays byte-identical whether or not a store is attached.
+ */
+void
+reportStoreStats(const ResultStore *store)
+{
+    if (!store)
+        return;
+    printTable(std::cerr,
+               strfmt("result store '%s' (this run)",
+                      store->dir().c_str()),
+               storeStatsTable(store->stats()));
+}
+
 /**
  * Degraded-run reporting: a banner plus a robustness table (to
  * stderr, so CSV output stays clean) naming every quarantined point.
@@ -356,13 +425,19 @@ exportTraceFile(std::ofstream &out,
 }
 
 /**
- * The journal identity of a job file's five-mode run: one synthetic
- * point per mode. The job file's *content* hash rides in baseSeed so
- * editing the file invalidates a stale journal even though the job
- * is not a registry workload.
+ * The journal/store identity of a job file's five-mode run: one
+ * synthetic point per mode. The job file's *content* hash rides in
+ * baseSeed (with --pinned folded in, since pinning changes transfer
+ * costs) so editing the file invalidates a stale journal — or misses
+ * in the result store — even though the job is not a registry
+ * workload. The inject plan, inject seed and traced-ness land in the
+ * options proper, where pointConfigHash covers them: without that, a
+ * store populated by a clean run would poison an injected rerun.
  */
 std::vector<ExperimentPoint>
-jobFilePoints(const std::string &jobName, const std::string &path)
+jobFilePoints(const std::string &jobName, const std::string &path,
+              bool pinned, const InjectPlan &injectPlan,
+              std::uint64_t injectSeed, bool traced)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -373,12 +448,19 @@ jobFilePoints(const std::string &jobName, const std::string &path)
         h ^= static_cast<unsigned char>(c);
         h *= 0x100000001b3ull;
     }
+    if (pinned) {
+        h ^= 1;
+        h *= 0x100000001b3ull;
+    }
     std::vector<ExperimentPoint> points;
     points.reserve(allTransferModes.size());
     for (TransferMode mode : allTransferModes) {
         ExperimentOptions opts;
         opts.runs = 0;
         opts.baseSeed = h;
+        opts.inject = injectPlan;
+        opts.injectSeed = injectSeed;
+        opts.trace = traced;
         points.push_back(ExperimentPoint{jobName, mode, opts});
     }
     return points;
@@ -423,9 +505,15 @@ cmdRunJobFile(const Args &args)
     if (!tracePath.empty())
         traceOut.emplace(openOutputOrDie(tracePath, "--trace"));
     std::vector<ExperimentPoint> points =
-        jobFilePoints(job.name, args.get("jobfile"));
+        jobFilePoints(job.name, args.get("jobfile"),
+                      runOpts.pinnedHost, injectPlan, injectSeed,
+                      traced);
     std::unique_ptr<RunJournal> journal =
         setupJournal(args, points, traced);
+    std::unique_ptr<ResultStore> store = setupStore(args, system);
+    std::optional<StorePointCache> cache;
+    if (store)
+        cache.emplace(*store, points);
 
     bool anyFailed = false;
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
@@ -435,6 +523,18 @@ cmdRunJobFile(const Args &args)
         PointOutcome outcome;
         if (journal && journal->restore(i, outcome)) {
             outcome.restored = true;
+            // A restored success still feeds the cross-run store
+            // (insert dedups), so resumed and uninterrupted runs
+            // leave identical store bytes behind.
+            if (cache)
+                cache->store(i, outcome);
+        } else if (cache && cache->lookup(i, outcome)) {
+            // Served from the store: journal it like a fresh result
+            // (it is one, replayed), so warm and cold runs write
+            // identical journals.
+            outcome.cached = true;
+            if (journal)
+                journal->commit(i, outcome);
         } else {
             Tracer tracer;
             runOpts.tracer = traced ? &tracer : nullptr;
@@ -462,6 +562,8 @@ cmdRunJobFile(const Args &args)
             traces.push_back(std::move(tracer));
             if (journal)
                 journal->commit(i, outcome);
+            if (cache)
+                cache->store(i, outcome);
         }
         if (outcome.ok) {
             const TimeBreakdown &b = outcome.result.clean;
@@ -504,6 +606,7 @@ cmdRunJobFile(const Args &args)
                             computeTraceMetrics(traces[i]));
         }
     }
+    reportStoreStats(store.get());
     return anyFailed ? 1 : 0;
 }
 
@@ -600,12 +703,18 @@ cmdRun(const Args &args)
         traceOut.emplace(openOutputOrDie(tracePath, "--trace"));
     std::unique_ptr<RunJournal> journal =
         setupJournal(args, points, opts.trace);
+    std::unique_ptr<ResultStore> store = setupStore(args, system);
+    std::optional<StorePointCache> cache;
+    if (store)
+        cache.emplace(*store, points);
 
     RunPolicy policy;
     policy.retries = parseRetriesFlag(args);
     policy.journal = journal.get();
+    policy.cache = cache ? &*cache : nullptr;
     ParallelRunner runner(system);
     BatchResult batch = runner.runPoints(points, policy);
+    reportStoreStats(store.get());
 
     // Failed points (a poisoned configuration, an injected transfer
     // that exhausted its retries, a watchdog trip) are retried, then
@@ -852,12 +961,18 @@ cmdSweep(const Args &args)
     OutSink out(args);
     std::unique_ptr<RunJournal> journal =
         setupJournal(args, grid.points, /*traced=*/false);
+    std::unique_ptr<ResultStore> store = setupStore(args, system);
+    std::optional<StorePointCache> cache;
+    if (store)
+        cache.emplace(*store, grid.points);
 
     RunPolicy policy;
     policy.retries = parseRetriesFlag(args);
     policy.journal = journal.get();
+    policy.cache = cache ? &*cache : nullptr;
     ParallelRunner runner(system);
     BatchResult batch = runner.runPoints(grid.points, policy);
+    reportStoreStats(store.get());
     bool anyFailed = reportRobustness(grid.points, batch) != 0;
     std::vector<SweepPoint> points =
         assembleSweepPoints(grid, batch);
@@ -893,6 +1008,96 @@ cmdSweep(const Args &args)
     return anyFailed ? 1 : 0;
 }
 
+/**
+ * Offline store maintenance. All subcommands walk the directory with
+ * surveyStore()/gcStore()/invalidateStore() — never the simulating
+ * open() path — so they work on corrupt stores (that is their job).
+ */
+int
+cmdStore(const Args &args)
+{
+    std::string op = args.positional().empty()
+                         ? std::string()
+                         : args.positional()[0];
+    std::string dir = storeDirFlag(args);
+    if (dir.empty()) {
+        std::fprintf(stderr, "store: --store DIR (or the "
+                             "UVMASYNC_STORE environment variable) "
+                             "is required\n");
+        return 1;
+    }
+
+    if (op == "stats") {
+        printTable(std::cout,
+                   strfmt("result store '%s'", dir.c_str()),
+                   storeSurveyTable(surveyStore(dir)));
+        return 0;
+    }
+    if (op == "verify") {
+        StoreSurvey survey = surveyStore(dir);
+        printTable(std::cout,
+                   strfmt("result store '%s'", dir.c_str()),
+                   storeSurveyTable(survey));
+        if (!survey.clean()) {
+            std::fprintf(stderr,
+                         "store: '%s' is NOT clean (%zu corrupt "
+                         "records, %zu torn tails, %zu bad headers"
+                         "%s); corrupt entries are never served — "
+                         "run `uvmasync store gc --store %s` to "
+                         "drop them\n",
+                         dir.c_str(), survey.corruptRecords,
+                         survey.tornTails, survey.badHeaders,
+                         survey.metaOk ? ""
+                                       : ", unusable meta.json",
+                         dir.c_str());
+            return 1;
+        }
+        std::printf("store '%s' is clean\n", dir.c_str());
+        return 0;
+    }
+    if (op == "gc") {
+        std::uint64_t maxBytes = 0;
+        if (args.has("store-max-bytes"))
+            maxBytes = std::strtoull(
+                args.get("store-max-bytes").c_str(), nullptr, 10);
+        StoreGcResult gc = gcStore(dir, maxBytes);
+        std::printf("store '%s': dropped %zu corrupt/torn records, "
+                    "evicted %llu segments (%llu bytes); %llu -> "
+                    "%llu bytes\n",
+                    dir.c_str(), gc.droppedRecords,
+                    static_cast<unsigned long long>(
+                        gc.evictedSegments),
+                    static_cast<unsigned long long>(gc.evictedBytes),
+                    static_cast<unsigned long long>(gc.bytesBefore),
+                    static_cast<unsigned long long>(gc.bytesAfter));
+        return 0;
+    }
+    if (op == "invalidate") {
+        std::size_t dropped = 0;
+        if (args.has("fingerprint")) {
+            std::uint64_t fp = 0;
+            if (!parseHexU64(args.get("fingerprint"), fp)) {
+                std::fprintf(stderr,
+                             "store: --fingerprint must be 16 hex "
+                             "digits (as printed by `store "
+                             "stats`)\n");
+                return 1;
+            }
+            dropped = invalidateStore(dir, &fp);
+        } else {
+            dropped = invalidateStore(dir, nullptr);
+        }
+        std::printf("store '%s': dropped %zu records\n", dir.c_str(),
+                    dropped);
+        return 0;
+    }
+
+    std::fprintf(stderr, "store: unknown operation '%s' (expected "
+                         "stats, verify, gc or invalidate)\n",
+                 op.c_str());
+    return 1;
+}
+
 void
 usage()
 {
@@ -910,6 +1115,8 @@ usage()
         "               [--inject PLAN.kv] [--inject-seed N]\n"
         "               [--journal FILE.jsonl | --resume "
         "FILE.jsonl] [--retries N]\n"
+        "               [--store DIR] [--store-readonly] "
+        "[--no-store] [--store-max-bytes N]\n"
         "               [--watchdog-max-ms MS] "
         "[--watchdog-max-events N] [--watchdog-max-stall N]\n"
         "  uvmasync sweep --kind blocks|threads|sharedmem "
@@ -917,10 +1124,14 @@ usage()
         "               [--out FILE] [--inject PLAN.kv] "
         "[--journal FILE.jsonl | --resume FILE.jsonl] "
         "[--retries N]\n"
+        "               [--store DIR] [--store-readonly] "
+        "[--no-store] [--store-max-bytes N]\n"
         "  uvmasync profile --workload NAME|--jobfile FILE "
         "[--mode MODE] [--size CLASS]\n"
         "  uvmasync timeline --workload NAME|--jobfile FILE "
         "[--mode MODE|all] [--size CLASS]\n"
+        "  uvmasync store stats|verify|gc|invalidate --store DIR\n"
+        "               [--store-max-bytes N] [--fingerprint HEX16]\n"
         "\n"
         "crash safety: --journal FILE writes an fsync'd JSONL "
         "write-ahead log of per-point\n"
@@ -929,7 +1140,17 @@ usage()
         "Failed points are retried --retries times with the same "
         "seed, then quarantined;\n"
         "the run completes with partial results and a robustness "
-        "report on stderr.\n");
+        "report on stderr.\n"
+        "\n"
+        "result store: --store DIR (default: UVMASYNC_STORE env; "
+        "--no-store disables) serves\n"
+        "previously simulated points from a persistent "
+        "content-addressed cache and appends\n"
+        "never-seen results, so a warm rerun simulates nothing yet "
+        "prints byte-identical\n"
+        "output. --store-readonly serves hits without writing; "
+        "--store-max-bytes N evicts\n"
+        "least-recently-used segments past a byte budget.\n");
 }
 
 } // namespace
@@ -955,6 +1176,8 @@ main(int argc, char **argv)
         return cmdProfile(args);
     if (cmd == "timeline")
         return cmdTimeline(args);
+    if (cmd == "store")
+        return cmdStore(args);
     usage();
     return 1;
 }
