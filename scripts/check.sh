@@ -9,17 +9,22 @@
 # (journal byte-determinism across job counts, kill-and-resume CSV
 # identity, watchdog quarantine), a store stage (cold-vs-warm CSV
 # identity through the result store, hit-rate accounting, eviction
-# under a byte budget), a bench stage (perf-trajectory harness gated
-# against the committed BENCH_7.json), a ThreadSanitizer pass over
-# the parallel experiment engine, the result store, the tracer suite
-# and the injection suite, and an ASan+UBSan build of the full test
-# suite (which includes the injection and store suites).
+# under a byte budget), a serve stage (the campaign daemon's result
+# streams byte-identical to the batch CLI with concurrent clients,
+# across kill -9 plus journal truncation, and warm from the shared
+# store), a bench stage (perf-trajectory harness gated against the
+# committed BENCH_8.json), a ThreadSanitizer pass over the parallel
+# experiment engine, the result store, the tracer suite, the
+# injection suite and the campaign daemon, and an ASan+UBSan build
+# of the full test suite (which includes the injection and store
+# suites).
 #
 #   scripts/check.sh             # all stages
 #   scripts/check.sh --no-tsan   # skip the TSan stage
 #   scripts/check.sh --no-asan   # skip the ASan+UBSan stage
 #   scripts/check.sh --no-chaos  # skip the chaos smoke stage
 #   scripts/check.sh --no-bench  # skip the perf-trajectory gate
+#   scripts/check.sh --no-serve  # skip the campaign-daemon stage
 #
 # The sanitizer stages configure separate build trees (build-tsan/,
 # build-asan/) so the instrumented objects never mix with the
@@ -32,12 +37,14 @@ run_tsan=1
 run_asan=1
 run_chaos=1
 run_bench=1
+run_serve=1
 for arg in "$@"; do
     case "$arg" in
         --no-tsan) run_tsan=0 ;;
         --no-asan) run_asan=0 ;;
         --no-chaos) run_chaos=0 ;;
         --no-bench) run_bench=0 ;;
+        --no-serve) run_serve=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -163,8 +170,82 @@ cmp "$trace_out/cold.csv" "$trace_out/ref.csv"
 cmp "$trace_out/evict.csv" "$trace_out/gemv_ref.csv"
 grep -Eq 'evicted_segments *\| *[1-9]' "$trace_out/evict.log"
 
+if [ "$run_serve" = 1 ]; then
+    echo "== serve: campaign daemon vs batch CLI =="
+    # The daemon's streamed results must be byte-identical to the
+    # batch CLI's journal for the same batch — with three clients
+    # racing, across a kill -9 plus journal truncation (simulated
+    # mid-write crash), and on a warm resubmit served from the
+    # shared store.
+    serve_dir="$trace_out/serve"
+    mkdir -p "$serve_dir"
+    tail -n +2 "$trace_out/j1.jsonl" > "$serve_dir/expected.jsonl"
+    ./build/tools/uvmasync-serve --socket "$serve_dir/sock" \
+        --state "$serve_dir/state" --jobs 4 \
+        --store "$serve_dir/store" > "$serve_dir/daemon.out" \
+        2> "$serve_dir/daemon.log" &
+    serve_pid=$!
+    for _ in $(seq 100); do
+        [ -S "$serve_dir/sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$serve_dir/sock" ]
+    # Three concurrent clients submit the same batch; each stream
+    # must match the CLI reference byte for byte.
+    client_pids=()
+    for i in 1 2 3; do
+        ./build/tools/uvmasync client run --socket "$serve_dir/sock" \
+            --workload saxpy --size tiny --runs 2 \
+            > "$serve_dir/stream$i.jsonl" \
+            2> "$serve_dir/client$i.log" &
+        client_pids+=($!)
+    done
+    for pid in "${client_pids[@]}"; do wait "$pid"; done
+    for i in 1 2 3; do
+        cmp "$serve_dir/stream$i.jsonl" "$serve_dir/expected.jsonl"
+    done
+    # Kill -9 the daemon and tear the first batch's journal back to
+    # the header plus two records (a crash mid-campaign); the
+    # restarted daemon must resume it and stream the identical bytes.
+    kill -9 "$serve_pid"
+    wait "$serve_pid" 2> /dev/null || true
+    # kill -9 leaves the old socket file behind; remove it so the
+    # wait loop below really waits for the NEW daemon's bind rather
+    # than matching the stale file instantly.
+    rm -f "$serve_dir/sock"
+    head -n 3 "$serve_dir/state/batches/0000000000000001.jsonl" \
+        > "$serve_dir/torn.jsonl"
+    mv "$serve_dir/torn.jsonl" \
+        "$serve_dir/state/batches/0000000000000001.jsonl"
+    ./build/tools/uvmasync-serve --socket "$serve_dir/sock" \
+        --state "$serve_dir/state" --jobs 4 \
+        --store "$serve_dir/store" >> "$serve_dir/daemon.out" \
+        2>> "$serve_dir/daemon.log" &
+    serve_pid=$!
+    for _ in $(seq 100); do
+        [ -S "$serve_dir/sock" ] && break
+        sleep 0.1
+    done
+    grep -Eq '[1-9] batch\(es\) recovered' "$serve_dir/daemon.log"
+    ./build/tools/uvmasync client stream --socket "$serve_dir/sock" \
+        --handle 0000000000000001 > "$serve_dir/resumed.jsonl" \
+        2> /dev/null
+    cmp "$serve_dir/resumed.jsonl" "$serve_dir/expected.jsonl"
+    # Warm resubmit: every point of a fresh identical batch comes
+    # from the shared store, and the stream still matches.
+    ./build/tools/uvmasync client run --socket "$serve_dir/sock" \
+        --workload saxpy --size tiny --runs 2 \
+        > "$serve_dir/warm.jsonl" 2> /dev/null
+    cmp "$serve_dir/warm.jsonl" "$serve_dir/expected.jsonl"
+    ./build/tools/uvmasync client stats --socket "$serve_dir/sock" \
+        | grep -Eq 'store\.hits = [1-9]'
+    ./build/tools/uvmasync client shutdown \
+        --socket "$serve_dir/sock"
+    wait "$serve_pid"
+fi
+
 if [ "$run_bench" = 1 ]; then
-    echo "== bench: perf trajectory vs committed BENCH_7.json =="
+    echo "== bench: perf trajectory vs committed BENCH_8.json =="
     # Self-timing harness: regenerate the measurement and gate it
     # against the committed artifact with a +-15% tolerance band on
     # every phase rate (and derived speedups); the calendar-vs-heap
@@ -176,7 +257,7 @@ if [ "$run_bench" = 1 ]; then
     # three, printing the per-phase delta table each time.
     bench_cmd=(./build/tools/uvmasync-bench --reps 5 --warmup 2
         --require-speedup 1.5 --max-null-overhead 1.0
-        --compare BENCH_7.json --tolerance 0.15)
+        --compare BENCH_8.json --tolerance 0.15)
     bench_ok=0
     for attempt in 1 2 3; do
         if "${bench_cmd[@]}"; then
@@ -189,11 +270,13 @@ if [ "$run_bench" = 1 ]; then
 fi
 
 if [ "$run_tsan" = 1 ]; then
-    echo "== TSan: parallel engine + store + tracer + injection =="
+    echo "== TSan: parallel engine + store + tracer + injection" \
+        "+ serve =="
     cmake -B build-tsan -S . -DUVMASYNC_TSAN=ON
     cmake --build build-tsan -j"$(nproc)" \
         --target test_parallel_runner --target test_trace \
-        --target test_inject --target test_store
+        --target test_inject --target test_store \
+        --target test_serve
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_parallel_runner
     TSAN_OPTIONS="halt_on_error=1" \
@@ -202,6 +285,8 @@ if [ "$run_tsan" = 1 ]; then
         ./build-tsan/tests/test_inject
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_store
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_serve
 fi
 
 if [ "$run_asan" = 1 ]; then

@@ -153,6 +153,7 @@ pointStatusName(PointStatus status)
       case PointStatus::Timeout: return "timeout";
       case PointStatus::Failed: return "failed";
       case PointStatus::Quarantined: return "quarantined";
+      case PointStatus::Cancelled: return "cancelled";
     }
     panic("unknown point status %d", static_cast<int>(status));
 }
@@ -305,7 +306,7 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
     std::size_t frontier = 0;
     std::vector<char> done(points.size(), 0);
     auto completePoint = [&](std::size_t index) {
-        if (!policy.journal && !policy.cache)
+        if (!policy.journal && !policy.cache && !policy.onPointMerged)
             return;
         std::lock_guard<std::mutex> lock(commitMutex);
         done[index] = 1;
@@ -313,8 +314,12 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
             PointOutcome &out = batch.points[frontier];
             // A cache hit is journaled like a fresh result (it is
             // one, replayed), so warm and cold runs write identical
-            // journals; a journal-restored point is not re-committed.
-            if (policy.journal && !out.restored)
+            // journals; a journal-restored point is not re-committed,
+            // and a cancelled point is not committed at all — the
+            // journal only ever holds real outcomes, so a cancelled
+            // batch's journal is a clean prefix of completed points.
+            if (policy.journal && !out.restored &&
+                out.status != PointStatus::Cancelled)
                 policy.journal->commit(frontier, out);
             // Populate the store from the same submission-order
             // merge: segment append order is deterministic at any
@@ -322,6 +327,11 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
             // aborted/timeout/quarantined points must re-run.
             if (policy.cache && out.ok && !out.cached)
                 policy.cache->store(frontier, out);
+            // Observers ride the merge too: the journal record (if
+            // any) is durable by the time this fires, and indices
+            // arrive in strict submission order at any job count.
+            if (policy.onPointMerged)
+                policy.onPointMerged(frontier, out);
             ++frontier;
         }
     };
@@ -360,6 +370,18 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
         std::uint32_t maxAttempts = 1 + policy.retries;
         for (std::uint32_t attempt = 1; attempt <= maxAttempts;
              ++attempt) {
+            // Cooperative cancel: checked before every attempt, so a
+            // cancelled batch stops issuing new simulations but never
+            // tears an in-flight one. Cancelled points are merged
+            // (the frontier must still drain) but not journaled.
+            if (policy.cancel &&
+                policy.cancel->load(std::memory_order_acquire)) {
+                outcome.ok = false;
+                outcome.status = PointStatus::Cancelled;
+                outcome.error = "batch cancelled";
+                outcome.metrics.wallMs = msSince(start);
+                return;
+            }
             outcome.attempts = attempt;
             try {
                 // A configuration that fatals (bad geometry,

@@ -19,7 +19,10 @@
 #ifndef UVMASYNC_CORE_PARALLEL_RUNNER_HH
 #define UVMASYNC_CORE_PARALLEL_RUNNER_HH
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +56,7 @@ enum class PointStatus
     Timeout,     //!< PointTimeout (watchdog ceiling)
     Failed,      //!< any other captured error
     Quarantined, //!< still failing after the retry budget
+    Cancelled,   //!< batch cancelled before the point ran
 };
 
 /** Stable status slug ("ok", "aborted", "timeout", ...). */
@@ -114,6 +118,32 @@ struct RunPolicy
      * cross-run memoization layer.
      */
     PointCache *cache = nullptr;
+
+    /**
+     * Invoked from the submission-order merge — under the same lock
+     * and in the same frontier order as journal commits and cache
+     * inserts, after both — once per point, including restored and
+     * cached points. Because the call rides the merge, any observer
+     * (a result streamer, a progress poller) sees a strictly growing
+     * prefix of the batch in submission order at any job count, and
+     * a journal record is already durable (fsync'd) when the
+     * callback for its point fires. Keep it cheap: it runs with the
+     * merge lock held.
+     */
+    std::function<void(std::size_t index, const PointOutcome &out)>
+        onPointMerged;
+
+    /**
+     * Cooperative cancellation flag, owned by the caller. Checked
+     * before every attempt of every point: once set, points that
+     * have not started (and retries that have not begun) complete
+     * immediately as PointStatus::Cancelled (ok = false) instead of
+     * simulating. In-flight attempts run to completion — simulation
+     * results are never torn. Cancelled outcomes are merged but
+     * never journaled or cached, so a journal only ever holds real
+     * outcomes and stays a clean resume/stream source.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**

@@ -75,7 +75,8 @@ parsePointStatus(const std::string &text, PointStatus &out)
 {
     for (PointStatus s :
          {PointStatus::Ok, PointStatus::Aborted, PointStatus::Timeout,
-          PointStatus::Failed, PointStatus::Quarantined}) {
+          PointStatus::Failed, PointStatus::Quarantined,
+          PointStatus::Cancelled}) {
         if (text == pointStatusName(s)) {
             out = s;
             return true;

@@ -1,0 +1,80 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+namespace uvmasync
+{
+
+void
+AdmissionQueue::admit(std::uint64_t client, BatchHandle batch)
+{
+    for (ClientQueue &q : clients_) {
+        if (q.client == client) {
+            q.batches.push_back(batch);
+            return;
+        }
+    }
+    ClientQueue q;
+    q.client = client;
+    q.batches.push_back(batch);
+    clients_.push_back(std::move(q));
+}
+
+bool
+AdmissionQueue::next(BatchHandle &batch)
+{
+    if (clients_.empty())
+        return false;
+    if (cursor_ >= clients_.size())
+        cursor_ = 0;
+    // Clients only sit in the rotation while they have batches, so
+    // the client under the cursor always serves.
+    std::size_t served = cursor_;
+    ClientQueue &q = clients_[served];
+    batch = q.batches.front();
+    q.batches.pop_front();
+    if (q.batches.empty()) {
+        clients_.erase(clients_.begin() +
+                       static_cast<std::ptrdiff_t>(served));
+        // The erase shifted everything after `served` left by one;
+        // the cursor already points at the next client.
+    } else {
+        cursor_ = served + 1;
+    }
+    if (cursor_ >= clients_.size())
+        cursor_ = 0;
+    return true;
+}
+
+bool
+AdmissionQueue::remove(BatchHandle batch)
+{
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        ClientQueue &q = clients_[i];
+        auto it = std::find(q.batches.begin(), q.batches.end(), batch);
+        if (it == q.batches.end())
+            continue;
+        q.batches.erase(it);
+        if (q.batches.empty()) {
+            clients_.erase(clients_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            if (cursor_ > i)
+                --cursor_;
+            if (cursor_ >= clients_.size())
+                cursor_ = 0;
+        }
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+AdmissionQueue::pending() const
+{
+    std::size_t n = 0;
+    for (const ClientQueue &q : clients_)
+        n += q.batches.size();
+    return n;
+}
+
+} // namespace uvmasync

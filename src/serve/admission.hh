@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-client fair admission queue of the campaign daemon.
+ *
+ * Each client gets its own FIFO of admitted batches; the scheduler
+ * drains them round-robin over clients in first-admission order, so
+ * one tenant submitting a hundred campaigns cannot starve another
+ * tenant's single batch — the second client's first batch runs after
+ * at most one batch from every client admitted before it.
+ *
+ * The queue is deliberately free of clocks and randomness: the drain
+ * order is a pure function of the admit()/next() call sequence,
+ * which keeps daemon scheduling replayable in tests (determinism
+ * lint bans wall-clock reads in src/serve outright). Thread safety
+ * is the caller's job — the daemon serializes access under its own
+ * state mutex.
+ */
+
+#ifndef UVMASYNC_SERVE_ADMISSION_HH
+#define UVMASYNC_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace uvmasync
+{
+
+/** Opaque daemon-wide batch identity (a persisted sequence number). */
+using BatchHandle = std::uint64_t;
+
+/** Round-robin-over-clients FIFO of pending batches. */
+class AdmissionQueue
+{
+  public:
+    /** Enqueue @p batch at the tail of @p client's FIFO. */
+    void admit(std::uint64_t client, BatchHandle batch);
+
+    /**
+     * Dequeue the next batch round-robin: the cursor advances one
+     * client per call, clients are ordered by first admission, and
+     * a client emptied of batches leaves the rotation. Returns
+     * false when nothing is pending.
+     */
+    bool next(BatchHandle &batch);
+
+    /** Drop one pending batch (cancel); false when not queued. */
+    bool remove(BatchHandle batch);
+
+    /** Batches currently pending across all clients. */
+    std::size_t pending() const;
+
+    bool empty() const { return pending() == 0; }
+
+  private:
+    struct ClientQueue
+    {
+        std::uint64_t client = 0;
+        std::deque<BatchHandle> batches;
+    };
+
+    std::vector<ClientQueue> clients_; //!< first-admission order
+    std::size_t cursor_ = 0;           //!< round-robin position
+};
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SERVE_ADMISSION_HH

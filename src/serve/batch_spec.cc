@@ -1,0 +1,186 @@
+#include "serve/batch_spec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "gpu/transfer_mode.hh"
+#include "workloads/registry.hh"
+#include "workloads/size_class.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+const std::vector<std::string> &
+knownKeys()
+{
+    static const std::vector<std::string> keys = {
+        "batch.workload", "batch.size",    "batch.runs",
+        "batch.seed",     "batch.mode",    "batch.blocks",
+        "batch.threads",  "batch.carveout_kib", "batch.retries",
+    };
+    return keys;
+}
+
+bool
+rejectUnknownKeys(const KvConfig &kv, std::string &error)
+{
+    const std::vector<std::string> &known = knownKeys();
+    for (const std::string &key : kv.keys()) {
+        if (std::find(known.begin(), known.end(), key) != known.end())
+            continue;
+        error = "unknown batch key '" + key + "'";
+        std::string hint = closestKey(key, known);
+        if (!hint.empty())
+            error += " (did you mean '" + hint + "'?)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseBatchSpec(const KvConfig &kv, BatchSpec &spec, std::string &error)
+{
+    // Self-sufficient like Experiment/ParallelRunner: the workload
+    // lookup below must never depend on what the caller ran first.
+    registerAllWorkloads();
+
+    if (!rejectUnknownKeys(kv, error))
+        return false;
+
+    spec = BatchSpec{};
+    spec.workload = kv.getString("batch.workload");
+    if (spec.workload.empty()) {
+        error = "batch.workload is required";
+        return false;
+    }
+    if (!WorkloadRegistry::instance().find(spec.workload)) {
+        error = "unknown workload '" + spec.workload + "'";
+        std::string hint = closestKey(
+            spec.workload, WorkloadRegistry::instance().names());
+        if (!hint.empty())
+            error += " (did you mean '" + hint + "'?)";
+        return false;
+    }
+
+    std::string size = kv.getString("batch.size", "super");
+    if (!parseSizeClass(size, spec.size)) {
+        error = "unknown size class '" + size + "'";
+        return false;
+    }
+
+    std::string mode = kv.getString("batch.mode", "all");
+    if (mode == "all") {
+        spec.modes.clear();
+    } else {
+        TransferMode m;
+        if (!parseTransferMode(mode, m)) {
+            error = "unknown mode '" + mode + "'";
+            return false;
+        }
+        spec.modes.push_back(m);
+    }
+
+    // The typed getters fatal() on malformed numbers; a bad
+    // submission must only fail this request, so trap the fatal and
+    // surface it as a parse error instead.
+    try {
+        FatalThrowScope fatalGuard;
+        std::int64_t runs = kv.getInt("batch.runs", 30);
+        std::int64_t seed = kv.getInt("batch.seed", 42);
+        std::int64_t blocks = kv.getInt("batch.blocks", 0);
+        std::int64_t threads = kv.getInt("batch.threads", 0);
+        std::int64_t carveout = kv.getInt("batch.carveout_kib", 0);
+        std::int64_t retries = kv.getInt("batch.retries", 1);
+        if (runs < 1) {
+            error = "batch.runs must be >= 1";
+            return false;
+        }
+        if (blocks < 0 || threads < 0 || carveout < 0 ||
+            retries < 0) {
+            error = "batch.blocks/threads/carveout_kib/retries must "
+                    "be >= 0";
+            return false;
+        }
+        spec.runs = static_cast<std::uint32_t>(runs);
+        spec.seed = static_cast<std::uint64_t>(seed);
+        spec.blocks = static_cast<std::uint64_t>(blocks);
+        spec.threads = static_cast<std::uint32_t>(threads);
+        spec.carveoutKib = static_cast<std::uint64_t>(carveout);
+        spec.retries = static_cast<std::uint32_t>(retries);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+    return true;
+}
+
+bool
+parseBatchSpec(const std::string &payload, BatchSpec &spec,
+               std::string &error)
+{
+    // The KV parser itself fatal()s on malformed lines; a garbled
+    // submission must only fail this request, never the daemon.
+    try {
+        FatalThrowScope fatalGuard;
+        KvConfig kv = KvConfig::fromString(payload, "<submit>");
+        return parseBatchSpec(kv, spec, error);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+}
+
+std::vector<ExperimentPoint>
+batchSpecPoints(const BatchSpec &spec)
+{
+    // Mirror cmdRun exactly: one point per mode, identical options,
+    // lint/trace/inject left at their defaults. Any divergence here
+    // breaks journal byte-identity with the batch CLI (pinned by
+    // test_serve's cmp against a CLI-written journal).
+    ExperimentOptions opts;
+    opts.size = spec.size;
+    opts.runs = spec.runs;
+    opts.baseSeed = spec.seed;
+    opts.geometry.gridBlocks = spec.blocks;
+    opts.geometry.threadsPerBlock = spec.threads;
+    opts.sharedCarveout = kib(spec.carveoutKib);
+
+    std::vector<TransferMode> modes = spec.modes;
+    if (modes.empty())
+        modes.assign(allTransferModes.begin(), allTransferModes.end());
+
+    std::vector<ExperimentPoint> points;
+    points.reserve(modes.size());
+    for (TransferMode m : modes)
+        points.push_back(ExperimentPoint{spec.workload, m, opts});
+    return points;
+}
+
+std::string
+batchSpecPayload(const BatchSpec &spec)
+{
+    std::string out;
+    out += "batch.workload = " + spec.workload + "\n";
+    out += "batch.size = " + std::string(sizeClassName(spec.size)) +
+           "\n";
+    out += "batch.runs = " + std::to_string(spec.runs) + "\n";
+    out += "batch.seed = " + std::to_string(spec.seed) + "\n";
+    out += "batch.mode = ";
+    out += spec.modes.size() == 1 ? transferModeName(spec.modes[0])
+                                  : "all";
+    out += "\n";
+    out += "batch.blocks = " + std::to_string(spec.blocks) + "\n";
+    out += "batch.threads = " + std::to_string(spec.threads) + "\n";
+    out += "batch.carveout_kib = " + std::to_string(spec.carveoutKib) +
+           "\n";
+    out += "batch.retries = " + std::to_string(spec.retries) + "\n";
+    return out;
+}
+
+} // namespace uvmasync

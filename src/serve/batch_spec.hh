@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Batch submission payload of the campaign daemon: a small KV (ini)
+ * document under the `batch.` prefix, parsed into the exact point
+ * grid the batch CLI's `run` command would build.
+ *
+ * The equivalence is the point: a batch submitted over the socket
+ * and the same flags passed to `uvmasync run --journal` must produce
+ * bit-identical journal record lines, because batchSpecPoints()
+ * mirrors cmdRun's ExperimentPoint construction field for field (and
+ * test_serve pins that with a byte-level cmp). Keys:
+ *
+ *   batch.workload      registry workload name (required)
+ *   batch.size          size class (default "super")
+ *   batch.runs          measurement repetitions (default 30)
+ *   batch.seed          base seed (default 42)
+ *   batch.mode          one transfer mode, or "all" (default)
+ *   batch.blocks        grid-size override (default 0 = workload's)
+ *   batch.threads       block-size override (default 0)
+ *   batch.carveout_kib  shared-memory carveout KiB (default 0)
+ *   batch.retries       retry budget per point (default 1)
+ *
+ * Unknown `batch.*` keys are rejected with a did-you-mean hint
+ * (closestKey), same as the jobfile linter; unknown workloads, size
+ * classes and modes are rejected by name.
+ */
+
+#ifndef UVMASYNC_SERVE_BATCH_SPEC_HH
+#define UVMASYNC_SERVE_BATCH_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/kv_config.hh"
+#include "core/parallel_runner.hh"
+
+namespace uvmasync
+{
+
+/** One parsed batch submission. */
+struct BatchSpec
+{
+    std::string workload;
+    SizeClass size = SizeClass::Super;
+    std::uint32_t runs = 30;
+    std::uint64_t seed = 42;
+
+    /** Modes to run, in allTransferModes order; empty = all five. */
+    std::vector<TransferMode> modes;
+
+    std::uint64_t blocks = 0;
+    std::uint32_t threads = 0;
+    std::uint64_t carveoutKib = 0;
+    std::uint32_t retries = 1;
+};
+
+/**
+ * Parse and validate a submission payload. Returns false with an
+ * actionable @p error (unknown key/workload/size/mode, missing
+ * workload); never fatals — a bad submission must only fail that
+ * client's request, not the daemon. Populates the workload registry
+ * itself (idempotent), so callers need no setup.
+ */
+bool parseBatchSpec(const KvConfig &kv, BatchSpec &spec,
+                    std::string &error);
+
+/** Convenience overload over the raw KV payload text. */
+bool parseBatchSpec(const std::string &payload, BatchSpec &spec,
+                    std::string &error);
+
+/**
+ * Expand a spec into experiment points — one per mode, identical
+ * options — exactly as the batch CLI's `run` command does, so
+ * pointConfigHash/campaignHash (and therefore journals and the
+ * shared result store) agree between the two front ends.
+ */
+std::vector<ExperimentPoint> batchSpecPoints(const BatchSpec &spec);
+
+/** Serialize a spec back into submission-payload KV text. */
+std::string batchSpecPayload(const BatchSpec &spec);
+
+} // namespace uvmasync
+
+#endif // UVMASYNC_SERVE_BATCH_SPEC_HH

@@ -1,0 +1,212 @@
+#include "serve/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace uvmasync
+{
+
+namespace
+{
+
+constexpr std::size_t headerBytes = 5;
+
+void
+encodeHeader(char *out, FrameType type, std::uint32_t length)
+{
+    out[0] = static_cast<char>((length >> 24) & 0xff);
+    out[1] = static_cast<char>((length >> 16) & 0xff);
+    out[2] = static_cast<char>((length >> 8) & 0xff);
+    out[3] = static_cast<char>(length & 0xff);
+    out[4] = static_cast<char>(type);
+}
+
+std::uint32_t
+decodeLength(const unsigned char *header)
+{
+    return (static_cast<std::uint32_t>(header[0]) << 24) |
+           (static_cast<std::uint32_t>(header[1]) << 16) |
+           (static_cast<std::uint32_t>(header[2]) << 8) |
+           static_cast<std::uint32_t>(header[3]);
+}
+
+/** read() the exact byte count, retrying EINTR; false on EOF/error. */
+bool
+readExact(int fd, void *buffer, std::size_t size, std::string &error)
+{
+    char *out = static_cast<char *>(buffer);
+    std::size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::read(fd, out + got, size - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            error = got == 0 ? "connection closed"
+                             : "connection closed mid-frame";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        error = std::string("read failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Submit: return "submit";
+      case FrameType::SubmitOk: return "submit_ok";
+      case FrameType::Status: return "status";
+      case FrameType::StatusOk: return "status_ok";
+      case FrameType::Stream: return "stream";
+      case FrameType::StreamChunk: return "stream_chunk";
+      case FrameType::StreamEnd: return "stream_end";
+      case FrameType::Cancel: return "cancel";
+      case FrameType::CancelOk: return "cancel_ok";
+      case FrameType::Stats: return "stats";
+      case FrameType::StatsOk: return "stats_ok";
+      case FrameType::Shutdown: return "shutdown";
+      case FrameType::ShutdownOk: return "shutdown_ok";
+      case FrameType::Error: return "error";
+    }
+    panic("unknown frame type %d", static_cast<int>(type));
+}
+
+bool
+frameTypeValid(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(FrameType::Submit) &&
+           raw <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    if (payload.size() > maxFramePayload)
+        fatal("frame payload of %zu bytes exceeds the %u-byte "
+              "protocol ceiling",
+              payload.size(), maxFramePayload);
+    std::string out;
+    out.resize(headerBytes);
+    encodeHeader(&out[0], type,
+                 static_cast<std::uint32_t>(payload.size()));
+    out += payload;
+    return out;
+}
+
+void
+FrameReader::feed(const void *data, std::size_t size)
+{
+    if (!error_.empty())
+        return; // lost sync; bytes are meaningless now
+    buffer_.append(static_cast<const char *>(data), size);
+}
+
+bool
+FrameReader::next(Frame &out, std::string &error)
+{
+    error.clear();
+    if (!error_.empty()) {
+        error = error_;
+        return false;
+    }
+    if (pending() < headerBytes)
+        return false;
+    const auto *header = reinterpret_cast<const unsigned char *>(
+        buffer_.data() + start_);
+    std::uint32_t length = decodeLength(header);
+    std::uint8_t rawType = header[4];
+    if (!frameTypeValid(rawType)) {
+        error_ = "unknown frame type byte " +
+                 std::to_string(static_cast<int>(rawType));
+        error = error_;
+        return false;
+    }
+    if (length > maxFramePayload) {
+        error_ = "frame payload of " + std::to_string(length) +
+                 " bytes exceeds the " +
+                 std::to_string(maxFramePayload) +
+                 "-byte protocol ceiling";
+        error = error_;
+        return false;
+    }
+    if (pending() < headerBytes + length)
+        return false;
+    out.type = static_cast<FrameType>(rawType);
+    out.payload.assign(buffer_, start_ + headerBytes, length);
+    start_ += headerBytes + length;
+    // Reclaim the consumed prefix once it dominates the buffer, so a
+    // long-lived connection does not grow without bound.
+    if (start_ > 4096 && start_ * 2 >= buffer_.size()) {
+        buffer_.erase(0, start_);
+        start_ = 0;
+    }
+    return true;
+}
+
+bool
+readFrame(int fd, Frame &out, std::string &error)
+{
+    unsigned char header[headerBytes];
+    if (!readExact(fd, header, sizeof(header), error))
+        return false;
+    std::uint32_t length = decodeLength(header);
+    if (!frameTypeValid(header[4])) {
+        error = "unknown frame type byte " +
+                std::to_string(static_cast<int>(header[4]));
+        return false;
+    }
+    if (length > maxFramePayload) {
+        error = "frame payload of " + std::to_string(length) +
+                " bytes exceeds the " +
+                std::to_string(maxFramePayload) +
+                "-byte protocol ceiling";
+        return false;
+    }
+    out.type = static_cast<FrameType>(header[4]);
+    out.payload.resize(length);
+    if (length > 0 &&
+        !readExact(fd, &out.payload[0], length, error))
+        return false;
+    return true;
+}
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload,
+           std::string &error)
+{
+    std::string bytes = encodeFrame(type, payload);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // Prefer send(MSG_NOSIGNAL): a peer that vanished must
+        // surface as EPIPE, not kill the process with SIGPIPE. Fall
+        // back to write() for non-socket fds (pipes in tests).
+        ssize_t n = ::send(fd, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = std::string("write failed: ") +
+                (n < 0 ? std::strerror(errno) : "short write");
+        return false;
+    }
+    return true;
+}
+
+} // namespace uvmasync

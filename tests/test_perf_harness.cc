@@ -292,7 +292,8 @@ TEST(CommittedBench, ArtifactParsesAndPinsTheCampaignSpeedup)
     for (const char *phase :
          {"event_loop_calendar", "event_loop_heap",
           "migration_hotpath", "registry_slice", "store_lookup",
-          "null_sink_probe_plain", "null_sink_probe_instrumented"}) {
+          "serve_roundtrip", "null_sink_probe_plain",
+          "null_sink_probe_instrumented"}) {
         EXPECT_NE(report.findPhase(phase), nullptr)
             << "committed artifact lost phase " << phase;
     }

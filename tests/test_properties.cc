@@ -8,6 +8,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
 #include <unistd.h>
 
 #include "core/experiment.hh"
@@ -16,6 +20,7 @@
 #include "mem/device_memory.hh"
 #include "mem/page_table.hh"
 #include "runtime/device.hh"
+#include "serve/daemon.hh"
 #include "store/fingerprint.hh"
 #include "store/result_store.hh"
 #include "trace/metrics.hh"
@@ -413,6 +418,125 @@ TEST(StoreEquivalence, WarmSweepIsBitIdenticalToCold)
     std::remove((dir + "/meta.json").c_str());
     ::rmdir((dir + "/shards").c_str());
     ::rmdir(dir.c_str());
+}
+
+// --- Multi-tenant service equivalence --------------------------------
+
+namespace
+{
+
+void
+removeServeTree(const std::string &path)
+{
+    struct stat st;
+    if (::lstat(path.c_str(), &st) != 0)
+        return;
+    if (!S_ISDIR(st.st_mode)) {
+        ::unlink(path.c_str());
+        return;
+    }
+    if (DIR *dir = ::opendir(path.c_str())) {
+        while (struct dirent *entry = ::readdir(dir)) {
+            std::string name = entry->d_name;
+            if (name == "." || name == "..")
+                continue;
+            removeServeTree(path + "/" + name);
+        }
+        ::closedir(dir);
+    }
+    ::rmdir(path.c_str());
+}
+
+} // namespace
+
+/**
+ * Two tenants of the campaign daemon racing to submit the SAME batch
+ * must be indistinguishable from two sequential CLI runs sharing a
+ * store: both streams byte-identical, and whichever batch ran second
+ * was served entirely from the first tenant's cached points — the
+ * shared store turns one client's work into the other's cache hits.
+ */
+TEST(ServiceEquivalence, RacingIdenticalTenantsShareOneSimulation)
+{
+    const std::string state =
+        ::testing::TempDir() + "uvmasync_props_serve_state";
+    const std::string storeDir =
+        ::testing::TempDir() + "uvmasync_props_serve_store";
+    removeServeTree(state);
+    removeServeTree(storeDir);
+
+    const std::string payload = "batch.workload = saxpy\n"
+                                "batch.size = tiny\n"
+                                "batch.runs = 2\n";
+
+    ServeOptions opt;
+    opt.stateDir = state;
+    opt.storeDir = storeDir;
+    opt.jobs = 2;
+    ServeDaemon daemon(opt);
+
+    // Both tenants submit concurrently and block for their stream.
+    std::string streams[2];
+    std::string errors[2];
+    BatchHandle handles[2] = {0, 0};
+    std::thread tenants[2];
+    for (int i = 0; i < 2; ++i) {
+        tenants[i] = std::thread([&, i] {
+            std::string error;
+            BatchHandle handle =
+                daemon.submit(1 + i, payload, error);
+            if (handle == 0) {
+                errors[i] = error;
+                return;
+            }
+            handles[i] = handle;
+            BatchState finalState = BatchState::Pending;
+            if (!daemon.waitTerminal(handle, finalState) ||
+                finalState != BatchState::Done) {
+                errors[i] = "batch did not finish clean";
+                return;
+            }
+            StreamChunk chunk;
+            if (!daemon.stream(handle, 0, chunk, error))
+                errors[i] = error;
+            else
+                streams[i] = chunk.lines;
+        });
+    }
+    tenants[0].join();
+    tenants[1].join();
+    ASSERT_TRUE(errors[0].empty()) << errors[0];
+    ASSERT_TRUE(errors[1].empty()) << errors[1];
+
+    // Byte-identical results regardless of which tenant's batch ran
+    // first.
+    ASSERT_FALSE(streams[0].empty());
+    EXPECT_EQ(streams[0], streams[1]);
+
+    // The daemon scheduler serializes batches, so whichever batch
+    // ran second hit the store for every point the first one stored.
+    const std::size_t points = allTransferModes.size();
+    ServeStats stats = daemon.stats();
+    EXPECT_EQ(stats.storeHits, points);
+    EXPECT_EQ(stats.storeStored, points);
+    EXPECT_EQ(stats.pointsCached, points);
+    EXPECT_EQ(stats.pointsMerged, 2 * points);
+
+    std::string error;
+    BatchStatus status[2];
+    ASSERT_TRUE(daemon.status(handles[0], status[0], error))
+        << error;
+    ASSERT_TRUE(daemon.status(handles[1], status[1], error))
+        << error;
+    // Exactly one of the two was the cached one (submission racing
+    // decides which), and it was cached in full.
+    EXPECT_EQ(status[0].cached + status[1].cached, points);
+    EXPECT_EQ(status[0].ok, points);
+    EXPECT_EQ(status[1].ok, points);
+
+    daemon.stop();
+    removeServeTree(state);
+    removeServeTree(storeDir);
 }
 
 } // namespace

@@ -698,5 +698,107 @@ TEST(Store, SurveyAndGcAgreeWithTheLiveStore)
     removeStoreDir(dir);
 }
 
+// --- Fingerprint drift guard -----------------------------------------
+
+// modelSemanticsFingerprint() hashes SystemConfig FIELD BY FIELD
+// (padding makes hashing struct memory compiler-dependent), so a new
+// config field is invisible to the fingerprint unless fingerprint.cc
+// is taught about it — and a silently unchanged fingerprint means a
+// store populated under the old semantics keeps serving stale results.
+//
+// These sizeof guards trip the moment a field is added to any struct
+// the fingerprint covers. If one fails, you changed the model's
+// configuration surface: add the new field to
+// src/store/fingerprint.cc, bump modelSemanticsVersion in
+// src/store/fingerprint.hh (old cached results are stale), THEN
+// update the expected size here.
+#define UVMASYNC_DRIFT_MESSAGE(what)                                  \
+    what " changed size: a field was added or removed. Update "       \
+         "modelSemanticsFingerprint() in src/store/fingerprint.cc, "  \
+         "bump modelSemanticsVersion in src/store/fingerprint.hh, "   \
+         "then update this guard."
+
+TEST(FingerprintDrift, ConfigStructSizesArePinned)
+{
+    EXPECT_EQ(sizeof(HostMemoryConfig), 48u)
+        << UVMASYNC_DRIFT_MESSAGE("HostMemoryConfig");
+    EXPECT_EQ(sizeof(GpuConfig), 216u)
+        << UVMASYNC_DRIFT_MESSAGE("GpuConfig");
+    EXPECT_EQ(sizeof(PcieConfig), 88u)
+        << UVMASYNC_DRIFT_MESSAGE("PcieConfig");
+    EXPECT_EQ(sizeof(UvmConfig), 64u)
+        << UVMASYNC_DRIFT_MESSAGE("UvmConfig");
+    EXPECT_EQ(sizeof(AllocatorConfig), 72u)
+        << UVMASYNC_DRIFT_MESSAGE("AllocatorConfig");
+    EXPECT_EQ(sizeof(NoiseConfig), 40u)
+        << UVMASYNC_DRIFT_MESSAGE("NoiseConfig");
+    // WatchdogConfig is deliberately EXCLUDED from the fingerprint
+    // (ceilings bound runs, they don't change results); if its size
+    // moves, re-confirm the exclusion still holds and update here.
+    EXPECT_EQ(sizeof(WatchdogConfig), 24u)
+        << "WatchdogConfig changed size: confirm the new field still "
+           "cannot affect simulated results (fingerprint.cc "
+           "intentionally skips the watchdog), then update this "
+           "guard.";
+    EXPECT_EQ(sizeof(SystemConfig), 560u)
+        << UVMASYNC_DRIFT_MESSAGE("SystemConfig");
+}
+
+#undef UVMASYNC_DRIFT_MESSAGE
+
+TEST(FingerprintDrift, EveryFieldGroupMovesTheFingerprint)
+{
+    const SystemConfig base = SystemConfig::a100Epyc();
+    const std::uint64_t baseline = modelSemanticsFingerprint(base);
+
+    // One representative knob per hashed group: each must move the
+    // fingerprint, or that group has silently fallen out of the hash.
+    SystemConfig host = base;
+    host.host.straddlePenalty += 0.5;
+    EXPECT_NE(modelSemanticsFingerprint(host), baseline)
+        << "HostMemoryConfig no longer reaches the fingerprint";
+
+    SystemConfig gpu = base;
+    gpu.gpu.smCount += 1;
+    EXPECT_NE(modelSemanticsFingerprint(gpu), baseline)
+        << "GpuConfig no longer reaches the fingerprint";
+
+    SystemConfig pcie = base;
+    pcie.pcie.efficiency[0] *= 0.5;
+    EXPECT_NE(modelSemanticsFingerprint(pcie), baseline)
+        << "PcieConfig no longer reaches the fingerprint";
+
+    SystemConfig uvm = base;
+    uvm.uvm.chunkBytes *= 2;
+    EXPECT_NE(modelSemanticsFingerprint(uvm), baseline)
+        << "UvmConfig no longer reaches the fingerprint";
+
+    SystemConfig alloc = base;
+    alloc.alloc.contextInit += 1;
+    EXPECT_NE(modelSemanticsFingerprint(alloc), baseline)
+        << "AllocatorConfig no longer reaches the fingerprint";
+
+    SystemConfig noise = base;
+    noise.noise.allocCv += 0.001;
+    EXPECT_NE(modelSemanticsFingerprint(noise), baseline)
+        << "NoiseConfig no longer reaches the fingerprint";
+
+    SystemConfig capacity = base;
+    capacity.deviceMemoryBytes += 1;
+    EXPECT_NE(modelSemanticsFingerprint(capacity), baseline)
+        << "deviceMemoryBytes no longer reaches the fingerprint";
+
+    // And the one deliberate exclusion: watchdog ceilings bound a
+    // run, they never change its results, so tightening them must
+    // NOT invalidate every cached point.
+    SystemConfig watchdog = base;
+    watchdog.watchdog.maxEvents /= 2;
+    watchdog.watchdog.maxSimTime = seconds(1);
+    watchdog.watchdog.maxStallEvents /= 2;
+    EXPECT_EQ(modelSemanticsFingerprint(watchdog), baseline)
+        << "watchdog ceilings must stay excluded from the "
+           "fingerprint (see fingerprint.cc)";
+}
+
 } // namespace
 } // namespace uvmasync

@@ -208,6 +208,24 @@ if [ -n "$hits" ]; then
     fail=1
 fi
 
+# --- campaign daemon: no wall-clock reads ---------------------------
+# The daemon's result streams are journal record lines and must stay
+# byte-identical to the batch CLI's journal for the same batch —
+# across restarts, job counts and client interleavings. A wall-clock
+# read anywhere in src/serve (timeouts, timestamps, backoff) would
+# leak time into scheduling or the stream and break the cmp-based
+# serve gates; the daemon blocks on poll()/condition variables with
+# no deadline instead.
+SERVE_FILES=$(find src/serve \( -name '*.cc' -o -name '*.hh' \) | sort)
+hits=$(scan "$RE_JOURNAL_CLOCK" $SERVE_FILES)
+if [ -n "$hits" ]; then
+    note "determinism lint: wall-clock read in src/serve (the" \
+         "daemon's streams must stay byte-deterministic; block on" \
+         "poll/condition variables, never on deadlines):"
+    note "$hits"
+    fail=1
+fi
+
 # --- unordered iteration feeding output -----------------------------
 # Files that produce user-visible artifacts must not range-for over
 # unordered containers; the iteration order is ABI/hash-seed soup.

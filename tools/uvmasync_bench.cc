@@ -20,6 +20,11 @@
  *  - store_lookup: lookups/sec against a populated on-disk result
  *    store (the hot path a warm incremental sweep pays per point),
  *    mixed hits and misses over a sharded key space.
+ *  - serve_roundtrip: batches/sec through the campaign daemon over
+ *    its AF_UNIX socket — submit + full result stream of a
+ *    one-point batch, warm from the shared store, so the number is
+ *    the service overhead (framing, fsync'd journal, scheduler
+ *    handoff) a cached campaign point pays, not simulation time.
  *  - null_sink_probe: the same arithmetic kernel with NullTraceSink
  *    span emission vs without; `null_sink_overhead_pct` must stay
  *    under the zero-cost gate.
@@ -37,8 +42,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -48,6 +55,8 @@
 #include "mem/page_table.hh"
 #include "perf/bench_report.hh"
 #include "perf/harness.hh"
+#include "serve/daemon.hh"
+#include "serve/server.hh"
 #include "sim/event_queue.hh"
 #include "sim/heap_event_queue.hh"
 #include "store/result_store.hh"
@@ -64,7 +73,7 @@ struct BenchOptions
 {
     std::string outPath;
     std::string comparePath;
-    std::string label = "BENCH_7";
+    std::string label = "BENCH_8";
     double tolerance = 0.15;
     std::uint32_t reps = 5;
     std::uint32_t warmup = 1;
@@ -72,6 +81,9 @@ struct BenchOptions
     std::uint64_t accesses = 200000;
     std::uint64_t probeIters = 8000000;
     std::uint64_t storeLookups = 200000;
+    // Long enough per rep (~80 ms) that single scheduler-wakeup
+    // hiccups amortize instead of dominating the median.
+    std::uint64_t serveRoundtrips = 64;
     double requireSpeedup = 0.0;
     double maxNullOverheadPct = 0.0;
     bool skipRegistry = false;
@@ -331,6 +343,106 @@ storeLookupPhase(const BenchOptions &opt)
 }
 
 /**
+ * The service hot path: submit + full result stream of a one-point
+ * batch through the campaign daemon's AF_UNIX socket, with the
+ * shared store attached. The store is pre-warmed during the warmup
+ * reps, so the timed reps measure pure service overhead — wire
+ * framing, the fsync'd batch journal, the scheduler handoff and the
+ * stream read-back — i.e. the per-batch tax a cached campaign point
+ * pays for living behind the daemon instead of in-process.
+ */
+BenchPhase
+serveRoundtripPhase(const BenchOptions &opt)
+{
+    char tmpl[] = "/tmp/uvmasync-bench-serve-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    if (!dir)
+        fatal("serve_roundtrip: mkdtemp failed");
+    std::string base = dir;
+
+    // Inner scope: the daemon's store must be torn down before the
+    // scratch cleanup below deletes its directory, or the store's
+    // best-effort meta rewrite warns about the missing path.
+    BenchPhase phase;
+    {
+        ServeOptions serveOpt;
+        serveOpt.stateDir = base + "/state";
+        serveOpt.storeDir = base + "/store";
+        serveOpt.jobs = 1;
+        ServeDaemon daemon(serveOpt);
+        std::string socketPath = base + "/sock";
+        ServeSocketServer server(daemon, socketPath);
+        std::thread serverThread([&] { server.run(); });
+
+        const std::string payload = "batch.workload = saxpy\n"
+                                    "batch.size = tiny\n"
+                                    "batch.runs = 1\n"
+                                    "batch.mode = async\n";
+        std::uint64_t streamedBytes = 0;
+        phase = runBenchPhase(
+            "serve_roundtrip", "batches/sec", opt.serveRoundtrips,
+            opt.reps, opt.warmup, [&] {
+                ServeClient client;
+                std::string error;
+                if (!client.connect(socketPath, error))
+                    fatal("serve_roundtrip: %s", error.c_str());
+                for (std::uint64_t i = 0; i < opt.serveRoundtrips;
+                     ++i) {
+                    std::string handle;
+                    if (!client.submit(payload, handle, error))
+                        fatal("serve_roundtrip: %s",
+                              error.c_str());
+                    std::string lines;
+                    std::string state;
+                    if (!client.stream(handle, 0, true, lines,
+                                       state, error))
+                        fatal("serve_roundtrip: %s",
+                              error.c_str());
+                    if (state != "done")
+                        fatal("serve_roundtrip: batch state %s",
+                              state.c_str());
+                    streamedBytes += lines.size();
+                }
+            });
+        ServeStats stats = daemon.stats();
+        phase.breakdown.emplace_back(
+            "store_hits", static_cast<double>(stats.storeHits));
+        phase.breakdown.emplace_back(
+            "streamed_bytes",
+            static_cast<double>(streamedBytes));
+
+        server.requestStop();
+        serverThread.join();
+        daemon.stop();
+    }
+
+    // Scratch cleanup: per-batch payload + journal files, the store
+    // shards, and the scratch directories.
+    if (DIR *d = ::opendir((base + "/state/batches").c_str())) {
+        while (struct dirent *entry = ::readdir(d)) {
+            std::string name = entry->d_name;
+            if (name != "." && name != "..")
+                ::unlink(
+                    (base + "/state/batches/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir((base + "/state/batches").c_str());
+    ::unlink((base + "/state/.preflight").c_str());
+    ::rmdir((base + "/state").c_str());
+    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+        char name[8];
+        std::snprintf(name, sizeof(name), "s%02zx", s);
+        ::unlink((base + "/store/shards/" + name).c_str());
+    }
+    ::unlink((base + "/store/meta.json").c_str());
+    ::rmdir((base + "/store/shards").c_str());
+    ::rmdir((base + "/store").c_str());
+    ::rmdir(base.c_str());
+    return phase;
+}
+
+/**
  * The probe kernel: a serial data-dependency chain (latency-bound,
  * so code-placement noise between the two instantiations cannot
  * masquerade as overhead) plus, in the instrumented flavour, a span
@@ -440,6 +552,7 @@ benchMain(const BenchOptions &opt)
     if (!opt.skipRegistry)
         report.phases.push_back(registrySlicePhase(opt));
     report.phases.push_back(storeLookupPhase(opt));
+    report.phases.push_back(serveRoundtripPhase(opt));
     nullSinkProbe(opt, report);
 
     report.peakRssBytes = peakRssBytes();

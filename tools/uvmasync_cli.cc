@@ -73,6 +73,8 @@
 #include "journal/journal.hh"
 #include "journal/json.hh"
 #include "runtime/config_loader.hh"
+#include "serve/batch_spec.hh"
+#include "serve/server.hh"
 #include "store/fingerprint.hh"
 #include "store/result_store.hh"
 #include "runtime/device.hh"
@@ -1098,6 +1100,147 @@ cmdStore(const Args &args)
     return 1;
 }
 
+/** Build a daemon submission payload from the run-style flags. */
+bool
+clientBatchPayload(const Args &args, std::string &payload)
+{
+    std::string workload = args.get("workload");
+    if (workload.empty()) {
+        std::fprintf(stderr, "client: --workload is required\n");
+        return false;
+    }
+    // Hand the flags to the daemon verbatim (as batch.* keys): the
+    // daemon owns validation, so a typo'd size or mode comes back as
+    // one actionable Error frame instead of a local guess.
+    payload = "batch.workload = " + workload + "\n";
+    payload += "batch.size = " + args.get("size", "super") + "\n";
+    payload += "batch.runs = " + args.get("runs", "30") + "\n";
+    payload += "batch.seed = " + args.get("seed", "42") + "\n";
+    payload += "batch.mode = " + args.get("mode", "all") + "\n";
+    payload += "batch.blocks = " + args.get("blocks", "0") + "\n";
+    payload += "batch.threads = " + args.get("threads", "0") + "\n";
+    payload +=
+        "batch.carveout_kib = " + args.get("carveout", "0") + "\n";
+    payload += "batch.retries = " + args.get("retries", "1") + "\n";
+    return true;
+}
+
+/**
+ * Client of a running campaign daemon (`uvmasync-serve`). Streams
+ * print the batch's journal record lines — submission-order hexfloat
+ * JSONL, byte-identical to the record lines `uvmasync run --journal`
+ * writes for the same batch — to stdout; everything advisory
+ * (handles, states, errors) goes to stderr so streams stay cmp-able.
+ */
+int
+cmdClient(const Args &args)
+{
+    std::string op = args.positional().empty()
+                         ? std::string()
+                         : args.positional()[0];
+    std::string socket = args.get("socket");
+    if (socket.empty()) {
+        std::fprintf(stderr, "client: --socket PATH is required\n");
+        return 1;
+    }
+
+    ServeClient client;
+    std::string error;
+    if (!client.connect(socket, error)) {
+        std::fprintf(stderr, "client: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (op == "submit" || op == "run") {
+        std::string payload;
+        if (!clientBatchPayload(args, payload))
+            return 1;
+        std::string handle;
+        if (!client.submit(payload, handle, error)) {
+            std::fprintf(stderr, "client: submit failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (op == "submit") {
+            std::printf("batch=%s\n", handle.c_str());
+            return 0;
+        }
+        // run = submit + blocking stream: the handle goes to stderr
+        // so stdout is exactly the result stream.
+        std::fprintf(stderr, "batch=%s\n", handle.c_str());
+        std::string lines;
+        std::string state;
+        if (!client.stream(handle, 0, true, lines, state, error)) {
+            std::fprintf(stderr, "client: stream failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::fwrite(lines.data(), 1, lines.size(), stdout);
+        if (state != "done") {
+            std::fprintf(stderr, "client: batch %s finished %s\n",
+                         handle.c_str(), state.c_str());
+            return 1;
+        }
+        return 0;
+    }
+    if (op == "status") {
+        std::string reply;
+        if (!client.status(args.get("handle"), reply, error)) {
+            std::fprintf(stderr, "client: %s\n", error.c_str());
+            return 1;
+        }
+        std::fwrite(reply.data(), 1, reply.size(), stdout);
+        return 0;
+    }
+    if (op == "stream") {
+        std::size_t from = static_cast<std::size_t>(
+            std::strtoull(args.get("from", "0").c_str(), nullptr,
+                          10));
+        bool wait = !args.has("no-wait");
+        std::string lines;
+        std::string state;
+        if (!client.stream(args.get("handle"), from, wait, lines,
+                           state, error)) {
+            std::fprintf(stderr, "client: %s\n", error.c_str());
+            return 1;
+        }
+        std::fwrite(lines.data(), 1, lines.size(), stdout);
+        std::fprintf(stderr, "state=%s\n", state.c_str());
+        return state == "done" || !wait ? 0 : 1;
+    }
+    if (op == "cancel") {
+        std::string state;
+        if (!client.cancel(args.get("handle"), state, error)) {
+            std::fprintf(stderr, "client: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("state=%s\n", state.c_str());
+        return 0;
+    }
+    if (op == "stats") {
+        std::string reply;
+        if (!client.stats(reply, error)) {
+            std::fprintf(stderr, "client: %s\n", error.c_str());
+            return 1;
+        }
+        std::fwrite(reply.data(), 1, reply.size(), stdout);
+        return 0;
+    }
+    if (op == "shutdown") {
+        if (!client.shutdown(error)) {
+            std::fprintf(stderr, "client: %s\n", error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "client: unknown operation '%s' (expected submit, "
+                 "run, status, stream, cancel, stats or shutdown)\n",
+                 op.c_str());
+    return 1;
+}
+
 void
 usage()
 {
@@ -1132,6 +1275,14 @@ usage()
         "[--mode MODE|all] [--size CLASS]\n"
         "  uvmasync store stats|verify|gc|invalidate --store DIR\n"
         "               [--store-max-bytes N] [--fingerprint HEX16]\n"
+        "  uvmasync client "
+        "submit|run|status|stream|cancel|stats|shutdown --socket "
+        "PATH\n"
+        "               [--workload NAME] [--size CLASS] [--mode "
+        "MODE|all] [--runs N] [--seed N]\n"
+        "               [--blocks N] [--threads N] [--carveout KIB] "
+        "[--retries N]\n"
+        "               [--handle HEX16] [--from N] [--no-wait]\n"
         "\n"
         "crash safety: --journal FILE writes an fsync'd JSONL "
         "write-ahead log of per-point\n"
@@ -1178,6 +1329,8 @@ main(int argc, char **argv)
         return cmdTimeline(args);
     if (cmd == "store")
         return cmdStore(args);
+    if (cmd == "client")
+        return cmdClient(args);
     usage();
     return 1;
 }
