@@ -101,6 +101,10 @@ parseBatchSpec(const KvConfig &kv, BatchSpec &spec, std::string &error)
             error = "batch.runs must be >= 1";
             return false;
         }
+        if (seed < 0) {
+            error = "batch.seed must be >= 0";
+            return false;
+        }
         if (blocks < 0 || threads < 0 || carveout < 0 ||
             retries < 0) {
             error = "batch.blocks/threads/carveout_kib/retries must "

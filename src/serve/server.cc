@@ -19,6 +19,13 @@ namespace uvmasync
 namespace
 {
 
+/**
+ * Ceiling on bytes queued toward one connection (well above the
+ * frame ceiling so a maximal stream chunk still fits behind pending
+ * replies). A peer that stops reading hits it and is dropped.
+ */
+constexpr std::size_t maxOutboundBuffered = 64u << 20;
+
 /** Render one KV reply line. */
 void
 kvLine(std::string &out, const char *key, const std::string &value)
@@ -72,22 +79,61 @@ statsPayload(const ServeStats &stats)
     return out;
 }
 
-/** Parse the `batch` key of a request payload. */
+/**
+ * Parse the `batch` key of a request payload. The KV parser fatal()s
+ * on malformed lines; a garbled request must only fail that request,
+ * never the daemon — same guard as parseBatchSpec.
+ */
 bool
 parseHandleField(const std::string &payload, BatchHandle &handle,
                  std::string &error)
 {
-    KvConfig kv = KvConfig::fromString(payload, "<request>");
-    std::string text = kv.getString("batch");
-    if (text.empty()) {
-        error = "request is missing the batch handle";
+    try {
+        FatalThrowScope fatalGuard;
+        KvConfig kv = KvConfig::fromString(payload, "<request>");
+        std::string text = kv.getString("batch");
+        if (text.empty()) {
+            error = "request is missing the batch handle";
+            return false;
+        }
+        if (!parseHexU64(text, handle)) {
+            error = "malformed batch handle '" + text + "'";
+            return false;
+        }
+        return true;
+    } catch (const std::exception &e) {
+        error = e.what();
         return false;
     }
-    if (!parseHexU64(text, handle)) {
-        error = "malformed batch handle '" + text + "'";
+}
+
+/**
+ * Parse a Stream request (batch + from + wait). The typed getters
+ * fatal() on a non-integer `from` or non-boolean `wait`, so they run
+ * under the same guard as the handle parse.
+ */
+bool
+parseStreamRequest(const std::string &payload, BatchHandle &handle,
+                   std::size_t &fromRecord, bool &wait,
+                   std::string &error)
+{
+    if (!parseHandleField(payload, handle, error))
+        return false;
+    try {
+        FatalThrowScope fatalGuard;
+        KvConfig kv = KvConfig::fromString(payload, "<request>");
+        std::int64_t from = kv.getInt("from", 0);
+        if (from < 0) {
+            error = "stream 'from' must be >= 0";
+            return false;
+        }
+        fromRecord = static_cast<std::size_t>(from);
+        wait = kv.getBool("wait", true);
+        return true;
+    } catch (const std::exception &e) {
+        error = e.what();
         return false;
     }
-    return true;
 }
 
 } // namespace
@@ -171,7 +217,11 @@ ServeSocketServer::run()
         fds.push_back(pollfd{wakeRead_, POLLIN, 0});
         std::vector<Connection *> polled;
         for (auto &entry : connections_) {
-            fds.push_back(pollfd{entry.second->fd, POLLIN, 0});
+            short events = POLLIN;
+            if (entry.second->outStart <
+                entry.second->outBuffer.size())
+                events |= POLLOUT;
+            fds.push_back(pollfd{entry.second->fd, events, 0});
             polled.push_back(entry.second.get());
         }
 
@@ -194,9 +244,13 @@ ServeSocketServer::run()
         }
 
         for (std::size_t i = 0; i < polled.size(); ++i) {
-            if (fds[2 + i].revents &
-                (POLLIN | POLLHUP | POLLERR))
-                readConnection(*polled[i]);
+            Connection &conn = *polled[i];
+            if (!conn.closed && (fds[2 + i].revents & POLLOUT))
+                flushConnection(conn);
+            if (!conn.closed &&
+                (fds[2 + i].revents &
+                 (POLLIN | POLLHUP | POLLERR)))
+                readConnection(conn);
         }
 
         // A merge (or state change) may have extended any stream:
@@ -232,6 +286,15 @@ ServeSocketServer::acceptConnection()
     int fd = ::accept(listenFd_, nullptr, nullptr);
     if (fd < 0)
         return;
+    // Nonblocking: the poll loop must never block in send() on a
+    // peer that stopped reading — outbound bytes queue in the
+    // connection's buffer instead and drain on POLLOUT.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        ::close(fd);
+        return;
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->client = nextClient_++;
@@ -293,16 +356,16 @@ ServeSocketServer::handleFrame(Connection &conn, const Frame &frame)
       }
       case FrameType::Stream: {
         BatchHandle handle = 0;
-        if (!parseHandleField(frame.payload, handle, error)) {
+        std::size_t fromRecord = 0;
+        bool wait = true;
+        if (!parseStreamRequest(frame.payload, handle, fromRecord,
+                                wait, error)) {
             sendFrame(conn, FrameType::Error, error);
             return;
         }
-        KvConfig kv =
-            KvConfig::fromString(frame.payload, "<request>");
         conn.streamHandle = handle;
-        conn.streamNext = static_cast<std::size_t>(
-            kv.getInt("from", 0));
-        conn.streamWait = kv.getBool("wait", true);
+        conn.streamNext = fromRecord;
+        conn.streamWait = wait;
         serviceStream(conn);
         return;
       }
@@ -349,8 +412,19 @@ ServeSocketServer::serviceStream(Connection &conn)
         return;
     }
     if (chunk.records > 0) {
-        if (!sendFrame(conn, FrameType::StreamChunk, chunk.lines))
-            return;
+        // One logical chunk can exceed the frame ceiling (a client
+        // catching up on a long journal in one request): split it at
+        // record-line boundaries so the daemon's own send path can
+        // never trip encodeFrame's fatal().
+        std::size_t offset = 0;
+        while (offset < chunk.lines.size()) {
+            std::size_t take = streamSliceBytes(chunk.lines, offset,
+                                                maxFramePayload);
+            if (!sendFrame(conn, FrameType::StreamChunk,
+                           chunk.lines.substr(offset, take)))
+                return;
+            offset += take;
+        }
         conn.streamNext = chunk.nextRecord;
     }
     if (chunk.terminal || !conn.streamWait) {
@@ -365,12 +439,45 @@ bool
 ServeSocketServer::sendFrame(Connection &conn, FrameType type,
                              const std::string &payload)
 {
-    std::string error;
-    if (!writeFrame(conn.fd, type, payload, error)) {
-        closeConnection(conn);
+    if (conn.closed)
         return false;
+    conn.outBuffer += encodeFrame(type, payload);
+    flushConnection(conn);
+    return !conn.closed;
+}
+
+void
+ServeSocketServer::flushConnection(Connection &conn)
+{
+    while (conn.outStart < conn.outBuffer.size()) {
+        ssize_t n = ::send(conn.fd,
+                           conn.outBuffer.data() + conn.outStart,
+                           conn.outBuffer.size() - conn.outStart,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outStart += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break; // kernel buffer full; POLLOUT resumes the drain
+        closeConnection(conn);
+        return;
     }
-    return true;
+    if (conn.outStart == conn.outBuffer.size()) {
+        conn.outBuffer.clear();
+        conn.outStart = 0;
+    } else if (conn.outStart > 4096 &&
+               conn.outStart * 2 >= conn.outBuffer.size()) {
+        conn.outBuffer.erase(0, conn.outStart);
+        conn.outStart = 0;
+    }
+    // A subscriber that stopped reading accumulates outbound bytes
+    // without bound; past the ceiling it is dropped — it only ever
+    // hurts itself, never the other clients.
+    if (conn.outBuffer.size() - conn.outStart > maxOutboundBuffered)
+        closeConnection(conn);
 }
 
 void
@@ -381,6 +488,8 @@ ServeSocketServer::closeConnection(Connection &conn)
     conn.fd = -1;
     conn.closed = true;
     conn.streamHandle = 0;
+    conn.outBuffer.clear();
+    conn.outStart = 0;
 }
 
 ServeClient::~ServeClient()

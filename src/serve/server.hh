@@ -6,10 +6,11 @@
  * The server is a single poll() loop: one listening socket, one
  * self-pipe the daemon's wakeup hook writes to, and one FrameReader
  * per connection. Requests are handled synchronously against the
- * (internally thread-safe) ServeDaemon; replies are written with
- * MSG_NOSIGNAL sends — local sockets with frame-sized payloads make
- * backpressure a non-issue, and a peer that stops reading only ever
- * hurts itself (its connection drops on the first failed send).
+ * (internally thread-safe) ServeDaemon. Accepted sockets are
+ * nonblocking; replies queue in a per-connection outbound buffer
+ * that drains on POLLOUT, so a peer that stops reading can never
+ * stall the loop — it accumulates buffered bytes up to a ceiling
+ * and is then dropped, only ever hurting itself.
  *
  * Result streaming is subscription-based: a Stream request with
  * wait=1 parks the connection; every merge wakes the poll loop
@@ -77,6 +78,11 @@ class ServeSocketServer
         std::size_t streamNext = 0;
         bool streamWait = false;
         bool closed = false;
+
+        /** Outbound bytes the nonblocking fd has not accepted yet
+         *  (outStart is the consumed prefix; drained on POLLOUT). */
+        std::string outBuffer;
+        std::size_t outStart = 0;
     };
 
     void acceptConnection();
@@ -85,6 +91,7 @@ class ServeSocketServer
     void serviceStream(Connection &conn);
     bool sendFrame(Connection &conn, FrameType type,
                    const std::string &payload);
+    void flushConnection(Connection &conn);
     void closeConnection(Connection &conn);
 
     ServeDaemon &daemon_;

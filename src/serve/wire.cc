@@ -1,5 +1,6 @@
 #include "serve/wire.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
@@ -103,6 +104,21 @@ encodeFrame(FrameType type, const std::string &payload)
                  static_cast<std::uint32_t>(payload.size()));
     out += payload;
     return out;
+}
+
+std::size_t
+streamSliceBytes(const std::string &lines, std::size_t offset,
+                 std::size_t cap)
+{
+    if (cap == 0 || offset >= lines.size())
+        return 0;
+    std::size_t take = std::min(lines.size() - offset, cap);
+    if (offset + take < lines.size()) {
+        std::size_t newline = lines.rfind('\n', offset + take - 1);
+        if (newline != std::string::npos && newline >= offset)
+            take = newline - offset + 1;
+    }
+    return take;
 }
 
 void

@@ -72,6 +72,17 @@ struct Frame
 std::string encodeFrame(FrameType type, const std::string &payload);
 
 /**
+ * Size of the next slice when splitting record @p lines into frames
+ * of at most @p cap bytes, starting at @p offset: the longest prefix
+ * that fits, cut back to the last '\n' so no record line straddles a
+ * frame boundary. A single line longer than @p cap splits mid-line —
+ * concatenating the slices still reproduces the bytes exactly.
+ * Returns 0 only when @p offset is past the end (or @p cap is 0).
+ */
+std::size_t streamSliceBytes(const std::string &lines,
+                             std::size_t offset, std::size_t cap);
+
+/**
  * Incremental frame decoder. feed() bytes as they arrive; next()
  * yields complete frames in order. A malformed header (unknown type
  * byte, payload over maxFramePayload) puts the reader into a sticky

@@ -252,6 +252,36 @@ TEST(ServeWire, EncodeRefusesOversizedPayload)
                  FatalError);
 }
 
+TEST(ServeWire, StreamSliceBytesCutsAtRecordBoundaries)
+{
+    const std::string lines = "aaaa\nbb\ncccc\n";
+    // A big enough cap takes everything in one slice.
+    EXPECT_EQ(streamSliceBytes(lines, 0, 1024), lines.size());
+    // A cap landing mid-line cuts back to the last boundary.
+    EXPECT_EQ(streamSliceBytes(lines, 0, 7), 5u);
+    // A cap landing exactly on a boundary keeps it.
+    EXPECT_EQ(streamSliceBytes(lines, 0, 8), 8u);
+    // Resuming mid-string respects boundaries too.
+    EXPECT_EQ(streamSliceBytes(lines, 5, 7), 3u);
+    // A single line longer than the cap splits mid-line rather than
+    // stalling.
+    EXPECT_EQ(streamSliceBytes("0123456789\n", 0, 4), 4u);
+    EXPECT_EQ(streamSliceBytes(lines, lines.size(), 4), 0u);
+    // Concatenated slices reproduce the bytes exactly at any cap.
+    for (std::size_t cap = 1; cap <= lines.size() + 1; ++cap) {
+        std::string joined;
+        std::size_t offset = 0;
+        while (offset < lines.size()) {
+            std::size_t take = streamSliceBytes(lines, offset, cap);
+            ASSERT_GT(take, 0u);
+            ASSERT_LE(take, cap);
+            joined += lines.substr(offset, take);
+            offset += take;
+        }
+        EXPECT_EQ(joined, lines) << "cap " << cap;
+    }
+}
+
 TEST(ServeWire, BlockingFdRoundTripAndEof)
 {
     int fds[2];
@@ -372,6 +402,13 @@ TEST(ServeBatchSpec, RejectionsAreActionable)
                                 "batch.runs = banana\n",
                                 spec, error));
     EXPECT_FALSE(error.empty());
+
+    // A negative seed must be rejected like the other ranges, not
+    // silently wrap to a huge unsigned value.
+    EXPECT_FALSE(parseBatchSpec("batch.workload = saxpy\n"
+                                "batch.seed = -1\n",
+                                spec, error));
+    EXPECT_NE(error.find("batch.seed"), std::string::npos) << error;
 }
 
 // ---------------------------------------------------------------
@@ -1026,6 +1063,134 @@ TEST(ServeSocket, BadRequestsGetActionableErrorFrames)
     // works on the same socket.
     std::string stats;
     EXPECT_TRUE(client.stats(stats, error)) << error;
+
+    removeTree(state);
+}
+
+/** Raw client connect for tests that drive the wire directly. */
+int
+rawConnect(const std::string &socketPath)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(ServeSocket, MalformedRequestPayloadsOnlyFailThatRequest)
+{
+    std::string state = tmpDir("socket_malformed_state");
+    removeTree(state);
+    ServeOptions opt;
+    opt.stateDir = state;
+    opt.paused = true;
+    ServerFixture fixture(opt);
+
+    // ServeClient always writes well-formed payloads, so drive the
+    // wire directly. Every payload below makes the KV parser or a
+    // typed getter fatal(); the daemon must trap each one into an
+    // Error frame — a garbled request from one client must never
+    // exit the process under every other client.
+    int fd = rawConnect(fixture.socketPath);
+    ASSERT_GE(fd, 0);
+    const char *bad[][2] = {
+        // KV line with no '=' on each request type that parses.
+        {"status", nullptr},
+        {"cancel", nullptr},
+        {"stream", nullptr},
+        {"submit", nullptr},
+        // Typed-getter failures on the stream request.
+        {"batch = 0000000000000001\nfrom = abc\n", "stream"},
+        {"batch = 0000000000000001\nwait = banana\n", "stream"},
+        {"batch = 0000000000000001\nfrom = -3\n", "stream"},
+    };
+    std::string error;
+    for (const auto &entry : bad) {
+        FrameType type = FrameType::Status;
+        std::string payload;
+        if (entry[1] == nullptr) {
+            payload = "this line has no equals sign\n";
+            std::string slug = entry[0];
+            type = slug == "status"   ? FrameType::Status
+                   : slug == "cancel" ? FrameType::Cancel
+                   : slug == "stream" ? FrameType::Stream
+                                      : FrameType::Submit;
+        } else {
+            payload = entry[0];
+            type = FrameType::Stream;
+        }
+        ASSERT_TRUE(writeFrame(fd, type, payload, error)) << error;
+        Frame reply;
+        ASSERT_TRUE(readFrame(fd, reply, error))
+            << error << " (" << payload << ")";
+        EXPECT_EQ(reply.type, FrameType::Error) << payload;
+        EXPECT_FALSE(reply.payload.empty()) << payload;
+    }
+
+    // The connection survived every bad request, and so did the
+    // daemon: a good request still works on the same socket.
+    ASSERT_TRUE(writeFrame(fd, FrameType::Stats, "", error))
+        << error;
+    Frame reply;
+    ASSERT_TRUE(readFrame(fd, reply, error)) << error;
+    EXPECT_EQ(reply.type, FrameType::StatsOk);
+    ::close(fd);
+
+    removeTree(state);
+}
+
+TEST(ServeSocket, SlowReaderDoesNotStallOtherClients)
+{
+    std::string state = tmpDir("socket_slowreader_state");
+    removeTree(state);
+    ServeOptions opt;
+    opt.stateDir = state;
+    opt.paused = true;
+    ServerFixture fixture(opt);
+
+    // Client A pipelines a flood of Stats requests without reading a
+    // single reply: the replies overflow the kernel socket buffer
+    // and must queue in the server's per-connection outbound buffer
+    // instead of wedging the poll loop in a blocking send().
+    constexpr int floodRequests = 4000;
+    int fd = rawConnect(fixture.socketPath);
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    for (int i = 0; i < floodRequests; ++i)
+        burst += encodeFrame(FrameType::Stats, "");
+    std::size_t sent = 0;
+    while (sent < burst.size()) {
+        ssize_t n = ::send(fd, burst.data() + sent,
+                           burst.size() - sent, MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        sent += static_cast<std::size_t>(n);
+    }
+
+    // Client B is served while A has not read a byte. With the old
+    // blocking sends this deadlocked the whole server.
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(fixture.socketPath, error)) << error;
+    std::string stats;
+    ASSERT_TRUE(client.stats(stats, error)) << error;
+
+    // A's replies all arrive intact once it finally reads.
+    for (int i = 0; i < floodRequests; ++i) {
+        Frame reply;
+        ASSERT_TRUE(readFrame(fd, reply, error))
+            << error << " reply " << i;
+        ASSERT_EQ(reply.type, FrameType::StatsOk) << "reply " << i;
+    }
+    ::close(fd);
 
     removeTree(state);
 }
