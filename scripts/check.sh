@@ -9,11 +9,14 @@
 # (journal byte-determinism across job counts, kill-and-resume CSV
 # identity, watchdog quarantine), a store stage (cold-vs-warm CSV
 # identity through the result store, hit-rate accounting, eviction
-# under a byte budget), a serve stage (the campaign daemon's result
-# streams byte-identical to the batch CLI with concurrent clients,
-# across kill -9 plus journal truncation, and warm from the shared
-# store), a bench stage (perf-trajectory harness gated against the
-# committed BENCH_8.json), a ThreadSanitizer pass over the parallel
+# under a byte budget), an fsck stage (deliberate multi-layer damage
+# caught at exit 1, repaired in place with --repair, and the repaired
+# artifacts proven byte-identical on resume/warm rerun), a serve
+# stage (the campaign daemon's result streams byte-identical to the
+# batch CLI with concurrent clients, across kill -9 plus journal
+# truncation, and warm from the shared store), a bench stage
+# (perf-trajectory harness gated against the
+# committed BENCH_9.json), a ThreadSanitizer pass over the parallel
 # experiment engine, the result store, the tracer suite, the
 # injection suite and the campaign daemon, and an ASan+UBSan build
 # of the full test suite (which includes the injection and store
@@ -170,6 +173,56 @@ cmp "$trace_out/cold.csv" "$trace_out/ref.csv"
 cmp "$trace_out/evict.csv" "$trace_out/gemv_ref.csv"
 grep -Eq 'evicted_segments *\| *[1-9]' "$trace_out/evict.log"
 
+echo "== fsck: offline verification + repair of durable state =="
+# Clean artifacts pass (exit 0); a deliberately damaged copy of each
+# layer fails (exit 1); --repair fixes everything in place (exit 0,
+# quarantining rather than deleting); and the repaired artifacts keep
+# working — the journal resumes and the store warms a rerun to the
+# byte-identical CSV.
+fsck_dir="$trace_out/fsck"
+mkdir -p "$fsck_dir/state/batches"
+./build/tools/uvmasync fsck "$trace_out/j1.jsonl" > /dev/null
+# A fresh store to damage (the eviction smoke above emptied
+# $store_dir of its saxpy segments).
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 1 --store "$fsck_dir/store" \
+    --out "$fsck_dir/cold.csv" > /dev/null 2> /dev/null
+./build/tools/uvmasync fsck "$fsck_dir/store" > /dev/null
+# Damage all three layers: tear the journal mid-record, flip a byte
+# inside the last store record, and orphan a daemon batch journal
+# that acks no payload.
+head -c -7 "$trace_out/j1.jsonl" > "$fsck_dir/run.jsonl"
+shard_file=$(find "$fsck_dir/store/shards" -type f | sort | head -n 1)
+shard_size=$(wc -c < "$shard_file")
+printf 'Z' | dd of="$shard_file" bs=1 seek=$((shard_size - 2)) \
+    conv=notrunc 2> /dev/null
+printf '{"journal":"uvmasync"}\n' \
+    > "$fsck_dir/state/batches/00000000000000aa.jsonl"
+fsck_rc=0
+./build/tools/uvmasync fsck "$fsck_dir/run.jsonl" "$fsck_dir/store" \
+    "$fsck_dir/state" > /dev/null 2>&1 || fsck_rc=$?
+[ "$fsck_rc" = 1 ]
+./build/tools/uvmasync fsck --repair "$fsck_dir/run.jsonl" \
+    "$fsck_dir/store" "$fsck_dir/state" \
+    > "$fsck_dir/repair.log" 2>&1
+./build/tools/uvmasync fsck "$fsck_dir/run.jsonl" "$fsck_dir/store" \
+    "$fsck_dir/state" > /dev/null
+# Unrecoverable bytes are quarantined, never deleted.
+[ -d "$fsck_dir/store/quarantine" ]
+[ -d "$fsck_dir/state/quarantine" ]
+# The repaired journal resumes to byte-identical artifacts...
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 4 --resume "$fsck_dir/run.jsonl" \
+    --out "$fsck_dir/res.csv" > /dev/null
+cmp "$fsck_dir/run.jsonl" "$trace_out/j1.jsonl"
+cmp "$fsck_dir/res.csv" "$trace_out/ref.csv"
+# ...and a warm rerun through the repaired store (one record was
+# quarantined, so it re-simulates exactly that point) still matches.
+./build/tools/uvmasync run --workload saxpy --size tiny --runs 2 \
+    --jobs 1 --store "$fsck_dir/store" \
+    --out "$fsck_dir/warm.csv" > /dev/null 2> /dev/null
+cmp "$fsck_dir/warm.csv" "$trace_out/ref.csv"
+
 if [ "$run_serve" = 1 ]; then
     echo "== serve: campaign daemon vs batch CLI =="
     # The daemon's streamed results must be byte-identical to the
@@ -245,7 +298,7 @@ if [ "$run_serve" = 1 ]; then
 fi
 
 if [ "$run_bench" = 1 ]; then
-    echo "== bench: perf trajectory vs committed BENCH_8.json =="
+    echo "== bench: perf trajectory vs committed BENCH_9.json =="
     # Self-timing harness: regenerate the measurement and gate it
     # against the committed artifact with a +-15% tolerance band on
     # every phase rate (and derived speedups); the calendar-vs-heap
@@ -257,7 +310,7 @@ if [ "$run_bench" = 1 ]; then
     # three, printing the per-phase delta table each time.
     bench_cmd=(./build/tools/uvmasync-bench --reps 5 --warmup 2
         --require-speedup 1.5 --max-null-overhead 1.0
-        --compare BENCH_8.json --tolerance 0.15)
+        --compare BENCH_9.json --tolerance 0.15)
     bench_ok=0
     for attempt in 1 2 3; do
         if "${bench_cmd[@]}"; then

@@ -319,8 +319,9 @@ ParallelRunner::runPoints(const std::vector<ExperimentPoint> &points,
             // journal only ever holds real outcomes, so a cancelled
             // batch's journal is a clean prefix of completed points.
             if (policy.journal && !out.restored &&
-                out.status != PointStatus::Cancelled)
-                policy.journal->commit(frontier, out);
+                out.status != PointStatus::Cancelled &&
+                !policy.journal->commit(frontier, out))
+                ++batch.metrics.journalErrors;
             // Populate the store from the same submission-order
             // merge: segment append order is deterministic at any
             // job count. Only successful outcomes are cacheable —

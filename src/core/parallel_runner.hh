@@ -165,8 +165,15 @@ class PointJournal
      */
     virtual bool restore(std::size_t index, PointOutcome &out) = 0;
 
-    /** Record the terminal outcome of point @p index. */
-    virtual void commit(std::size_t index, PointOutcome &out) = 0;
+    /**
+     * Record the terminal outcome of point @p index. Returns false
+     * when the record could not be made durable (disk full, I/O
+     * error): the engine counts the miss in
+     * BatchMetrics::journalErrors and the batch keeps running — a
+     * journal write failure degrades crash-safety, it never kills
+     * the sweep.
+     */
+    virtual bool commit(std::size_t index, PointOutcome &out) = 0;
 };
 
 /**
@@ -214,6 +221,7 @@ struct BatchMetrics
     std::size_t steals = 0;    //!< cross-worker steals
     std::size_t restored = 0;  //!< points skipped via --resume
     std::size_t cacheHits = 0; //!< points served by the result store
+    std::size_t journalErrors = 0; //!< commits the journal refused
 };
 
 /** Batch outcome, point outcomes in submission order. */

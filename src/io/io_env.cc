@@ -1,0 +1,232 @@
+#include "io/io_env.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace uvmasync
+{
+
+std::string
+IoStatus::text() const
+{
+    if (ok)
+        return "ok";
+    return std::strerror(err);
+}
+
+namespace
+{
+
+/** Buffered stdio file; fsync via the underlying descriptor. */
+class RealIoFile final : public IoFile
+{
+  public:
+    explicit RealIoFile(std::FILE *file) : file_(file) {}
+
+    ~RealIoFile() override
+    {
+        // Destructor close is best-effort by contract: flush errors
+        // here must never fatal (we may be unwinding) — callers that
+        // care about durability call close()/sync() explicitly.
+        if (file_)
+            std::fclose(file_);
+    }
+
+    IoStatus
+    write(const void *data, std::size_t len) override
+    {
+        if (!file_)
+            return IoStatus::failure(EBADF);
+        if (std::fwrite(data, 1, len, file_) != len)
+            return IoStatus::failure(errno != 0 ? errno : EIO);
+        return IoStatus::good();
+    }
+
+    IoStatus
+    flush() override
+    {
+        if (!file_)
+            return IoStatus::failure(EBADF);
+        if (std::fflush(file_) != 0)
+            return IoStatus::failure(errno != 0 ? errno : EIO);
+        return IoStatus::good();
+    }
+
+    IoStatus
+    sync() override
+    {
+        if (!file_)
+            return IoStatus::failure(EBADF);
+        if (std::fflush(file_) != 0)
+            return IoStatus::failure(errno != 0 ? errno : EIO);
+        if (::fsync(fileno(file_)) != 0)
+            return IoStatus::failure(errno != 0 ? errno : EIO);
+        return IoStatus::good();
+    }
+
+    IoStatus
+    close() override
+    {
+        if (!file_)
+            return IoStatus::good();
+        std::FILE *f = file_;
+        file_ = nullptr;
+        if (std::fclose(f) != 0)
+            return IoStatus::failure(errno != 0 ? errno : EIO);
+        return IoStatus::good();
+    }
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+std::unique_ptr<IoFile>
+openMode(const std::string &path, const char *mode, IoStatus &st)
+{
+    std::FILE *f = std::fopen(path.c_str(), mode);
+    if (!f) {
+        st = IoStatus::failure(errno != 0 ? errno : EIO);
+        return nullptr;
+    }
+    st = IoStatus::good();
+    return std::make_unique<RealIoFile>(f);
+}
+
+} // namespace
+
+IoStatus
+IoEnv::writeFileDurable(const std::string &path,
+                        const std::string &data)
+{
+    IoStatus st;
+    std::unique_ptr<IoFile> file = openTrunc(path, st);
+    if (!file)
+        return st;
+    st = file->write(data);
+    if (st.ok)
+        st = file->sync();
+    IoStatus closed = file->close();
+    if (st.ok)
+        st = closed;
+    return st;
+}
+
+IoStatus
+IoEnv::writeFileAtomic(const std::string &path,
+                       const std::string &data)
+{
+    std::string tmp = path + ".tmp";
+    IoStatus st = writeFileDurable(tmp, data);
+    if (!st.ok) {
+        removeFile(tmp); // best effort — don't mask the write error
+        return st;
+    }
+    st = renameFile(tmp, path);
+    if (!st.ok)
+        removeFile(tmp);
+    return st;
+}
+
+std::unique_ptr<IoFile>
+RealIoEnv::openTrunc(const std::string &path, IoStatus &st)
+{
+    return openMode(path, "wb", st);
+}
+
+std::unique_ptr<IoFile>
+RealIoEnv::openAppend(const std::string &path, IoStatus &st)
+{
+    return openMode(path, "ab", st);
+}
+
+IoStatus
+RealIoEnv::truncateFile(const std::string &path, std::uint64_t size)
+{
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    return IoStatus::good();
+}
+
+IoStatus
+RealIoEnv::readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (std::ferror(f)) {
+        int err = errno != 0 ? errno : EIO;
+        std::fclose(f);
+        return IoStatus::failure(err);
+    }
+    std::fclose(f);
+    return IoStatus::good();
+}
+
+bool
+RealIoEnv::exists(const std::string &path)
+{
+    struct stat sb;
+    return ::stat(path.c_str(), &sb) == 0;
+}
+
+IoStatus
+RealIoEnv::makeDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    return IoStatus::good();
+}
+
+IoStatus
+RealIoEnv::renameFile(const std::string &from, const std::string &to)
+{
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    return IoStatus::good();
+}
+
+IoStatus
+RealIoEnv::removeFile(const std::string &path)
+{
+    if (::unlink(path.c_str()) != 0)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    return IoStatus::good();
+}
+
+IoStatus
+RealIoEnv::listDir(const std::string &path,
+                   std::vector<std::string> &names)
+{
+    names.clear();
+    DIR *dir = ::opendir(path.c_str());
+    if (!dir)
+        return IoStatus::failure(errno != 0 ? errno : EIO);
+    while (struct dirent *entry = ::readdir(dir)) {
+        std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return IoStatus::good();
+}
+
+IoEnv &
+realIoEnv()
+{
+    static RealIoEnv env;
+    return env;
+}
+
+} // namespace uvmasync

@@ -1,9 +1,7 @@
 #include "journal/journal.hh"
 
-#include <cerrno>
 #include <cinttypes>
 #include <cstring>
-#include <unistd.h>
 
 #include "common/logging.hh"
 #include "journal/json.hh"
@@ -416,38 +414,42 @@ parseJournalRecord(const std::string &line, std::size_t &index,
 
 std::unique_ptr<RunJournal>
 RunJournal::create(const std::string &path,
-                   const std::vector<ExperimentPoint> &points)
+                   const std::vector<ExperimentPoint> &points,
+                   IoEnv &env)
 {
     std::unique_ptr<RunJournal> journal(new RunJournal());
     journal->path_ = path;
+    journal->env_ = &env;
     journal->points_ = points;
     journal->configHashes_.reserve(points.size());
     for (const ExperimentPoint &point : points)
         journal->configHashes_.push_back(pointConfigHash(point));
     journal->restored_.resize(points.size());
 
-    journal->file_ = std::fopen(path.c_str(), "wb");
+    IoStatus st;
+    journal->file_ = env.openTrunc(path, st);
     if (!journal->file_)
         fatal("journal: cannot open '%s' for writing: %s",
-              path.c_str(), std::strerror(errno));
-    journal->appendLine(journalHeaderLine(points));
+              path.c_str(), st.text().c_str());
+    std::string header = journalHeaderLine(points);
+    st = journal->appendLine(header);
+    if (!st.ok)
+        fatal("journal: cannot write header of '%s': %s",
+              path.c_str(), st.text().c_str());
+    journal->goodBytes_ = header.size() + 1;
     return journal;
 }
 
 std::unique_ptr<RunJournal>
 RunJournal::resume(const std::string &path,
-                   const std::vector<ExperimentPoint> &points)
+                   const std::vector<ExperimentPoint> &points,
+                   IoEnv &env)
 {
-    std::FILE *in = std::fopen(path.c_str(), "rb");
-    if (!in)
-        fatal("journal: cannot open '%s' for resume: %s",
-              path.c_str(), std::strerror(errno));
     std::string contents;
-    char buf[4096];
-    std::size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
-        contents.append(buf, n);
-    std::fclose(in);
+    IoStatus readSt = env.readFile(path, contents);
+    if (!readSt.ok)
+        fatal("journal: cannot open '%s' for resume: %s",
+              path.c_str(), readSt.text().c_str());
 
     // Split into lines; a final line without '\n' was cut mid-append
     // by a crash and is re-run rather than trusted.
@@ -487,6 +489,7 @@ RunJournal::resume(const std::string &path,
 
     std::unique_ptr<RunJournal> journal(new RunJournal());
     journal->path_ = path;
+    journal->env_ = &env;
     journal->points_ = points;
     journal->configHashes_.reserve(points.size());
     for (const ExperimentPoint &point : points)
@@ -514,46 +517,40 @@ RunJournal::resume(const std::string &path,
         journal->restored_[index] = std::move(outcome);
     }
 
-    // Reopen for appending the not-yet-journaled remainder. The file
-    // is NOT rewritten: intact records keep their exact bytes, so an
-    // interrupted-then-resumed journal is byte-identical to an
-    // uninterrupted one up to the dropped partial line.
-    journal->file_ = std::fopen(path.c_str(), "r+b");
+    // Drop any partial trailing line, then reopen for appending
+    // after the last intact record. The file is NOT rewritten:
+    // intact records keep their exact bytes, so an interrupted-then-
+    // resumed journal is byte-identical to an uninterrupted one up
+    // to the dropped partial line.
+    std::uint64_t intactEnd = static_cast<std::uint64_t>(start);
+    IoStatus st = env.truncateFile(path, intactEnd);
+    if (!st.ok)
+        fatal("journal: cannot truncate '%s': %s", path.c_str(),
+              st.text().c_str());
+    journal->file_ = env.openAppend(path, st);
     if (!journal->file_)
         fatal("journal: cannot reopen '%s' for appending: %s",
-              path.c_str(), std::strerror(errno));
-    // Truncate any partial trailing line, then append after the last
-    // intact record.
-    long intactEnd = static_cast<long>(start);
-    if (::ftruncate(fileno(journal->file_), intactEnd) != 0)
-        fatal("journal: cannot truncate '%s': %s", path.c_str(),
-              std::strerror(errno));
-    if (std::fseek(journal->file_, intactEnd, SEEK_SET) != 0)
-        fatal("journal: cannot seek in '%s': %s", path.c_str(),
-              std::strerror(errno));
+              path.c_str(), st.text().c_str());
+    journal->goodBytes_ = intactEnd;
     return journal;
 }
 
-RunJournal::~RunJournal()
-{
-    if (file_)
-        std::fclose(file_);
-}
+RunJournal::~RunJournal() = default;
 
-void
+IoStatus
 RunJournal::appendLine(const std::string &line)
 {
     UVMASYNC_ASSERT(file_, "journal file not open");
-    if (std::fwrite(line.data(), 1, line.size(), file_) !=
-            line.size() ||
-        std::fputc('\n', file_) == EOF)
-        fatal("journal: write to '%s' failed: %s", path_.c_str(),
-              std::strerror(errno));
-    // Flush + fsync per record: the journal is the crash-safety
-    // contract, so a committed point must survive a kill -9.
-    if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0)
-        fatal("journal: fsync of '%s' failed: %s", path_.c_str(),
-              std::strerror(errno));
+    // One write per record (payload + '\n') so a failed append tears
+    // at most one line, then flush + fsync: the journal is the
+    // crash-safety contract, so a committed point must survive a
+    // kill -9.
+    std::string framed = line;
+    framed += '\n';
+    IoStatus st = file_->write(framed);
+    if (st.ok)
+        st = file_->sync();
+    return st;
 }
 
 bool
@@ -569,12 +566,27 @@ RunJournal::restore(std::size_t index, PointOutcome &out)
     return true;
 }
 
-void
+bool
 RunJournal::commit(std::size_t index, PointOutcome &out)
 {
     UVMASYNC_ASSERT(index < points_.size(), "point index out of range");
-    appendLine(journalRecordLine(index, configHashes_[index],
-                                 points_[index], out));
+    if (writeFailed_)
+        return false; // sticky: one hard error ends journaling
+    std::string line = journalRecordLine(index, configHashes_[index],
+                                         points_[index], out);
+    IoStatus st = appendLine(line);
+    if (!st.ok) {
+        // Degrade, don't die: close the file, then best-effort
+        // truncate away any torn partial record so what remains on
+        // disk is a clean resumable prefix of intact records.
+        writeFailed_ = true;
+        writeError_ = st.text();
+        file_.reset();
+        env_->truncateFile(path_, goodBytes_);
+        return false;
+    }
+    goodBytes_ += line.size() + 1;
+    return true;
 }
 
 } // namespace uvmasync

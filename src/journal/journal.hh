@@ -22,12 +22,12 @@
 #ifndef UVMASYNC_JOURNAL_JOURNAL_HH
 #define UVMASYNC_JOURNAL_JOURNAL_HH
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/parallel_runner.hh"
+#include "io/io_env.hh"
 #include "journal/json.hh"
 
 namespace uvmasync
@@ -55,11 +55,13 @@ class RunJournal : public PointJournal
     /**
      * Start a fresh journal at @p path for @p points: truncates,
      * writes the fsync'd header line, and keeps the file open for
-     * appending. fatal() if the path is unwritable.
+     * appending. All I/O goes through @p env (the default is the
+     * real filesystem). fatal() if the path is unwritable.
      */
     static std::unique_ptr<RunJournal>
     create(const std::string &path,
-           const std::vector<ExperimentPoint> &points);
+           const std::vector<ExperimentPoint> &points,
+           IoEnv &env = realIoEnv());
 
     /**
      * Reopen an interrupted journal: validates the header against
@@ -71,7 +73,8 @@ class RunJournal : public PointJournal
      */
     static std::unique_ptr<RunJournal>
     resume(const std::string &path,
-           const std::vector<ExperimentPoint> &points);
+           const std::vector<ExperimentPoint> &points,
+           IoEnv &env = realIoEnv());
 
     ~RunJournal() override;
 
@@ -81,21 +84,38 @@ class RunJournal : public PointJournal
     /** PointJournal: hand back a restored outcome, if any. */
     bool restore(std::size_t index, PointOutcome &out) override;
 
-    /** PointJournal: append + fsync one terminal record. */
-    void commit(std::size_t index, PointOutcome &out) override;
+    /**
+     * PointJournal: append + fsync one terminal record. Returns
+     * false when the record could not be made durable; the first
+     * hard write error makes the journal permanently inert (the file
+     * is truncated back to its last intact record and closed, so
+     * what is on disk stays a clean resumable prefix) and the run
+     * degrades to journal-less instead of dying.
+     */
+    bool commit(std::size_t index, PointOutcome &out) override;
 
     /** Points loaded by resume() and not yet handed out. */
     std::size_t restoredCount() const { return restoredCount_; }
+
+    /** True once a write error has made the journal inert. */
+    bool writeFailed() const { return writeFailed_; }
+
+    /** errno text of the write error that made the journal inert. */
+    const std::string &writeError() const { return writeError_; }
 
     const std::string &path() const { return path_; }
 
   private:
     RunJournal() = default;
 
-    void appendLine(const std::string &line);
+    IoStatus appendLine(const std::string &line);
 
     std::string path_;
-    std::FILE *file_ = nullptr;
+    IoEnv *env_ = nullptr;
+    std::unique_ptr<IoFile> file_;
+    std::uint64_t goodBytes_ = 0; //!< bytes known durable + intact
+    bool writeFailed_ = false;
+    std::string writeError_;
     std::vector<ExperimentPoint> points_;
     std::vector<std::uint64_t> configHashes_;
 

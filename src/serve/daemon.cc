@@ -1,13 +1,7 @@
 #include "serve/daemon.hh"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <dirent.h>
 #include <optional>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include "common/logging.hh"
 #include "journal/journal.hh"
@@ -21,52 +15,6 @@ namespace uvmasync
 namespace
 {
 
-/** mkdir -p for exactly one level; EEXIST is success. */
-bool
-ensureDir(const std::string &path)
-{
-    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
-        return true;
-    return false;
-}
-
-bool
-fileExists(const std::string &path)
-{
-    struct stat st;
-    return ::stat(path.c_str(), &st) == 0;
-}
-
-/** Whole-file read; false when the file does not exist/open. */
-bool
-readFileContents(const std::string &path, std::string &out)
-{
-    std::FILE *in = std::fopen(path.c_str(), "rb");
-    if (!in)
-        return false;
-    char buf[4096];
-    std::size_t n = 0;
-    out.clear();
-    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
-        out.append(buf, n);
-    std::fclose(in);
-    return true;
-}
-
-/** Durable whole-file write (write + fsync); false on any failure. */
-bool
-writeFileDurable(const std::string &path, const std::string &contents)
-{
-    std::FILE *out = std::fopen(path.c_str(), "wb");
-    if (!out)
-        return false;
-    bool ok = std::fwrite(contents.data(), 1, contents.size(), out) ==
-                  contents.size() &&
-              std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
-    std::fclose(out);
-    return ok;
-}
-
 /**
  * Complete ('\n'-terminated) lines of a journal file after the
  * header. A trailing fragment — a torn append — is never returned:
@@ -74,11 +22,11 @@ writeFileDurable(const std::string &path, const std::string &contents)
  * once served can never change or disappear.
  */
 std::vector<std::string>
-journalRecordLines(const std::string &path)
+journalRecordLines(IoEnv &io, const std::string &path)
 {
     std::vector<std::string> records;
     std::string contents;
-    if (!readFileContents(path, contents))
+    if (!io.readFile(path, contents).ok)
         return records;
     std::size_t start = 0;
     bool header = true;
@@ -161,38 +109,41 @@ parseBatchState(const std::string &text, BatchState &out)
 }
 
 void
-preflightServeStateDir(const std::string &stateDir)
+preflightServeStateDir(const std::string &stateDir, IoEnv &io)
 {
     if (stateDir.empty())
         fatal("serve: a state directory is required (--state)");
-    if (!ensureDir(stateDir))
+    IoStatus st = io.makeDir(stateDir);
+    if (!st.ok)
         fatal("serve: cannot create state directory '%s': %s",
-              stateDir.c_str(), std::strerror(errno));
+              stateDir.c_str(), st.text().c_str());
     std::string batches = stateDir + "/batches";
-    if (!ensureDir(batches))
+    st = io.makeDir(batches);
+    if (!st.ok)
         fatal("serve: cannot create '%s': %s", batches.c_str(),
-              std::strerror(errno));
+              st.text().c_str());
     // Probe an actual write: an existing but read-only directory
     // must fail here, at startup, never on a client's first submit.
     std::string probe = batches + "/.preflight";
-    if (!writeFileDurable(probe, "probe\n"))
+    st = io.writeFileDurable(probe, "probe\n");
+    if (!st.ok)
         fatal("serve: state directory '%s' is not writable: %s",
-              stateDir.c_str(), std::strerror(errno));
-    std::remove(probe.c_str());
+              stateDir.c_str(), st.text().c_str());
+    io.removeFile(probe);
 }
 
 ServeDaemon::ServeDaemon(const ServeOptions &opt)
-    : opt_(opt), batchesDir_(opt.stateDir + "/batches"),
-      paused_(opt.paused)
+    : opt_(opt), io_(opt.io ? *opt.io : realIoEnv()),
+      batchesDir_(opt.stateDir + "/batches"), paused_(opt.paused)
 {
-    preflightServeStateDir(opt_.stateDir);
+    preflightServeStateDir(opt_.stateDir, io_);
     registerAllWorkloads();
     if (!opt_.storeDir.empty()) {
         StoreOptions storeOpt;
         storeOpt.maxBytes = opt_.storeMaxBytes;
         store_ = ResultStore::open(
             opt_.storeDir, modelSemanticsFingerprint(opt_.system),
-            storeOpt);
+            storeOpt, io_);
     }
     recover();
     scheduler_ = std::thread([this] { schedulerLoop(); });
@@ -230,9 +181,9 @@ ServeDaemon::recover()
     // fairness ship has sailed for a restart, but the order is
     // deterministic and submission-ranked.
     std::vector<BatchHandle> found;
-    if (DIR *dir = ::opendir(batchesDir_.c_str())) {
-        while (struct dirent *entry = ::readdir(dir)) {
-            std::string name = entry->d_name;
+    std::vector<std::string> names;
+    if (io_.listDir(batchesDir_, names).ok) {
+        for (const std::string &name : names) {
             if (name.size() != 19 ||
                 name.compare(16, 3, ".kv") != 0)
                 continue;
@@ -241,7 +192,6 @@ ServeDaemon::recover()
                 continue;
             found.push_back(handle);
         }
-        ::closedir(dir);
     }
     std::sort(found.begin(), found.end());
 
@@ -253,7 +203,7 @@ ServeDaemon::recover()
 
         std::string payload;
         std::string error;
-        if (!readFileContents(payloadPath(handle), payload) ||
+        if (!io_.readFile(payloadPath(handle), payload).ok ||
             !parseBatchSpec(payload, batch->spec, error)) {
             // The payload no longer parses (manual edit, version
             // skew). Refuse the batch, not the daemon: park it
@@ -274,7 +224,7 @@ ServeDaemon::recover()
         // records; the journal is also what stream() serves, so
         // status and stream agree by construction.
         std::vector<std::string> records =
-            journalRecordLines(journalPath(handle));
+            journalRecordLines(io_, journalPath(handle));
         for (const std::string &line : records) {
             std::size_t index = 0;
             std::uint64_t configHash = 0;
@@ -291,7 +241,7 @@ ServeDaemon::recover()
             outcome.ok ? ++batch->ok : ++batch->failed;
         }
 
-        if (fileExists(markerPath(handle))) {
+        if (io_.exists(markerPath(handle))) {
             batch->state = BatchState::Cancelled;
         } else if (!batch->points.empty() &&
                    batch->merged >= batch->points.size()) {
@@ -318,9 +268,15 @@ ServeDaemon::submit(std::uint64_t client, const std::string &payload,
     // The payload hits disk (fsync'd) before the handle is
     // acknowledged: once a client holds a handle, a daemon restart
     // will recover the batch.
-    if (!writeFileDurable(payloadPath(handle), payload)) {
-        error = "cannot persist batch payload: " +
-                std::string(std::strerror(errno));
+    IoStatus persisted =
+        io_.writeFileDurable(payloadPath(handle), payload);
+    if (!persisted.ok) {
+        // Never ack a handle whose payload is not durable — and never
+        // leave a torn payload for recovery to trip over (best
+        // effort; a survivor parses or parks Degraded, not fatal).
+        io_.removeFile(payloadPath(handle));
+        ++stats_.ioErrors;
+        error = "cannot persist batch payload: " + persisted.text();
         return 0;
     }
     auto batch = std::make_unique<Batch>();
@@ -383,7 +339,7 @@ ServeDaemon::stream(BatchHandle handle, std::size_t fromRecord,
         state = it->second->state;
     }
     std::vector<std::string> records =
-        journalRecordLines(journalPath(handle));
+        journalRecordLines(io_, journalPath(handle));
     out = StreamChunk{};
     out.state = state;
     out.terminal = batchStateTerminal(state);
@@ -410,12 +366,29 @@ ServeDaemon::cancel(BatchHandle handle, BatchState &result,
             return false;
         }
         Batch &batch = *it->second;
+        // A marker that does not persist still cancels THIS process
+        // (the in-memory state machine advances); only restart
+        // agreement is at risk, which is a degradation to report,
+        // never a reason to refuse the cancel.
+        auto writeMarker = [&] {
+            IoStatus st =
+                io_.writeFileDurable(markerPath(handle), "");
+            if (!st.ok) {
+                ++stats_.ioErrors;
+                if (batch.ioError.empty())
+                    batch.ioError =
+                        "cancel marker not durable: " + st.text();
+                warn("serve: batch %s cancel marker not durable "
+                     "(%s); a restart may re-run the batch",
+                     hexU64(handle).c_str(), st.text().c_str());
+            }
+        };
         switch (batch.state) {
           case BatchState::Pending:
             // Never ran, never will: out of the queue, marker down
             // so a restart agrees, terminal immediately.
             queue_.remove(handle);
-            writeFileDurable(markerPath(handle), "");
+            writeMarker();
             batch.state = BatchState::Cancelled;
             ++stats_.batchesCancelled;
             cv_.notify_all();
@@ -426,7 +399,7 @@ ServeDaemon::cancel(BatchHandle handle, BatchState &result,
             // scheduler finalizes to Cancelled. The marker survives
             // a crash between here and there.
             batch.cancelFlag.store(true, std::memory_order_release);
-            writeFileDurable(markerPath(handle), "");
+            writeMarker();
             break;
           case BatchState::Done:
           case BatchState::Degraded:
@@ -454,6 +427,7 @@ ServeDaemon::stats() const
         out.storeLookups = s.lookups;
         out.storeHits = s.hits;
         out.storeStored = s.stored;
+        out.ioErrors += s.writeErrors;
     }
     return out;
 }
@@ -567,9 +541,9 @@ ServeDaemon::runBatch(Batch &batch)
     std::string path = journalPath(batch.handle);
     try {
         FatalThrowScope fatalGuard;
-        journal = fileExists(path)
-                      ? RunJournal::resume(path, batch.points)
-                      : RunJournal::create(path, batch.points);
+        journal = io_.exists(path)
+                      ? RunJournal::resume(path, batch.points, io_)
+                      : RunJournal::create(path, batch.points, io_);
     } catch (const std::exception &e) {
         warn("serve: batch %s journal unusable: %s",
              hexU64(batch.handle).c_str(), e.what());
@@ -617,10 +591,33 @@ ServeDaemon::runBatch(Batch &batch)
     BatchResult result = runner.runPoints(batch.points, policy);
 
     BatchState final = BatchState::Done;
-    if (batch.cancelFlag.load(std::memory_order_acquire))
+    if (batch.cancelFlag.load(std::memory_order_acquire)) {
         final = BatchState::Cancelled;
-    else if (!result.allOk())
+    } else if (!result.allOk()) {
         final = BatchState::Degraded;
+    }
+    // A journal that went inert mid-batch (disk full, EIO) leaves
+    // some merged points undurable: results were computed and
+    // streamed-from-memory counters are right, but a restart would
+    // re-run the tail. That is a degraded batch with the errno on
+    // record — never a dead daemon.
+    if (result.metrics.journalErrors > 0 || journal->writeFailed()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.ioErrors += result.metrics.journalErrors;
+        if (batch.ioError.empty())
+            batch.ioError = "journal write failed: " +
+                            journal->writeError() + " (" +
+                            std::to_string(
+                                result.metrics.journalErrors) +
+                            " record(s) not journaled)";
+        warn("serve: batch %s journal write failed (%s); %zu "
+             "record(s) not journaled",
+             hexU64(batch.handle).c_str(),
+             journal->writeError().c_str(),
+             result.metrics.journalErrors);
+        if (final == BatchState::Done)
+            final = BatchState::Degraded;
+    }
     finishBatch(batch, final);
 }
 

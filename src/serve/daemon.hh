@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/parallel_runner.hh"
+#include "io/io_env.hh"
 #include "serve/admission.hh"
 #include "serve/batch_spec.hh"
 #include "store/result_store.hh"
@@ -89,6 +90,14 @@ struct ServeOptions
      * pending-state behavior, e.g. cancel-before-run).
      */
     bool paused = false;
+
+    /**
+     * File-system seam for every durable-state byte the daemon
+     * writes (payloads, journals, markers, the shared store); null
+     * means realIoEnv(). Fault-injection tests point this at a
+     * FaultyIoEnv to fail any single operation.
+     */
+    IoEnv *io = nullptr;
 };
 
 /** Lifecycle of one batch. */
@@ -158,6 +167,14 @@ struct ServeStats
     std::uint64_t storeLookups = 0;
     std::uint64_t storeHits = 0;
     std::uint64_t storeStored = 0;
+
+    /**
+     * Durable-state writes that failed and degraded (never killed)
+     * their batch: journal commits the journal refused, cancel
+     * markers that did not persist, store segment appends declined.
+     * Each one also produces a warn() with the errno text.
+     */
+    std::uint64_t ioErrors = 0;
 };
 
 /**
@@ -168,7 +185,8 @@ struct ServeStats
  * client's first submit (the preflight discipline of --out/--trace/
  * --journal).
  */
-void preflightServeStateDir(const std::string &stateDir);
+void preflightServeStateDir(const std::string &stateDir,
+                            IoEnv &io = realIoEnv());
 
 /**
  * The daemon. Construction preflights the state directory, opens the
@@ -262,6 +280,13 @@ class ServeDaemon
 
         /** Rejected at recovery (payload no longer parses). */
         std::string recoveryError;
+
+        /**
+         * First durable-state write failure this batch saw (errno
+         * text); set alongside BatchState::Degraded so a poll can
+         * distinguish "points failed" from "disk failed".
+         */
+        std::string ioError;
     };
 
     std::string payloadPath(BatchHandle handle) const;
@@ -275,6 +300,7 @@ class ServeDaemon
     void notifyWakeup();
 
     ServeOptions opt_;
+    IoEnv &io_; //!< opt_.io or realIoEnv(); all durable I/O
     std::string batchesDir_;
 
     mutable std::mutex mutex_; //!< batches_, queue_, stats_, state

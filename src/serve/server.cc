@@ -76,6 +76,7 @@ statsPayload(const ServeStats &stats)
     kvLine(out, "store.lookups", stats.storeLookups);
     kvLine(out, "store.hits", stats.storeHits);
     kvLine(out, "store.stored", stats.storeStored);
+    kvLine(out, "io.errors", stats.ioErrors);
     return out;
 }
 

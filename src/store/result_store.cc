@@ -1,10 +1,6 @@
 #include "store/result_store.hh"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include "common/logging.hh"
 #include "journal/journal.hh"
@@ -69,36 +65,52 @@ shardPath(const std::string &dir, std::size_t shard)
     return shardDir(dir) + "/s" + hexU64(shard).substr(14);
 }
 
-/** mkdir -p for exactly one level; EEXIST is success. */
-bool
-ensureDir(const std::string &path)
-{
-    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
-        return true;
-    return false;
-}
-
-bool
-fileExists(const std::string &path)
-{
-    struct stat st;
-    return ::stat(path.c_str(), &st) == 0;
-}
-
 /** Whole-file read; false when the file does not exist/open. */
 bool
-readFileContents(const std::string &path, std::string &out)
+readFileContents(IoEnv &env, const std::string &path, std::string &out)
 {
-    std::FILE *in = std::fopen(path.c_str(), "rb");
-    if (!in)
+    return env.readFile(path, out).ok;
+}
+
+/** "sXX" (two lowercase hex digits) -> shard index. */
+bool
+shardIndexFromName(const std::string &name, std::size_t &shard)
+{
+    if (name.size() != 3 || name[0] != 's')
         return false;
-    char buf[4096];
-    std::size_t n = 0;
-    out.clear();
-    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
-        out.append(buf, n);
-    std::fclose(in);
+    std::size_t value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        char c = name[i];
+        if (c >= '0' && c <= '9')
+            value = value * 16 + static_cast<std::size_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value =
+                value * 16 + static_cast<std::size_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    shard = value;
     return true;
+}
+
+/**
+ * Existing segment files as (shard, path), shard-ordered. One
+ * listDir instead of 256 per-path probes: fewer syscalls, and the
+ * fault enumerator's op count stays proportional to real work.
+ */
+std::vector<std::pair<std::size_t, std::string>>
+listShardFiles(IoEnv &env, const std::string &dir)
+{
+    std::vector<std::pair<std::size_t, std::string>> files;
+    std::vector<std::string> names;
+    if (!env.listDir(shardDir(dir), names).ok)
+        return files; // no shards directory = empty store
+    for (const std::string &name : names) {
+        std::size_t shard = 0;
+        if (shardIndexFromName(name, shard))
+            files.emplace_back(shard, shardDir(dir) + "/" + name);
+    }
+    return files;
 }
 
 /**
@@ -232,27 +244,21 @@ parseMetaLine(const std::string &line, MetaData &out,
 }
 
 /** Atomic meta rewrite: temp file + rename. */
-bool
-tryWriteMetaFile(const std::string &dir, const MetaData &meta)
+IoStatus
+tryWriteMetaFile(IoEnv &env, const std::string &dir,
+                 const MetaData &meta)
 {
-    std::string path = metaPath(dir);
-    std::string tmp = path + ".tmp";
-    std::FILE *out = std::fopen(tmp.c_str(), "wb");
-    if (!out)
-        return false;
-    std::string line = metaLine(meta) + "\n";
-    bool ok = std::fwrite(line.data(), 1, line.size(), out) ==
-              line.size();
-    ok = (std::fclose(out) == 0) && ok;
-    return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+    return env.writeFileAtomic(metaPath(dir), metaLine(meta) + "\n");
 }
 
 void
-writeMetaFile(const std::string &dir, const MetaData &meta)
+writeMetaFile(IoEnv &env, const std::string &dir,
+              const MetaData &meta)
 {
-    if (!tryWriteMetaFile(dir, meta))
+    IoStatus st = tryWriteMetaFile(env, dir, meta);
+    if (!st.ok)
         fatal("store: cannot write '%s': %s",
-              metaPath(dir).c_str(), std::strerror(errno));
+              metaPath(dir).c_str(), st.text().c_str());
 }
 
 bool
@@ -357,20 +363,24 @@ ResultStore::shardOf(std::uint64_t key) const
 
 std::unique_ptr<ResultStore>
 ResultStore::open(const std::string &dir, std::uint64_t fingerprint,
-                  const StoreOptions &opt)
+                  const StoreOptions &opt, IoEnv &env)
 {
     std::unique_ptr<ResultStore> store(new ResultStore());
     store->dir_ = dir;
+    store->env_ = &env;
     store->fingerprint_ = fingerprint;
     store->opt_ = opt;
 
     if (!opt.readonly) {
-        if (!ensureDir(dir) || !ensureDir(shardDir(dir)))
+        IoStatus mk = env.makeDir(dir);
+        if (mk.ok)
+            mk = env.makeDir(shardDir(dir));
+        if (!mk.ok)
             fatal("store: cannot create store directory '%s': %s",
-                  dir.c_str(), std::strerror(errno));
+                  dir.c_str(), mk.text().c_str());
     }
 
-    bool haveMeta = fileExists(metaPath(dir));
+    bool haveMeta = env.exists(metaPath(dir));
     if (!haveMeta && opt.readonly)
         fatal("store: '%s' is not a result store (no meta.json); "
               "open it writable once to initialise it",
@@ -380,9 +390,10 @@ ResultStore::open(const std::string &dir, std::uint64_t fingerprint,
     meta.lastUse.assign(shardCount, 0);
     if (haveMeta) {
         std::string contents;
-        if (!readFileContents(metaPath(dir), contents))
+        IoStatus rd = env.readFile(metaPath(dir), contents);
+        if (!rd.ok)
             fatal("store: cannot read '%s': %s",
-                  metaPath(dir).c_str(), std::strerror(errno));
+                  metaPath(dir).c_str(), rd.text().c_str());
         bool torn = false;
         std::size_t intactEnd = 0;
         std::vector<std::string> lines =
@@ -427,8 +438,10 @@ ResultStore::open(const std::string &dir, std::uint64_t fingerprint,
             fingerprint);
     }
 
-    for (std::size_t s = 0; s < shardCount; ++s)
-        store->loadShard(s, shardPath(dir, s));
+    for (const auto &entry : listShardFiles(env, dir)) {
+        if (entry.first < shardCount)
+            store->loadShard(entry.first, entry.second);
+    }
     store->loaded_ = true;
     return store;
 }
@@ -437,7 +450,7 @@ void
 ResultStore::loadShard(std::size_t shard, const std::string &path)
 {
     std::string contents;
-    if (!readFileContents(path, contents))
+    if (!readFileContents(*env_, path, contents))
         return; // absent segment = empty shard
     bool torn = false;
     std::size_t intactEnd = 0;
@@ -450,7 +463,7 @@ ResultStore::loadShard(std::size_t shard, const std::string &path)
         // stores rewrite it from scratch on the next insert.
         stats_.corruptRecords += lines.size();
         if (!opt_.readonly)
-            ::unlink(path.c_str());
+            env_->removeFile(path);
         return;
     }
     for (std::size_t i = 1; i < lines.size(); ++i) {
@@ -472,29 +485,22 @@ ResultStore::loadShard(std::size_t shard, const std::string &path)
         ++stats_.tornTails;
         if (!opt_.readonly) {
             // Drop the torn append so the segment is clean again.
-            std::FILE *f = std::fopen(path.c_str(), "r+b");
-            if (f) {
-                if (::ftruncate(fileno(f),
-                                static_cast<long>(intactEnd)) != 0)
-                    warn("store: cannot truncate torn tail of '%s': "
-                         "%s",
-                         path.c_str(), std::strerror(errno));
-                std::fclose(f);
-            }
+            IoStatus st = env_->truncateFile(
+                path, static_cast<std::uint64_t>(intactEnd));
+            if (!st.ok)
+                warn("store: cannot truncate torn tail of '%s': %s",
+                     path.c_str(), st.text().c_str());
         }
     }
 }
 
 ResultStore::~ResultStore()
 {
-    for (Shard &sh : shards_) {
-        if (sh.file)
-            std::fclose(sh.file);
-    }
     // Best-effort: a destructor must never fatal (it may run during
     // exception unwinding, and a cache that cannot persist its meta
     // has lost recency/stats, not results). Skipped when open()
     // never completed — there is nothing meaningful to persist.
+    // Shard files close silently through their IoFile destructors.
     if (!opt_.readonly && loaded_)
         persistMeta();
 }
@@ -511,10 +517,11 @@ ResultStore::persistMeta()
     meta.lifetimeStored = stats_.lifetimeStored;
     meta.lastRunLookups = lastRunLookups_;
     meta.lastRunHits = lastRunHits_;
-    if (!tryWriteMetaFile(dir_, meta))
+    IoStatus st = tryWriteMetaFile(*env_, dir_, meta);
+    if (!st.ok)
         warn("store: cannot persist '%s' (%s); hit-rate history and "
              "eviction recency were lost, stored results are intact",
-             metaPath(dir_).c_str(), std::strerror(errno));
+             metaPath(dir_).c_str(), st.text().c_str());
 }
 
 void
@@ -566,12 +573,37 @@ ResultStore::lookup(std::uint64_t key, ExperimentResult &out)
 }
 
 void
+ResultStore::noteWriteError(std::size_t shard, const IoStatus &st)
+{
+    // A hard append error (disk full, EIO) disables the shard for
+    // the rest of the session: the cache degrades to pass-through
+    // for these keys instead of corrupting the segment tail with
+    // repeated partial appends. The file is closed and truncated
+    // back to its last intact record (best effort), so what remains
+    // on disk still loads clean.
+    std::string path = shardPath(dir_, shard);
+    Shard &sh = shards_[shard];
+    ++stats_.writeErrors;
+    sh.writeFailed = true;
+    sh.file.reset();
+    if (sh.bytes == 0)
+        env_->removeFile(path); // a headerless stub would not load
+    else
+        env_->truncateFile(path, sh.bytes);
+    warn("store: write to segment '%s' failed (%s); shard disabled "
+         "for this session, results for it will not be cached",
+         path.c_str(), st.text().c_str());
+}
+
+void
 ResultStore::insert(std::uint64_t key, const ExperimentResult &result)
 {
     if (opt_.readonly)
         return;
     std::size_t shard = shardOf(key);
     Shard &sh = shards_[shard];
+    if (sh.writeFailed)
+        return; // hard error earlier: decline further offers
     auto mapKey = std::make_pair(key, fingerprint_);
     if (sh.entries.count(mapKey))
         return; // dedup keeps segment bytes deterministic
@@ -579,26 +611,32 @@ ResultStore::insert(std::uint64_t key, const ExperimentResult &result)
     std::string path = shardPath(dir_, shard);
     if (!sh.file) {
         bool fresh = sh.bytes == 0;
-        sh.file = std::fopen(path.c_str(), fresh ? "wb" : "ab");
-        if (!sh.file)
-            fatal("store: cannot open segment '%s' for append: %s",
-                  path.c_str(), std::strerror(errno));
+        IoStatus st;
+        sh.file = fresh ? env_->openTrunc(path, st)
+                        : env_->openAppend(path, st);
+        if (!sh.file) {
+            noteWriteError(shard, st);
+            return;
+        }
         if (fresh) {
             std::string header = storeSegmentHeaderLine(shard) + "\n";
-            if (std::fwrite(header.data(), 1, header.size(),
-                            sh.file) != header.size())
-                fatal("store: write to '%s' failed: %s", path.c_str(),
-                      std::strerror(errno));
+            st = sh.file->write(header);
+            if (!st.ok) {
+                noteWriteError(shard, st);
+                return;
+            }
             sh.bytes += header.size();
         }
     }
     std::string line = storeRecordLine(fingerprint_, key, result);
     line += "\n";
-    if (std::fwrite(line.data(), 1, line.size(), sh.file) !=
-            line.size() ||
-        std::fflush(sh.file) != 0)
-        fatal("store: write to '%s' failed: %s", path.c_str(),
-              std::strerror(errno));
+    IoStatus st = sh.file->write(line);
+    if (st.ok)
+        st = sh.file->flush();
+    if (!st.ok) {
+        noteWriteError(shard, st);
+        return;
+    }
     // No fsync: the store is a cache, not the crash-safety contract
     // (that is the journal); a torn tail costs one re-simulation.
     sh.bytes += line.size();
@@ -628,11 +666,8 @@ ResultStore::enforceBudget(std::size_t protectedShard)
         if (victim == shardCount)
             return;
         Shard &sh = shards_[victim];
-        if (sh.file) {
-            std::fclose(sh.file);
-            sh.file = nullptr;
-        }
-        ::unlink(shardPath(dir_, victim).c_str());
+        sh.file.reset();
+        env_->removeFile(shardPath(dir_, victim));
         ++stats_.evictedSegments;
         stats_.evictedBytes += sh.bytes;
         sh.bytes = 0;
@@ -687,13 +722,13 @@ StorePointCache::store(std::size_t index, const PointOutcome &out)
 }
 
 StoreSurvey
-surveyStore(const std::string &dir)
+surveyStore(const std::string &dir, IoEnv &env)
 {
-    if (!fileExists(dir))
+    if (!env.exists(dir))
         fatal("store: '%s' does not exist", dir.c_str());
     StoreSurvey survey;
     std::string contents;
-    if (!readFileContents(metaPath(dir), contents)) {
+    if (!readFileContents(env, metaPath(dir), contents)) {
         survey.metaError = "missing meta.json";
     } else {
         bool torn = false;
@@ -718,9 +753,10 @@ surveyStore(const std::string &dir)
         }
     }
 
-    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
+    for (const auto &entry : listShardFiles(env, dir)) {
+        std::size_t s = entry.first;
         std::string contents2;
-        if (!readFileContents(shardPath(dir, s), contents2))
+        if (!readFileContents(env, entry.second, contents2))
             continue;
         ++survey.segments;
         survey.bytes += contents2.size();
@@ -751,9 +787,9 @@ surveyStore(const std::string &dir)
 }
 
 StoreGcResult
-gcStore(const std::string &dir, std::uint64_t maxBytes)
+gcStore(const std::string &dir, std::uint64_t maxBytes, IoEnv &env)
 {
-    if (!fileExists(dir))
+    if (!env.exists(dir))
         fatal("store: '%s' does not exist", dir.c_str());
     StoreGcResult gc;
 
@@ -764,7 +800,7 @@ gcStore(const std::string &dir, std::uint64_t maxBytes)
         std::string error;
         bool torn = false;
         std::size_t intactEnd = 0;
-        if (readFileContents(metaPath(dir), contents)) {
+        if (readFileContents(env, metaPath(dir), contents)) {
             std::vector<std::string> lines =
                 splitLines(contents, torn, intactEnd);
             if (lines.empty() ||
@@ -777,10 +813,11 @@ gcStore(const std::string &dir, std::uint64_t maxBytes)
 
     // Pass 1: rewrite each segment keeping only intact records.
     std::vector<std::uint64_t> shardBytes(ResultStore::shardCount, 0);
-    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
-        std::string path = shardPath(dir, s);
+    for (const auto &entry : listShardFiles(env, dir)) {
+        std::size_t s = entry.first;
+        const std::string &path = entry.second;
         std::string contents;
-        if (!readFileContents(path, contents))
+        if (!readFileContents(env, path, contents))
             continue;
         gc.bytesBefore += contents.size();
         bool torn = false;
@@ -809,21 +846,14 @@ gcStore(const std::string &dir, std::uint64_t maxBytes)
         if (torn)
             ++gc.droppedRecords;
         if (kept == 0) {
-            ::unlink(path.c_str());
+            env.removeFile(path);
             meta.lastUse[s] = 0;
             continue;
         }
-        std::string tmp = path + ".tmp";
-        std::FILE *out = std::fopen(tmp.c_str(), "wb");
-        if (!out)
-            fatal("store: cannot write '%s': %s", tmp.c_str(),
-                  std::strerror(errno));
-        bool ok = std::fwrite(rewritten.data(), 1, rewritten.size(),
-                              out) == rewritten.size();
-        ok = (std::fclose(out) == 0) && ok;
-        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+        IoStatus st = env.writeFileAtomic(path, rewritten);
+        if (!st.ok)
             fatal("store: cannot replace '%s': %s", path.c_str(),
-                  std::strerror(errno));
+                  st.text().c_str());
         shardBytes[s] = rewritten.size();
     }
 
@@ -847,7 +877,7 @@ gcStore(const std::string &dir, std::uint64_t maxBytes)
             }
             if (victim == ResultStore::shardCount)
                 break;
-            ::unlink(shardPath(dir, victim).c_str());
+            env.removeFile(shardPath(dir, victim));
             ++gc.evictedSegments;
             gc.evictedBytes += shardBytes[victim];
             shardBytes[victim] = 0;
@@ -856,15 +886,15 @@ gcStore(const std::string &dir, std::uint64_t maxBytes)
     }
     for (std::uint64_t b : shardBytes)
         gc.bytesAfter += b;
-    writeMetaFile(dir, meta);
+    writeMetaFile(env, dir, meta);
     return gc;
 }
 
 std::size_t
 invalidateStore(const std::string &dir,
-                const std::uint64_t *fingerprint)
+                const std::uint64_t *fingerprint, IoEnv &env)
 {
-    if (!fileExists(dir))
+    if (!env.exists(dir))
         fatal("store: '%s' does not exist", dir.c_str());
 
     MetaData meta;
@@ -874,7 +904,7 @@ invalidateStore(const std::string &dir,
         std::string error;
         bool torn = false;
         std::size_t intactEnd = 0;
-        if (readFileContents(metaPath(dir), contents)) {
+        if (readFileContents(env, metaPath(dir), contents)) {
             std::vector<std::string> lines =
                 splitLines(contents, torn, intactEnd);
             if (lines.empty() ||
@@ -886,10 +916,11 @@ invalidateStore(const std::string &dir,
     }
 
     std::size_t dropped = 0;
-    for (std::size_t s = 0; s < ResultStore::shardCount; ++s) {
-        std::string path = shardPath(dir, s);
+    for (const auto &entry : listShardFiles(env, dir)) {
+        std::size_t s = entry.first;
+        const std::string &path = entry.second;
         std::string contents;
-        if (!readFileContents(path, contents))
+        if (!readFileContents(env, path, contents))
             continue;
         if (!fingerprint) {
             bool torn = false;
@@ -897,7 +928,7 @@ invalidateStore(const std::string &dir,
             std::vector<std::string> lines =
                 splitLines(contents, torn, intactEnd);
             dropped += lines.empty() ? 0 : lines.size() - 1;
-            ::unlink(path.c_str());
+            env.removeFile(path);
             meta.lastUse[s] = 0;
             continue;
         }
@@ -925,21 +956,14 @@ invalidateStore(const std::string &dir,
         if (!headerOk)
             dropped += lines.size();
         if (kept == 0) {
-            ::unlink(path.c_str());
+            env.removeFile(path);
             meta.lastUse[s] = 0;
             continue;
         }
-        std::string tmp = path + ".tmp";
-        std::FILE *out = std::fopen(tmp.c_str(), "wb");
-        if (!out)
-            fatal("store: cannot write '%s': %s", tmp.c_str(),
-                  std::strerror(errno));
-        bool ok = std::fwrite(rewritten.data(), 1, rewritten.size(),
-                              out) == rewritten.size();
-        ok = (std::fclose(out) == 0) && ok;
-        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+        IoStatus st = env.writeFileAtomic(path, rewritten);
+        if (!st.ok)
             fatal("store: cannot replace '%s': %s", path.c_str(),
-                  std::strerror(errno));
+                  st.text().c_str());
     }
 
     if (fingerprint) {
@@ -951,7 +975,7 @@ invalidateStore(const std::string &dir,
         meta = MetaData{};
         meta.lastUse.assign(ResultStore::shardCount, 0);
     }
-    writeMetaFile(dir, meta);
+    writeMetaFile(env, dir, meta);
     return dropped;
 }
 
@@ -975,6 +999,7 @@ storeStatsTable(const StoreStats &stats)
     row("stale_misses", stats.staleMisses);
     row("corrupt_records", stats.corruptRecords);
     row("torn_tails", stats.tornTails);
+    row("write_errors", stats.writeErrors);
     row("evicted_segments", stats.evictedSegments);
     row("evicted_bytes", stats.evictedBytes);
     return table;

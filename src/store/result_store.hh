@@ -41,7 +41,6 @@
 
 #include <array>
 #include <cstdint>
-#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +49,7 @@
 
 #include "common/table.hh"
 #include "core/parallel_runner.hh"
+#include "io/io_env.hh"
 
 namespace uvmasync
 {
@@ -83,6 +83,14 @@ struct StoreStats
     /** Torn trailing lines dropped at load. */
     std::uint64_t tornTails = 0;
 
+    /**
+     * Hard segment-append failures (disk full, EIO). Each one
+     * disables its shard for the rest of the session — the tail is
+     * truncated back to the last intact record instead of corrupted,
+     * and later offers to that shard are declined.
+     */
+    std::uint64_t writeErrors = 0;
+
     std::uint64_t evictedSegments = 0;
     std::uint64_t evictedBytes = 0;
 
@@ -115,7 +123,7 @@ class ResultStore
      */
     static std::unique_ptr<ResultStore>
     open(const std::string &dir, std::uint64_t fingerprint,
-         const StoreOptions &opt = {});
+         const StoreOptions &opt = {}, IoEnv &env = realIoEnv());
 
     ~ResultStore();
 
@@ -155,6 +163,7 @@ class ResultStore
     std::size_t shardOf(std::uint64_t key) const;
     void loadShard(std::size_t shard, const std::string &path);
     void touch(std::size_t shard);
+    void noteWriteError(std::size_t shard, const IoStatus &st);
     void enforceBudget(std::size_t protectedShard);
     void persistMeta();
 
@@ -165,10 +174,12 @@ class ResultStore
                  ExperimentResult>
             entries;
         std::uint64_t bytes = 0;
-        std::FILE *file = nullptr; //!< open lazily for append
+        std::unique_ptr<IoFile> file; //!< open lazily for append
+        bool writeFailed = false; //!< hard error: decline offers
     };
 
     std::string dir_;
+    IoEnv *env_ = nullptr;
     std::uint64_t fingerprint_ = 0;
     StoreOptions opt_;
     StoreStats stats_;
@@ -248,7 +259,8 @@ struct StoreSurvey
  * Walk a store directory without opening it for use: never fatals on
  * corruption (that is what it is for), only on a missing directory.
  */
-StoreSurvey surveyStore(const std::string &dir);
+StoreSurvey surveyStore(const std::string &dir,
+                        IoEnv &env = realIoEnv());
 
 /** Outcome of gcStore(). */
 struct StoreGcResult
@@ -265,14 +277,16 @@ struct StoreGcResult
  * corrupt lines and torn tails), then enforce @p maxBytes (0 = no
  * budget) by LRU eviction, and persist a repaired meta.json.
  */
-StoreGcResult gcStore(const std::string &dir, std::uint64_t maxBytes);
+StoreGcResult gcStore(const std::string &dir, std::uint64_t maxBytes,
+                      IoEnv &env = realIoEnv());
 
 /**
  * Drop entries: all of them, or (with @p fingerprint set) only the
  * records written under one fingerprint. Returns records dropped.
  */
 std::size_t invalidateStore(const std::string &dir,
-                            const std::uint64_t *fingerprint);
+                            const std::uint64_t *fingerprint,
+                            IoEnv &env = realIoEnv());
 
 /** Render session + lifetime counters (`store stats`, run reports). */
 TextTable storeStatsTable(const StoreStats &stats);

@@ -2,8 +2,11 @@
 // lint must flag this file: each banned construction below sits in
 // real (non-comment, non-string) code. Never compiled.
 #include <chrono>
+#include <cstdio>
 #include <ctime>
+#include <fstream>
 #include <random>
+#include <string>
 #include <unordered_map>
 
 int badUnseeded()
@@ -43,6 +46,19 @@ Rng badInjectRng()
 struct CsvWriter {
     void writeRow(int) {}
 };
+
+int badRawIo(const std::string &path)
+{
+    ::mkdir("state", 0755);
+    std::ofstream side("state/x");
+    FILE *fp = fopen("state/y", "w");
+    fwrite("z", 1, 1, fp);
+    fsync(3);
+    std::remove(path.c_str());
+    std::remove("state/y");
+    std::rename("state/x", "state/z");
+    return fclose(fp);
+}
 
 void badUnorderedIteration(CsvWriter &csv)
 {

@@ -26,6 +26,40 @@ int operand(int strandCount) { return strandCount; }
 int strand(int x) { return operand(x); }
 int mytime(int x) { return x; } // [^a-zA-Z_]time\( must not fire
 
+// Raw-I/O prose that must not trip the IoEnv-seam rule: fopen( and
+// fwrite( and fsync( and mkdir( and ::open( and std::ofstream and
+// std::remove(tmp.c_str()) live here only as documentation.
+/* std::rename( opendir( readdir( fstream ftruncate( ::unlink( */
+static const char *kIoDoc =
+    "fopen(path) fclose(fp) fsync(fd) ::open(path) mkdir(dir) "
+    "std::remove(tmp.c_str()) std::rename(a, b) ofstream";
+
+// The seam's own method names carry banned words as substrings.
+int openTrunc(int x) { return x; }
+int removeFile(int x) { return x; }
+int renameFile(int x) { return x; }
+int truncateFile(int x) { return x; }
+int callSeam()
+{
+    return openTrunc(1) + removeFile(2) + renameFile(3) + truncateFile(4);
+}
+
+// A class may scope its own open()/remove() — ResultStore::open and
+// AdmissionQueue::remove are real call sites the rule must skip.
+struct StoreLike {
+    static int open(int x) { return x; }
+    static int remove(int x) { return x; }
+};
+int StoreLike_calls() { return StoreLike::open(7) + StoreLike::remove(8); }
+
+// The <algorithm> std::remove takes an iterator pair, never a path;
+// the file-removal rule keys on .c_str()/string-literal arguments.
+long *eraseRemoveIdiom(long *first, long *last)
+{
+    last = std::remove(first, last, 0L);
+    return last - first ? last : first;
+}
+
 const char *
 docString()
 {

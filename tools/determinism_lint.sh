@@ -17,6 +17,9 @@
 #   - default- or literal-seeded Rng construction in src/inject: every
 #     injector stream must be derived from the plan salt, or injected
 #     runs stop replaying identically across --jobs counts
+#   - raw file I/O (stdio, POSIX file calls, fstreams) in src/journal,
+#     src/store or src/serve: durable state goes through the IoEnv
+#     seam in src/io, or the fault enumerator and fsck cannot see it
 #
 # The checks are token-aware: comments and string literals are blanked
 # (line numbers preserved) before any pattern runs, so prose saying
@@ -43,6 +46,15 @@ RE_INJECT_RNG='Rng[[:space:]]*\([[:space:]]*\)|Rng\{[[:space:]]*\}|Rng[[:space:]
 RE_JOURNAL_CLOCK='std::chrono|clock_gettime|gettimeofday|\bstrftime[[:space:]]*\(|\blocaltime(_r)?[[:space:]]*\(|\bgmtime(_r)?[[:space:]]*\(|std::time[[:space:]]*\(|[^a-zA-Z_]time[[:space:]]*\([[:space:]]*(NULL|nullptr|0|&)'
 RE_UNORDERED_ITER='for[[:space:]]*\(.*:[[:space:]]*[^)]*unordered_(map|set)'
 RE_OUTPUT_TOKENS='CsvWriter|writeRow|TextTable|writeChromeTrace|writeTraceMetricsCsv'
+# Raw file I/O in the durable-state directories. Four families:
+# stdio/POSIX file calls by name; explicitly scoped ::open-style
+# syscalls (the unscoped names are too common to ban — ResultStore
+# has its own open(), AdmissionQueue its own remove()); fstream
+# types; and the <cstdio> std::remove/std::rename file APIs. The
+# std::remove file form is distinguished from the <algorithm>
+# iterator form by its single const-char* argument: a .c_str() call
+# or a lone (blanked) string literal, never an iterator pair.
+RE_RAW_IO='\b(fopen|freopen|fdopen|fwrite|fread|fgets|fputs|fscanf|fclose|fflush|fseeko?|ftello?|fsync|fdatasync|creat|mkdir|rmdir|unlink|opendir|readdir|closedir|truncate|ftruncate)[[:space:]]*\(|(^|[^A-Za-z0-9_])::(open|creat|stat|lstat|rename|remove|unlink|mkdir|opendir|truncate|ftruncate|fsync|fdatasync)[[:space:]]*\(|\b(fstream|ofstream|ifstream)\b|std::rename[[:space:]]*\(|std::remove[[:space:]]*\([^,;)]*c_str|std::remove[[:space:]]*\([[:space:]]*\)'
 
 # Blank comments and string/char literals while preserving the line
 # structure, so grep line numbers still point at the real source.
@@ -116,12 +128,14 @@ if [ "${1:-}" = "--self-test" ]; then
     must_hit "inject rng" "$RE_INJECT_RNG" "$bad"
     must_hit "journal clock" "$RE_JOURNAL_CLOCK" "$bad"
     must_hit "unordered iteration" "$RE_UNORDERED_ITER" "$bad"
+    must_hit "raw file I/O" "$RE_RAW_IO" "$bad"
     must_miss "unseeded randomness" "$RE_RAND" "$clean"
     must_miss "wall-clock" "$RE_WALLCLOCK" "$clean"
     must_miss "steady_clock" "$RE_STEADY" "$clean"
     must_miss "inject rng" "$RE_INJECT_RNG" "$clean"
     must_miss "journal clock" "$RE_JOURNAL_CLOCK" "$clean"
     must_miss "unordered iteration" "$RE_UNORDERED_ITER" "$clean"
+    must_miss "raw file I/O" "$RE_RAW_IO" "$clean"
     if [ "$st_fail" -eq 0 ]; then
         note "determinism lint self-test: ok"
     fi
@@ -222,6 +236,28 @@ if [ -n "$hits" ]; then
     note "determinism lint: wall-clock read in src/serve (the" \
          "daemon's streams must stay byte-deterministic; block on" \
          "poll/condition variables, never on deadlines):"
+    note "$hits"
+    fail=1
+fi
+
+# --- durable state: every file op through the IoEnv seam ------------
+# src/journal, src/store and src/serve route all durable-state I/O
+# through common IoEnv (src/io). That seam is what lets the crash
+# enumerator in tests/test_io_fault.cc fail every single operation,
+# and what keeps `uvmasync fsck` an exhaustive model of the on-disk
+# format: raw stdio/POSIX file calls or fstreams here would open a
+# side channel the fault layer cannot inject into. Socket-fd traffic
+# (::read/::write/::close on connections in server.cc/wire.cc) is
+# not file I/O and stays legal. The one raw *file* call allowed is
+# server.cc's ::unlink of the unix-socket endpoint — a kernel
+# rendezvous point, not durable state, gone with the process anyway.
+ALLOW_RAW_IO='^src/serve/server\.cc:[0-9]+:.*::unlink'
+DURABLE_FILES="$JOURNAL_FILES $STORE_FILES $SERVE_FILES"
+hits=$(scan "$RE_RAW_IO" $DURABLE_FILES)
+hits=$(printf '%s\n' "$hits" | grep -vE "$ALLOW_RAW_IO" || true)
+if [ -n "$hits" ]; then
+    note "determinism lint: raw file I/O bypasses the IoEnv seam" \
+         "(route it through src/io so faults inject and fsck sees it):"
     note "$hits"
     fail=1
 fi

@@ -66,6 +66,7 @@
 #include "common/table.hh"
 #include "inject/inject_plan.hh"
 #include "inject/injector.hh"
+#include "io/fsck.hh"
 #include "core/experiment.hh"
 #include "core/parallel_runner.hh"
 #include "core/report.hh"
@@ -255,6 +256,24 @@ setupJournal(const Args &args,
     if (args.has("journal"))
         return RunJournal::create(args.get("journal"), points);
     return nullptr;
+}
+
+/**
+ * Post-batch journal health: a hard write error (disk full, EIO)
+ * makes the journal inert instead of killing the run; say so, with
+ * the errno text, so the lost crash-safety is visible.
+ */
+void
+reportJournalHealth(const RunJournal *journal, std::size_t lost)
+{
+    if (!journal || !journal->writeFailed())
+        return;
+    std::fprintf(stderr,
+                 "journal: write to '%s' failed (%s); %zu record(s) "
+                 "not journaled — run continued without crash "
+                 "safety\n",
+                 journal->path().c_str(),
+                 journal->writeError().c_str(), lost);
 }
 
 /** --retries N (default 1): extra same-seed attempts per point. */
@@ -518,6 +537,7 @@ cmdRunJobFile(const Args &args)
         cache.emplace(*store, points);
 
     bool anyFailed = false;
+    std::size_t journalLost = 0;
     TextTable table({"mode", "gpu_kernel", "memcpy", "allocation",
                      "overall", "faults"});
     for (std::size_t i = 0; i < allTransferModes.size(); ++i) {
@@ -535,8 +555,8 @@ cmdRunJobFile(const Args &args)
             // (it is one, replayed), so warm and cold runs write
             // identical journals.
             outcome.cached = true;
-            if (journal)
-                journal->commit(i, outcome);
+            if (journal && !journal->commit(i, outcome))
+                ++journalLost;
         } else {
             Tracer tracer;
             runOpts.tracer = traced ? &tracer : nullptr;
@@ -562,8 +582,8 @@ cmdRunJobFile(const Args &args)
                 outcome.error = e.what();
             }
             traces.push_back(std::move(tracer));
-            if (journal)
-                journal->commit(i, outcome);
+            if (journal && !journal->commit(i, outcome))
+                ++journalLost;
             if (cache)
                 cache->store(i, outcome);
         }
@@ -609,6 +629,7 @@ cmdRunJobFile(const Args &args)
         }
     }
     reportStoreStats(store.get());
+    reportJournalHealth(journal.get(), journalLost);
     return anyFailed ? 1 : 0;
 }
 
@@ -717,6 +738,7 @@ cmdRun(const Args &args)
     ParallelRunner runner(system);
     BatchResult batch = runner.runPoints(points, policy);
     reportStoreStats(store.get());
+    reportJournalHealth(journal.get(), batch.metrics.journalErrors);
 
     // Failed points (a poisoned configuration, an injected transfer
     // that exhausted its retries, a watchdog trip) are retried, then
@@ -975,6 +997,7 @@ cmdSweep(const Args &args)
     ParallelRunner runner(system);
     BatchResult batch = runner.runPoints(grid.points, policy);
     reportStoreStats(store.get());
+    reportJournalHealth(journal.get(), batch.metrics.journalErrors);
     bool anyFailed = reportRobustness(grid.points, batch) != 0;
     std::vector<SweepPoint> points =
         assembleSweepPoints(grid, batch);
@@ -1098,6 +1121,60 @@ cmdStore(const Args &args)
                          "stats, verify, gc or invalidate)\n",
                  op.c_str());
     return 1;
+}
+
+/**
+ * Deep-verify (and with --repair, fix) durable state: daemon state
+ * directories, result stores, or standalone journal files, each
+ * auto-detected. Exit 0 = consistent (possibly after repair), 1 =
+ * repairable damage found, 2 = unrecoverable.
+ */
+int
+cmdFsck(const Args &args)
+{
+    FsckOptions opt;
+    opt.repair = args.has("repair");
+    // --repair is a bare switch, but the generic parser treats any
+    // following non-dash token as its value; reclaim that token as
+    // the first path so `fsck --repair PATH...` works.
+    std::vector<std::string> paths = args.positional();
+    std::string repairValue = args.get("repair");
+    if (opt.repair && repairValue != "true")
+        paths.insert(paths.begin(), repairValue);
+
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "fsck: at least one PATH is required (a daemon "
+                     "state dir, a store dir, or a journal file)\n");
+        return 2;
+    }
+
+    int exitCode = 0;
+    for (const std::string &path : paths) {
+        FsckReport report = fsckPath(path, opt);
+        for (const FsckFinding &finding : report.findings)
+            std::fprintf(stderr, "fsck: %s\n",
+                         fsckFindingLine(finding).c_str());
+        printTable(std::cout, strfmt("fsck '%s'", path.c_str()),
+                   fsckSummaryTable(report));
+        int code = report.exitCode();
+        if (code == 0) {
+            std::printf("fsck '%s': consistent%s\n", path.c_str(),
+                        report.repairsApplied > 0 ? " (after repair)"
+                                                  : "");
+        } else {
+            std::fprintf(stderr,
+                         "fsck: '%s' is NOT consistent%s\n",
+                         path.c_str(),
+                         code == 1 && !opt.repair
+                             ? "; rerun with --repair to truncate "
+                               "torn tails and quarantine "
+                               "unrecoverable files"
+                             : "");
+        }
+        exitCode = std::max(exitCode, code);
+    }
+    return exitCode;
 }
 
 /** Build a daemon submission payload from the run-style flags. */
@@ -1275,6 +1352,7 @@ usage()
         "[--mode MODE|all] [--size CLASS]\n"
         "  uvmasync store stats|verify|gc|invalidate --store DIR\n"
         "               [--store-max-bytes N] [--fingerprint HEX16]\n"
+        "  uvmasync fsck PATH... [--repair]\n"
         "  uvmasync client "
         "submit|run|status|stream|cancel|stats|shutdown --socket "
         "PATH\n"
@@ -1329,6 +1407,8 @@ main(int argc, char **argv)
         return cmdTimeline(args);
     if (cmd == "store")
         return cmdStore(args);
+    if (cmd == "fsck")
+        return cmdFsck(args);
     if (cmd == "client")
         return cmdClient(args);
     usage();
